@@ -1,0 +1,61 @@
+#ifndef COVERAGE_BENCH_BENCH_COMMON_H_
+#define COVERAGE_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "coverage_lib.h"
+
+namespace coverage {
+namespace bench {
+
+/// Paper-scale runs (n = 1M, full parameter grids) are enabled with
+/// REPRO_FULL=1 in the environment; the default scale keeps the whole bench
+/// suite within a few minutes while preserving every qualitative shape.
+inline bool FullScale() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Default data size stand-in for the paper's 1M-row AirBnB experiments.
+inline std::size_t AirbnbRows() { return FullScale() ? 1000000u : 200000u; }
+
+/// Prints the standard experiment banner.
+inline void Banner(const std::string& figure, const std::string& setting) {
+  std::cout << "==============================================================="
+               "=\n"
+            << figure << "\n"
+            << setting << (FullScale() ? "  [REPRO_FULL]" : "  [default scale"
+                                                            "; REPRO_FULL=1 "
+                                                            "for paper scale]")
+            << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+/// Runs one MUP identification algorithm and returns its stats (the result
+/// itself is discarded; `num_mups` lands in the stats). Returns seconds < 0
+/// when the algorithm refused the workload (resource guard) — printed as
+/// "DNF" by the tables.
+inline MupSearchStats TimeMupSearch(MupAlgorithm algorithm,
+                                    const BitmapCoverage& oracle,
+                                    const MupSearchOptions& options) {
+  MupSearchStats stats;
+  auto result = FindMups(algorithm, oracle, options, &stats);
+  if (!result.ok()) {
+    stats.seconds = -1.0;
+  }
+  return stats;
+}
+
+/// "DNF" for guarded refusals, otherwise seconds with 4 digits.
+inline std::string SecondsCell(double seconds) {
+  if (seconds < 0) return "DNF";
+  return FormatDouble(seconds, 4);
+}
+
+}  // namespace bench
+}  // namespace coverage
+
+#endif  // COVERAGE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,41 @@
+// Regenerates Figure 6: the distribution of MUP levels in the AirBnB dataset
+// with n = 1000 items, d = 13 attributes, τ = 50. The paper reports a
+// bell-shaped histogram (1, 38, 281, 628, 982, 1014, 562, 237, 100, 35, 2
+// across levels 1-11) — most MUPs sit in the middle levels, very few are the
+// dangerous general ones.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace coverage;
+  bench::Banner("Figure 6: distribution of MUP levels",
+                "AirBnB-like, n = 1000, d = 13, tau = 50");
+
+  const Dataset data = datagen::MakeAirbnb(1000, 13);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchStats stats;
+  const auto mups =
+      FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 50}, &stats);
+  const auto histogram = MupLevelHistogram(mups, 13);
+
+  TablePrinter table({"level", "# of MUPs", "bar"});
+  std::size_t peak = 0;
+  for (std::size_t c : histogram) peak = std::max(peak, c);
+  for (std::size_t level = 0; level < histogram.size(); ++level) {
+    const std::size_t count = histogram[level];
+    const std::size_t width = peak == 0 ? 0 : count * 40 / peak;
+    table.Row()
+        .Cell(static_cast<std::uint64_t>(level))
+        .Cell(static_cast<std::uint64_t>(count))
+        .Cell(std::string(width, '#'))
+        .Done();
+  }
+  table.Print(std::cout);
+  std::cout << "total MUPs: " << mups.size()
+            << "   discovery time: " << FormatDouble(stats.seconds, 4)
+            << " s\n"
+            << "expected shape: bell curve peaking in the middle levels, "
+               "almost nothing at levels 0-2\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates the §V-B3 result: coverage enhancement on COMPAS targeting
+// maximum covered level λ = 2 with a human-in-the-loop validation oracle
+// that (a) rules out marital status "unknown" and (b) forbids the under-20
+// age group from being non-single. The paper's suggested acquisitions are
+// combinations like {over 60, other races, widowed} and {between 20 and 40,
+// Hispanic, widowed}.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace coverage;
+  bench::Banner("Table (SS V-B3): COMPAS coverage enhancement with oracle",
+                "tau = 10, lambda = 2, two validation rules");
+
+  const auto compas = datagen::MakeCompas();
+  const Schema& schema = compas.data.schema();
+  const AggregatedData agg(compas.data);
+  const BitmapCoverage oracle(agg);
+  const std::uint64_t tau = 10;
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
+
+  ValidationOracle validator;
+  auto rule_a = ValidationRule::Parse("marital in {unknown}", schema);
+  auto rule_b = ValidationRule::Parse(
+      "age in {<20} and marital in {married, separated, widowed, sig-other, "
+      "divorced}",
+      schema);
+  validator.AddRule(*rule_a);
+  validator.AddRule(*rule_b);
+  std::cout << "validation rules (combinations satisfying one are invalid):\n"
+            << "  - " << rule_a->ToString(schema) << "\n"
+            << "  - " << rule_b->ToString(schema) << "\n\n";
+
+  EnhancementOptions options;
+  options.tau = tau;
+  options.lambda = 2;
+  options.oracle = &validator;
+  auto plan = PlanCoverageEnhancement(oracle, mups, options);
+  if (!plan.ok()) {
+    std::cout << "planning failed: " << plan.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << RenderAcquisitionPlan(*plan, schema);
+
+  // Verify the plan end to end.
+  const Dataset enlarged = ApplyPlan(compas.data, *plan);
+  const AggregatedData agg2(enlarged);
+  const BitmapCoverage oracle2(agg2);
+  const auto mups2 = FindMupsDeepDiver(oracle2, MupSearchOptions{.tau = tau});
+  auto remaining = UncoveredPatternsAtLevel(mups2, schema, 2, 1u << 20);
+  std::size_t blocked = remaining.ok() ? remaining->size() : 0;
+  std::cout << "\nafter applying the plan: " << blocked
+            << " level-2 pattern(s) remain uncovered (all blocked by the "
+               "validation rules: "
+            << plan->unresolvable.size() << " declared unresolvable)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Scaling to wide schemas: a marketplace with 36 boolean amenity attributes
+// cannot enumerate its full pattern graph (3^36 nodes), but the dangerous
+// coverage gaps are the *general* ones — combinations of one, two, or three
+// attributes (paper §V-C3, Fig. 16). Level-limited DEEPDIVER finds exactly
+// those, fast, and the report ranks them for a human reviewer.
+//
+//   $ ./examples/wide_catalog_scaling
+
+#include <iostream>
+
+#include "coverage_lib.h"
+
+int main() {
+  using namespace coverage;
+
+  const std::size_t n = 100000;
+  const int d = 36;
+  std::cout << "generating " << FormatCount(n) << " listings with " << d
+            << " boolean attributes...\n";
+  const Dataset listings = datagen::MakeAirbnb(n, d);
+  const AggregatedData agg(listings);
+  const BitmapCoverage oracle(agg);
+  std::cout << "distinct value combinations: "
+            << FormatCount(agg.num_combinations()) << "\n";
+  std::cout << "full pattern graph would have "
+            << FormatCount(listings.schema().NumPatterns())
+            << " nodes - level-limited search instead:\n\n";
+
+  const std::uint64_t tau = n / 1000;  // 0.1%
+  TablePrinter table({"max level", "time (s)", "# MUPs", "most general MUP"});
+  for (int max_level : {1, 2, 3}) {
+    MupSearchOptions options;
+    options.tau = tau;
+    options.max_level = max_level;
+    MupSearchStats stats;
+    const auto mups = FindMupsDeepDiver(oracle, options, &stats);
+    std::string example = "-";
+    if (!mups.empty()) {
+      const CoverageReport report = BuildCoverageReport(
+          listings.schema(), mups, n, tau, 1);
+      example = report.most_general.empty() ? "-" : report.most_general[0];
+    }
+    table.Row()
+        .Cell(max_level)
+        .Cell(stats.seconds, 3)
+        .Cell(static_cast<std::uint64_t>(mups.size()))
+        .Cell(example)
+        .Done();
+  }
+  table.Print(std::cout);
+
+  // Plan remediation for the pairwise gaps only.
+  MupSearchOptions options;
+  options.tau = tau;
+  options.max_level = 2;
+  const auto mups = FindMupsDeepDiver(oracle, options);
+  EnhancementOptions eopts;
+  eopts.tau = tau;
+  eopts.lambda = 2;
+  const auto plan = PlanCoverageEnhancement(oracle, mups, eopts);
+  if (plan.ok()) {
+    std::cout << "\nremediating all pairwise gaps needs "
+              << plan->items.size() << " distinct listing profiles ("
+              << FormatCount(plan->TotalTuples()) << " listings, vs "
+              << plan->targets.size()
+              << " uncovered pairs - each profile hits many)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "common/bitvector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace coverage {
+
+namespace {
+std::size_t WordsFor(std::size_t num_bits) {
+  return (num_bits + BitVector::kBitsPerWord - 1) / BitVector::kBitsPerWord;
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t num_bits, bool value)
+    : words_(WordsFor(num_bits), value ? ~Word{0} : Word{0}),
+      num_bits_(num_bits) {
+  ClearPadding();
+}
+
+void BitVector::Set(std::size_t i, bool value) {
+  assert(i < num_bits_);
+  const Word mask = Word{1} << (i % kBitsPerWord);
+  if (value) {
+    words_[i / kBitsPerWord] |= mask;
+  } else {
+    words_[i / kBitsPerWord] &= ~mask;
+  }
+}
+
+void BitVector::Fill(bool value) {
+  for (Word& w : words_) w = value ? ~Word{0} : Word{0};
+  ClearPadding();
+}
+
+void BitVector::PushBack(bool value) {
+  Resize(num_bits_ + 1);
+  if (value) Set(num_bits_ - 1, true);
+}
+
+void BitVector::Resize(std::size_t num_bits, bool value) {
+  const std::size_t old_bits = num_bits_;
+  words_.resize(WordsFor(num_bits), value ? ~Word{0} : Word{0});
+  num_bits_ = num_bits;
+  if (num_bits > old_bits && value) {
+    // The tail of the old last word must be raised by hand.
+    for (std::size_t i = old_bits; i < num_bits && i % kBitsPerWord != 0; ++i) {
+      Set(i, true);
+    }
+  }
+  ClearPadding();
+}
+
+std::size_t BitVector::Count() const {
+  std::size_t total = 0;
+  for (Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool BitVector::Any() const {
+  for (Word w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AndNotWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+bool BitVector::IntersectsWith(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::AndCount(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total +=
+        static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+std::uint64_t BitVector::Dot(const std::vector<std::uint64_t>& counts) const {
+  assert(counts.size() == num_bits_);
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    Word word = words_[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      total += counts[w * kBitsPerWord + static_cast<std::size_t>(bit)];
+      word &= word - 1;
+    }
+  }
+  return total;
+}
+
+std::size_t BitVector::AndCount3(const BitVector& a, const BitVector& b,
+                                 const BitVector& c) {
+  assert(a.size() == b.size() && b.size() == c.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    total += static_cast<std::size_t>(
+        std::popcount(a.words_[i] & b.words_[i] & c.words_[i]));
+  }
+  return total;
+}
+
+std::size_t BitVector::FindFirst() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kBitsPerWord +
+             static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return num_bits_;
+}
+
+std::size_t BitVector::FindNext(std::size_t i) const {
+  ++i;
+  if (i >= num_bits_) return num_bits_;
+  std::size_t w = i / kBitsPerWord;
+  Word word = words_[w] >> (i % kBitsPerWord);
+  if (word != 0) {
+    return i + static_cast<std::size_t>(__builtin_ctzll(word));
+  }
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kBitsPerWord +
+             static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return num_bits_;
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (std::size_t i = 0; i < num_bits_; ++i) out.push_back(Get(i) ? '1' : '0');
+  return out;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+void BitVector::ClearPadding() {
+  const std::size_t tail = num_bits_ % kBitsPerWord;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << tail) - 1;
+  }
+}
+
+}  // namespace coverage

@@ -1,0 +1,122 @@
+#ifndef COVERAGE_COMMON_BITVECTOR_H_
+#define COVERAGE_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coverage {
+
+/// A fixed-length dynamic bit vector tuned for the inverted-index kernels of
+/// the coverage library (paper, Appendices A and B).
+///
+/// The hot operations are word-wise AND / OR-AND chains with early exit, a
+/// popcount, and a dot product against a 64-bit count vector. All of them are
+/// branch-light loops over packed 64-bit words.
+class BitVector {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  BitVector() = default;
+
+  /// Creates a vector of `num_bits` bits, all initialised to `value`.
+  explicit BitVector(std::size_t num_bits, bool value = false);
+
+  /// Number of addressable bits.
+  std::size_t size() const { return num_bits_; }
+
+  /// Number of backing 64-bit words.
+  std::size_t num_words() const { return words_.size(); }
+
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Reads bit `i`. Precondition: `i < size()`.
+  bool Get(std::size_t i) const {
+    return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & Word{1};
+  }
+
+  /// Sets bit `i` to `value`. Precondition: `i < size()`.
+  void Set(std::size_t i, bool value = true);
+
+  /// Sets every bit to `value`.
+  void Fill(bool value);
+
+  /// Appends one bit, growing the vector by one.
+  void PushBack(bool value);
+
+  /// Grows or shrinks to `num_bits`; new bits are `value`.
+  void Resize(std::size_t num_bits, bool value = false);
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True iff at least one bit is set.
+  bool Any() const;
+
+  /// True iff no bit is set.
+  bool None() const { return !Any(); }
+
+  /// `*this &= other`. Both operands must have equal size.
+  void AndWith(const BitVector& other);
+
+  /// `*this |= other`. Both operands must have equal size.
+  void OrWith(const BitVector& other);
+
+  /// `*this &= ~other`. Both operands must have equal size.
+  void AndNotWith(const BitVector& other);
+
+  /// True iff `(*this & other)` has at least one set bit. Early-exits on the
+  /// first non-zero word; this is the kernel behind MUP-dominance checks.
+  bool IntersectsWith(const BitVector& other) const;
+
+  /// Popcount of `(*this & other)` without materialising the intersection.
+  std::size_t AndCount(const BitVector& other) const;
+
+  /// Sum of `counts[i]` over all set bits `i`; the coverage dot product of
+  /// Appendix A. `counts.size()` must equal `size()`.
+  std::uint64_t Dot(const std::vector<std::uint64_t>& counts) const;
+
+  /// Popcount of `(a & b & c)`; used by three-way filter probes.
+  static std::size_t AndCount3(const BitVector& a, const BitVector& b,
+                               const BitVector& c);
+
+  /// Index of the first set bit, or `size()` if none.
+  std::size_t FindFirst() const;
+
+  /// Index of the first set bit strictly after `i`, or `size()` if none.
+  std::size_t FindNext(std::size_t i) const;
+
+  /// Calls `fn(i)` for every set bit `i`, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kBitsPerWord + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// "0101..." rendering, LSB first; intended for tests and debugging.
+  std::string ToString() const;
+
+  bool operator==(const BitVector& other) const;
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  const std::vector<Word>& words() const { return words_; }
+
+ private:
+  /// Clears the unused high bits of the last word so popcounts stay exact.
+  void ClearPadding();
+
+  std::vector<Word> words_;
+  std::size_t num_bits_ = 0;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COMMON_BITVECTOR_H_

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coverage {
+
+std::uint64_t Rng::NextUint64(std::uint64_t bound) {
+  assert(bound > 0);
+  std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: the first k slots are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + NextUint64(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+CategoricalSampler::CategoricalSampler(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+std::size_t CategoricalSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+namespace {
+std::vector<double> ZipfWeights(std::size_t n, double s) {
+  assert(n > 0);
+  std::vector<double> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    w[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  return w;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+    : categorical_(ZipfWeights(n, s)) {}
+
+}  // namespace coverage

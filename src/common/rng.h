@@ -1,0 +1,78 @@
+#ifndef COVERAGE_COMMON_RNG_H_
+#define COVERAGE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace coverage {
+
+/// Deterministic random source used by every generator and experiment in the
+/// library. All experiment entry points take an explicit seed so that results
+/// are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t NextUint64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[NextUint64(i)]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Samples from a fixed categorical distribution by inverse-CDF lookup.
+class CategoricalSampler {
+ public:
+  /// `weights` need not be normalised; they must be non-negative with a
+  /// positive sum.
+  explicit CategoricalSampler(const std::vector<double>& weights);
+
+  /// Draws a category index in [0, weights.size()).
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t num_categories() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalised, non-decreasing, back() == 1.0
+};
+
+/// Zipf(s) sampler over {0, 1, ..., n-1}: P(k) ∝ 1 / (k+1)^s. Used to skew
+/// the synthetic BlueNile catalog the way real retail catalogs are skewed.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t Sample(Rng& rng) const { return categorical_.Sample(rng); }
+  std::size_t num_categories() const { return categorical_.num_categories(); }
+
+ private:
+  CategoricalSampler categorical_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COMMON_RNG_H_

@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only; this translation unit exists so the build file can list the
+// module uniformly.

@@ -1,0 +1,29 @@
+#ifndef COVERAGE_COMMON_STRING_UTIL_H_
+#define COVERAGE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coverage {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("3.1400" -> "3.14").
+std::string FormatDouble(double value, int digits = 4);
+
+/// Groups thousands for readability: 1234567 -> "1,234,567".
+std::string FormatCount(std::uint64_t value);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,81 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace coverage {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(std::string value) {
+  cells_.push_back(std::move(value));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(const char* value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(double value,
+                                                         int digits) {
+  cells_.push_back(FormatDouble(value, digits));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::Cell(int value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void TablePrinter::RowBuilder::Done() { table_->AddRow(std::move(cells_)); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream os;
+  Print(os);
+  return os.str();
+}
+
+}  // namespace coverage

@@ -1,0 +1,56 @@
+#ifndef COVERAGE_COMMON_TABLE_PRINTER_H_
+#define COVERAGE_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coverage {
+
+/// Renders aligned plain-text tables. Every benchmark binary prints the
+/// table/figure it regenerates through this class so EXPERIMENTS.md and the
+/// bench output share one format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed numeric rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(TablePrinter* table) : table_(table) {}
+    RowBuilder& Cell(std::string value);
+    RowBuilder& Cell(const char* value);
+    RowBuilder& Cell(double value, int digits = 4);
+    RowBuilder& Cell(std::uint64_t value);
+    RowBuilder& Cell(std::int64_t value);
+    RowBuilder& Cell(int value);
+    /// Commits the row to the table.
+    void Done();
+
+   private:
+    TablePrinter* table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  /// Writes the table, padded with spaces, with a `---` rule under the header.
+  void Print(std::ostream& os) const;
+
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,125 @@
+#include "coverage/bitmap_coverage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coverage {
+
+BitmapCoverage::BitmapCoverage(const AggregatedData& data) : data_(data) {
+  const Schema& schema = data.schema();
+  const int d = schema.num_attributes();
+  offsets_.resize(static_cast<std::size_t>(d));
+  int total = 0;
+  for (int i = 0; i < d; ++i) {
+    offsets_[static_cast<std::size_t>(i)] = total;
+    total += schema.cardinality(i);
+  }
+  indices_.assign(static_cast<std::size_t>(total),
+                  BitVector(data.num_combinations()));
+  for (std::size_t k = 0; k < data.num_combinations(); ++k) {
+    const auto combo = data.combination(k);
+    for (int i = 0; i < d; ++i) {
+      indices_[static_cast<std::size_t>(offsets_[static_cast<std::size_t>(i)]) +
+               static_cast<std::size_t>(combo[static_cast<std::size_t>(i)])]
+          .Set(k, true);
+    }
+  }
+  index_popcounts_.reserve(indices_.size());
+  for (const BitVector& bv : indices_) index_popcounts_.push_back(bv.Count());
+  scratch_ = BitVector(data.num_combinations());
+}
+
+std::uint64_t BitmapCoverage::Coverage(const Pattern& pattern) const {
+  ++num_queries_;
+  // Fast paths: the root pattern needs no index work, and single-cell
+  // patterns need no AND.
+  int first_det = -1;
+  int num_det = 0;
+  for (int i = 0; i < pattern.num_attributes(); ++i) {
+    if (pattern.is_deterministic(i)) {
+      if (first_det < 0) first_det = i;
+      ++num_det;
+    }
+  }
+  if (num_det == 0) return data_.total_count();
+  if (num_det == 1) {
+    return index(first_det, pattern.cell(first_det)).Dot(data_.counts());
+  }
+  BitVector acc = index(first_det, pattern.cell(first_det));
+  for (int i = first_det + 1; i < pattern.num_attributes(); ++i) {
+    if (!pattern.is_deterministic(i)) continue;
+    acc.AndWith(index(i, pattern.cell(i)));
+    if (acc.None()) return 0;
+  }
+  return acc.Dot(data_.counts());
+}
+
+bool BitmapCoverage::CoverageAtLeast(const Pattern& pattern,
+                                     std::uint64_t tau) const {
+  ++num_queries_;
+  // Gather deterministic cells ordered by index selectivity (sparsest
+  // first) so the accumulator shrinks as fast as possible.
+  assert(pattern.level() <= 64 && "CoverageAtLeast supports up to 64 cells");
+  int det_slots[64];
+  int num_det = 0;
+  for (int i = 0; i < pattern.num_attributes(); ++i) {
+    if (!pattern.is_deterministic(i)) continue;
+    det_slots[num_det++] =
+        offsets_[static_cast<std::size_t>(i)] + pattern.cell(i);
+  }
+  if (num_det == 0) return data_.total_count() >= tau;
+
+  std::sort(det_slots, det_slots + num_det, [&](int a, int b) {
+    return index_popcounts_[static_cast<std::size_t>(a)] <
+           index_popcounts_[static_cast<std::size_t>(b)];
+  });
+
+  const std::vector<std::uint64_t>& counts = data_.counts();
+  const std::size_t num_words = scratch_.num_words();
+
+  if (num_det == 1) {
+    // Single index: stream its words directly against the counts.
+    const BitVector& only = indices_[static_cast<std::size_t>(det_slots[0])];
+    std::uint64_t sum = 0;
+    for (std::size_t w = 0; w < num_words; ++w) {
+      BitVector::Word word = only.words()[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        sum += counts[w * BitVector::kBitsPerWord +
+                      static_cast<std::size_t>(bit)];
+        if (sum >= tau) return true;
+        word &= word - 1;
+      }
+    }
+    return false;
+  }
+
+  scratch_ = indices_[static_cast<std::size_t>(det_slots[0])];
+  for (int k = 1; k < num_det; ++k) {
+    scratch_.AndWith(indices_[static_cast<std::size_t>(det_slots[k])]);
+    if (scratch_.None()) return false;
+  }
+  std::uint64_t sum = 0;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    BitVector::Word word = scratch_.words()[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      sum +=
+          counts[w * BitVector::kBitsPerWord + static_cast<std::size_t>(bit)];
+      if (sum >= tau) return true;
+      word &= word - 1;
+    }
+  }
+  return false;
+}
+
+BitVector BitmapCoverage::MatchVector(const Pattern& pattern) const {
+  BitVector acc(data_.num_combinations(), true);
+  for (int i = 0; i < pattern.num_attributes(); ++i) {
+    if (!pattern.is_deterministic(i)) continue;
+    acc.AndWith(index(i, pattern.cell(i)));
+  }
+  return acc;
+}
+
+}  // namespace coverage

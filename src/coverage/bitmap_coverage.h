@@ -1,0 +1,57 @@
+#ifndef COVERAGE_COVERAGE_BITMAP_COVERAGE_H_
+#define COVERAGE_COVERAGE_BITMAP_COVERAGE_H_
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "coverage/coverage_oracle.h"
+#include "dataset/aggregate.h"
+
+namespace coverage {
+
+/// The inverted-index coverage oracle of Appendix A. One bit vector per
+/// (attribute, value) over the *distinct* value combinations of D; coverage
+/// of a pattern is the AND of the vectors of its deterministic cells dotted
+/// with the multiplicity vector.
+class BitmapCoverage : public CoverageOracle {
+ public:
+  /// The aggregated data must outlive the oracle.
+  explicit BitmapCoverage(const AggregatedData& data);
+
+  std::uint64_t Coverage(const Pattern& pattern) const override;
+
+  /// Threshold query with two early exits: the AND chain runs most-selective
+  /// index first and stops when the accumulator empties; the closing dot
+  /// product stops as soon as the partial sum reaches `tau`. This is the
+  /// kernel PATTERN-BREAKER and DEEPDIVER issue millions of times.
+  bool CoverageAtLeast(const Pattern& pattern,
+                       std::uint64_t tau) const override;
+
+  /// The bit vector of distinct combinations matching `pattern` (AND of the
+  /// deterministic cells' vectors). Exposed for DEEPDIVER's climb phase and
+  /// the tests.
+  BitVector MatchVector(const Pattern& pattern) const;
+
+  const AggregatedData& data() const { return data_; }
+
+  /// Inverted index for attribute `attr` = value `v`.
+  const BitVector& index(int attr, Value v) const {
+    return indices_[static_cast<std::size_t>(offsets_[
+        static_cast<std::size_t>(attr)]) + static_cast<std::size_t>(v)];
+  }
+
+ private:
+  const AggregatedData& data_;
+  std::vector<int> offsets_;        // attr -> first index slot
+  std::vector<BitVector> indices_;  // per (attr, value), Σ c_i vectors
+  std::vector<std::size_t> index_popcounts_;  // parallel to indices_
+
+  /// Reused accumulator for threshold queries; avoids a 4 KB allocation per
+  /// query. BitmapCoverage is therefore not thread-safe for concurrent
+  /// queries on one instance (use one oracle per thread).
+  mutable BitVector scratch_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COVERAGE_BITMAP_COVERAGE_H_

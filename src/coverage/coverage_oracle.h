@@ -1,0 +1,43 @@
+#ifndef COVERAGE_COVERAGE_COVERAGE_ORACLE_H_
+#define COVERAGE_COVERAGE_COVERAGE_ORACLE_H_
+
+#include <cstdint>
+
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// The coverage oracle of Appendix A: answers cov(P, D) (Definition 2).
+/// Implementations track how many times they were consulted, the cost metric
+/// the paper's search algorithms are designed to minimise.
+class CoverageOracle {
+ public:
+  virtual ~CoverageOracle() = default;
+
+  /// Number of tuples of D matching `pattern`.
+  virtual std::uint64_t Coverage(const Pattern& pattern) const = 0;
+
+  /// True iff cov(pattern) >= tau. Implementations may answer this much
+  /// faster than an exact count (early exit once tau matches are found);
+  /// the search algorithms only ever need the comparison.
+  virtual bool CoverageAtLeast(const Pattern& pattern,
+                               std::uint64_t tau) const {
+    return Coverage(pattern) >= tau;
+  }
+
+  /// True iff cov(pattern) >= tau (Definition 3).
+  bool IsCovered(const Pattern& pattern, std::uint64_t tau) const {
+    return CoverageAtLeast(pattern, tau);
+  }
+
+  /// Number of Coverage() calls served so far.
+  std::uint64_t num_queries() const { return num_queries_; }
+  void ResetQueryCounter() { num_queries_ = 0; }
+
+ protected:
+  mutable std::uint64_t num_queries_ = 0;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COVERAGE_COVERAGE_ORACLE_H_

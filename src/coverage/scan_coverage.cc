@@ -1,0 +1,14 @@
+#include "coverage/scan_coverage.h"
+
+namespace coverage {
+
+std::uint64_t ScanCoverage::Coverage(const Pattern& pattern) const {
+  ++num_queries_;
+  std::uint64_t count = 0;
+  for (std::size_t r = 0; r < dataset_.num_rows(); ++r) {
+    if (pattern.Matches(dataset_.row(r))) ++count;
+  }
+  return count;
+}
+
+}  // namespace coverage

@@ -1,0 +1,25 @@
+#ifndef COVERAGE_COVERAGE_SCAN_COVERAGE_H_
+#define COVERAGE_COVERAGE_SCAN_COVERAGE_H_
+
+#include "coverage/coverage_oracle.h"
+#include "dataset/dataset.h"
+
+namespace coverage {
+
+/// Reference coverage oracle: a full scan of D per query, following
+/// Definition 2 literally. O(n·d) per query; used by tests as ground truth
+/// and by the naive baselines.
+class ScanCoverage : public CoverageOracle {
+ public:
+  /// The dataset must outlive the oracle.
+  explicit ScanCoverage(const Dataset& dataset) : dataset_(dataset) {}
+
+  std::uint64_t Coverage(const Pattern& pattern) const override;
+
+ private:
+  const Dataset& dataset_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COVERAGE_SCAN_COVERAGE_H_

@@ -1,0 +1,53 @@
+#ifndef COVERAGE_COVERAGE_LIB_H_
+#define COVERAGE_COVERAGE_LIB_H_
+
+/// \file
+/// Umbrella header for libcoverage, a reproduction of
+/// "Assessing and Remedying Coverage for a Given Dataset" (ICDE 2019).
+///
+/// Typical use:
+///
+///   #include "coverage_lib.h"
+///   using namespace coverage;
+///
+///   Dataset data = ...;                       // categorical relation
+///   AggregatedData agg(data);                 // distinct combos + counts
+///   BitmapCoverage oracle(agg);               // Appendix-A inverted index
+///   MupSearchOptions opts{.tau = 30};
+///   auto mups = FindMupsDeepDiver(oracle, opts);   // Problem 1
+///
+///   EnhancementOptions eopts{.tau = 30, .lambda = 2};
+///   auto plan = PlanCoverageEnhancement(oracle, mups, eopts);  // Problem 2
+
+#include "common/bitvector.h"           // IWYU pragma: export
+#include "common/rng.h"                 // IWYU pragma: export
+#include "common/status.h"              // IWYU pragma: export
+#include "common/stopwatch.h"           // IWYU pragma: export
+#include "common/string_util.h"         // IWYU pragma: export
+#include "common/table_printer.h"       // IWYU pragma: export
+#include "coverage/bitmap_coverage.h"   // IWYU pragma: export
+#include "coverage/coverage_oracle.h"   // IWYU pragma: export
+#include "coverage/scan_coverage.h"     // IWYU pragma: export
+#include "datagen/adversarial.h"        // IWYU pragma: export
+#include "datagen/airbnb.h"             // IWYU pragma: export
+#include "datagen/bluenile.h"           // IWYU pragma: export
+#include "datagen/compas.h"             // IWYU pragma: export
+#include "dataset/aggregate.h"          // IWYU pragma: export
+#include "dataset/bucketize.h"          // IWYU pragma: export
+#include "dataset/dataset.h"            // IWYU pragma: export
+#include "dataset/schema.h"             // IWYU pragma: export
+#include "enhancement/enhancement.h"    // IWYU pragma: export
+#include "enhancement/expansion.h"      // IWYU pragma: export
+#include "enhancement/hitting_set.h"    // IWYU pragma: export
+#include "enhancement/report.h"         // IWYU pragma: export
+#include "enhancement/validation.h"     // IWYU pragma: export
+#include "ml/decision_tree.h"           // IWYU pragma: export
+#include "ml/metrics.h"                 // IWYU pragma: export
+#include "ml/split.h"                   // IWYU pragma: export
+#include "mups/mup_index.h"             // IWYU pragma: export
+#include "mups/mups.h"                  // IWYU pragma: export
+#include "pattern/pattern.h"            // IWYU pragma: export
+#include "pattern/pattern_graph.h"      // IWYU pragma: export
+#include "pattern/pattern_ops.h"        // IWYU pragma: export
+
+#endif  // COVERAGE_COVERAGE_LIB_H_

@@ -1,0 +1,41 @@
+#include "datagen/adversarial.h"
+
+#include <cassert>
+
+namespace coverage {
+namespace datagen {
+
+Dataset MakeDiagonal(int n) {
+  assert(n >= 1);
+  Dataset data(Schema::Binary(n));
+  std::vector<Value> row(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    row[static_cast<std::size_t>(i)] = 1;
+    data.AppendRow(row);
+    row[static_cast<std::size_t>(i)] = 0;
+  }
+  return data;
+}
+
+Dataset MakeVertexCoverReduction(
+    int num_vertices, const std::vector<std::pair<int, int>>& edges) {
+  assert(num_vertices >= 1);
+  const int d = static_cast<int>(edges.size());
+  assert(d >= 1);
+  Dataset data(Schema::Binary(d));
+  std::vector<Value> row(static_cast<std::size_t>(d));
+  for (int v = 0; v < num_vertices; ++v) {
+    for (int j = 0; j < d; ++j) {
+      const auto& [a, b] = edges[static_cast<std::size_t>(j)];
+      assert(a >= 0 && a < num_vertices && b >= 0 && b < num_vertices);
+      row[static_cast<std::size_t>(j)] = (a == v || b == v) ? 1 : 0;
+    }
+    data.AppendRow(row);
+  }
+  std::fill(row.begin(), row.end(), 0);
+  for (int k = 0; k < 3; ++k) data.AppendRow(row);
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace coverage

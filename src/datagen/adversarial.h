@@ -1,0 +1,32 @@
+#ifndef COVERAGE_DATAGEN_ADVERSARIAL_H_
+#define COVERAGE_DATAGEN_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace coverage {
+namespace datagen {
+
+/// The Theorem-1 construction: n rows over n binary attributes with ones on
+/// the diagonal only. With τ = n/2 + 1 the dataset has exactly
+/// n + C(n, n/2) > 2^n MUPs, witnessing that MUP enumeration cannot be
+/// polynomial. Used by tests to validate the theorem and stress the search
+/// algorithms.
+Dataset MakeDiagonal(int n);
+
+/// The Theorem-2 reduction from Vertex Cover: given an undirected graph with
+/// `num_vertices` vertices and `edges`, builds the dataset with |V| + 3 rows
+/// over |E| binary attributes (row i has 1 exactly on the attributes of the
+/// edges incident to vertex i; plus three all-zero rows). With τ = 3 and
+/// λ = 1, a minimum coverage-enhancement solution corresponds to a minimum
+/// vertex cover.
+Dataset MakeVertexCoverReduction(
+    int num_vertices, const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace datagen
+}  // namespace coverage
+
+#endif  // COVERAGE_DATAGEN_ADVERSARIAL_H_

@@ -1,0 +1,51 @@
+#include "datagen/airbnb.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace coverage {
+namespace datagen {
+
+namespace {
+constexpr int kMaxAttributes = 36;  // the crawl has 36 boolean attributes
+}  // namespace
+
+double AirbnbRate(int i) {
+  // Log-uniform spread over [0.02, 0.5] by attribute index, shuffled by a
+  // fixed stride so adjacent attributes do not have adjacent rates.
+  const int slot = (i * 17) % kMaxAttributes;
+  const double t = static_cast<double>(slot) / (kMaxAttributes - 1);
+  return std::exp(std::log(0.5) + t * (std::log(0.02) - std::log(0.5)));
+}
+
+Dataset MakeAirbnb(std::size_t n, int d, std::uint64_t seed) {
+  assert(d >= 1 && d <= kMaxAttributes);
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  attrs.reserve(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    Attribute a;
+    a.name = "amenity" + std::to_string(i + 1);
+    a.value_names = {"no", "yes"};
+    attrs.push_back(std::move(a));
+  }
+  Dataset data(Schema(std::move(attrs)));
+  std::vector<double> rates(static_cast<std::size_t>(d));
+  for (int i = 0; i < d; ++i) rates[static_cast<std::size_t>(i)] = AirbnbRate(i);
+
+  std::vector<Value> row(static_cast<std::size_t>(d));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int i = 0; i < d; ++i) {
+      row[static_cast<std::size_t>(i)] =
+          rng.NextBool(rates[static_cast<std::size_t>(i)]) ? Value{1}
+                                                           : Value{0};
+    }
+    data.AppendRow(row);
+  }
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace coverage

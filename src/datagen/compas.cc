@@ -1,0 +1,118 @@
+#include "datagen/compas.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace coverage {
+namespace datagen {
+
+Schema CompasSchema() {
+  std::vector<Attribute> attrs(4);
+  attrs[0].name = "sex";
+  attrs[0].value_names = {"male", "female"};
+  attrs[1].name = "age";
+  attrs[1].value_names = {"<20", "20-39", "40-59", "60+"};
+  attrs[2].name = "race";
+  attrs[2].value_names = {"African-American", "Caucasian", "Hispanic",
+                          "other"};
+  attrs[3].name = "marital";
+  attrs[3].value_names = {"single",  "married", "separated", "widowed",
+                          "sig-other", "divorced", "unknown"};
+  return Schema(std::move(attrs));
+}
+
+namespace {
+
+/// Re-offence probability. The Hispanic-female subgroup deliberately follows
+/// an age relationship opposite to everyone else's, so a model trained
+/// without HF rows mispredicts them (the §V-B2 effect).
+double ReoffendProbability(Value sex, Value age, Value race, Value marital) {
+  const bool hispanic_female = race == 2 && sex == 1;
+  if (hispanic_female) {
+    // Inverted age slope: young HF rarely re-offend here, older HF often do
+    // — the opposite of the majority relationship below.
+    double p = 0.12 + 0.26 * static_cast<double>(age);
+    if (marital == 1) p += 0.10;
+    return std::clamp(p, 0.05, 0.95);
+  }
+  double p = 0.72 - 0.16 * static_cast<double>(age);
+  if (sex == 1) p -= 0.08;
+  if (marital == 1 || marital == 3) p -= 0.10;  // married/widowed
+  return std::clamp(p, 0.05, 0.95);
+}
+
+}  // namespace
+
+LabeledData MakeCompas(std::size_t n, std::uint64_t seed) {
+  assert(n >= 200 && "the forced minority cells need a few hundred rows");
+  Rng rng(seed);
+  const Schema schema = CompasSchema();
+
+  const CategoricalSampler sex_sampler({0.81, 0.19});
+  const CategoricalSampler age_sampler({0.02, 0.57, 0.33, 0.08});
+  const CategoricalSampler race_sampler({0.51, 0.34, 0.085, 0.065});
+  // Marital status conditioned on age bucket (younger -> overwhelmingly
+  // single; older -> married/widowed/divorced). "unknown" stays rare so it
+  // seeds higher-level MUPs, as in the real extract.
+  const CategoricalSampler marital_by_age[4] = {
+      CategoricalSampler({0.97, 0.01, 0.002, 0.0005, 0.01, 0.005, 0.002}),
+      CategoricalSampler({0.72, 0.14, 0.02, 0.003, 0.06, 0.05, 0.007}),
+      CategoricalSampler({0.42, 0.28, 0.05, 0.02, 0.05, 0.17, 0.01}),
+      CategoricalSampler({0.20, 0.38, 0.05, 0.14, 0.03, 0.19, 0.01}),
+  };
+
+  Dataset data(schema);
+  std::vector<int> labels;
+  labels.reserve(n);
+  std::vector<Value> row(4);
+  std::size_t hispanic_females = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    row[kCompasSex] = static_cast<Value>(sex_sampler.Sample(rng));
+    row[kCompasAge] = static_cast<Value>(age_sampler.Sample(rng));
+    row[kCompasRace] = static_cast<Value>(race_sampler.Sample(rng));
+    row[kCompasMarital] = static_cast<Value>(
+        marital_by_age[row[kCompasAge]].Sample(rng));
+
+    // Keep the Hispanic-female cell near 100 rows (the paper's count) and
+    // reserve the widowed-Hispanic pattern for the two forced rows below.
+    if (row[kCompasRace] == 2 && row[kCompasSex] == 1) {
+      if (hispanic_females >= 100 * n / 6889) {
+        row[kCompasRace] = 1;  // spill into Caucasian
+      } else {
+        ++hispanic_females;
+      }
+    }
+    if (row[kCompasRace] == 2 && row[kCompasMarital] == 3) {
+      row[kCompasMarital] = 5;  // widowed Hispanic -> divorced
+    }
+
+    data.AppendRow(row);
+    labels.push_back(rng.NextBool(ReoffendProbability(
+                         row[kCompasSex], row[kCompasAge], row[kCompasRace],
+                         row[kCompasMarital]))
+                         ? 1
+                         : 0);
+  }
+
+  // Exactly two widowed Hispanics (the paper's XX23 example), both of whom
+  // re-offended: rebuild with the last two rows replaced (Dataset rows are
+  // immutable).
+  Dataset final_data(schema);
+  std::vector<int> final_labels;
+  final_labels.reserve(n);
+  for (std::size_t i = 0; i + 2 < n; ++i) {
+    final_data.AppendRow(data.row(i));
+    final_labels.push_back(labels[i]);
+  }
+  final_data.AppendRow(std::vector<Value>{1, 2, 2, 3});  // widowed HF, 40-59
+  final_labels.push_back(1);
+  final_data.AppendRow(std::vector<Value>{1, 3, 2, 3});  // widowed HF, 60+
+  final_labels.push_back(1);
+
+  return LabeledData{std::move(final_data), std::move(final_labels)};
+}
+
+}  // namespace datagen
+}  // namespace coverage

@@ -1,0 +1,50 @@
+#ifndef COVERAGE_DATAGEN_COMPAS_H_
+#define COVERAGE_DATAGEN_COMPAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace coverage {
+namespace datagen {
+
+/// Attribute encodings of the paper's COMPAS study (§V-A):
+///   sex:     0 male, 1 female
+///   age:     0 under 20, 1 between 20 and 39, 2 between 40 and 59, 3 above 60
+///   race:    0 African-American, 1 Caucasian, 2 Hispanic, 3 other
+///   marital: 0 single, 1 married, 2 separated, 3 widowed,
+///            4 significant other, 5 divorced, 6 unknown
+inline constexpr int kCompasSex = 0;
+inline constexpr int kCompasAge = 1;
+inline constexpr int kCompasRace = 2;
+inline constexpr int kCompasMarital = 3;
+
+/// A dataset together with the binary "re-offended" label attribute (labels
+/// are not part of the schema — §II keeps label attributes out of the
+/// coverage computation).
+struct LabeledData {
+  Dataset data;
+  std::vector<int> labels;
+};
+
+/// The COMPAS schema (4 attributes, cardinalities 2/4/4/7) with the paper's
+/// value names.
+Schema CompasSchema();
+
+/// Synthetic substitute for the ProPublica COMPAS extract (offline
+/// environment — see DESIGN.md's substitution table). Reproduces the
+/// properties the paper's experiments rely on:
+///   * every single attribute value occurs more than tau=10 times, but tens
+///     of MUPs exist at levels 2-4 (none at levels 0-1);
+///   * exactly two widowed Hispanics (pattern XX23), both re-offenders;
+///   * roughly 100 Hispanic females, whose re-offence behaviour follows a
+///     different rule than the majority so that a model trained without
+///     them generalises badly to them (§V-B2);
+///   * the re-offence label correlates with age/sex/priors for the majority.
+LabeledData MakeCompas(std::size_t n = 6889, std::uint64_t seed = 42);
+
+}  // namespace datagen
+}  // namespace coverage
+
+#endif  // COVERAGE_DATAGEN_COMPAS_H_

@@ -1,0 +1,43 @@
+#include "dataset/aggregate.h"
+
+#include <cassert>
+
+namespace coverage {
+
+AggregatedData::AggregatedData(const Dataset& dataset)
+    : schema_(dataset.schema()) {
+  keyable_ = schema_.NumValueCombinations() < Schema::kCombinationLimit;
+  assert(keyable_ &&
+         "aggregation requires the combination space to fit in 64 bits");
+  const int d = num_attributes();
+  index_.reserve(dataset.num_rows());
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    const auto row = dataset.row(r);
+    const std::uint64_t key = KeyOf(row);
+    auto [it, inserted] = index_.try_emplace(key, counts_.size());
+    if (inserted) {
+      cells_.insert(cells_.end(), row.begin(), row.end());
+      counts_.push_back(0);
+    }
+    ++counts_[it->second];
+    ++total_count_;
+  }
+  (void)d;
+}
+
+std::uint64_t AggregatedData::KeyOf(std::span<const Value> combination) const {
+  std::uint64_t key = 0;
+  for (int i = 0; i < num_attributes(); ++i) {
+    key = key * static_cast<std::uint64_t>(schema_.cardinality(i)) +
+          static_cast<std::uint64_t>(combination[static_cast<std::size_t>(i)]);
+  }
+  return key;
+}
+
+std::uint64_t AggregatedData::CountOf(
+    std::span<const Value> combination) const {
+  const auto it = index_.find(KeyOf(combination));
+  return it == index_.end() ? 0 : counts_[it->second];
+}
+
+}  // namespace coverage

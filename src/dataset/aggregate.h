@@ -1,0 +1,61 @@
+#ifndef COVERAGE_DATASET_AGGREGATE_H_
+#define COVERAGE_DATASET_AGGREGATE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/schema.h"
+
+namespace coverage {
+
+/// The aggregated relation of Appendix A: the distinct value combinations of
+/// `D` together with their multiplicities. All coverage machinery operates on
+/// this compression — its size is bounded by min(n, Π c_i), which is why data
+/// size has little effect on MUP-identification runtime (paper, Fig. 14).
+class AggregatedData {
+ public:
+  /// Groups the rows of `dataset` by full value combination.
+  explicit AggregatedData(const Dataset& dataset);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of distinct value combinations.
+  std::size_t num_combinations() const { return counts_.size(); }
+
+  /// Total number of underlying rows (Σ counts).
+  std::uint64_t total_count() const { return total_count_; }
+
+  /// The k-th distinct combination.
+  std::span<const Value> combination(std::size_t k) const {
+    return {cells_.data() + k * static_cast<std::size_t>(num_attributes()),
+            static_cast<std::size_t>(num_attributes())};
+  }
+
+  /// Multiplicity of the k-th combination.
+  std::uint64_t count(std::size_t k) const { return counts_[k]; }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Multiplicity of an arbitrary full value combination (0 if absent). Used
+  /// by PATTERN-COMBINER's level-d pass.
+  std::uint64_t CountOf(std::span<const Value> combination) const;
+
+  int num_attributes() const { return schema_.num_attributes(); }
+
+ private:
+  std::uint64_t KeyOf(std::span<const Value> combination) const;
+
+  Schema schema_;
+  std::vector<Value> cells_;            // distinct combinations, row-major
+  std::vector<std::uint64_t> counts_;   // parallel multiplicities
+  std::uint64_t total_count_ = 0;
+  bool keyable_ = false;                // Π c_i fits in 64 bits
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> combo id
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_DATASET_AGGREGATE_H_

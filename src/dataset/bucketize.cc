@@ -1,0 +1,79 @@
+#include "dataset/bucketize.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace coverage {
+
+Bucketizer::Bucketizer(std::string attribute_name,
+                       std::vector<double> upper_bounds)
+    : attribute_name_(std::move(attribute_name)),
+      upper_bounds_(std::move(upper_bounds)) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  assert(std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) ==
+         upper_bounds_.end());
+}
+
+Bucketizer Bucketizer::EquiWidth(std::string attribute_name, double lo,
+                                 double hi, int num_buckets) {
+  assert(num_buckets >= 1);
+  assert(lo < hi);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(num_buckets - 1));
+  const double width = (hi - lo) / num_buckets;
+  for (int i = 1; i < num_buckets; ++i) bounds.push_back(lo + width * i);
+  return Bucketizer(std::move(attribute_name), std::move(bounds));
+}
+
+StatusOr<Bucketizer> Bucketizer::EquiDepth(std::string attribute_name,
+                                           std::vector<double> values,
+                                           int num_buckets) {
+  if (num_buckets < 1) {
+    return Status::InvalidArgument("num_buckets must be >= 1");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot fit equi-depth buckets to no data");
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<double> bounds;
+  for (int i = 1; i < num_buckets; ++i) {
+    const std::size_t idx =
+        values.size() * static_cast<std::size_t>(i) /
+        static_cast<std::size_t>(num_buckets);
+    const double bound = values[std::min(idx, values.size() - 1)];
+    if (bounds.empty() || bound > bounds.back()) bounds.push_back(bound);
+  }
+  return Bucketizer(std::move(attribute_name), std::move(bounds));
+}
+
+Value Bucketizer::Bucket(double x) const {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), x);
+  return static_cast<Value>(it - upper_bounds_.begin());
+}
+
+Attribute Bucketizer::ToAttribute() const {
+  Attribute attr;
+  attr.name = attribute_name_;
+  attr.value_names.reserve(static_cast<std::size_t>(num_buckets()));
+  for (int b = 0; b < num_buckets(); ++b) {
+    std::string label;
+    if (b == 0) {
+      label = "<=" + FormatDouble(upper_bounds_.empty() ? 0.0
+                                                        : upper_bounds_[0]);
+      if (upper_bounds_.empty()) label = "all";
+    } else if (b == num_buckets() - 1) {
+      label = ">" + FormatDouble(upper_bounds_.back());
+    } else {
+      label = "(" + FormatDouble(upper_bounds_[static_cast<std::size_t>(b) - 1]) +
+              "," + FormatDouble(upper_bounds_[static_cast<std::size_t>(b)]) +
+              "]";
+    }
+    attr.value_names.push_back(std::move(label));
+  }
+  return attr;
+}
+
+}  // namespace coverage

@@ -1,0 +1,51 @@
+#ifndef COVERAGE_DATASET_BUCKETIZE_H_
+#define COVERAGE_DATASET_BUCKETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+
+namespace coverage {
+
+/// Maps a continuous (or high-cardinality ordinal) column onto a small
+/// categorical attribute, the preprocessing step the paper prescribes in §II
+/// ("bucketization: putting similar values into the same bucket").
+class Bucketizer {
+ public:
+  /// Buckets are defined by their upper bounds: value x falls in the first
+  /// bucket i with x <= upper_bounds[i]; anything above the last bound falls
+  /// in a final overflow bucket. With k bounds there are k+1 buckets.
+  Bucketizer(std::string attribute_name, std::vector<double> upper_bounds);
+
+  /// Equi-width buckets spanning [lo, hi] split into `num_buckets` cells.
+  static Bucketizer EquiWidth(std::string attribute_name, double lo, double hi,
+                              int num_buckets);
+
+  /// Buckets with (approximately) equal population computed from `values`
+  /// (equi-depth / quantile bucketization).
+  static StatusOr<Bucketizer> EquiDepth(std::string attribute_name,
+                                        std::vector<double> values,
+                                        int num_buckets);
+
+  /// Encoded bucket id for `x`.
+  Value Bucket(double x) const;
+
+  /// The categorical attribute this bucketizer induces, with human-readable
+  /// range labels like "(3.5, 7.25]".
+  Attribute ToAttribute() const;
+
+  int num_buckets() const {
+    return static_cast<int>(upper_bounds_.size()) + 1;
+  }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+ private:
+  std::string attribute_name_;
+  std::vector<double> upper_bounds_;  // strictly increasing
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_DATASET_BUCKETIZE_H_

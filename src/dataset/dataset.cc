@@ -1,0 +1,190 @@
+#include "dataset/dataset.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace coverage {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+void Dataset::AppendRow(std::span<const Value> row) {
+  assert(static_cast<int>(row.size()) == num_attributes());
+  for (int i = 0; i < num_attributes(); ++i) {
+    assert(row[static_cast<std::size_t>(i)] >= 0);
+    assert(row[static_cast<std::size_t>(i)] <
+           static_cast<Value>(schema_.cardinality(i)));
+  }
+  cells_.insert(cells_.end(), row.begin(), row.end());
+  ++num_rows_;
+}
+
+Dataset Dataset::Project(const std::vector<int>& attribute_indices) const {
+  Dataset out(schema_.Project(attribute_indices));
+  std::vector<Value> buf(attribute_indices.size());
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    const auto src = row(r);
+    for (std::size_t i = 0; i < attribute_indices.size(); ++i) {
+      buf[i] = src[static_cast<std::size_t>(attribute_indices[i])];
+    }
+    out.AppendRow(buf);
+  }
+  return out;
+}
+
+Dataset Dataset::Sample(std::size_t k, Rng& rng) const {
+  assert(k <= num_rows_);
+  Dataset out(schema_);
+  for (std::size_t r : rng.SampleWithoutReplacement(num_rows_, k)) {
+    out.AppendRow(row(r));
+  }
+  return out;
+}
+
+Dataset Dataset::Head(std::size_t k) const {
+  assert(k <= num_rows_);
+  Dataset out(schema_);
+  for (std::size_t r = 0; r < k; ++r) out.AppendRow(row(r));
+  return out;
+}
+
+Status Dataset::WriteCsv(std::ostream& os) const {
+  std::vector<std::string> header;
+  header.reserve(static_cast<std::size_t>(num_attributes()));
+  for (const Attribute& a : schema_.attributes()) header.push_back(a.name);
+  os << Join(header, ",") << "\n";
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    const auto values = row(r);
+    for (int i = 0; i < num_attributes(); ++i) {
+      if (i != 0) os << ',';
+      os << schema_.attribute(i)
+                .value_names[static_cast<std::size_t>(values[i])];
+    }
+    os << "\n";
+  }
+  if (!os.good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+StatusOr<Dataset> Dataset::ReadCsv(std::istream& is, const Schema& schema) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("CSV input is empty (missing header)");
+  }
+  const std::vector<std::string> header = Split(Trim(line), ',');
+  if (static_cast<int>(header.size()) != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, schema has " + std::to_string(schema.num_attributes()));
+  }
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (std::string(Trim(header[static_cast<std::size_t>(i)])) !=
+        schema.attribute(i).name) {
+      return Status::InvalidArgument(
+          "CSV column '" + header[static_cast<std::size_t>(i)] +
+          "' does not match schema attribute '" + schema.attribute(i).name +
+          "'");
+    }
+  }
+
+  Dataset out(schema);
+  std::vector<Value> buf(static_cast<std::size_t>(schema.num_attributes()));
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (static_cast<int>(fields.size()) != schema.num_attributes()) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                     " has " + std::to_string(fields.size()) +
+                                     " fields, expected " +
+                                     std::to_string(schema.num_attributes()));
+    }
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      auto value = schema.ValueIndex(
+          i, std::string(Trim(fields[static_cast<std::size_t>(i)])));
+      if (!value.ok()) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                       ": " + value.status().message());
+      }
+      buf[static_cast<std::size_t>(i)] = *value;
+    }
+    out.AppendRow(buf);
+  }
+  return out;
+}
+
+StatusOr<Dataset> Dataset::InferFromCsv(std::istream& is,
+                                        int max_cardinality) {
+  if (max_cardinality < 1) {
+    return Status::InvalidArgument("max_cardinality must be >= 1");
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("CSV input is empty (missing header)");
+  }
+  std::vector<std::string> names;
+  for (const std::string& field : Split(Trim(line), ',')) {
+    names.emplace_back(Trim(field));
+    if (names.back().empty()) {
+      return Status::InvalidArgument("CSV header has an empty column name");
+    }
+  }
+  const std::size_t d = names.size();
+
+  // First pass materialises the raw field matrix while building per-column
+  // dictionaries in order of first appearance.
+  std::vector<std::vector<std::string>> dictionaries(d);
+  std::vector<std::unordered_map<std::string, Value>> lookup(d);
+  std::vector<Value> encoded;
+  std::size_t num_rows = 0;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != d) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(d));
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      const std::string value(Trim(fields[c]));
+      auto [it, inserted] = lookup[c].try_emplace(
+          value, static_cast<Value>(dictionaries[c].size()));
+      if (inserted) {
+        if (static_cast<int>(dictionaries[c].size()) >= max_cardinality) {
+          return Status::InvalidArgument(
+              "column '" + names[c] + "' exceeds " +
+              std::to_string(max_cardinality) +
+              " distinct values; bucketize it first (see Bucketizer)");
+        }
+        dictionaries[c].push_back(value);
+      }
+      encoded.push_back(it->second);
+    }
+    ++num_rows;
+  }
+  if (num_rows == 0) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+
+  std::vector<Attribute> attrs(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    attrs[c].name = names[c];
+    attrs[c].value_names = std::move(dictionaries[c]);
+  }
+  Dataset out{Schema(std::move(attrs))};
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    out.AppendRow(std::span<const Value>(encoded.data() + r * d, d));
+  }
+  return out;
+}
+
+}  // namespace coverage

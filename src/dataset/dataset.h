@@ -1,0 +1,78 @@
+#ifndef COVERAGE_DATASET_DATASET_H_
+#define COVERAGE_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dataset/schema.h"
+
+namespace coverage {
+
+/// An immutable-schema, row-major categorical relation: the dataset `D` of the
+/// paper restricted to the attributes of interest. Values are stored as a flat
+/// `Value` array for cache locality (n rows × d columns).
+class Dataset {
+ public:
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  int num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends a row; it must have exactly `num_attributes()` values, each in
+  /// range for its attribute.
+  void AppendRow(std::span<const Value> row);
+  void AppendRow(const std::vector<Value>& row) {
+    AppendRow(std::span<const Value>(row));
+  }
+
+  /// Read-only view of row `r`.
+  std::span<const Value> row(std::size_t r) const {
+    return {cells_.data() + r * static_cast<std::size_t>(num_attributes()),
+            static_cast<std::size_t>(num_attributes())};
+  }
+
+  Value at(std::size_t r, int attr) const {
+    return cells_[r * static_cast<std::size_t>(num_attributes()) +
+                  static_cast<std::size_t>(attr)];
+  }
+
+  /// Keeps only the listed attributes (projection onto a subset of the
+  /// attributes of interest, as done for the dimensionality sweeps in §V-C).
+  Dataset Project(const std::vector<int>& attribute_indices) const;
+
+  /// Uniform random sample of `k` rows without replacement.
+  Dataset Sample(std::size_t k, Rng& rng) const;
+
+  /// First `k` rows.
+  Dataset Head(std::size_t k) const;
+
+  /// Serialises to CSV with a header row of attribute names; values are
+  /// written as their dictionary labels.
+  Status WriteCsv(std::ostream& os) const;
+
+  /// Parses a CSV produced by WriteCsv (header + labelled values) against
+  /// `schema`. Unknown labels or ragged rows yield InvalidArgument.
+  static StatusOr<Dataset> ReadCsv(std::istream& is, const Schema& schema);
+
+  /// Parses a CSV and *infers* the schema: attribute names come from the
+  /// header, the value dictionary of each column is built in order of first
+  /// appearance. A column exceeding `max_cardinality` distinct values yields
+  /// InvalidArgument with a hint to bucketize (§II preprocessing).
+  static StatusOr<Dataset> InferFromCsv(std::istream& is,
+                                        int max_cardinality = 100);
+
+ private:
+  Schema schema_;
+  std::vector<Value> cells_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_DATASET_DATASET_H_

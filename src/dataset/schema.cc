@@ -1,0 +1,102 @@
+#include "dataset/schema.h"
+
+#include <cassert>
+
+namespace coverage {
+
+Attribute Attribute::Anonymous(std::string name, int cardinality) {
+  assert(cardinality >= 1);
+  Attribute attr;
+  attr.name = std::move(name);
+  attr.value_names.reserve(static_cast<std::size_t>(cardinality));
+  for (int v = 0; v < cardinality; ++v) {
+    attr.value_names.push_back(std::to_string(v));
+  }
+  return attr;
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  cardinalities_.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) {
+    assert(a.cardinality() >= 1);
+    cardinalities_.push_back(a.cardinality());
+  }
+}
+
+Schema Schema::Uniform(const std::vector<int>& cardinalities) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(cardinalities.size());
+  for (std::size_t i = 0; i < cardinalities.size(); ++i) {
+    attrs.push_back(Attribute::Anonymous("A" + std::to_string(i + 1),
+                                         cardinalities[i]));
+  }
+  return Schema(std::move(attrs));
+}
+
+Schema Schema::Binary(int d) {
+  return Uniform(std::vector<int>(static_cast<std::size_t>(d), 2));
+}
+
+StatusOr<int> Schema::AttributeIndex(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+StatusOr<Value> Schema::ValueIndex(int attr,
+                                   const std::string& value_name) const {
+  assert(attr >= 0 && attr < num_attributes());
+  const Attribute& a = attributes_[static_cast<std::size_t>(attr)];
+  for (std::size_t v = 0; v < a.value_names.size(); ++v) {
+    if (a.value_names[v] == value_name) return static_cast<Value>(v);
+  }
+  return Status::NotFound("attribute '" + a.name + "' has no value '" +
+                          value_name + "'");
+}
+
+std::uint64_t Schema::NumValueCombinations() const {
+  std::uint64_t total = 1;
+  for (int c : cardinalities_) {
+    if (total > kCombinationLimit / static_cast<std::uint64_t>(c)) {
+      return kCombinationLimit;
+    }
+    total *= static_cast<std::uint64_t>(c);
+  }
+  return total;
+}
+
+std::uint64_t Schema::NumPatterns() const {
+  std::uint64_t total = 1;
+  for (int c : cardinalities_) {
+    const auto factor = static_cast<std::uint64_t>(c + 1);
+    if (total > kCombinationLimit / factor) return kCombinationLimit;
+    total *= factor;
+  }
+  return total;
+}
+
+Schema Schema::Project(const std::vector<int>& attribute_indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(attribute_indices.size());
+  for (int idx : attribute_indices) {
+    assert(idx >= 0 && idx < num_attributes());
+    attrs.push_back(attributes_[static_cast<std::size_t>(idx)]);
+  }
+  return Schema(std::move(attrs));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (num_attributes() != other.num_attributes()) return false;
+  for (int i = 0; i < num_attributes(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (attributes_[idx].name != other.attributes_[idx].name ||
+        attributes_[idx].value_names != other.attributes_[idx].value_names) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace coverage

@@ -1,0 +1,76 @@
+#ifndef COVERAGE_DATASET_SCHEMA_H_
+#define COVERAGE_DATASET_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coverage {
+
+/// Encoded value of a categorical attribute: a small non-negative integer in
+/// [0, cardinality). Patterns additionally use `kWildcard`.
+using Value = std::int16_t;
+
+/// One categorical attribute of interest: a name, and the dictionary of value
+/// labels. The encoded value `v` corresponds to `value_names[v]`.
+struct Attribute {
+  std::string name;
+  std::vector<std::string> value_names;
+
+  /// Builds an attribute with `cardinality` anonymous values "0".."c-1".
+  static Attribute Anonymous(std::string name, int cardinality);
+
+  int cardinality() const { return static_cast<int>(value_names.size()); }
+};
+
+/// The attributes of interest of a dataset (paper §II). Label attributes are
+/// deliberately *not* part of the schema; they live beside the dataset.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Schema of `d` attributes with the given cardinalities and names "A1..Ad"
+  /// (matching the paper's notation).
+  static Schema Uniform(const std::vector<int>& cardinalities);
+
+  /// Schema of `d` binary attributes (the AirBnB shape).
+  static Schema Binary(int d);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  int cardinality(int i) const { return attributes_[i].cardinality(); }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  /// Index of the attribute with the given name.
+  StatusOr<int> AttributeIndex(const std::string& name) const;
+
+  /// Encoded id of `value_name` within attribute `attr`.
+  StatusOr<Value> ValueIndex(int attr, const std::string& value_name) const;
+
+  /// Π c_i — the number of full value combinations. Saturates at
+  /// `kCombinationLimit` to keep guarded enumerations honest.
+  std::uint64_t NumValueCombinations() const;
+
+  /// Π (c_i + 1) — the number of nodes of the pattern graph (§III-B).
+  std::uint64_t NumPatterns() const;
+
+  /// Keeps only the attributes whose indices are listed, in the given order.
+  Schema Project(const std::vector<int>& attribute_indices) const;
+
+  bool operator==(const Schema& other) const;
+
+  static constexpr std::uint64_t kCombinationLimit = std::uint64_t{1} << 62;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::vector<int> cardinalities_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_DATASET_SCHEMA_H_

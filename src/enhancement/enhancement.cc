@@ -1,0 +1,91 @@
+#include "enhancement/enhancement.h"
+
+#include <algorithm>
+
+#include "enhancement/expansion.h"
+
+namespace coverage {
+
+namespace {
+
+/// Runs the configured hitting-set solver over `targets` and assembles the
+/// plan, computing per-item copy counts from current coverage.
+StatusOr<CoveragePlan> SolveOverTargets(const BitmapCoverage& oracle,
+                                        std::vector<Pattern> targets,
+                                        const EnhancementOptions& options) {
+  CoveragePlan plan;
+  HittingSetResult hs;
+  if (options.use_naive_greedy) {
+    auto solved =
+        NaiveGreedyHittingSet(targets, oracle.data().schema(), options.oracle,
+                              &plan.stats, options.enumeration_limit);
+    if (!solved.ok()) return solved.status();
+    hs = std::move(*solved);
+  } else {
+    hs = GreedyHittingSet(targets, oracle.data().schema(), options.oracle,
+                          &plan.stats);
+  }
+
+  // A pick is responsible for the targets it newly hit; to push each of them
+  // to τ it must be collected max(τ - cov) times. (Later picks may also hit
+  // them, so this is a safe upper bound per pattern and exact when matches
+  // are disjoint.)
+  std::vector<bool> assigned(targets.size(), false);
+  for (std::size_t k = 0; k < hs.combinations.size(); ++k) {
+    AcquisitionItem item;
+    item.combination = std::move(hs.combinations[k]);
+    item.generalized = hs.generalized[k];
+    std::uint64_t copies = 1;
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      if (assigned[j] || !targets[j].Matches(item.combination)) continue;
+      assigned[j] = true;
+      const std::uint64_t cov = oracle.Coverage(targets[j]);
+      if (cov < options.tau) copies = std::max(copies, options.tau - cov);
+    }
+    item.copies = copies;
+    plan.items.push_back(std::move(item));
+  }
+  plan.unresolvable = std::move(hs.unresolvable);
+  plan.targets = std::move(targets);
+  return plan;
+}
+
+}  // namespace
+
+std::uint64_t CoveragePlan::TotalTuples() const {
+  std::uint64_t total = 0;
+  for (const AcquisitionItem& item : items) total += item.copies;
+  return total;
+}
+
+StatusOr<CoveragePlan> PlanCoverageEnhancement(
+    const BitmapCoverage& oracle, const std::vector<Pattern>& mups,
+    const EnhancementOptions& options) {
+  auto targets =
+      UncoveredPatternsAtLevel(mups, oracle.data().schema(), options.lambda,
+                               options.enumeration_limit);
+  if (!targets.ok()) return targets.status();
+  return SolveOverTargets(oracle, std::move(*targets), options);
+}
+
+StatusOr<CoveragePlan> PlanCoverageEnhancementByValueCount(
+    const BitmapCoverage& oracle, const std::vector<Pattern>& mups,
+    std::uint64_t min_value_count, const EnhancementOptions& options) {
+  auto targets = UncoveredPatternsByValueCount(mups, oracle.data().schema(),
+                                               min_value_count,
+                                               options.enumeration_limit);
+  if (!targets.ok()) return targets.status();
+  return SolveOverTargets(oracle, std::move(*targets), options);
+}
+
+Dataset ApplyPlan(const Dataset& dataset, const CoveragePlan& plan) {
+  Dataset out = dataset;
+  for (const AcquisitionItem& item : plan.items) {
+    for (std::uint64_t c = 0; c < item.copies; ++c) {
+      out.AppendRow(item.combination);
+    }
+  }
+  return out;
+}
+
+}  // namespace coverage

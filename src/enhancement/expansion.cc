@@ -1,0 +1,81 @@
+#include "enhancement/expansion.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "pattern/pattern_ops.h"
+
+namespace coverage {
+
+StatusOr<std::vector<Pattern>> UncoveredPatternsAtLevel(
+    const std::vector<Pattern>& mups, const Schema& schema, int lambda,
+    std::uint64_t limit) {
+  if (lambda < 0 || lambda > schema.num_attributes()) {
+    return Status::InvalidArgument("lambda " + std::to_string(lambda) +
+                                   " outside [0, d]");
+  }
+  std::unordered_set<Pattern, PatternHash> seen;
+  std::vector<Pattern> out;
+  for (const Pattern& mup : mups) {
+    if (mup.level() > lambda) continue;
+    auto descendants = DescendantsAtLevel(mup, schema, lambda, limit);
+    if (!descendants.ok()) return descendants.status();
+    for (Pattern& p : *descendants) {
+      if (seen.insert(p).second) {
+        if (out.size() >= limit) {
+          return Status::ResourceExhausted(
+              "more than " + std::to_string(limit) +
+              " uncovered patterns at level " + std::to_string(lambda));
+        }
+        out.push_back(std::move(p));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<std::vector<Pattern>> UncoveredPatternsByValueCount(
+    const std::vector<Pattern>& mups, const Schema& schema,
+    std::uint64_t min_value_count, std::uint64_t limit) {
+  if (min_value_count == 0) {
+    return Status::InvalidArgument("min_value_count must be positive");
+  }
+  // DFS downward from each qualifying MUP: a node is *minimal* when every
+  // one-cell specialisation falls below the value-count bar. All visited
+  // nodes are uncovered (descendants of MUPs).
+  std::unordered_set<Pattern, PatternHash> seen;
+  std::vector<Pattern> out;
+  std::vector<Pattern> stack;
+  for (const Pattern& mup : mups) {
+    if (mup.ValueCount(schema) < min_value_count) continue;
+    stack.push_back(mup);
+  }
+  while (!stack.empty()) {
+    Pattern p = std::move(stack.back());
+    stack.pop_back();
+    if (!seen.insert(p).second) continue;
+    if (seen.size() > limit) {
+      return Status::ResourceExhausted(
+          "value-count expansion visited more than " + std::to_string(limit) +
+          " patterns");
+    }
+    const std::uint64_t vc = p.ValueCount(schema);
+    bool minimal = true;
+    for (int i = 0; i < p.num_attributes(); ++i) {
+      if (p.is_deterministic(i)) continue;
+      const auto c = static_cast<std::uint64_t>(schema.cardinality(i));
+      if (vc / c >= min_value_count) {
+        minimal = false;
+        for (Value v = 0; v < static_cast<Value>(c); ++v) {
+          stack.push_back(p.WithCell(i, v));
+        }
+      }
+    }
+    if (minimal) out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace coverage

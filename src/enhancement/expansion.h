@@ -1,0 +1,39 @@
+#ifndef COVERAGE_ENHANCEMENT_EXPANSION_H_
+#define COVERAGE_ENHANCEMENT_EXPANSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// M_λ of Appendix C: all (not necessarily maximal) uncovered patterns at
+/// exactly level `lambda` — the union of the level-λ descendants of every
+/// MUP with level <= λ, deduplicated. Covering all of M_λ is necessary and
+/// sufficient for the maximum covered level to reach λ: covering only the
+/// MUPs themselves can leave level-λ children uncovered (the paper's
+/// `1X11X` counterexample), while every uncovered pattern above level λ
+/// generalises some member of M_λ and is therefore hit with it.
+///
+/// Returns ResourceExhausted when the expansion would exceed `limit`
+/// patterns.
+StatusOr<std::vector<Pattern>> UncoveredPatternsAtLevel(
+    const std::vector<Pattern>& mups, const Schema& schema, int lambda,
+    std::uint64_t limit);
+
+/// The value-count variant (Definition 7 / §IV): the patterns to hit when
+/// the goal is that every uncovered pattern with value count >= min_value_count
+/// becomes covered. Returns the *minimal* such patterns under domination
+/// (the most specific uncovered patterns still meeting the value-count bar);
+/// hitting them hits every dominating pattern as well, so the hitting-set
+/// stage is unchanged.
+StatusOr<std::vector<Pattern>> UncoveredPatternsByValueCount(
+    const std::vector<Pattern>& mups, const Schema& schema,
+    std::uint64_t min_value_count, std::uint64_t limit);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ENHANCEMENT_EXPANSION_H_

@@ -1,0 +1,286 @@
+#include "enhancement/hitting_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitvector.h"
+#include "common/stopwatch.h"
+#include "pattern/pattern_ops.h"
+
+namespace coverage {
+
+namespace {
+
+/// Inverted indices of Figure 9: for (attribute i, value v), the bit vector
+/// over patterns with bit j set iff pattern j can still be hit by a
+/// combination taking value v on attribute i (its cell is X or equals v).
+class PatternIndices {
+ public:
+  PatternIndices(const std::vector<Pattern>& patterns, const Schema& schema) {
+    const int d = schema.num_attributes();
+    offsets_.resize(static_cast<std::size_t>(d));
+    int total = 0;
+    for (int i = 0; i < d; ++i) {
+      offsets_[static_cast<std::size_t>(i)] = total;
+      total += schema.cardinality(i);
+    }
+    vectors_.assign(static_cast<std::size_t>(total),
+                    BitVector(patterns.size()));
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+      const Pattern& p = patterns[j];
+      for (int i = 0; i < d; ++i) {
+        if (p.is_deterministic(i)) {
+          mutable_at(i, p.cell(i)).Set(j, true);
+        } else {
+          for (Value v = 0; v < static_cast<Value>(schema.cardinality(i));
+               ++v) {
+            mutable_at(i, v).Set(j, true);
+          }
+        }
+      }
+    }
+  }
+
+  const BitVector& at(int attr, Value v) const {
+    return vectors_[static_cast<std::size_t>(offsets_[
+        static_cast<std::size_t>(attr)]) + static_cast<std::size_t>(v)];
+  }
+
+ private:
+  BitVector& mutable_at(int attr, Value v) {
+    return vectors_[static_cast<std::size_t>(offsets_[
+        static_cast<std::size_t>(attr)]) + static_cast<std::size_t>(v)];
+  }
+
+  std::vector<int> offsets_;
+  std::vector<BitVector> vectors_;
+};
+
+/// The threshold-pruned DFS of Algorithm 4. The bit vector of a node is an
+/// upper bound on what any leaf below it can hit, so subtrees whose count
+/// cannot beat the incumbent are skipped.
+class HitCountSearch {
+ public:
+  HitCountSearch(const PatternIndices& indices, const Schema& schema,
+                 const ValidationOracle* oracle, HittingSetStats* stats)
+      : indices_(indices), schema_(schema), oracle_(oracle), stats_(stats) {}
+
+  /// Finds the valid combination hitting the most patterns still set in
+  /// `filter`. Returns the hit count (0 when no valid combination hits
+  /// anything); `*best` holds the combination.
+  std::size_t Run(const BitVector& filter, std::vector<Value>* best) {
+    best_count_ = 0;
+    best_.assign(static_cast<std::size_t>(schema_.num_attributes()), 0);
+    found_ = false;
+    partial_.clear();
+    Descend(filter, 0);
+    *best = best_;
+    return found_ ? best_count_ : 0;
+  }
+
+ private:
+  void Descend(const BitVector& bv, int level) {
+    if (stats_ != nullptr) ++stats_->tree_nodes_visited;
+    const int d = schema_.num_attributes();
+    if (level == d) {
+      const std::size_t cnt = bv.Count();
+      if (cnt > best_count_ || !found_) {
+        best_count_ = cnt;
+        best_ = partial_;
+        found_ = true;
+      }
+      return;
+    }
+    // Rank this node's children by their remaining-hit upper bound.
+    struct Child {
+      Value v;
+      std::size_t count;
+      BitVector bv;
+    };
+    std::vector<Child> children;
+    children.reserve(static_cast<std::size_t>(schema_.cardinality(level)));
+    for (Value v = 0; v < static_cast<Value>(schema_.cardinality(level));
+         ++v) {
+      partial_.push_back(v);
+      const bool invalid =
+          oracle_ != nullptr && oracle_->PrefixInvalid(partial_);
+      partial_.pop_back();
+      if (invalid) continue;
+      BitVector child_bv = bv;
+      child_bv.AndWith(indices_.at(level, v));
+      const std::size_t cnt = child_bv.Count();
+      children.push_back(Child{v, cnt, std::move(child_bv)});
+    }
+    std::stable_sort(children.begin(), children.end(),
+                     [](const Child& a, const Child& b) {
+                       return a.count > b.count;
+                     });
+    for (Child& child : children) {
+      // Prune: the child's count bounds every leaf beneath it. Equality is
+      // only worth exploring while no complete combination exists yet.
+      if (child.count < best_count_ || (found_ && child.count == best_count_))
+        break;
+      partial_.push_back(child.v);
+      Descend(child.bv, level + 1);
+      partial_.pop_back();
+    }
+  }
+
+  const PatternIndices& indices_;
+  const Schema& schema_;
+  const ValidationOracle* oracle_;
+  HittingSetStats* stats_;
+
+  std::size_t best_count_ = 0;
+  bool found_ = false;
+  std::vector<Value> best_;
+  std::vector<Value> partial_;
+};
+
+/// Unification of the patterns whose bits are set in `hits`.
+Pattern UnifyHits(const std::vector<Pattern>& patterns, const BitVector& hits,
+                  int d) {
+  std::vector<Pattern> hit_patterns;
+  hits.ForEachSetBit(
+      [&](std::size_t j) { hit_patterns.push_back(patterns[j]); });
+  if (hit_patterns.empty()) return Pattern::Root(d);
+  return Unify(hit_patterns);
+}
+
+}  // namespace
+
+HittingSetResult GreedyHittingSet(const std::vector<Pattern>& patterns,
+                                  const Schema& schema,
+                                  const ValidationOracle* oracle,
+                                  HittingSetStats* stats) {
+  Stopwatch timer;
+  if (stats != nullptr) stats->Reset();
+  HittingSetResult result;
+  if (patterns.empty()) {
+    if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  const int d = schema.num_attributes();
+  const PatternIndices indices(patterns, schema);
+  HitCountSearch search(indices, schema, oracle, stats);
+
+  BitVector filter(patterns.size(), true);
+  while (filter.Any()) {
+    std::vector<Value> pick;
+    const std::size_t gain = search.Run(filter, &pick);
+    if (gain == 0) {
+      // Validation rules make the remaining patterns unreachable.
+      filter.ForEachSetBit(
+          [&](std::size_t j) { result.unresolvable.push_back(patterns[j]); });
+      break;
+    }
+    // Patterns newly hit by the pick: AND of the per-cell vectors with the
+    // current filter.
+    BitVector hits = filter;
+    for (int i = 0; i < d; ++i) {
+      hits.AndWith(indices.at(i, pick[static_cast<std::size_t>(i)]));
+    }
+    assert(hits.Count() == gain);
+    result.generalized.push_back(UnifyHits(patterns, hits, d));
+    result.combinations.push_back(std::move(pick));
+    result.gains.push_back(gain);
+    filter.AndNotWith(hits);
+    if (stats != nullptr) ++stats->iterations;
+  }
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+StatusOr<HittingSetResult> NaiveGreedyHittingSet(
+    const std::vector<Pattern>& patterns, const Schema& schema,
+    const ValidationOracle* oracle, HittingSetStats* stats,
+    std::uint64_t enumeration_limit) {
+  Stopwatch timer;
+  if (stats != nullptr) stats->Reset();
+  HittingSetResult result;
+  if (patterns.empty()) {
+    if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+    return result;
+  }
+  if (schema.NumValueCombinations() > enumeration_limit) {
+    return Status::ResourceExhausted(
+        "naive greedy would scan " +
+        std::to_string(schema.NumValueCombinations()) +
+        " combinations per iteration");
+  }
+  const int d = schema.num_attributes();
+  std::vector<bool> remaining(patterns.size(), true);
+  std::size_t num_remaining = patterns.size();
+
+  while (num_remaining > 0) {
+    std::size_t best_count = 0;
+    std::vector<Value> best;
+    const Status st = ForEachMatchingCombination(
+        Pattern::Root(d), schema, enumeration_limit,
+        [&](const std::vector<Value>& combo) {
+          if (stats != nullptr) ++stats->combinations_scanned;
+          if (oracle != nullptr && !oracle->IsValid(combo)) return;
+          std::size_t cnt = 0;
+          for (std::size_t j = 0; j < patterns.size(); ++j) {
+            if (remaining[j] && patterns[j].Matches(combo)) ++cnt;
+          }
+          if (cnt > best_count) {
+            best_count = cnt;
+            best = combo;
+          }
+        });
+    COVERAGE_RETURN_IF_ERROR(st);
+    if (best_count == 0) {
+      for (std::size_t j = 0; j < patterns.size(); ++j) {
+        if (remaining[j]) result.unresolvable.push_back(patterns[j]);
+      }
+      break;
+    }
+    std::vector<Pattern> hit_patterns;
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+      if (remaining[j] && patterns[j].Matches(best)) {
+        hit_patterns.push_back(patterns[j]);
+        remaining[j] = false;
+        --num_remaining;
+      }
+    }
+    result.generalized.push_back(Unify(hit_patterns));
+    result.combinations.push_back(std::move(best));
+    result.gains.push_back(best_count);
+    if (stats != nullptr) ++stats->iterations;
+  }
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Status ValidateHittingSet(const std::vector<Pattern>& patterns,
+                          const HittingSetResult& result, const Schema& schema,
+                          const ValidationOracle* oracle) {
+  (void)schema;
+  for (const auto& combo : result.combinations) {
+    if (oracle != nullptr && !oracle->IsValid(combo)) {
+      return Status::Internal("selected combination violates a rule");
+    }
+  }
+  for (const Pattern& p : patterns) {
+    bool hit = false;
+    for (const auto& combo : result.combinations) {
+      if (p.Matches(combo)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      const bool declared_unresolvable =
+          std::find(result.unresolvable.begin(), result.unresolvable.end(),
+                    p) != result.unresolvable.end();
+      if (!declared_unresolvable) {
+        return Status::Internal("pattern " + p.ToString() +
+                                " is neither hit nor declared unresolvable");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace coverage

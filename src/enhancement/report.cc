@@ -1,0 +1,88 @@
+#include "enhancement/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "mups/mups.h"
+
+namespace coverage {
+
+CoverageReport BuildCoverageReport(const Schema& schema,
+                                   const std::vector<Pattern>& mups,
+                                   std::uint64_t num_rows, std::uint64_t tau,
+                                   std::size_t max_examples) {
+  CoverageReport report;
+  report.num_rows = num_rows;
+  report.num_attributes = schema.num_attributes();
+  report.tau = tau;
+  report.num_mups = mups.size();
+  report.level_histogram = MupLevelHistogram(mups, schema.num_attributes());
+  report.maximum_covered_level =
+      MaximumCoveredLevel(mups, schema.num_attributes());
+
+  std::vector<Pattern> sorted = mups;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.level() != b.level()) return a.level() < b.level();
+              return a < b;
+            });
+  for (std::size_t i = 0; i < sorted.size() && i < max_examples; ++i) {
+    report.most_general.push_back(sorted[i].ToLabelledString(schema) +
+                                  "  [" + sorted[i].ToString() + "]");
+  }
+  return report;
+}
+
+std::string RenderNutritionalLabel(const CoverageReport& report) {
+  std::ostringstream os;
+  os << "+----------------- COVERAGE LABEL -----------------+\n";
+  os << "| rows: " << FormatCount(report.num_rows)
+     << "   attributes of interest: " << report.num_attributes
+     << "   tau: " << report.tau << "\n";
+  os << "| maximal uncovered patterns (MUPs): "
+     << FormatCount(report.num_mups) << "\n";
+  os << "| maximum covered level: " << report.maximum_covered_level << " of "
+     << report.num_attributes << "\n";
+  os << "| MUPs per level:";
+  for (std::size_t l = 0; l < report.level_histogram.size(); ++l) {
+    if (report.level_histogram[l] == 0) continue;
+    os << "  L" << l << ":" << report.level_histogram[l];
+  }
+  os << "\n";
+  if (!report.most_general.empty()) {
+    os << "| least covered regions:\n";
+    for (const std::string& line : report.most_general) {
+      os << "|   - " << line << "\n";
+    }
+  }
+  os << "+---------------------------------------------------+\n";
+  return os.str();
+}
+
+std::string RenderAcquisitionPlan(const CoveragePlan& plan,
+                                  const Schema& schema) {
+  std::ostringstream os;
+  os << "Acquisition plan: " << plan.items.size()
+     << " value combination(s), " << FormatCount(plan.TotalTuples())
+     << " tuple(s) total, hitting " << plan.targets.size()
+     << " uncovered pattern(s)\n";
+  for (std::size_t k = 0; k < plan.items.size(); ++k) {
+    const AcquisitionItem& item = plan.items[k];
+    os << "  " << (k + 1) << ". collect " << item.copies
+       << " tuple(s) matching { "
+       << item.generalized.ToLabelledString(schema) << " }  e.g. "
+       << Pattern::FromTuple(item.combination).ToLabelledString(schema)
+       << "\n";
+  }
+  if (!plan.unresolvable.empty()) {
+    os << "  ! " << plan.unresolvable.size()
+       << " pattern(s) cannot be hit by any semantically valid combination:\n";
+    for (const Pattern& p : plan.unresolvable) {
+      os << "      - " << p.ToLabelledString(schema) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace coverage

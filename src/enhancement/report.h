@@ -1,0 +1,44 @@
+#ifndef COVERAGE_ENHANCEMENT_REPORT_H_
+#define COVERAGE_ENHANCEMENT_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/schema.h"
+#include "enhancement/enhancement.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// The coverage "widget" the paper proposes for a dataset's nutritional
+/// label (§I): a compact, human-readable summary of where the dataset lacks
+/// coverage.
+struct CoverageReport {
+  std::uint64_t num_rows = 0;
+  int num_attributes = 0;
+  std::uint64_t tau = 0;
+  std::size_t num_mups = 0;
+  int maximum_covered_level = 0;
+  std::vector<std::size_t> level_histogram;  // index = level
+  /// The most general (lowest-level) MUPs, labelled with attribute/value
+  /// names — the regions a user should worry about first.
+  std::vector<std::string> most_general;
+};
+
+/// Builds the report from a discovered MUP set.
+CoverageReport BuildCoverageReport(const Schema& schema,
+                                   const std::vector<Pattern>& mups,
+                                   std::uint64_t num_rows, std::uint64_t tau,
+                                   std::size_t max_examples = 10);
+
+/// Renders the report as a fixed-width "nutritional label" block.
+std::string RenderNutritionalLabel(const CoverageReport& report);
+
+/// Renders an acquisition plan as a human-readable checklist.
+std::string RenderAcquisitionPlan(const CoveragePlan& plan,
+                                  const Schema& schema);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ENHANCEMENT_REPORT_H_

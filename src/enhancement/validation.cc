@@ -1,0 +1,137 @@
+#include "enhancement/validation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace coverage {
+
+StatusOr<ValidationRule> ValidationRule::Create(std::vector<Term> terms,
+                                                const Schema& schema) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("a validation rule needs at least one term");
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.attr < b.attr; });
+  ValidationRule rule;
+  for (Term& term : terms) {
+    if (term.attr < 0 || term.attr >= schema.num_attributes()) {
+      return Status::OutOfRange("rule attribute index " +
+                                std::to_string(term.attr) + " out of range");
+    }
+    if (!rule.terms_.empty() && rule.terms_.back().attr == term.attr) {
+      return Status::InvalidArgument("rule lists attribute '" +
+                                     schema.attribute(term.attr).name +
+                                     "' twice");
+    }
+    if (term.values.empty()) {
+      return Status::InvalidArgument("rule term for '" +
+                                     schema.attribute(term.attr).name +
+                                     "' has no values");
+    }
+    std::sort(term.values.begin(), term.values.end());
+    term.values.erase(std::unique(term.values.begin(), term.values.end()),
+                      term.values.end());
+    for (Value v : term.values) {
+      if (v < 0 || v >= static_cast<Value>(schema.cardinality(term.attr))) {
+        return Status::OutOfRange(
+            "rule value " + std::to_string(v) + " out of range for '" +
+            schema.attribute(term.attr).name + "'");
+      }
+    }
+    rule.decidable_prefix_ = std::max(rule.decidable_prefix_, term.attr + 1);
+    rule.terms_.push_back(std::move(term));
+  }
+  return rule;
+}
+
+StatusOr<ValidationRule> ValidationRule::Parse(const std::string& text,
+                                               const Schema& schema) {
+  std::vector<Term> terms;
+  // Grammar: term ("and" term)*; term := <attr> "in" "{" v ("," v)* "}".
+  std::size_t pos = 0;
+  const std::string lowered = text;
+  while (pos < lowered.size()) {
+    const std::size_t in_pos = lowered.find(" in ", pos);
+    if (in_pos == std::string::npos) {
+      return Status::InvalidArgument("expected '<attr> in {...}' in rule '" +
+                                     text + "'");
+    }
+    const std::string attr_name(
+        Trim(std::string_view(lowered).substr(pos, in_pos - pos)));
+    auto attr = schema.AttributeIndex(attr_name);
+    if (!attr.ok()) return attr.status();
+    const std::size_t open = lowered.find('{', in_pos);
+    const std::size_t close = lowered.find('}', in_pos);
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return Status::InvalidArgument("expected '{...}' in rule '" + text +
+                                     "'");
+    }
+    Term term;
+    term.attr = *attr;
+    for (const std::string& value_text :
+         Split(lowered.substr(open + 1, close - open - 1), ',')) {
+      auto value = schema.ValueIndex(*attr, std::string(Trim(value_text)));
+      if (!value.ok()) return value.status();
+      term.values.push_back(*value);
+    }
+    terms.push_back(std::move(term));
+    const std::size_t and_pos = lowered.find(" and ", close);
+    if (and_pos == std::string::npos) break;
+    pos = and_pos + 5;
+  }
+  return Create(std::move(terms), schema);
+}
+
+bool ValidationRule::SatisfiedBy(std::span<const Value> combination) const {
+  for (const Term& term : terms_) {
+    const Value v = combination[static_cast<std::size_t>(term.attr)];
+    if (!std::binary_search(term.values.begin(), term.values.end(), v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidationRule::SatisfiedByPrefix(std::span<const Value> prefix) const {
+  if (static_cast<int>(prefix.size()) < decidable_prefix_) return false;
+  return SatisfiedBy(prefix);
+}
+
+std::string ValidationRule::ToString(const Schema& schema) const {
+  std::string out;
+  for (const Term& term : terms_) {
+    if (!out.empty()) out += " and ";
+    out += schema.attribute(term.attr).name;
+    out += " in {";
+    for (std::size_t i = 0; i < term.values.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += schema.attribute(term.attr)
+                 .value_names[static_cast<std::size_t>(term.values[i])];
+    }
+    out += "}";
+  }
+  return out;
+}
+
+void ValidationOracle::AddRule(ValidationRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool ValidationOracle::IsValid(std::span<const Value> combination) const {
+  for (const ValidationRule& rule : rules_) {
+    if (rule.SatisfiedBy(combination)) return false;
+  }
+  return true;
+}
+
+bool ValidationOracle::PrefixInvalid(std::span<const Value> prefix) const {
+  for (const ValidationRule& rule : rules_) {
+    if (rule.SatisfiedByPrefix(prefix)) return true;
+  }
+  return false;
+}
+
+}  // namespace coverage

@@ -1,0 +1,81 @@
+#ifndef COVERAGE_ENHANCEMENT_VALIDATION_H_
+#define COVERAGE_ENHANCEMENT_VALIDATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// A validation rule (Definition 10): a conjunction of per-attribute value
+/// sets {<A_i, V_i>, ...}. A value combination *satisfies* the rule when its
+/// value on every listed attribute falls in the listed set — satisfying a
+/// rule marks the combination as semantically infeasible (e.g.
+/// {gender=Male, isPregnant=True}).
+class ValidationRule {
+ public:
+  struct Term {
+    int attr;
+    std::vector<Value> values;  // sorted, deduplicated
+  };
+
+  /// Builds a rule from terms; values are sorted and deduplicated, and the
+  /// terms are ordered by attribute. Attributes must be distinct.
+  static StatusOr<ValidationRule> Create(std::vector<Term> terms,
+                                         const Schema& schema);
+
+  /// Parses "attr1 in {v1, v2} and attr2 in {v3}" style text against value
+  /// labels, e.g. "marital in {unknown}" or "age in {<20} and marital in
+  /// {married, divorced}".
+  static StatusOr<ValidationRule> Parse(const std::string& text,
+                                        const Schema& schema);
+
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// True iff the fully specified combination satisfies every term.
+  bool SatisfiedBy(std::span<const Value> combination) const;
+
+  /// True iff the first `prefix_len` attributes already satisfy every term,
+  /// i.e. every term attribute is < prefix_len and matched. Used by the
+  /// greedy tree search to prune invalid subtrees early (§IV-B).
+  bool SatisfiedByPrefix(std::span<const Value> prefix) const;
+
+  /// Largest term attribute + 1: the prefix length at which the rule becomes
+  /// decidable.
+  int decidable_prefix() const { return decidable_prefix_; }
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Term> terms_;
+  int decidable_prefix_ = 0;
+};
+
+/// The validation oracle (Definition 11): a combination is valid iff it
+/// satisfies none of the registered rules. An oracle with no rules accepts
+/// everything.
+class ValidationOracle {
+ public:
+  void AddRule(ValidationRule rule);
+
+  std::size_t num_rules() const { return rules_.size(); }
+  const std::vector<ValidationRule>& rules() const { return rules_; }
+
+  /// True iff no rule is satisfied by the full combination.
+  bool IsValid(std::span<const Value> combination) const;
+
+  /// True iff some rule is already fully satisfied by the assigned prefix —
+  /// every extension of the prefix is invalid and the subtree can be pruned.
+  bool PrefixInvalid(std::span<const Value> prefix) const;
+
+ private:
+  std::vector<ValidationRule> rules_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ENHANCEMENT_VALIDATION_H_

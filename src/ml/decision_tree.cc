@@ -1,0 +1,131 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coverage {
+
+namespace {
+
+double GiniOfCounts(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Dataset& data, const std::vector<int>& labels,
+                       const std::vector<std::size_t>& row_indices,
+                       Options options) {
+  assert(labels.size() == data.num_rows());
+  nodes_.clear();
+  std::vector<std::size_t> rows = row_indices;
+  if (rows.empty()) {
+    rows.resize(data.num_rows());
+    for (std::size_t r = 0; r < data.num_rows(); ++r) rows[r] = r;
+  }
+  if (rows.empty()) return;
+  Build(data, labels, rows, 0, rows.size(), 0, options);
+}
+
+int DecisionTree::Build(const Dataset& data, const std::vector<int>& labels,
+                        std::vector<std::size_t>& rows, std::size_t begin,
+                        std::size_t end, int depth, const Options& options) {
+  const std::size_t total = end - begin;
+  std::size_t positives = 0;
+  for (std::size_t k = begin; k < end; ++k) positives += labels[rows[k]] != 0;
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].label =
+      positives * 2 >= total ? 1 : 0;
+
+  const bool pure = positives == 0 || positives == total;
+  if (pure || depth >= options.max_depth ||
+      total < options.min_samples_split) {
+    return node_id;
+  }
+
+  // Choose the (attribute, value) equality split with the best Gini gain.
+  // Zero-gain splits of impure nodes are admissible (as in scikit-learn's
+  // default): parity-style concepts such as XOR have no first split with
+  // positive gain, yet become separable one level down.
+  const double parent_gini = GiniOfCounts(positives, total);
+  double best_gain = -1.0;
+  int best_attr = -1;
+  Value best_value = 0;
+  for (int attr = 0; attr < data.num_attributes(); ++attr) {
+    const int cardinality = data.schema().cardinality(attr);
+    // Per-value (count, positive) tallies in one pass over the segment.
+    std::vector<std::size_t> count(static_cast<std::size_t>(cardinality), 0);
+    std::vector<std::size_t> pos(static_cast<std::size_t>(cardinality), 0);
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto v = static_cast<std::size_t>(data.at(rows[k], attr));
+      ++count[v];
+      pos[v] += labels[rows[k]] != 0;
+    }
+    for (Value v = 0; v < static_cast<Value>(cardinality); ++v) {
+      const std::size_t left_n = count[static_cast<std::size_t>(v)];
+      const std::size_t right_n = total - left_n;
+      if (left_n < options.min_samples_leaf ||
+          right_n < options.min_samples_leaf) {
+        continue;
+      }
+      const std::size_t left_p = pos[static_cast<std::size_t>(v)];
+      const std::size_t right_p = positives - left_p;
+      const double weighted =
+          (static_cast<double>(left_n) * GiniOfCounts(left_p, left_n) +
+           static_cast<double>(right_n) * GiniOfCounts(right_p, right_n)) /
+          static_cast<double>(total);
+      const double gain = parent_gini - weighted;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_attr = attr;
+        best_value = v;
+      }
+    }
+  }
+  if (best_attr < 0) return node_id;  // no useful split
+
+  // Partition the segment: rows with attr == value first.
+  const auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return data.at(r, best_attr) == best_value; });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - rows.begin());
+  assert(mid > begin && mid < end);
+
+  const int left =
+      Build(data, labels, rows, begin, mid, depth + 1, options);
+  const int right = Build(data, labels, rows, mid, end, depth + 1, options);
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  node.attr = best_attr;
+  node.value = best_value;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+int DecisionTree::Predict(std::span<const Value> row) const {
+  assert(fitted());
+  int node_id = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    if (node.attr < 0) return node.label;
+    node_id = row[static_cast<std::size_t>(node.attr)] == node.value
+                  ? node.left
+                  : node.right;
+  }
+}
+
+std::vector<int> DecisionTree::PredictAll(
+    const Dataset& data, const std::vector<std::size_t>& row_indices) const {
+  std::vector<int> out;
+  out.reserve(row_indices.size());
+  for (std::size_t r : row_indices) out.push_back(Predict(data.row(r)));
+  return out;
+}
+
+}  // namespace coverage

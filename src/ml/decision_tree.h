@@ -1,0 +1,67 @@
+#ifndef COVERAGE_ML_DECISION_TREE_H_
+#define COVERAGE_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace coverage {
+
+/// CART-style decision-tree classifier over categorical attributes with
+/// binary labels — the stand-in for the scikit-learn DecisionTreeClassifier
+/// used in the paper's §V-B2 experiment. Splits are equality tests
+/// `attr == value` chosen by Gini impurity reduction.
+class DecisionTree {
+ public:
+  struct Options {
+    int max_depth = 8;
+    std::size_t min_samples_split = 2;
+    std::size_t min_samples_leaf = 1;
+  };
+
+  DecisionTree() = default;
+
+  /// Fits on the rows of `data` with 0/1 `labels` (parallel to the rows).
+  /// Row subset may be selected via `row_indices`; pass empty to use all.
+  void Fit(const Dataset& data, const std::vector<int>& labels,
+           const std::vector<std::size_t>& row_indices, Options options);
+
+  void Fit(const Dataset& data, const std::vector<int>& labels,
+           Options options) {
+    Fit(data, labels, {}, options);
+  }
+
+  /// Predicted label for one tuple.
+  int Predict(std::span<const Value> row) const;
+
+  /// Predicted labels for several rows of a dataset.
+  std::vector<int> PredictAll(const Dataset& data,
+                              const std::vector<std::size_t>& row_indices) const;
+
+  /// Number of nodes in the fitted tree (diagnostics).
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int attr = -1;        // -1 marks a leaf
+    Value value = 0;      // split: row[attr] == value goes left
+    int left = -1;        // child indices into nodes_
+    int right = -1;
+    int label = 0;        // majority label (used at leaves)
+  };
+
+  int Build(const Dataset& data, const std::vector<int>& labels,
+            std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+            int depth, const Options& options);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ML_DECISION_TREE_H_

@@ -1,0 +1,35 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+
+namespace coverage {
+
+ClassificationMetrics EvaluateBinary(const std::vector<int>& actual,
+                                     const std::vector<int>& predicted) {
+  assert(actual.size() == predicted.size());
+  ClassificationMetrics m;
+  m.num_samples = actual.size();
+  if (actual.empty()) return m;
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const bool a = actual[i] != 0;
+    const bool p = predicted[i] != 0;
+    tp += a && p;
+    fp += !a && p;
+    tn += !a && !p;
+    fn += a && !p;
+  }
+  m.accuracy = static_cast<double>(tp + tn) / static_cast<double>(m.num_samples);
+  m.precision = (tp + fp) == 0 ? 0.0
+                               : static_cast<double>(tp) /
+                                     static_cast<double>(tp + fp);
+  m.recall = (tp + fn) == 0
+                 ? 0.0
+                 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace coverage

@@ -1,0 +1,24 @@
+#ifndef COVERAGE_ML_METRICS_H_
+#define COVERAGE_ML_METRICS_H_
+
+#include <vector>
+
+namespace coverage {
+
+/// Binary-classification quality measures (§V-B2 reports accuracy and F1).
+struct ClassificationMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t num_samples = 0;
+};
+
+/// Computes the metrics of `predicted` against `actual` (0/1 labels,
+/// positive class = 1). Precision/recall/F1 are 0 when undefined.
+ClassificationMetrics EvaluateBinary(const std::vector<int>& actual,
+                                     const std::vector<int>& predicted);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ML_METRICS_H_

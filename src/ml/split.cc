@@ -1,0 +1,45 @@
+#include "ml/split.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace coverage {
+
+TrainTestSplit MakeTrainTestSplit(std::size_t n, double test_fraction,
+                                  Rng& rng) {
+  assert(test_fraction >= 0.0 && test_fraction <= 1.0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  const auto num_test = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n) * test_fraction));
+  TrainTestSplit split;
+  split.test.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(num_test));
+  split.train.assign(order.begin() + static_cast<std::ptrdiff_t>(num_test),
+                     order.end());
+  return split;
+}
+
+std::vector<TrainTestSplit> MakeKFolds(std::size_t n, std::size_t k,
+                                       Rng& rng) {
+  assert(k >= 2 && k <= n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<TrainTestSplit> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::size_t begin = n * f / k;
+    const std::size_t end = n * (f + 1) / k;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        folds[f].test.push_back(order[i]);
+      } else {
+        folds[f].train.push_back(order[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+}  // namespace coverage

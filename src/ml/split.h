@@ -1,0 +1,27 @@
+#ifndef COVERAGE_ML_SPLIT_H_
+#define COVERAGE_ML_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coverage {
+
+/// A train/test partition of row indices.
+struct TrainTestSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Shuffles [0, n) and assigns ceil(n * test_fraction) rows to the test set.
+TrainTestSplit MakeTrainTestSplit(std::size_t n, double test_fraction,
+                                  Rng& rng);
+
+/// K-fold cross-validation index sets (used by the §V-B2 "acceptable
+/// accuracy on a random test set" check).
+std::vector<TrainTestSplit> MakeKFolds(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ML_SPLIT_H_

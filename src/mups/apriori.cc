@@ -1,0 +1,173 @@
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "mups/mups.h"
+
+namespace coverage {
+
+namespace {
+
+/// An item is one (attribute, value) pair; an item-set is a sorted vector of
+/// item ids. The lattice over item-sets is much larger than the pattern graph
+/// (the paper's core criticism of this adaptation): item-sets mixing two
+/// values of one attribute are representable and must be generated, counted,
+/// and finally discarded as invalid.
+struct ItemCatalog {
+  std::vector<int> attr_of;    // item id -> attribute
+  std::vector<Value> value_of; // item id -> value
+
+  explicit ItemCatalog(const Schema& schema) {
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      for (Value v = 0; v < static_cast<Value>(schema.cardinality(i)); ++v) {
+        attr_of.push_back(i);
+        value_of.push_back(v);
+      }
+    }
+  }
+
+  std::size_t size() const { return attr_of.size(); }
+};
+
+using ItemSet = std::vector<int>;
+
+std::uint64_t Support(const ItemSet& items, const ItemCatalog& catalog,
+                      const BitmapCoverage& oracle) {
+  if (items.empty()) return oracle.data().total_count();
+  BitVector acc = oracle.index(catalog.attr_of[static_cast<std::size_t>(
+                                   items[0])],
+                               catalog.value_of[static_cast<std::size_t>(
+                                   items[0])]);
+  for (std::size_t k = 1; k < items.size(); ++k) {
+    acc.AndWith(oracle.index(
+        catalog.attr_of[static_cast<std::size_t>(items[k])],
+        catalog.value_of[static_cast<std::size_t>(items[k])]));
+    if (acc.None()) return 0;
+  }
+  return acc.Dot(oracle.data().counts());
+}
+
+/// True iff every (k-1)-subset of `candidate` is in the sorted `frequent`
+/// list — the apriori prune step.
+bool AllSubsetsFrequent(const ItemSet& candidate,
+                        const std::vector<ItemSet>& frequent) {
+  ItemSet subset(candidate.size() - 1);
+  for (std::size_t skip = 0; skip < candidate.size(); ++skip) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[out++] = candidate[i];
+    }
+    if (!std::binary_search(frequent.begin(), frequent.end(), subset)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Converts a valid item-set (distinct attributes) to a pattern; returns
+/// false for invalid ones (two values of the same attribute).
+bool ToPattern(const ItemSet& items, const ItemCatalog& catalog, int d,
+               Pattern* out) {
+  std::vector<Value> cells(static_cast<std::size_t>(d), kWildcard);
+  for (int item : items) {
+    const int attr = catalog.attr_of[static_cast<std::size_t>(item)];
+    if (cells[static_cast<std::size_t>(attr)] != kWildcard) return false;
+    cells[static_cast<std::size_t>(attr)] =
+        catalog.value_of[static_cast<std::size_t>(item)];
+  }
+  *out = Pattern(std::move(cells));
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Pattern>> FindMupsApriori(const BitmapCoverage& oracle,
+                                               const MupSearchOptions& options,
+                                               MupSearchStats* stats) {
+  Stopwatch timer;
+  const std::uint64_t queries_before = oracle.num_queries();
+  const Schema& schema = oracle.data().schema();
+  const int d = schema.num_attributes();
+  const ItemCatalog catalog(schema);
+
+  std::vector<Pattern> mups;
+  std::uint64_t nodes_generated = 0;
+  std::uint64_t support_queries = 0;
+
+  // Level 0: the empty item-set (the root pattern). If even it is
+  // infrequent, it is the only MUP.
+  if (oracle.data().total_count() < options.tau) {
+    mups.push_back(Pattern::Root(d));
+    std::sort(mups.begin(), mups.end());
+    if (stats != nullptr) {
+      stats->coverage_queries = 0;
+      stats->nodes_generated = 1;
+      stats->seconds = timer.ElapsedSeconds();
+      stats->num_mups = mups.size();
+    }
+    return mups;
+  }
+
+  const int max_level = options.max_level < 0 ? d : options.max_level;
+
+  // Level 1: singleton item-sets.
+  std::vector<ItemSet> frequent;
+  for (int item = 0; item < static_cast<int>(catalog.size()); ++item) {
+    ItemSet candidate = {item};
+    ++nodes_generated;
+    ++support_queries;
+    if (Support(candidate, catalog, oracle) >= options.tau) {
+      frequent.push_back(std::move(candidate));
+    } else {
+      Pattern p;
+      if (ToPattern(candidate, catalog, d, &p)) mups.push_back(p);
+    }
+  }
+
+  // Levels 2..max: apriori-gen join + prune over the item lattice.
+  for (int k = 2; k <= max_level && !frequent.empty(); ++k) {
+    std::vector<ItemSet> next_frequent;
+    // `frequent` is sorted lexicographically: singletons were generated in
+    // order and joins below preserve order.
+    for (std::size_t a = 0; a < frequent.size(); ++a) {
+      for (std::size_t b = a + 1; b < frequent.size(); ++b) {
+        // Join two sets sharing their first k-2 items.
+        if (!std::equal(frequent[a].begin(), frequent[a].end() - 1,
+                        frequent[b].begin())) {
+          break;  // sorted order: later b cannot share the prefix either
+        }
+        ItemSet candidate = frequent[a];
+        candidate.push_back(frequent[b].back());
+        ++nodes_generated;
+        if (nodes_generated > options.enumeration_limit) {
+          return Status::ResourceExhausted(
+              "APRIORI generated more than " +
+              std::to_string(options.enumeration_limit) + " item-sets");
+        }
+        if (!AllSubsetsFrequent(candidate, frequent)) continue;
+        ++support_queries;
+        if (Support(candidate, catalog, oracle) >= options.tau) {
+          next_frequent.push_back(std::move(candidate));
+        } else {
+          // Negative border: infrequent, all subsets frequent. Valid members
+          // are exactly the MUPs; invalid ones (duplicate attribute) are the
+          // wasted work this adaptation cannot avoid.
+          Pattern p;
+          if (ToPattern(candidate, catalog, d, &p)) mups.push_back(p);
+        }
+      }
+    }
+    frequent = std::move(next_frequent);
+  }
+
+  std::sort(mups.begin(), mups.end());
+  if (stats != nullptr) {
+    stats->coverage_queries = oracle.num_queries() - queries_before;
+    stats->nodes_generated = nodes_generated;
+    stats->seconds = timer.ElapsedSeconds();
+    stats->num_mups = mups.size();
+    (void)support_queries;
+  }
+  return mups;
+}
+
+}  // namespace coverage

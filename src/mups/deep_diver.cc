@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "mups/mup_index.h"
+#include "mups/mups.h"
+#include "pattern/pattern_ops.h"
+
+namespace coverage {
+
+namespace {
+
+/// Covered/uncovered answers with a memo; the climb phase re-examines
+/// parents that later dives may touch again, so a small cache keeps the
+/// query count near the number of distinct nodes actually inspected.
+class CachingCoverage {
+ public:
+  CachingCoverage(const CoverageOracle& oracle, std::uint64_t tau)
+      : oracle_(oracle), tau_(tau) {}
+
+  bool Covered(const Pattern& p) {
+    const auto it = cache_.find(p);
+    if (it != cache_.end()) return it->second;
+    const bool covered = oracle_.CoverageAtLeast(p, tau_);
+    cache_.emplace(p, covered);
+    return covered;
+  }
+
+ private:
+  const CoverageOracle& oracle_;
+  const std::uint64_t tau_;
+  std::unordered_map<Pattern, bool, PatternHash> cache_;
+};
+
+/// Discovered-MUP set behind the three dominance strategies of
+/// MupSearchOptions::DominanceMode. All strategies are exact for membership
+/// (needed for termination); they differ in how — and whether — they answer
+/// the pruning queries.
+class DominanceChecker {
+ public:
+  using Mode = MupSearchOptions::DominanceMode;
+
+  DominanceChecker(const Schema& schema, Mode mode)
+      : mode_(mode), index_(schema) {}
+
+  void Add(const Pattern& mup) { index_.Add(mup); }
+
+  bool Contains(const Pattern& p) const { return index_.Contains(p); }
+
+  bool IsDominated(const Pattern& p) const {
+    switch (mode_) {
+      case Mode::kBitmapIndex:
+        return index_.IsDominated(p);
+      case Mode::kLinearScan: {
+        for (const Pattern& m : index_.mups()) {
+          if (m.Dominates(p)) return true;
+        }
+        return false;
+      }
+      case Mode::kNoPruning:
+        return false;
+    }
+    return false;
+  }
+
+  bool DominatesSome(const Pattern& p) const {
+    switch (mode_) {
+      case Mode::kBitmapIndex:
+        return index_.DominatesSome(p);
+      case Mode::kLinearScan: {
+        for (const Pattern& m : index_.mups()) {
+          if (p.Dominates(m)) return true;
+        }
+        return false;
+      }
+      case Mode::kNoPruning:
+        return false;
+    }
+    return false;
+  }
+
+  const std::vector<Pattern>& mups() const { return index_.mups(); }
+
+ private:
+  Mode mode_;
+  MupDominanceIndex index_;
+};
+
+}  // namespace
+
+std::vector<Pattern> FindMupsDeepDiver(const CoverageOracle& oracle,
+                                       const Schema& schema,
+                                       const MupSearchOptions& options,
+                                       MupSearchStats* stats) {
+  Stopwatch timer;
+  const std::uint64_t queries_before = oracle.num_queries();
+  const int d = schema.num_attributes();
+  const int max_level = options.max_level < 0 ? d : options.max_level;
+
+  CachingCoverage cov(oracle, options.tau);
+  DominanceChecker index(schema, options.dominance_mode);
+  std::vector<Pattern> stack = {Pattern::Root(d)};
+  std::uint64_t nodes_generated = 1;
+  std::uint64_t nodes_pruned = 0;
+
+  while (!stack.empty()) {
+    Pattern p = std::move(stack.back());
+    stack.pop_back();
+
+    // A node dominated by a discovered MUP is uncovered but not maximal;
+    // its entire subtree is pruned. A node that *is* a discovered MUP can be
+    // popped later if a climb reached it before its turn in the stack.
+    if (index.Contains(p) || index.IsDominated(p)) {
+      ++nodes_pruned;
+      continue;
+    }
+
+    bool covered;
+    if (index.DominatesSome(p)) {
+      // Strict ancestor of a MUP: covered by monotonicity, no query needed.
+      covered = true;
+    } else {
+      covered = cov.Covered(p);
+    }
+
+    if (covered) {
+      if (p.level() < max_level) {
+        for (Pattern& child : Rule1Children(p, schema)) {
+          ++nodes_generated;
+          stack.push_back(std::move(child));
+        }
+      }
+      continue;
+    }
+
+    // Uncovered: climb through uncovered parents until every parent is
+    // covered; that node is a MUP. The climb can only move up, so it
+    // terminates at the root at the latest.
+    Pattern current = std::move(p);
+    while (true) {
+      bool moved = false;
+      for (const Pattern& parent : current.Parents()) {
+        if (!cov.Covered(parent)) {
+          current = parent;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) break;
+    }
+    // With dominance pruning on, the climb endpoint is always new: it
+    // dominates-or-equals the dive point, which was checked against the
+    // index above. Without pruning (ablation) a dive can rediscover a MUP.
+    if (!index.Contains(current)) index.Add(current);
+  }
+
+  std::vector<Pattern> mups = index.mups();
+  std::sort(mups.begin(), mups.end());
+  if (stats != nullptr) {
+    stats->coverage_queries = oracle.num_queries() - queries_before;
+    stats->nodes_generated = nodes_generated;
+    stats->nodes_pruned = nodes_pruned;
+    stats->seconds = timer.ElapsedSeconds();
+    stats->num_mups = mups.size();
+  }
+  return mups;
+}
+
+}  // namespace coverage

@@ -1,0 +1,76 @@
+#include "mups/mup_index.h"
+
+#include <cassert>
+
+namespace coverage {
+
+MupDominanceIndex::MupDominanceIndex(const Schema& schema) : schema_(schema) {
+  const int d = schema.num_attributes();
+  offsets_.resize(static_cast<std::size_t>(d));
+  int total = 0;
+  for (int i = 0; i < d; ++i) {
+    offsets_[static_cast<std::size_t>(i)] = total;
+    total += 1 + schema.cardinality(i);  // wildcard slot + one per value
+  }
+  indices_.assign(static_cast<std::size_t>(total), BitVector());
+}
+
+void MupDominanceIndex::Add(const Pattern& mup) {
+  assert(mup.num_attributes() == schema_.num_attributes());
+  assert(!member_set_.contains(mup));
+  const std::size_t bit = mups_.size();
+  mups_.push_back(mup);
+  member_set_.insert(mup);
+  for (BitVector& index : indices_) index.PushBack(false);
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    if (mup.is_deterministic(i)) {
+      mutable_value_index(i, mup.cell(i)).Set(bit, true);
+    } else {
+      mutable_wildcard_index(i).Set(bit, true);
+    }
+  }
+}
+
+bool MupDominanceIndex::IsDominated(const Pattern& pattern) const {
+  if (mups_.empty()) return false;
+  // Candidates P' that dominate-or-equal `pattern`: on every cell, P' is
+  // either a wildcard, or (if pattern's cell is deterministic) the same
+  // value. AND over attributes of (wildcard | value) vectors.
+  BitVector acc(mups_.size(), true);
+  BitVector scratch;
+  for (int i = 0; i < pattern.num_attributes(); ++i) {
+    if (pattern.is_deterministic(i)) {
+      scratch = wildcard_index(i);
+      scratch.OrWith(value_index(i, pattern.cell(i)));
+      acc.AndWith(scratch);
+    } else {
+      acc.AndWith(wildcard_index(i));
+    }
+    if (acc.None()) return false;
+  }
+  // Any surviving candidate either strictly dominates `pattern` or equals it.
+  // The discovered set is an antichain, so equality can contribute at most
+  // one bit; discount it explicitly.
+  const std::size_t hits = acc.Count();
+  if (hits == 0) return false;
+  if (hits > 1) return true;
+  return !member_set_.contains(pattern);
+}
+
+bool MupDominanceIndex::DominatesSome(const Pattern& pattern) const {
+  if (mups_.empty()) return false;
+  // Candidates P' dominated-or-equal: every deterministic cell of `pattern`
+  // must be fixed to the same value in P'. AND over deterministic cells.
+  BitVector acc(mups_.size(), true);
+  for (int i = 0; i < pattern.num_attributes(); ++i) {
+    if (!pattern.is_deterministic(i)) continue;
+    acc.AndWith(value_index(i, pattern.cell(i)));
+    if (acc.None()) return false;
+  }
+  const std::size_t hits = acc.Count();
+  if (hits == 0) return false;
+  if (hits > 1) return true;
+  return !member_set_.contains(pattern);
+}
+
+}  // namespace coverage

@@ -1,0 +1,71 @@
+#ifndef COVERAGE_MUPS_MUP_INDEX_H_
+#define COVERAGE_MUPS_MUP_INDEX_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// The MUP-dominance index of Appendix B: per attribute, one bit vector per
+/// value plus one for "wildcard here", with one bit per discovered MUP.
+/// DEEPDIVER consults it on every pop, so both checks are word-wise AND /
+/// OR-AND chains over the discovered set.
+class MupDominanceIndex {
+ public:
+  explicit MupDominanceIndex(const Schema& schema);
+
+  /// Registers a newly discovered MUP.
+  void Add(const Pattern& mup);
+
+  std::size_t size() const { return mups_.size(); }
+  const std::vector<Pattern>& mups() const { return mups_; }
+
+  /// Exact membership (the discovered set is an antichain, so membership is
+  /// not implied by either dominance direction).
+  bool Contains(const Pattern& pattern) const {
+    return member_set_.contains(pattern);
+  }
+
+  /// True iff some discovered MUP strictly dominates `pattern` (Definition 9:
+  /// "pattern is dominated by M"). Such a node cannot be a MUP and its whole
+  /// subtree is uncovered.
+  bool IsDominated(const Pattern& pattern) const;
+
+  /// True iff `pattern` strictly dominates some discovered MUP. Such a node
+  /// is a strict ancestor of a MUP and is therefore covered (monotonicity),
+  /// so its coverage query can be skipped.
+  bool DominatesSome(const Pattern& pattern) const;
+
+ private:
+  const BitVector& value_index(int attr, Value v) const {
+    return indices_[static_cast<std::size_t>(offsets_[
+        static_cast<std::size_t>(attr)]) + 1 + static_cast<std::size_t>(v)];
+  }
+  const BitVector& wildcard_index(int attr) const {
+    return indices_[static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(attr)])];
+  }
+  BitVector& mutable_value_index(int attr, Value v) {
+    return indices_[static_cast<std::size_t>(offsets_[
+        static_cast<std::size_t>(attr)]) + 1 + static_cast<std::size_t>(v)];
+  }
+  BitVector& mutable_wildcard_index(int attr) {
+    return indices_[static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(attr)])];
+  }
+
+  const Schema& schema_;
+  std::vector<int> offsets_;  // attr -> slot of its wildcard vector
+  /// Layout per attribute: [wildcard vector, value 0, value 1, ...].
+  std::vector<BitVector> indices_;
+  std::vector<Pattern> mups_;
+  std::unordered_set<Pattern, PatternHash> member_set_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_MUPS_MUP_INDEX_H_

@@ -1,0 +1,85 @@
+#include "mups/mups.h"
+
+#include <algorithm>
+
+namespace coverage {
+
+std::string ToString(MupAlgorithm algorithm) {
+  switch (algorithm) {
+    case MupAlgorithm::kNaive:
+      return "NAIVE";
+    case MupAlgorithm::kPatternBreaker:
+      return "PATTERN-BREAKER";
+    case MupAlgorithm::kPatternCombiner:
+      return "PATTERN-COMBINER";
+    case MupAlgorithm::kDeepDiver:
+      return "DEEPDIVER";
+    case MupAlgorithm::kApriori:
+      return "APRIORI";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
+                                        const BitmapCoverage& oracle,
+                                        const MupSearchOptions& options,
+                                        MupSearchStats* stats) {
+  switch (algorithm) {
+    case MupAlgorithm::kNaive:
+      return FindMupsNaive(oracle, oracle.data().schema(), options, stats);
+    case MupAlgorithm::kPatternBreaker:
+      return FindMupsPatternBreaker(oracle, options, stats);
+    case MupAlgorithm::kPatternCombiner:
+      return FindMupsPatternCombiner(oracle, options, stats);
+    case MupAlgorithm::kDeepDiver:
+      return FindMupsDeepDiver(oracle, options, stats);
+    case MupAlgorithm::kApriori:
+      return FindMupsApriori(oracle, options, stats);
+  }
+  return Status::InvalidArgument("unknown MUP algorithm");
+}
+
+Status ValidateMupSet(const std::vector<Pattern>& mups,
+                      const CoverageOracle& oracle, std::uint64_t tau) {
+  for (const Pattern& p : mups) {
+    if (oracle.Coverage(p) >= tau) {
+      return Status::Internal("pattern " + p.ToString() +
+                              " is covered, not a MUP");
+    }
+    for (const Pattern& parent : p.Parents()) {
+      if (oracle.Coverage(parent) < tau) {
+        return Status::Internal("MUP " + p.ToString() +
+                                " has uncovered parent " + parent.ToString());
+      }
+    }
+  }
+  for (std::size_t i = 0; i < mups.size(); ++i) {
+    for (std::size_t j = 0; j < mups.size(); ++j) {
+      if (i != j && mups[i].Dominates(mups[j])) {
+        return Status::Internal("MUP " + mups[i].ToString() + " dominates " +
+                                mups[j].ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::size_t> MupLevelHistogram(const std::vector<Pattern>& mups,
+                                           int num_attributes) {
+  std::vector<std::size_t> histogram(
+      static_cast<std::size_t>(num_attributes) + 1, 0);
+  for (const Pattern& p : mups) {
+    ++histogram[static_cast<std::size_t>(p.level())];
+  }
+  return histogram;
+}
+
+int MaximumCoveredLevel(const std::vector<Pattern>& mups, int num_attributes) {
+  int min_mup_level = num_attributes + 1;
+  for (const Pattern& p : mups) {
+    min_mup_level = std::min(min_mup_level, p.level());
+  }
+  return min_mup_level - 1;
+}
+
+}  // namespace coverage

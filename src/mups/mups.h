@@ -1,0 +1,148 @@
+#ifndef COVERAGE_MUPS_MUPS_H_
+#define COVERAGE_MUPS_MUPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "coverage/bitmap_coverage.h"
+#include "coverage/coverage_oracle.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// Options shared by all MUP-identification algorithms (Problem 1).
+struct MupSearchOptions {
+  /// Coverage threshold τ (Definition 3). Patterns with cov < tau are
+  /// uncovered.
+  std::uint64_t tau = 1;
+
+  /// When >= 0, restrict discovery to MUPs of level <= max_level (the
+  /// level-limited exploration of §V-C3 / Fig. 16 that scales the search to
+  /// tens of attributes). -1 means unlimited.
+  int max_level = -1;
+
+  /// Upper bound on guarded exponential enumerations (naive pattern-graph
+  /// walk, PATTERN-COMBINER's level-d pass, APRIORI candidate sets). The
+  /// affected algorithms return ResourceExhausted instead of blowing up.
+  std::uint64_t enumeration_limit = std::uint64_t{1} << 26;
+
+  /// How DEEPDIVER checks candidates against the discovered MUPs. The
+  /// Appendix-B bit-vector index is the paper's design; the linear scan and
+  /// the no-pruning mode exist for the ablation study (all three produce
+  /// identical output).
+  enum class DominanceMode { kBitmapIndex, kLinearScan, kNoPruning };
+  DominanceMode dominance_mode = DominanceMode::kBitmapIndex;
+};
+
+/// Instrumentation filled in by each search; the paper's efficiency argument
+/// is about how few nodes are visited / coverage queries are issued.
+struct MupSearchStats {
+  std::uint64_t coverage_queries = 0;  ///< cov() oracle calls
+  std::uint64_t nodes_generated = 0;   ///< candidate patterns materialised
+  std::uint64_t nodes_pruned = 0;      ///< candidates discarded by dominance
+  double seconds = 0.0;                ///< wall-clock time
+  std::size_t num_mups = 0;            ///< output size
+
+  void Reset() { *this = MupSearchStats{}; }
+};
+
+/// The algorithms of §III (plus the §V-C APRIORI adaptation).
+enum class MupAlgorithm {
+  kNaive,
+  kPatternBreaker,
+  kPatternCombiner,
+  kDeepDiver,
+  kApriori,
+};
+
+/// Display name, e.g. "PATTERN-BREAKER".
+std::string ToString(MupAlgorithm algorithm);
+
+/// §III-A: enumerate the whole pattern graph, compute every coverage, and
+/// filter non-maximal uncovered patterns pairwise. Exponential; guarded by
+/// `options.enumeration_limit`.
+StatusOr<std::vector<Pattern>> FindMupsNaive(const CoverageOracle& oracle,
+                                             const Schema& schema,
+                                             const MupSearchOptions& options,
+                                             MupSearchStats* stats = nullptr);
+
+/// §III-C, Algorithm 1: top-down BFS with Rule-1 candidate generation.
+///
+/// Implementation note: we keep the *covered* candidates of the previous
+/// level in Qp (rather than all candidates). With Qp as the literal previous
+/// queue, a candidate whose every parent was generated-but-skipped passes the
+/// parent check and can be emitted even though it is dominated (e.g.
+/// D = {1101, 1110}, τ = 1 wrongly emits 1100 next to the real MUP XX00).
+/// Tracking covered candidates restores the intended invariant: a node's
+/// coverage is computed only if all its parents are verified covered.
+std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
+                                            const Schema& schema,
+                                            const MupSearchOptions& options,
+                                            MupSearchStats* stats = nullptr);
+
+inline std::vector<Pattern> FindMupsPatternBreaker(
+    const BitmapCoverage& oracle, const MupSearchOptions& options,
+    MupSearchStats* stats = nullptr) {
+  return FindMupsPatternBreaker(oracle, oracle.data().schema(), options,
+                                stats);
+}
+
+/// §III-D, Algorithm 2: bottom-up combination with Rule-2 candidate
+/// generation; coverage of a parent is the sum over a partition family of
+/// children, so the dataset is only consulted for the level-d pass. That pass
+/// enumerates all Π c_i full combinations and is guarded by
+/// `options.enumeration_limit`.
+StatusOr<std::vector<Pattern>> FindMupsPatternCombiner(
+    const BitmapCoverage& oracle, const MupSearchOptions& options,
+    MupSearchStats* stats = nullptr);
+
+/// §III-E, Algorithm 3: DFS dive to an uncovered node, climb to a MUP, prune
+/// everything dominating or dominated by discovered MUPs (via the Appendix-B
+/// inverted indices; see MupSearchOptions::dominance_mode for the ablation
+/// alternatives).
+std::vector<Pattern> FindMupsDeepDiver(const CoverageOracle& oracle,
+                                       const Schema& schema,
+                                       const MupSearchOptions& options,
+                                       MupSearchStats* stats = nullptr);
+
+inline std::vector<Pattern> FindMupsDeepDiver(const BitmapCoverage& oracle,
+                                              const MupSearchOptions& options,
+                                              MupSearchStats* stats = nullptr) {
+  return FindMupsDeepDiver(oracle, oracle.data().schema(), options, stats);
+}
+
+/// §V-C: the apriori adaptation — frequent item-set mining over
+/// (attribute, value) items; MUPs are the valid members of the negative
+/// border. Kept as the baseline the paper compares against.
+StatusOr<std::vector<Pattern>> FindMupsApriori(const BitmapCoverage& oracle,
+                                               const MupSearchOptions& options,
+                                               MupSearchStats* stats = nullptr);
+
+/// Dispatch on `algorithm`; results are sorted lexicographically so that all
+/// algorithms produce identical output for identical inputs.
+StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
+                                        const BitmapCoverage& oracle,
+                                        const MupSearchOptions& options,
+                                        MupSearchStats* stats = nullptr);
+
+/// Checks the MUP invariants directly against an oracle: every pattern is
+/// uncovered, every parent of every pattern is covered, and no pattern
+/// dominates another. Used by tests and exposed for users who want to audit
+/// third-party MUP lists.
+Status ValidateMupSet(const std::vector<Pattern>& mups,
+                      const CoverageOracle& oracle, std::uint64_t tau);
+
+/// Histogram of MUP levels, indices 0..d (Fig. 6).
+std::vector<std::size_t> MupLevelHistogram(const std::vector<Pattern>& mups,
+                                           int num_attributes);
+
+/// Maximum covered level λ of Definition 6: the largest λ such that every
+/// MUP has level > λ. (d if there are no MUPs at all.)
+int MaximumCoveredLevel(const std::vector<Pattern>& mups, int num_attributes);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_MUPS_MUPS_H_

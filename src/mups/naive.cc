@@ -1,0 +1,50 @@
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "mups/mups.h"
+#include "pattern/pattern_graph.h"
+
+namespace coverage {
+
+StatusOr<std::vector<Pattern>> FindMupsNaive(const CoverageOracle& oracle,
+                                             const Schema& schema,
+                                             const MupSearchOptions& options,
+                                             MupSearchStats* stats) {
+  Stopwatch timer;
+  const std::uint64_t queries_before = oracle.num_queries();
+
+  PatternGraph graph(schema);
+  auto all = graph.EnumerateAll(options.enumeration_limit);
+  if (!all.ok()) return all.status();
+
+  // One coverage computation per pattern in the graph (§III-A).
+  std::vector<Pattern> uncovered;
+  for (const Pattern& p : *all) {
+    if (options.max_level >= 0 && p.level() > options.max_level) continue;
+    if (oracle.Coverage(p) < options.tau) uncovered.push_back(p);
+  }
+
+  // O(u^2) pairwise maximality filter.
+  std::vector<Pattern> mups;
+  for (std::size_t i = 0; i < uncovered.size(); ++i) {
+    bool maximal = true;
+    for (std::size_t j = 0; j < uncovered.size(); ++j) {
+      if (i != j && uncovered[j].Dominates(uncovered[i])) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) mups.push_back(uncovered[i]);
+  }
+  std::sort(mups.begin(), mups.end());
+
+  if (stats != nullptr) {
+    stats->coverage_queries = oracle.num_queries() - queries_before;
+    stats->nodes_generated = all->size();
+    stats->seconds = timer.ElapsedSeconds();
+    stats->num_mups = mups.size();
+  }
+  return mups;
+}
+
+}  // namespace coverage

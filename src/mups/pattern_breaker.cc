@@ -1,0 +1,72 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "mups/mups.h"
+#include "pattern/pattern_ops.h"
+
+namespace coverage {
+
+std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
+                                            const Schema& schema,
+                                            const MupSearchOptions& options,
+                                            MupSearchStats* stats) {
+  Stopwatch timer;
+  const std::uint64_t queries_before = oracle.num_queries();
+  const int d = schema.num_attributes();
+  const int max_level = options.max_level < 0 ? d : options.max_level;
+
+  using PatternSet = std::unordered_set<Pattern, PatternHash>;
+
+  std::vector<Pattern> queue = {Pattern::Root(d)};
+  std::vector<Pattern> mups;
+  PatternSet mup_set;
+  // Covered candidates of the previous level (see the header's
+  // implementation note: tracking only covered candidates keeps the parent
+  // check sound).
+  PatternSet prev_covered;
+  std::uint64_t nodes_generated = 1;
+
+  for (int level = 0; level <= max_level && !queue.empty(); ++level) {
+    std::vector<Pattern> next_queue;
+    PatternSet covered_here;
+    for (const Pattern& p : queue) {
+      // Skip candidates with an unverified or uncovered parent; they cannot
+      // be MUPs (either pruned region or dominated by one).
+      bool skip = false;
+      for (const Pattern& parent : p.Parents()) {
+        if (!prev_covered.contains(parent) || mup_set.contains(parent)) {
+          skip = true;
+          break;
+        }
+      }
+      if (skip) continue;
+
+      if (!oracle.CoverageAtLeast(p, options.tau)) {
+        mups.push_back(p);
+        mup_set.insert(p);
+      } else {
+        covered_here.insert(p);
+        if (level < max_level) {
+          for (Pattern& child : Rule1Children(p, schema)) {
+            ++nodes_generated;
+            next_queue.push_back(std::move(child));
+          }
+        }
+      }
+    }
+    prev_covered = std::move(covered_here);
+    queue = std::move(next_queue);
+  }
+
+  std::sort(mups.begin(), mups.end());
+  if (stats != nullptr) {
+    stats->coverage_queries = oracle.num_queries() - queries_before;
+    stats->nodes_generated = nodes_generated;
+    stats->seconds = timer.ElapsedSeconds();
+    stats->num_mups = mups.size();
+  }
+  return mups;
+}
+
+}  // namespace coverage

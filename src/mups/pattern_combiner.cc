@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "mups/mups.h"
+#include "pattern/pattern_ops.h"
+
+namespace coverage {
+
+StatusOr<std::vector<Pattern>> FindMupsPatternCombiner(
+    const BitmapCoverage& oracle, const MupSearchOptions& options,
+    MupSearchStats* stats) {
+  Stopwatch timer;
+  const Schema& schema = oracle.data().schema();
+  const AggregatedData& data = oracle.data();
+  const int d = schema.num_attributes();
+
+  if (schema.NumValueCombinations() > options.enumeration_limit) {
+    return Status::ResourceExhausted(
+        "PATTERN-COMBINER's level-d pass needs " +
+        std::to_string(schema.NumValueCombinations()) +
+        " combinations, limit is " + std::to_string(options.enumeration_limit));
+  }
+
+  using CountMap = std::unordered_map<Pattern, std::uint64_t, PatternHash>;
+
+  // Level-d pass: the coverage of a full combination is its multiplicity in
+  // the aggregated relation (0 for absent combinations, which are uncovered
+  // and must participate).
+  std::uint64_t nodes_generated = 0;
+  std::uint64_t level_d_queries = 0;
+  CountMap count;
+  {
+    const Status st = ForEachMatchingCombination(
+        Pattern::Root(d), schema, options.enumeration_limit,
+        [&](const std::vector<Value>& combo) {
+          ++nodes_generated;
+          ++level_d_queries;
+          const std::uint64_t c = data.CountOf(combo);
+          if (c < options.tau) {
+            count.emplace(Pattern::FromTuple(combo), c);
+          }
+        });
+    COVERAGE_RETURN_IF_ERROR(st);
+  }
+
+  std::vector<Pattern> mups;
+  if (!count.empty()) {
+    for (int level = d; level >= 0; --level) {
+      // Combine: generate the uncovered candidates one level up. Each parent
+      // is generated exactly once (Rule 2 / Theorem 4); its coverage is the
+      // sum over the partition family at its right-most wildcard, where
+      // children absent from `count` are covered and contribute at least τ
+      // (capped — only the "< τ" outcome matters).
+      CountMap next_count;
+      for (const auto& [p, cnt] : count) {
+        (void)cnt;
+        for (const Pattern& parent : Rule2Parents(p)) {
+          ++nodes_generated;
+          const int pivot = parent.RightmostWildcard();
+          std::uint64_t sum = 0;
+          bool covered = false;
+          for (const Pattern& sibling :
+               PartitionChildren(parent, schema, pivot)) {
+            const auto it = count.find(sibling);
+            if (it == count.end()) {
+              covered = true;  // a covered child already implies sum >= tau
+              break;
+            }
+            sum += it->second;
+            if (sum >= options.tau) {
+              covered = true;
+              break;
+            }
+          }
+          if (!covered) next_count.emplace(parent, sum);
+        }
+      }
+      // A node at this level is a MUP iff none of its parents is uncovered.
+      for (const auto& [p, cnt] : count) {
+        (void)cnt;
+        if (options.max_level >= 0 && p.level() > options.max_level) continue;
+        bool has_uncovered_parent = false;
+        for (const Pattern& parent : p.Parents()) {
+          if (next_count.contains(parent)) {
+            has_uncovered_parent = true;
+            break;
+          }
+        }
+        if (!has_uncovered_parent) mups.push_back(p);
+      }
+      if (next_count.empty()) break;
+      count = std::move(next_count);
+    }
+  }
+
+  std::sort(mups.begin(), mups.end());
+  if (stats != nullptr) {
+    stats->coverage_queries = level_d_queries;
+    stats->nodes_generated = nodes_generated;
+    stats->seconds = timer.ElapsedSeconds();
+    stats->num_mups = mups.size();
+  }
+  return mups;
+}
+
+}  // namespace coverage

@@ -1,0 +1,183 @@
+#include "pattern/pattern.h"
+
+#include <cassert>
+
+namespace coverage {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+int DigitValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'Z') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Pattern Pattern::Root(int d) {
+  assert(d >= 0);
+  return Pattern(std::vector<Value>(static_cast<std::size_t>(d), kWildcard));
+}
+
+Pattern Pattern::FromTuple(std::span<const Value> tuple) {
+  return Pattern(std::vector<Value>(tuple.begin(), tuple.end()));
+}
+
+Pattern::Pattern(std::vector<Value> cells) : cells_(std::move(cells)) {
+#ifndef NDEBUG
+  for (Value v : cells_) assert(v == kWildcard || v >= 0);
+#endif
+}
+
+StatusOr<Pattern> Pattern::Parse(const std::string& text,
+                                 const Schema& schema) {
+  if (static_cast<int>(text.size()) != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "pattern '" + text + "' has " + std::to_string(text.size()) +
+        " cells, schema has " + std::to_string(schema.num_attributes()));
+  }
+  std::vector<Value> cells(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == 'X' || c == 'x') {
+      cells[i] = kWildcard;
+      continue;
+    }
+    const int v = DigitValue(c);
+    if (v < 0) {
+      return Status::InvalidArgument("pattern '" + text +
+                                     "' has invalid cell '" +
+                                     std::string(1, c) + "'");
+    }
+    if (v >= schema.cardinality(static_cast<int>(i))) {
+      return Status::OutOfRange(
+          "pattern '" + text + "' cell " + std::to_string(i) + " value " +
+          std::to_string(v) + " exceeds cardinality " +
+          std::to_string(schema.cardinality(static_cast<int>(i))));
+    }
+    cells[i] = static_cast<Value>(v);
+  }
+  return Pattern(std::move(cells));
+}
+
+int Pattern::level() const {
+  int level = 0;
+  for (Value v : cells_) level += (v != kWildcard);
+  return level;
+}
+
+bool Pattern::Matches(std::span<const Value> tuple) const {
+  assert(tuple.size() == cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] != kWildcard && cells_[i] != tuple[i]) return false;
+  }
+  return true;
+}
+
+bool Pattern::Dominates(const Pattern& other) const {
+  assert(cells_.size() == other.cells_.size());
+  bool strictly_more_general = false;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] == kWildcard) {
+      if (other.cells_[i] != kWildcard) strictly_more_general = true;
+      continue;
+    }
+    if (cells_[i] != other.cells_[i]) return false;
+  }
+  return strictly_more_general;
+}
+
+bool Pattern::DominatesOrEquals(const Pattern& other) const {
+  assert(cells_.size() == other.cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] != kWildcard && cells_[i] != other.cells_[i]) return false;
+  }
+  return true;
+}
+
+Pattern Pattern::WithCell(int i, Value v) const {
+  assert(i >= 0 && i < num_attributes());
+  Pattern copy = *this;
+  copy.cells_[static_cast<std::size_t>(i)] = v;
+  return copy;
+}
+
+std::vector<Pattern> Pattern::Parents() const {
+  std::vector<Pattern> parents;
+  parents.reserve(static_cast<std::size_t>(level()));
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (is_deterministic(i)) parents.push_back(WithCell(i, kWildcard));
+  }
+  return parents;
+}
+
+int Pattern::RightmostDeterministic() const {
+  for (int i = num_attributes() - 1; i >= 0; --i) {
+    if (is_deterministic(i)) return i;
+  }
+  return -1;
+}
+
+int Pattern::RightmostWildcard() const {
+  for (int i = num_attributes() - 1; i >= 0; --i) {
+    if (!is_deterministic(i)) return i;
+  }
+  return -1;
+}
+
+std::uint64_t Pattern::ValueCount(const Schema& schema) const {
+  assert(schema.num_attributes() == num_attributes());
+  std::uint64_t total = 1;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (is_deterministic(i)) continue;
+    const auto c = static_cast<std::uint64_t>(schema.cardinality(i));
+    if (total > Schema::kCombinationLimit / c) {
+      return Schema::kCombinationLimit;
+    }
+    total *= c;
+  }
+  return total;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  out.reserve(cells_.size());
+  for (Value v : cells_) {
+    if (v == kWildcard) {
+      out.push_back('X');
+    } else if (v < 36) {
+      out.push_back(kDigits[v]);
+    } else {
+      out.push_back('(');
+      out += std::to_string(v);
+      out.push_back(')');
+    }
+  }
+  return out;
+}
+
+std::string Pattern::ToLabelledString(const Schema& schema) const {
+  assert(schema.num_attributes() == num_attributes());
+  std::string out;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (!is_deterministic(i)) continue;
+    if (!out.empty()) out += ", ";
+    out += schema.attribute(i).name;
+    out += '=';
+    out += schema.attribute(i)
+               .value_names[static_cast<std::size_t>(cell(i))];
+  }
+  return out.empty() ? "<any>" : out;
+}
+
+std::size_t Pattern::Hash() const {
+  std::size_t h = 1469598103934665603ull;  // FNV offset basis
+  for (Value v : cells_) {
+    h ^= static_cast<std::size_t>(static_cast<std::uint16_t>(v));
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace coverage

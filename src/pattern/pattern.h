@@ -1,0 +1,108 @@
+#ifndef COVERAGE_PATTERN_PATTERN_H_
+#define COVERAGE_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+
+namespace coverage {
+
+/// The wildcard cell value, written `X` in the paper (Definition 1).
+inline constexpr Value kWildcard = -1;
+
+/// A pattern over `d` categorical attributes (paper, Definition 1): each cell
+/// is either a concrete attribute value ("deterministic") or the wildcard `X`
+/// ("non-deterministic").
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// The all-wildcard root pattern `XX...X` over `d` attributes.
+  static Pattern Root(int d);
+
+  /// A fully deterministic pattern equal to a value combination.
+  static Pattern FromTuple(std::span<const Value> tuple);
+
+  /// Builds from explicit cells; each must be `kWildcard` or >= 0.
+  explicit Pattern(std::vector<Value> cells);
+
+  /// Parses the paper notation, e.g. "X1X0". Cells are single characters:
+  /// 'X'/'x' for the wildcard, otherwise a base-36 digit (0-9, a-z) so that
+  /// cardinalities up to 36 round-trip. Validated against `schema`.
+  static StatusOr<Pattern> Parse(const std::string& text,
+                                 const Schema& schema);
+
+  int num_attributes() const { return static_cast<int>(cells_.size()); }
+
+  Value cell(int i) const { return cells_[static_cast<std::size_t>(i)]; }
+  bool is_deterministic(int i) const {
+    return cells_[static_cast<std::size_t>(i)] != kWildcard;
+  }
+  const std::vector<Value>& cells() const { return cells_; }
+
+  /// Number of deterministic cells — the pattern's level ℓ(P) (§II).
+  int level() const;
+
+  /// M(t, P): every deterministic cell of P equals the tuple's value (Eq. 1).
+  bool Matches(std::span<const Value> tuple) const;
+
+  /// True iff this pattern dominates `other`: `other`'s matches are a subset
+  /// of ours because every deterministic cell of ours is fixed identically in
+  /// `other`, and `other` has at least one more deterministic cell.
+  /// A pattern does not dominate itself.
+  bool Dominates(const Pattern& other) const;
+
+  /// Dominates(other) || *this == other.
+  bool DominatesOrEquals(const Pattern& other) const;
+
+  /// Returns a copy with cell `i` replaced by `v`.
+  Pattern WithCell(int i, Value v) const;
+
+  /// All parents: each deterministic cell relaxed to X (Definition 4).
+  std::vector<Pattern> Parents() const;
+
+  /// Index of the right-most deterministic cell, or -1 if none.
+  int RightmostDeterministic() const;
+
+  /// Index of the right-most wildcard cell, or -1 if none.
+  int RightmostWildcard() const;
+
+  /// Value count (Definition 7): number of full value combinations matching
+  /// this pattern, i.e. Π c_i over wildcard cells. Saturates at
+  /// Schema::kCombinationLimit.
+  std::uint64_t ValueCount(const Schema& schema) const;
+
+  /// Paper notation, e.g. "X1X0" (base-36 digits for values >= 10).
+  std::string ToString() const;
+
+  /// Human-readable rendering with attribute and value names, e.g.
+  /// "race=Hispanic, marital=widowed"; the all-wildcard pattern renders as
+  /// "<any>".
+  std::string ToLabelledString(const Schema& schema) const;
+
+  bool operator==(const Pattern& other) const { return cells_ == other.cells_; }
+  bool operator!=(const Pattern& other) const { return !(*this == other); }
+
+  /// Lexicographic order on cells (wildcard sorts first); gives deterministic
+  /// output ordering for tests and reports.
+  bool operator<(const Pattern& other) const { return cells_ < other.cells_; }
+
+  /// FNV-1a over the cells; for unordered containers.
+  std::size_t Hash() const;
+
+ private:
+  std::vector<Value> cells_;
+};
+
+struct PatternHash {
+  std::size_t operator()(const Pattern& p) const { return p.Hash(); }
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_PATTERN_PATTERN_H_

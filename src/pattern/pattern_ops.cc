@@ -1,0 +1,158 @@
+#include "pattern/pattern_ops.h"
+
+#include <cassert>
+
+namespace coverage {
+
+std::vector<Pattern> Rule1Children(const Pattern& pattern,
+                                   const Schema& schema) {
+  std::vector<Pattern> children;
+  const int start = pattern.RightmostDeterministic() + 1;
+  for (int i = start; i < pattern.num_attributes(); ++i) {
+    if (pattern.is_deterministic(i)) continue;
+    for (Value v = 0; v < static_cast<Value>(schema.cardinality(i)); ++v) {
+      children.push_back(pattern.WithCell(i, v));
+    }
+  }
+  return children;
+}
+
+Pattern Rule1Generator(const Pattern& pattern) {
+  const int i = pattern.RightmostDeterministic();
+  assert(i >= 0 && "the root has no Rule-1 generator");
+  return pattern.WithCell(i, kWildcard);
+}
+
+std::vector<Pattern> Rule2Parents(const Pattern& pattern) {
+  std::vector<Pattern> parents;
+  const int start = pattern.RightmostWildcard() + 1;
+  for (int i = start; i < pattern.num_attributes(); ++i) {
+    if (pattern.cell(i) == 0) {
+      parents.push_back(pattern.WithCell(i, kWildcard));
+    }
+  }
+  return parents;
+}
+
+Pattern Rule2Generator(const Pattern& pattern) {
+  const int i = pattern.RightmostWildcard();
+  assert(i >= 0 && "fully deterministic patterns have no Rule-2 generator");
+  return pattern.WithCell(i, 0);
+}
+
+std::vector<Pattern> PartitionChildren(const Pattern& pattern,
+                                       const Schema& schema, int attr) {
+  assert(!pattern.is_deterministic(attr));
+  std::vector<Pattern> children;
+  children.reserve(static_cast<std::size_t>(schema.cardinality(attr)));
+  for (Value v = 0; v < static_cast<Value>(schema.cardinality(attr)); ++v) {
+    children.push_back(pattern.WithCell(attr, v));
+  }
+  return children;
+}
+
+namespace {
+
+void ExpandDescendants(const Pattern& current, const Schema& schema,
+                       int next_attr, int remaining, std::uint64_t limit,
+                       std::vector<Pattern>& out, bool& overflowed) {
+  if (overflowed) return;
+  if (remaining == 0) {
+    if (out.size() >= limit) {
+      overflowed = true;
+      return;
+    }
+    out.push_back(current);
+    return;
+  }
+  // Fix wildcards left-to-right starting at next_attr; enumerating positions
+  // in increasing order generates every descendant exactly once.
+  for (int i = next_attr; i < current.num_attributes(); ++i) {
+    if (current.is_deterministic(i)) continue;
+    for (Value v = 0; v < static_cast<Value>(schema.cardinality(i)); ++v) {
+      ExpandDescendants(current.WithCell(i, v), schema, i + 1, remaining - 1,
+                        limit, out, overflowed);
+      if (overflowed) return;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<Pattern>> DescendantsAtLevel(const Pattern& pattern,
+                                                  const Schema& schema,
+                                                  int target_level,
+                                                  std::uint64_t limit) {
+  const int level = pattern.level();
+  if (target_level < level || target_level > pattern.num_attributes()) {
+    return Status::InvalidArgument(
+        "target level " + std::to_string(target_level) +
+        " outside [" + std::to_string(level) + ", " +
+        std::to_string(pattern.num_attributes()) + "]");
+  }
+  std::vector<Pattern> out;
+  bool overflowed = false;
+  ExpandDescendants(pattern, schema, 0, target_level - level, limit, out,
+                    overflowed);
+  if (overflowed) {
+    return Status::ResourceExhausted(
+        "descendant expansion of " + pattern.ToString() + " at level " +
+        std::to_string(target_level) + " exceeds limit " +
+        std::to_string(limit));
+  }
+  return out;
+}
+
+Status ForEachMatchingCombination(
+    const Pattern& pattern, const Schema& schema, std::uint64_t limit,
+    const std::function<void(const std::vector<Value>&)>& fn) {
+  if (pattern.ValueCount(schema) > limit) {
+    return Status::ResourceExhausted(
+        "pattern " + pattern.ToString() + " matches more than " +
+        std::to_string(limit) + " combinations");
+  }
+  const int d = pattern.num_attributes();
+  std::vector<Value> combo(static_cast<std::size_t>(d));
+  std::vector<int> free_attrs;
+  for (int i = 0; i < d; ++i) {
+    if (pattern.is_deterministic(i)) {
+      combo[static_cast<std::size_t>(i)] = pattern.cell(i);
+    } else {
+      combo[static_cast<std::size_t>(i)] = 0;
+      free_attrs.push_back(i);
+    }
+  }
+  while (true) {
+    fn(combo);
+    // Odometer increment over the wildcard positions, right-most fastest.
+    int k = static_cast<int>(free_attrs.size()) - 1;
+    for (; k >= 0; --k) {
+      const int attr = free_attrs[static_cast<std::size_t>(k)];
+      auto& cell = combo[static_cast<std::size_t>(attr)];
+      if (cell + 1 < static_cast<Value>(schema.cardinality(attr))) {
+        ++cell;
+        break;
+      }
+      cell = 0;
+    }
+    if (k < 0) break;
+  }
+  return Status::OK();
+}
+
+Pattern Unify(const std::vector<Pattern>& patterns) {
+  assert(!patterns.empty());
+  std::vector<Value> cells(patterns[0].cells());
+  for (std::size_t p = 1; p < patterns.size(); ++p) {
+    assert(patterns[p].num_attributes() == patterns[0].num_attributes());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Value v = patterns[p].cells()[i];
+      if (v == kWildcard) continue;
+      assert(cells[i] == kWildcard || cells[i] == v);
+      cells[i] = v;
+    }
+  }
+  return Pattern(std::move(cells));
+}
+
+}  // namespace coverage

@@ -1,0 +1,71 @@
+#ifndef COVERAGE_PATTERN_PATTERN_OPS_H_
+#define COVERAGE_PATTERN_PATTERN_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+/// Rule 1 (paper §III-C): a covered node generates its level ℓ+1 candidates
+/// by assigning a value to each wildcard strictly to the right of its
+/// right-most deterministic cell. Every non-root pattern is generated exactly
+/// once (Theorem 3); the unique Rule-1 generator of a pattern is obtained by
+/// relaxing its right-most deterministic cell.
+std::vector<Pattern> Rule1Children(const Pattern& pattern,
+                                   const Schema& schema);
+
+/// The unique parent that generates `pattern` under Rule 1 (its right-most
+/// deterministic cell relaxed to X). Precondition: level >= 1.
+Pattern Rule1Generator(const Pattern& pattern);
+
+/// Rule 2 (paper §III-D): an uncovered node generates its level ℓ-1 candidate
+/// parents by relaxing each deterministic cell with value 0 strictly to the
+/// right of its right-most wildcard. Every non-leaf pattern is generated
+/// exactly once (Theorem 4); the unique Rule-2 generator of a pattern is
+/// obtained by fixing its right-most wildcard to value 0.
+std::vector<Pattern> Rule2Parents(const Pattern& pattern);
+
+/// The unique child that generates `pattern` under Rule 2 (its right-most
+/// wildcard fixed to 0). Precondition: the pattern has at least one wildcard.
+Pattern Rule2Generator(const Pattern& pattern);
+
+/// The children of `pattern` that partition its matches along attribute
+/// `attr` (which must be a wildcard cell): one child per value of `attr`.
+/// cov(pattern) = Σ cov(child) over this family — the identity behind
+/// PATTERN-COMBINER's bottom-up coverage computation.
+std::vector<Pattern> PartitionChildren(const Pattern& pattern,
+                                       const Schema& schema, int attr);
+
+/// All descendants of `pattern` at exactly `target_level`, produced by fixing
+/// `target_level - level` wildcard cells to concrete values (Appendix C's
+/// expansion of a MUP to the λ-level patterns beneath it). Returns
+/// ResourceExhausted if the result would exceed `limit` patterns.
+StatusOr<std::vector<Pattern>> DescendantsAtLevel(const Pattern& pattern,
+                                                  const Schema& schema,
+                                                  int target_level,
+                                                  std::uint64_t limit);
+
+/// Invokes `fn` for every full value combination matching `pattern`, in
+/// lexicographic order. Returns ResourceExhausted without invoking `fn` when
+/// the match count exceeds `limit`.
+Status ForEachMatchingCombination(
+    const Pattern& pattern, const Schema& schema, std::uint64_t limit,
+    const std::function<void(const std::vector<Value>&)>& fn);
+
+/// The most general pattern whose matches all match every input pattern: a
+/// cell is deterministic iff some input fixes it (inputs must not conflict).
+/// This is the §IV implementation note: after the greedy algorithm picks a
+/// value combination, the unification of the patterns it hits describes the
+/// full set of equally useful combinations, giving the user freedom during
+/// acquisition. Precondition: `patterns` is non-empty, homogeneous in width,
+/// and pairwise conflict-free on deterministic cells.
+Pattern Unify(const std::vector<Pattern>& patterns);
+
+}  // namespace coverage
+
+#endif  // COVERAGE_PATTERN_PATTERN_OPS_H_

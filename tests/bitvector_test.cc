@@ -1,0 +1,233 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace coverage {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_FALSE(bv.Any());
+}
+
+TEST(BitVector, ConstructAllZero) {
+  BitVector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.Count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVector, ConstructAllOne) {
+  BitVector bv(100, true);
+  EXPECT_EQ(bv.Count(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(bv.Get(i));
+}
+
+TEST(BitVector, AllOnePaddingIsClean) {
+  // 70 bits spans two words; the upper 58 bits of word 1 must stay clear.
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.Count(), 70u);
+  EXPECT_EQ(bv.words()[1], (std::uint64_t{1} << 6) - 1);
+}
+
+TEST(BitVector, SetAndGet) {
+  BitVector bv(130);
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Count(), 3u);
+  bv.Set(64, false);
+  EXPECT_FALSE(bv.Get(64));
+  EXPECT_EQ(bv.Count(), 2u);
+}
+
+TEST(BitVector, FillTrueThenFalse) {
+  BitVector bv(77);
+  bv.Fill(true);
+  EXPECT_EQ(bv.Count(), 77u);
+  bv.Fill(false);
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVector, PushBackGrows) {
+  BitVector bv;
+  for (int i = 0; i < 200; ++i) bv.PushBack(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(bv.Get(static_cast<std::size_t>(i)),
+                                          i % 3 == 0);
+}
+
+TEST(BitVector, ResizeGrowWithOnes) {
+  BitVector bv(10);
+  bv.Set(3);
+  bv.Resize(100, true);
+  EXPECT_TRUE(bv.Get(3));
+  EXPECT_FALSE(bv.Get(4));
+  for (std::size_t i = 10; i < 100; ++i) EXPECT_TRUE(bv.Get(i));
+  EXPECT_EQ(bv.Count(), 91u);
+}
+
+TEST(BitVector, ResizeShrinkClearsPadding) {
+  BitVector bv(100, true);
+  bv.Resize(65);
+  EXPECT_EQ(bv.size(), 65u);
+  EXPECT_EQ(bv.Count(), 65u);
+  bv.Resize(128, false);
+  EXPECT_EQ(bv.Count(), 65u);
+}
+
+TEST(BitVector, AndWith) {
+  BitVector a(130), b(130);
+  a.Set(5);
+  a.Set(64);
+  a.Set(100);
+  b.Set(64);
+  b.Set(100);
+  b.Set(101);
+  a.AndWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_TRUE(a.Get(64));
+  EXPECT_TRUE(a.Get(100));
+  EXPECT_FALSE(a.Get(5));
+}
+
+TEST(BitVector, OrWith) {
+  BitVector a(70), b(70);
+  a.Set(1);
+  b.Set(69);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_TRUE(a.Get(69));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(BitVector, AndNotWith) {
+  BitVector a(70, true), b(70);
+  b.Set(0);
+  b.Set(69);
+  a.AndNotWith(b);
+  EXPECT_FALSE(a.Get(0));
+  EXPECT_FALSE(a.Get(69));
+  EXPECT_EQ(a.Count(), 68u);
+}
+
+TEST(BitVector, IntersectsWith) {
+  BitVector a(200), b(200);
+  a.Set(150);
+  b.Set(151);
+  EXPECT_FALSE(a.IntersectsWith(b));
+  b.Set(150);
+  EXPECT_TRUE(a.IntersectsWith(b));
+}
+
+TEST(BitVector, AndCount) {
+  BitVector a(128), b(128);
+  for (std::size_t i = 0; i < 128; i += 2) a.Set(i);
+  for (std::size_t i = 0; i < 128; i += 3) b.Set(i);
+  // Multiples of 6 below 128: 0, 6, ..., 126 -> 22 values.
+  EXPECT_EQ(a.AndCount(b), 22u);
+}
+
+TEST(BitVector, AndCount3) {
+  BitVector a(64, true), b(64), c(64);
+  for (std::size_t i = 0; i < 64; i += 2) b.Set(i);
+  for (std::size_t i = 0; i < 64; i += 4) c.Set(i);
+  EXPECT_EQ(BitVector::AndCount3(a, b, c), 16u);
+}
+
+TEST(BitVector, DotProduct) {
+  BitVector bv(5);
+  bv.Set(1);
+  bv.Set(3);
+  const std::vector<std::uint64_t> counts = {10, 20, 30, 40, 50};
+  EXPECT_EQ(bv.Dot(counts), 60u);
+}
+
+TEST(BitVector, DotProductEmpty) {
+  BitVector bv(0);
+  EXPECT_EQ(bv.Dot({}), 0u);
+}
+
+TEST(BitVector, DotProductAllSet) {
+  BitVector bv(70, true);
+  std::vector<std::uint64_t> counts(70, 2);
+  EXPECT_EQ(bv.Dot(counts), 140u);
+}
+
+TEST(BitVector, FindFirstAndNext) {
+  BitVector bv(200);
+  EXPECT_EQ(bv.FindFirst(), 200u);
+  bv.Set(3);
+  bv.Set(64);
+  bv.Set(199);
+  EXPECT_EQ(bv.FindFirst(), 3u);
+  EXPECT_EQ(bv.FindNext(3), 64u);
+  EXPECT_EQ(bv.FindNext(64), 199u);
+  EXPECT_EQ(bv.FindNext(199), 200u);
+  EXPECT_EQ(bv.FindNext(0), 3u);
+}
+
+TEST(BitVector, ForEachSetBit) {
+  BitVector bv(150);
+  const std::vector<std::size_t> expected = {0, 63, 64, 65, 149};
+  for (std::size_t i : expected) bv.Set(i);
+  std::vector<std::size_t> seen;
+  bv.ForEachSetBit([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  BitVector a(10), b(11);
+  EXPECT_NE(a, b);
+  BitVector c(10);
+  EXPECT_EQ(a, c);
+  c.Set(9);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitVector, ToStringLsbFirst) {
+  BitVector bv(4);
+  bv.Set(1);
+  EXPECT_EQ(bv.ToString(), "0100");
+}
+
+TEST(BitVector, RandomizedAgainstReference) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng() % 300;
+    std::vector<bool> ra(n), rb(n);
+    BitVector a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ra[i] = rng() % 2;
+      rb[i] = rng() % 2;
+      a.Set(i, ra[i]);
+      b.Set(i, rb[i]);
+    }
+    std::size_t expected_and = 0, expected_count = 0;
+    bool expected_intersects = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected_and += ra[i] && rb[i];
+      expected_count += ra[i];
+      expected_intersects = expected_intersects || (ra[i] && rb[i]);
+    }
+    EXPECT_EQ(a.Count(), expected_count);
+    EXPECT_EQ(a.AndCount(b), expected_and);
+    EXPECT_EQ(a.IntersectsWith(b), expected_intersects);
+    BitVector c = a;
+    c.AndWith(b);
+    EXPECT_EQ(c.Count(), expected_and);
+  }
+}
+
+}  // namespace
+}  // namespace coverage

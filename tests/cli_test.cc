@@ -1,0 +1,263 @@
+#include "tools/coverage_cli_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "coverage_lib.h"
+#include "datagen/compas.h"
+
+namespace coverage {
+namespace cli {
+namespace {
+
+// ----------------------------------------------------------- ParseArgs --
+
+TEST(CliParse, RequiresCommand) {
+  EXPECT_FALSE(ParseArgs({}).ok());
+}
+
+TEST(CliParse, HelpVariants) {
+  for (const char* arg : {"help", "--help", "-h"}) {
+    auto options = ParseArgs({arg});
+    ASSERT_TRUE(options.ok());
+    EXPECT_EQ(options->command, "help");
+  }
+}
+
+TEST(CliParse, RejectsUnknownCommand) {
+  const auto result = ParseArgs({"frobnicate", "--csv", "x.csv"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown command"),
+            std::string::npos);
+}
+
+TEST(CliParse, AuditDefaults) {
+  auto options = ParseArgs({"audit", "--csv", "data.csv"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->command, "audit");
+  EXPECT_EQ(options->csv_path, "data.csv");
+  EXPECT_EQ(options->tau, 30u);  // the §II rule-of-thumb default
+  EXPECT_EQ(options->max_level, -1);
+  EXPECT_FALSE(options->list_mups);
+}
+
+TEST(CliParse, AllFlags) {
+  auto options = ParseArgs({"enhance", "--csv", "d.csv", "--tau", "12",
+                            "--lambda", "2", "--max-cardinality", "50",
+                            "--rule", "a in {x}", "--rule", "b in {y}",
+                            "--list-mups", "--max-level", "3"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->tau, 12u);
+  EXPECT_EQ(options->lambda, 2);
+  EXPECT_EQ(options->max_level, 3);
+  EXPECT_EQ(options->max_cardinality, 50);
+  EXPECT_EQ(options->rules,
+            (std::vector<std::string>{"a in {x}", "b in {y}"}));
+  EXPECT_TRUE(options->list_mups);
+}
+
+TEST(CliParse, RejectsMissingCsv) {
+  EXPECT_FALSE(ParseArgs({"audit", "--tau", "5"}).ok());
+}
+
+TEST(CliParse, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--tau", "abc"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--tau", "0"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--tau", "3x"}).ok());
+  EXPECT_FALSE(
+      ParseArgs({"audit", "--csv", "x", "--max-cardinality", "0"}).ok());
+}
+
+TEST(CliParse, RejectsDanglingFlagValue) {
+  EXPECT_FALSE(ParseArgs({"audit", "--csv"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--rule"}).ok());
+}
+
+TEST(CliParse, RejectsUnknownFlag) {
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--bogus"}).ok());
+}
+
+// --------------------------------------------------------------- RunCli --
+
+class CliRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csv_path_ = ::testing::TempDir() + "/cli_test_compas.csv";
+    const auto compas = datagen::MakeCompas(2000, 3);
+    std::ofstream out(csv_path_);
+    ASSERT_TRUE(compas.data.WriteCsv(out).ok());
+  }
+  void TearDown() override { std::remove(csv_path_.c_str()); }
+
+  std::string csv_path_;
+};
+
+TEST_F(CliRunTest, HelpPrintsUsage) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("usage: coverage_cli"), std::string::npos);
+}
+
+TEST_F(CliRunTest, BadArgsExitCodeTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"audit"}, out, err), 2);
+  EXPECT_NE(err.str().find("--csv is required"), std::string::npos);
+}
+
+TEST_F(CliRunTest, StatsPrintsSchema) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"stats", "--csv", csv_path_}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("attributes: 4"), std::string::npos);
+  EXPECT_NE(out.str().find("race"), std::string::npos);
+  EXPECT_NE(out.str().find("Hispanic"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AuditPrintsLabel) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10"}, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("COVERAGE LABEL"), std::string::npos);
+  EXPECT_NE(out.str().find("coverage queries"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AuditListMupsShowsPatterns) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10", "--list-mups"},
+                out, err),
+            0);
+  EXPECT_NE(out.str().find("all MUPs"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AuditMaxLevelRestricts) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10", "--max-level",
+                 "2", "--list-mups"},
+                out, err),
+            0);
+  // No level-3+ MUPs may appear: every printed pattern has <= 2 labels.
+  std::istringstream lines(out.str());
+  std::string line;
+  bool in_list = false;
+  while (std::getline(lines, line)) {
+    if (line.find("all MUPs") != std::string::npos) {
+      in_list = true;
+      continue;
+    }
+    if (!in_list || line.empty()) continue;
+    const std::size_t commas =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), ','));
+    EXPECT_LE(commas, 1u) << line;  // "a=x, b=y" has one comma
+  }
+}
+
+TEST_F(CliRunTest, EnhancePrintsPlan) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"enhance", "--csv", csv_path_, "--tau", "10", "--lambda",
+                 "2"},
+                out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("Acquisition plan"), std::string::npos);
+}
+
+TEST_F(CliRunTest, EnhanceWithRule) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"enhance", "--csv", csv_path_, "--tau", "10", "--lambda",
+                 "2", "--rule", "marital in {unknown}"},
+                out, err),
+            0)
+      << err.str();
+  // No suggested combination may use marital=unknown.
+  EXPECT_EQ(out.str().find("marital=unknown  e.g."), std::string::npos);
+}
+
+TEST_F(CliRunTest, EnhanceRejectsBadRule) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"enhance", "--csv", csv_path_, "--rule", "nope nope"}, out,
+                err),
+            1);
+  EXPECT_NE(err.str().find("bad --rule"), std::string::npos);
+}
+
+TEST_F(CliRunTest, EnhanceRejectsBadLambda) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"enhance", "--csv", csv_path_, "--lambda", "9"}, out, err),
+            1);
+}
+
+TEST_F(CliRunTest, MissingFileReportsNotFound) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"audit", "--csv", "/nonexistent/file.csv"}, out, err), 1);
+  EXPECT_NE(err.str().find("NotFound"), std::string::npos);
+}
+
+// ---------------------------------------------------- schema inference --
+
+TEST(InferFromCsv, BuildsDictionaryInOrder) {
+  std::stringstream ss("city,tier\nparis,a\nlyon,b\nparis,a\nnice,a\n");
+  auto data = Dataset::InferFromCsv(ss);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 4u);
+  const Schema& schema = data->schema();
+  EXPECT_EQ(schema.attribute(0).name, "city");
+  EXPECT_EQ(schema.attribute(0).value_names,
+            (std::vector<std::string>{"paris", "lyon", "nice"}));
+  EXPECT_EQ(schema.attribute(1).value_names,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(data->at(2, 0), 0);  // paris again -> same code
+}
+
+TEST(InferFromCsv, RejectsHighCardinality) {
+  std::stringstream ss("id\n1\n2\n3\n4\n");
+  const auto result = Dataset::InferFromCsv(ss, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("bucketize"), std::string::npos);
+}
+
+TEST(InferFromCsv, RejectsEmptyAndRagged) {
+  {
+    std::stringstream ss("");
+    EXPECT_FALSE(Dataset::InferFromCsv(ss).ok());
+  }
+  {
+    std::stringstream ss("a,b\n");  // header only
+    EXPECT_FALSE(Dataset::InferFromCsv(ss).ok());
+  }
+  {
+    std::stringstream ss("a,b\n1\n");
+    EXPECT_FALSE(Dataset::InferFromCsv(ss).ok());
+  }
+  {
+    std::stringstream ss("a,,c\n1,2,3\n");  // empty column name
+    EXPECT_FALSE(Dataset::InferFromCsv(ss).ok());
+  }
+}
+
+TEST(InferFromCsv, RoundTripsWriteCsv) {
+  const auto compas = datagen::MakeCompas(500, 9);
+  std::stringstream ss;
+  ASSERT_TRUE(compas.data.WriteCsv(ss).ok());
+  auto inferred = Dataset::InferFromCsv(ss);
+  ASSERT_TRUE(inferred.ok());
+  ASSERT_EQ(inferred->num_rows(), compas.data.num_rows());
+  // Dictionaries may be ordered differently (first appearance), but the
+  // decoded labels must agree row by row.
+  for (std::size_t r = 0; r < compas.data.num_rows(); ++r) {
+    for (int a = 0; a < 4; ++a) {
+      const std::string& expected =
+          compas.data.schema().attribute(a).value_names[static_cast<
+              std::size_t>(compas.data.at(r, a))];
+      const std::string& got =
+          inferred->schema().attribute(a).value_names[static_cast<
+              std::size_t>(inferred->at(r, a))];
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace coverage

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "coverage/bitmap_coverage.h"
+#include "coverage/scan_coverage.h"
+#include "dataset/aggregate.h"
+#include "pattern/pattern_graph.h"
+
+namespace coverage {
+namespace {
+
+Dataset MakeExample1() {
+  Dataset data(Schema::Binary(3));
+  data.AppendRow(std::vector<Value>{0, 1, 0});
+  data.AppendRow(std::vector<Value>{0, 0, 1});
+  data.AppendRow(std::vector<Value>{0, 0, 0});
+  data.AppendRow(std::vector<Value>{0, 1, 1});
+  data.AppendRow(std::vector<Value>{0, 0, 1});
+  return data;
+}
+
+Pattern P(const std::string& text, const Schema& schema) {
+  auto p = Pattern::Parse(text, schema);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(ScanCoverage, AppendixAWorkedExample) {
+  // Appendix A computes cov(0X1) = 3 on Example 1.
+  const Dataset data = MakeExample1();
+  ScanCoverage oracle(data);
+  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema())), 3u);
+}
+
+TEST(ScanCoverage, RootCoversEverything) {
+  const Dataset data = MakeExample1();
+  ScanCoverage oracle(data);
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(3)), 5u);
+}
+
+TEST(ScanCoverage, UncoveredRegion) {
+  const Dataset data = MakeExample1();
+  ScanCoverage oracle(data);
+  EXPECT_EQ(oracle.Coverage(P("1XX", data.schema())), 0u);
+  EXPECT_EQ(oracle.Coverage(P("111", data.schema())), 0u);
+}
+
+TEST(ScanCoverage, CountsQueries) {
+  const Dataset data = MakeExample1();
+  ScanCoverage oracle(data);
+  EXPECT_EQ(oracle.num_queries(), 0u);
+  oracle.Coverage(Pattern::Root(3));
+  oracle.Coverage(Pattern::Root(3));
+  EXPECT_EQ(oracle.num_queries(), 2u);
+  oracle.ResetQueryCounter();
+  EXPECT_EQ(oracle.num_queries(), 0u);
+}
+
+TEST(BitmapCoverage, MatchesWorkedExample) {
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  BitmapCoverage oracle(agg);
+  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema())), 3u);
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(3)), 5u);
+  EXPECT_EQ(oracle.Coverage(P("1XX", data.schema())), 0u);
+  EXPECT_EQ(oracle.Coverage(P("001", data.schema())), 2u);
+}
+
+TEST(BitmapCoverage, IsCoveredThreshold) {
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  BitmapCoverage oracle(agg);
+  EXPECT_TRUE(oracle.IsCovered(P("0X1", data.schema()), 3));
+  EXPECT_FALSE(oracle.IsCovered(P("0X1", data.schema()), 4));
+}
+
+TEST(BitmapCoverage, MatchVectorSelectsCombinations) {
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  BitmapCoverage oracle(agg);
+  const BitVector mv = oracle.MatchVector(P("0X1", data.schema()));
+  std::uint64_t total = 0;
+  mv.ForEachSetBit([&](std::size_t k) {
+    EXPECT_TRUE(P("0X1", data.schema()).Matches(agg.combination(k)));
+    total += agg.count(k);
+  });
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(BitmapCoverage, EmptyDataset) {
+  const Dataset data(Schema::Binary(3));
+  const AggregatedData agg(data);
+  BitmapCoverage oracle(agg);
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(3)), 0u);
+  EXPECT_EQ(oracle.Coverage(P("101", data.schema())), 0u);
+}
+
+TEST(BitmapCoverage, AgreesWithScanOnRandomData) {
+  // Property: the inverted-index oracle equals the definitional scan on the
+  // full pattern graph of random datasets with mixed cardinalities.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    const Schema schema = Schema::Uniform({2, 3, 2, 4});
+    Dataset data(schema);
+    std::vector<Value> row(4);
+    const std::size_t n = 50 + seed * 100;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int a = 0; a < 4; ++a) {
+        row[static_cast<std::size_t>(a)] = static_cast<Value>(
+            rng.NextUint64(static_cast<std::uint64_t>(schema.cardinality(a))));
+      }
+      data.AppendRow(row);
+    }
+    const AggregatedData agg(data);
+    BitmapCoverage bitmap(agg);
+    ScanCoverage scan(data);
+    PatternGraph graph(schema);
+    auto all = graph.EnumerateAll(100000);
+    ASSERT_TRUE(all.ok());
+    for (const Pattern& p : *all) {
+      EXPECT_EQ(bitmap.Coverage(p), scan.Coverage(p)) << p.ToString();
+    }
+  }
+}
+
+TEST(BitmapCoverage, SkewedDataStillExact) {
+  // Heavily duplicated rows stress the count-vector dot product.
+  Dataset data(Schema::Binary(2));
+  for (int i = 0; i < 1000; ++i) data.AppendRow(std::vector<Value>{0, 0});
+  data.AppendRow(std::vector<Value>{1, 1});
+  const AggregatedData agg(data);
+  EXPECT_EQ(agg.num_combinations(), 2u);
+  BitmapCoverage oracle(agg);
+  EXPECT_EQ(oracle.Coverage(P("0X", data.schema())), 1000u);
+  EXPECT_EQ(oracle.Coverage(P("X1", data.schema())), 1u);
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(2)), 1001u);
+}
+
+TEST(BitmapCoverage, IndexExposesPerValueVectors) {
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  BitmapCoverage oracle(agg);
+  // Attribute A1 value 0 covers all distinct combinations in Example 1.
+  EXPECT_EQ(oracle.index(0, 0).Count(), agg.num_combinations());
+  EXPECT_EQ(oracle.index(0, 1).Count(), 0u);
+}
+
+}  // namespace
+}  // namespace coverage

@@ -1,0 +1,127 @@
+#include "tools/coverage_datagen_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coverage_lib.h"
+
+namespace coverage {
+namespace cli {
+namespace {
+
+TEST(DatagenParse, RequiresDataset) {
+  EXPECT_FALSE(ParseDatagenArgs({}).ok());
+  EXPECT_FALSE(ParseDatagenArgs({"--n", "100"}).ok());
+}
+
+TEST(DatagenParse, RejectsUnknownDataset) {
+  EXPECT_FALSE(ParseDatagenArgs({"--dataset", "tpch"}).ok());
+}
+
+TEST(DatagenParse, ParsesEverything) {
+  auto options = ParseDatagenArgs({"--dataset", "airbnb", "--n", "500", "--d",
+                                   "9", "--seed", "7"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->dataset, "airbnb");
+  EXPECT_EQ(options->n, 500u);
+  EXPECT_EQ(options->d, 9);
+  EXPECT_EQ(options->seed, 7u);
+}
+
+TEST(DatagenParse, ValidatesRanges) {
+  EXPECT_FALSE(ParseDatagenArgs({"--dataset", "airbnb", "--d", "40"}).ok());
+  EXPECT_FALSE(ParseDatagenArgs({"--dataset", "airbnb", "--d", "0"}).ok());
+  EXPECT_FALSE(
+      ParseDatagenArgs({"--dataset", "bluenile", "--with-label"}).ok());
+  EXPECT_FALSE(ParseDatagenArgs({"--dataset", "compas", "--n", "x"}).ok());
+}
+
+TEST(DatagenParse, HelpShortCircuits) {
+  auto options = ParseDatagenArgs({"--help"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->help);
+}
+
+TEST(DatagenRun, HelpPrintsUsage) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunDatagen({"--help"}, out, err), 0);
+  EXPECT_NE(out.str().find("usage: coverage_datagen"), std::string::npos);
+}
+
+TEST(DatagenRun, CompasRoundTripsThroughInference) {
+  std::ostringstream out, err;
+  ASSERT_EQ(RunDatagen({"--dataset", "compas", "--n", "500", "--seed", "3"},
+                       out, err),
+            0)
+      << err.str();
+  std::istringstream csv(out.str());
+  auto data = Dataset::InferFromCsv(csv);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_rows(), 500u);
+  EXPECT_EQ(data->num_attributes(), 4);
+}
+
+TEST(DatagenRun, CompasWithLabelAddsColumn) {
+  std::ostringstream out, err;
+  ASSERT_EQ(RunDatagen({"--dataset", "compas", "--n", "300", "--with-label"},
+                       out, err),
+            0);
+  std::istringstream lines(out.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header, "sex,age,race,marital,reoffended");
+  std::string row;
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_TRUE(row.ends_with(",0") || row.ends_with(",1")) << row;
+}
+
+TEST(DatagenRun, CompasRejectsTinyN) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunDatagen({"--dataset", "compas", "--n", "10"}, out, err), 1);
+}
+
+TEST(DatagenRun, DiagonalMatchesTheorem1Shape) {
+  std::ostringstream out, err;
+  ASSERT_EQ(RunDatagen({"--dataset", "diagonal", "--d", "4"}, out, err), 0);
+  std::istringstream csv(out.str());
+  auto data = Dataset::ReadCsv(csv, Schema::Binary(4));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(data->at(static_cast<std::size_t>(i), j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(DatagenRun, AirbnbIsDeterministicPerSeed) {
+  std::ostringstream a, b, err;
+  ASSERT_EQ(RunDatagen({"--dataset", "airbnb", "--n", "100", "--d", "6",
+                        "--seed", "5"},
+                       a, err),
+            0);
+  ASSERT_EQ(RunDatagen({"--dataset", "airbnb", "--n", "100", "--d", "6",
+                        "--seed", "5"},
+                       b, err),
+            0);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(DatagenRun, BlueNileSmallSample) {
+  std::ostringstream out, err;
+  ASSERT_EQ(RunDatagen({"--dataset", "bluenile", "--n", "50"}, out, err), 0);
+  std::istringstream csv(out.str());
+  auto data = Dataset::ReadCsv(csv, datagen::BlueNileSchema());
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->num_rows(), 50u);
+}
+
+TEST(DatagenRun, BadFlagsExitTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunDatagen({"--dataset", "compas", "--bogus"}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace coverage

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "coverage/bitmap_coverage.h"
+#include "datagen/adversarial.h"
+#include "datagen/airbnb.h"
+#include "datagen/bluenile.h"
+#include "datagen/compas.h"
+#include "dataset/aggregate.h"
+#include "mups/mups.h"
+
+namespace coverage {
+namespace {
+
+// ---------------------------------------------------------------- COMPAS --
+
+TEST(Compas, SchemaMatchesPaperEncoding) {
+  const Schema schema = datagen::CompasSchema();
+  ASSERT_EQ(schema.num_attributes(), 4);
+  EXPECT_EQ(schema.cardinalities(), (std::vector<int>{2, 4, 4, 7}));
+  EXPECT_EQ(schema.attribute(datagen::kCompasRace).value_names[2], "Hispanic");
+  EXPECT_EQ(schema.attribute(datagen::kCompasMarital).value_names[3],
+            "widowed");
+}
+
+TEST(Compas, GeneratesRequestedRows) {
+  const auto compas = datagen::MakeCompas(3000, 1);
+  EXPECT_EQ(compas.data.num_rows(), 3000u);
+  EXPECT_EQ(compas.labels.size(), 3000u);
+  for (int label : compas.labels) EXPECT_TRUE(label == 0 || label == 1);
+}
+
+TEST(Compas, DeterministicUnderSeed) {
+  const auto a = datagen::MakeCompas(1000, 5);
+  const auto b = datagen::MakeCompas(1000, 5);
+  ASSERT_EQ(a.data.num_rows(), b.data.num_rows());
+  for (std::size_t r = 0; r < a.data.num_rows(); ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(a.data.at(r, c), b.data.at(r, c));
+  }
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Compas, ExactlyTwoWidowedHispanicsBothReoffended) {
+  // The paper's XX23 observation: two matching rows, both re-offenders.
+  const auto compas = datagen::MakeCompas();
+  const Schema& schema = compas.data.schema();
+  const Pattern xx23 = *Pattern::Parse("XX23", schema);
+  std::size_t matches = 0;
+  for (std::size_t r = 0; r < compas.data.num_rows(); ++r) {
+    if (xx23.Matches(compas.data.row(r))) {
+      ++matches;
+      EXPECT_EQ(compas.labels[r], 1);
+    }
+  }
+  EXPECT_EQ(matches, 2u);
+}
+
+TEST(Compas, RoughlyHundredHispanicFemales) {
+  const auto compas = datagen::MakeCompas();
+  std::size_t hf = 0;
+  for (std::size_t r = 0; r < compas.data.num_rows(); ++r) {
+    hf += compas.data.at(r, datagen::kCompasSex) == 1 &&
+          compas.data.at(r, datagen::kCompasRace) == 2;
+  }
+  EXPECT_GE(hf, 95u);
+  EXPECT_LE(hf, 110u);
+}
+
+TEST(Compas, SingleValuesAllCoveredAtTauTen) {
+  // §V-B1: every single attribute value has more instances than τ=10, yet
+  // MUPs exist at levels 2-4 and none at levels 0-1.
+  const auto compas = datagen::MakeCompas();
+  const AggregatedData agg(compas.data);
+  const BitmapCoverage oracle(agg);
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 10});
+  EXPECT_FALSE(mups.empty());
+  const auto hist = MupLevelHistogram(mups, 4);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 0u);
+  EXPECT_GT(hist[2] + hist[3] + hist[4], 10u);  // tens of MUPs
+  EXPECT_GT(hist[2], 0u);  // level-2 MUPs exist (the dangerous ones)
+  // XX23 itself must be among the discovered MUPs: cov = 2 < 10 and both
+  // parents (XX2X Hispanics, XXX3 widowed) exceed 10.
+  const Pattern xx23 = *Pattern::Parse("XX23", compas.data.schema());
+  EXPECT_TRUE(std::count(mups.begin(), mups.end(), xx23));
+}
+
+TEST(Compas, HispanicFemaleBehaviourDiffers) {
+  // The HF subgroup's label mechanism is deliberately different: verify the
+  // base rates diverge so the Fig. 11 experiment has signal.
+  const auto compas = datagen::MakeCompas(6889, 42);
+  std::size_t hf_n = 0, hf_pos = 0, other_n = 0, other_pos = 0;
+  for (std::size_t r = 0; r < compas.data.num_rows(); ++r) {
+    const bool hf = compas.data.at(r, datagen::kCompasSex) == 1 &&
+                    compas.data.at(r, datagen::kCompasRace) == 2;
+    const bool young = compas.data.at(r, datagen::kCompasAge) <= 1;
+    if (!young) continue;  // compare within the young cohort
+    if (hf) {
+      ++hf_n;
+      hf_pos += compas.labels[r];
+    } else {
+      ++other_n;
+      other_pos += compas.labels[r];
+    }
+  }
+  ASSERT_GT(hf_n, 20u);
+  const double hf_rate = static_cast<double>(hf_pos) / hf_n;
+  const double other_rate = static_cast<double>(other_pos) / other_n;
+  EXPECT_LT(hf_rate, other_rate - 0.15);
+}
+
+// ---------------------------------------------------------------- AirBnB --
+
+TEST(Airbnb, SchemaIsBooleanAmenities) {
+  const Dataset data = datagen::MakeAirbnb(100, 13);
+  EXPECT_EQ(data.num_attributes(), 13);
+  for (int i = 0; i < 13; ++i) {
+    EXPECT_EQ(data.schema().cardinality(i), 2);
+  }
+  EXPECT_EQ(data.schema().attribute(0).name, "amenity1");
+}
+
+TEST(Airbnb, RatesAreSkewedAndBounded) {
+  double min_rate = 1.0, max_rate = 0.0;
+  for (int i = 0; i < 36; ++i) {
+    const double r = datagen::AirbnbRate(i);
+    EXPECT_GE(r, 0.02 - 1e-9);
+    EXPECT_LE(r, 0.5 + 1e-9);
+    min_rate = std::min(min_rate, r);
+    max_rate = std::max(max_rate, r);
+  }
+  EXPECT_LT(min_rate, 0.05);
+  EXPECT_GT(max_rate, 0.4);
+}
+
+TEST(Airbnb, EmpiricalRatesMatchSchedule) {
+  const Dataset data = datagen::MakeAirbnb(20000, 8, 3);
+  for (int i = 0; i < 8; ++i) {
+    std::size_t ones = 0;
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+      ones += data.at(r, i) == 1;
+    }
+    const double empirical = static_cast<double>(ones) / 20000.0;
+    EXPECT_NEAR(empirical, datagen::AirbnbRate(i), 0.02) << "attr " << i;
+  }
+}
+
+TEST(Airbnb, ProjectionConsistentWithNarrowGeneration) {
+  // The rate schedule depends only on the attribute index, so the first
+  // attributes of a wide dataset follow the same distribution as a narrow
+  // one (the d-sweep benches rely on projecting one wide dataset).
+  const Dataset wide = datagen::MakeAirbnb(5000, 20, 9);
+  const Dataset projected = wide.Project({0, 1, 2});
+  for (int i = 0; i < 3; ++i) {
+    std::size_t ones = 0;
+    for (std::size_t r = 0; r < projected.num_rows(); ++r) {
+      ones += projected.at(r, i) == 1;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / 5000.0, datagen::AirbnbRate(i),
+                0.03);
+  }
+}
+
+TEST(Airbnb, ProducesBellShapedMupDistribution) {
+  // Fig. 6's qualitative shape: at n=1000, d=13, τ=50 the MUP levels form a
+  // bell with its mass in the middle levels, nothing at level 0/1.
+  const Dataset data = datagen::MakeAirbnb(1000, 13);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 50});
+  const auto hist = MupLevelHistogram(mups, 13);
+  EXPECT_EQ(hist[0], 0u);
+  std::size_t peak_level = 0;
+  for (std::size_t l = 1; l < hist.size(); ++l) {
+    if (hist[l] > hist[peak_level]) peak_level = l;
+  }
+  EXPECT_GE(peak_level, 3u);
+  EXPECT_LE(peak_level, 9u);
+  EXPECT_GT(mups.size(), 100u);  // "several thousand" at paper scale
+}
+
+// -------------------------------------------------------------- BlueNile --
+
+TEST(BlueNile, SchemaCardinalitiesMatchPaper) {
+  const Schema schema = datagen::BlueNileSchema();
+  EXPECT_EQ(schema.cardinalities(), (std::vector<int>{10, 4, 7, 8, 3, 3, 5}));
+  EXPECT_EQ(schema.attribute(0).name, "shape");
+  EXPECT_EQ(schema.NumValueCombinations(), 100800u);
+}
+
+TEST(BlueNile, GeneratesSkewedCatalog) {
+  const Dataset data = datagen::MakeBlueNile(20000, 1);
+  EXPECT_EQ(data.num_rows(), 20000u);
+  // Round (value 0) must dominate shapes.
+  std::vector<std::size_t> shape_counts(10, 0);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    ++shape_counts[static_cast<std::size_t>(data.at(r, 0))];
+  }
+  EXPECT_GT(shape_counts[0], shape_counts[5]);
+  EXPECT_GT(shape_counts[0], 20000u / 10u);
+}
+
+TEST(BlueNile, HasMupsAtModestThreshold) {
+  const Dataset data = datagen::MakeBlueNile(20000, 1);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 20});
+  EXPECT_FALSE(mups.empty());
+}
+
+// ----------------------------------------------------------- adversarial --
+
+TEST(Adversarial, DiagonalShape) {
+  const Dataset data = datagen::MakeDiagonal(5);
+  EXPECT_EQ(data.num_rows(), 5u);
+  EXPECT_EQ(data.num_attributes(), 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(data.at(static_cast<std::size_t>(i), j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(Adversarial, VertexCoverShape) {
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}};
+  const Dataset data = datagen::MakeVertexCoverReduction(3, edges);
+  EXPECT_EQ(data.num_rows(), 6u);  // |V| + 3
+  EXPECT_EQ(data.num_attributes(), 2);
+  // Vertex 1 touches both edges.
+  EXPECT_EQ(data.at(1, 0), 1);
+  EXPECT_EQ(data.at(1, 1), 1);
+  // Vertex 0 only the first.
+  EXPECT_EQ(data.at(0, 0), 1);
+  EXPECT_EQ(data.at(0, 1), 0);
+  // Three all-zero rows.
+  for (std::size_t r = 3; r < 6; ++r) {
+    EXPECT_EQ(data.at(r, 0), 0);
+    EXPECT_EQ(data.at(r, 1), 0);
+  }
+}
+
+}  // namespace
+}  // namespace coverage

@@ -1,0 +1,133 @@
+// Property sweep for Problem 2: on random datasets over assorted schemas,
+// the full pipeline (identify MUPs -> expand to level λ -> greedy hitting
+// set -> apply plan) must always raise the maximum covered level to at least
+// λ, and the plan must be internally consistent.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "coverage/bitmap_coverage.h"
+#include "coverage/scan_coverage.h"
+#include "enhancement/enhancement.h"
+#include "mups/mups.h"
+#include "pattern/pattern_graph.h"
+
+namespace coverage {
+namespace {
+
+struct PlanCase {
+  std::vector<int> cardinalities;
+  std::size_t num_rows;
+  std::uint64_t tau;
+  int lambda;
+  std::uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PlanCase>& info) {
+  std::string name = "c";
+  for (int c : info.param.cardinalities) name += std::to_string(c);
+  name += "_n" + std::to_string(info.param.num_rows);
+  name += "_tau" + std::to_string(info.param.tau);
+  name += "_l" + std::to_string(info.param.lambda);
+  name += "_s" + std::to_string(info.param.seed);
+  return name;
+}
+
+Dataset Generate(const PlanCase& c) {
+  const Schema schema = Schema::Uniform(c.cardinalities);
+  Rng rng(c.seed);
+  Dataset data(schema);
+  std::vector<Value> row(c.cardinalities.size());
+  for (std::size_t r = 0; r < c.num_rows; ++r) {
+    for (std::size_t a = 0; a < c.cardinalities.size(); ++a) {
+      const auto card = static_cast<std::uint64_t>(c.cardinalities[a]);
+      row[a] = static_cast<Value>(
+          std::min(rng.NextUint64(card), rng.NextUint64(card)));
+    }
+    data.AppendRow(row);
+  }
+  return data;
+}
+
+class EnhancementSweep : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(EnhancementSweep, PlanReachesTargetLevel) {
+  const PlanCase& c = GetParam();
+  const Dataset data = Generate(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = c.tau});
+
+  EnhancementOptions options;
+  options.tau = c.tau;
+  options.lambda = c.lambda;
+  auto plan = PlanCoverageEnhancement(oracle, mups, options);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->unresolvable.empty());
+
+  // Internal consistency: every target is hit by some pick; picks carry
+  // enough copies; the generalized pattern matches its pick.
+  for (const Pattern& target : plan->targets) {
+    EXPECT_EQ(target.level(), c.lambda);
+    bool hit = false;
+    for (const auto& item : plan->items) {
+      hit = hit || target.Matches(item.combination);
+    }
+    EXPECT_TRUE(hit) << target.ToString();
+  }
+  for (const auto& item : plan->items) {
+    EXPECT_GE(item.copies, 1u);
+    EXPECT_TRUE(item.generalized.Matches(item.combination));
+  }
+
+  // The applied plan reaches the target level.
+  const Dataset enlarged = ApplyPlan(data, *plan);
+  const AggregatedData agg2(enlarged);
+  const BitmapCoverage oracle2(agg2);
+  const auto mups2 = FindMupsDeepDiver(oracle2, MupSearchOptions{.tau = c.tau});
+  EXPECT_GE(MaximumCoveredLevel(mups2, data.num_attributes()), c.lambda);
+}
+
+TEST_P(EnhancementSweep, EveryLevelLambdaPatternCoveredAfterApply) {
+  // Stronger check against the definitional oracle: after applying the
+  // plan, *every* pattern at level λ has coverage >= τ.
+  const PlanCase& c = GetParam();
+  const Dataset data = Generate(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = c.tau});
+  EnhancementOptions options;
+  options.tau = c.tau;
+  options.lambda = c.lambda;
+  auto plan = PlanCoverageEnhancement(oracle, mups, options);
+  ASSERT_TRUE(plan.ok());
+
+  const Dataset enlarged = ApplyPlan(data, *plan);
+  ScanCoverage scan(enlarged);
+  PatternGraph graph(data.schema());
+  auto at_level = graph.EnumerateLevel(c.lambda, 1 << 20);
+  ASSERT_TRUE(at_level.ok());
+  for (const Pattern& p : *at_level) {
+    EXPECT_GE(scan.Coverage(p), c.tau) << p.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnhancementSweep,
+    ::testing::Values(
+        PlanCase{{2, 2, 2}, 40, 3, 1, 1}, PlanCase{{2, 2, 2}, 40, 3, 2, 2},
+        PlanCase{{2, 2, 2}, 40, 3, 3, 3}, PlanCase{{3, 2, 4}, 80, 4, 2, 4},
+        PlanCase{{3, 3, 3}, 60, 5, 2, 5}, PlanCase{{2, 4, 2, 2}, 100, 3, 2, 6},
+        PlanCase{{2, 2, 2, 2, 2}, 150, 4, 3, 7},
+        PlanCase{{5, 2, 3}, 90, 6, 2, 8},
+        PlanCase{{2, 2}, 5, 10, 2, 9},    // tiny data, big tau
+        PlanCase{{3, 3}, 0, 2, 1, 10},    // empty dataset
+        PlanCase{{2, 3, 2, 3}, 200, 2, 4, 11},
+        PlanCase{{4, 4, 2}, 120, 8, 1, 12}),
+    CaseName);
+
+}  // namespace
+}  // namespace coverage

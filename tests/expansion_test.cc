@@ -1,0 +1,206 @@
+#include "enhancement/expansion.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "coverage/scan_coverage.h"
+#include "dataset/aggregate.h"
+#include "mups/mups.h"
+#include "pattern/pattern_graph.h"
+
+namespace coverage {
+namespace {
+
+Pattern P(const std::string& text, const Schema& schema) {
+  auto p = Pattern::Parse(text, schema);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+// Example 2 of the paper: 5 attributes, A2 and A3 ternary, rest binary.
+Schema Example2Schema() { return Schema::Uniform({2, 3, 3, 2, 2}); }
+
+std::vector<Pattern> Example2Mups(const Schema& schema) {
+  return {P("XX01X", schema), P("1X20X", schema), P("XXXX1", schema),
+          P("02XXX", schema), P("XX11X", schema), P("111XX", schema),
+          P("X020X", schema)};
+}
+
+TEST(Expansion, Example2LambdaTwoAppendixCSemantics) {
+  // Appendix C: M_λ = all uncovered patterns at exactly level λ. For λ=2
+  // that keeps the level-2 MUPs (P1 = XX01X, P4 = 02XXX, P5 = XX11X) and
+  // expands the level-1 MUP P3 = XXXX1 into its ten level-2 descendants;
+  // the level-3 MUPs (P2, P6, P7) contribute nothing. (The paper's running
+  // example loosely calls P1..P6 "the patterns with level 2", but its own
+  // Appendix C — the 1X11X counterexample — fixes the semantics we follow.)
+  const Schema schema = Example2Schema();
+  auto m = UncoveredPatternsAtLevel(Example2Mups(schema), schema, 2, 10000);
+  ASSERT_TRUE(m.ok());
+  std::set<std::string> names;
+  for (const Pattern& p : *m) names.insert(p.ToString());
+  EXPECT_EQ(names,
+            (std::set<std::string>{"XX01X", "02XXX", "XX11X",
+                                   // level-2 descendants of P3 = XXXX1:
+                                   "0XXX1", "1XXX1", "X0XX1", "X1XX1",
+                                   "X2XX1", "XX0X1", "XX1X1", "XX2X1",
+                                   "XXX01", "XXX11"}));
+}
+
+TEST(Expansion, Example2LambdaThreeExpandsDescendants) {
+  const Schema schema = Example2Schema();
+  auto m = UncoveredPatternsAtLevel(Example2Mups(schema), schema, 3, 10000);
+  ASSERT_TRUE(m.ok());
+  // Appendix C lists the level-3 descendants of P1 = XX01X; all must appear.
+  for (const char* name :
+       {"0X01X", "1X01X", "X001X", "X101X", "X201X", "XX010", "XX011"}) {
+    EXPECT_TRUE(std::count(m->begin(), m->end(), P(name, schema)))
+        << name << " missing";
+  }
+  // P7 itself sits at level 3 and must be included.
+  EXPECT_TRUE(std::count(m->begin(), m->end(), P("X020X", schema)));
+  // Every member has level 3 and is dominated-or-equalled by some MUP.
+  for (const Pattern& p : *m) {
+    EXPECT_EQ(p.level(), 3);
+    bool dominated = false;
+    for (const Pattern& mup : Example2Mups(schema)) {
+      dominated = dominated || mup.DominatesOrEquals(p);
+    }
+    EXPECT_TRUE(dominated) << p.ToString();
+  }
+  // No duplicates.
+  const std::set<Pattern> unique(m->begin(), m->end());
+  EXPECT_EQ(unique.size(), m->size());
+}
+
+TEST(Expansion, MupsAboveLambdaAreIgnored) {
+  const Schema schema = Example2Schema();
+  auto m = UncoveredPatternsAtLevel({P("X020X", schema)}, schema, 2, 10000);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(Expansion, AgainstBruteForceOnRandomData) {
+  // Property: M_λ equals {patterns at level λ with cov < τ} computed by
+  // brute force, for every λ.
+  Rng rng(5);
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  Dataset data(schema);
+  std::vector<Value> row(3);
+  for (int i = 0; i < 40; ++i) {
+    for (int a = 0; a < 3; ++a) {
+      const auto c = static_cast<std::uint64_t>(schema.cardinality(a));
+      row[static_cast<std::size_t>(a)] =
+          static_cast<Value>(std::min(rng.NextUint64(c), rng.NextUint64(c)));
+    }
+    data.AppendRow(row);
+  }
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  ScanCoverage scan(data);
+  const std::uint64_t tau = 3;
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
+
+  PatternGraph graph(schema);
+  for (int lambda = 0; lambda <= 3; ++lambda) {
+    auto m = UncoveredPatternsAtLevel(mups, schema, lambda, 100000);
+    ASSERT_TRUE(m.ok());
+    auto at_level = graph.EnumerateLevel(lambda, 100000);
+    ASSERT_TRUE(at_level.ok());
+    std::set<Pattern> expected;
+    for (const Pattern& p : *at_level) {
+      if (scan.Coverage(p) < tau) expected.insert(p);
+    }
+    EXPECT_EQ(std::set<Pattern>(m->begin(), m->end()), expected)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(Expansion, RespectsLimit) {
+  const Schema schema = Schema::Binary(12);
+  const auto result =
+      UncoveredPatternsAtLevel({Pattern::Root(12)}, schema, 6, 100);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Expansion, RejectsBadLambda) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_FALSE(UncoveredPatternsAtLevel({}, schema, -1, 10).ok());
+  EXPECT_FALSE(UncoveredPatternsAtLevel({}, schema, 4, 10).ok());
+}
+
+TEST(Expansion, EmptyMupListYieldsEmptyTargets) {
+  const Schema schema = Schema::Binary(3);
+  auto m = UncoveredPatternsAtLevel({}, schema, 2, 10);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->empty());
+}
+
+// --------------------------------------------------- value-count variant --
+
+TEST(ValueCountExpansion, KeepsMupsAboveBar) {
+  const Schema schema = Example2Schema();  // total combos = 2*3*3*2*2 = 72
+  // P3 = XXXX1 has value count 36; with bar 36 only P3 qualifies and is
+  // already minimal (every specialisation halves or thirds the count).
+  auto m = UncoveredPatternsByValueCount(Example2Mups(schema), schema, 36,
+                                         10000);
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->size(), 1u);
+  EXPECT_EQ((*m)[0].ToString(), "XXXX1");
+}
+
+TEST(ValueCountExpansion, ExpandsToMinimalFrontier) {
+  const Schema schema = Schema::Binary(4);  // 16 combinations
+  // Root MUP with bar 4: minimal uncovered patterns with value count >= 4
+  // are exactly the level-2 patterns (vc 4; children have vc 2).
+  auto m = UncoveredPatternsByValueCount({Pattern::Root(4)}, schema, 4, 10000);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 24u);  // C(4,2) * 2^2
+  for (const Pattern& p : *m) {
+    EXPECT_EQ(p.level(), 2);
+    EXPECT_EQ(p.ValueCount(schema), 4u);
+  }
+}
+
+TEST(ValueCountExpansion, DropsMupsBelowBar) {
+  const Schema schema = Example2Schema();
+  // P2 = 1X20X has value count 3*2 = 6 < 10.
+  auto m = UncoveredPatternsByValueCount({P("1X20X", schema)}, schema, 10,
+                                         10000);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(ValueCountExpansion, HittingMinimalHitsAllQualifying) {
+  // Property: every uncovered pattern with vc >= bar dominates-or-equals a
+  // member of the minimal frontier.
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  const std::vector<Pattern> mups = {P("1XX", schema), P("X2X", schema)};
+  const std::uint64_t bar = 2;
+  auto frontier = UncoveredPatternsByValueCount(mups, schema, bar, 10000);
+  ASSERT_TRUE(frontier.ok());
+  // Enumerate all uncovered patterns (descendants of MUPs) with vc >= bar.
+  PatternGraph graph(schema);
+  auto all = graph.EnumerateAll(100000);
+  ASSERT_TRUE(all.ok());
+  for (const Pattern& p : *all) {
+    bool uncovered = false;
+    for (const Pattern& mup : mups) uncovered |= mup.DominatesOrEquals(p);
+    if (!uncovered || p.ValueCount(schema) < bar) continue;
+    bool reachable = false;
+    for (const Pattern& f : *frontier) {
+      reachable = reachable || p.DominatesOrEquals(f);
+    }
+    EXPECT_TRUE(reachable) << p.ToString();
+  }
+}
+
+TEST(ValueCountExpansion, RejectsZeroBar) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_FALSE(UncoveredPatternsByValueCount({}, schema, 0, 10).ok());
+}
+
+}  // namespace
+}  // namespace coverage

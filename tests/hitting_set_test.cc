@@ -1,0 +1,240 @@
+#include "enhancement/hitting_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace coverage {
+namespace {
+
+Pattern P(const std::string& text, const Schema& schema) {
+  auto p = Pattern::Parse(text, schema);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+Schema Example2Schema() { return Schema::Uniform({2, 3, 3, 2, 2}); }
+
+std::vector<Pattern> Example2LevelTwo(const Schema& schema) {
+  // P1..P6 of Example 2 (the λ=2 targets of §IV).
+  return {P("XX01X", schema), P("1X20X", schema), P("XXXX1", schema),
+          P("02XXX", schema), P("XX11X", schema), P("111XX", schema)};
+}
+
+TEST(GreedyHittingSet, Example2NeedsExactlyThreeCombinations) {
+  // The paper's run picks 02011, 02111, 10201: first pick hits 3 patterns
+  // (the maximum), and three picks suffice. Tie-breaking may differ, but
+  // the gain sequence 3, 2, 1 is forced for any greedy maximiser.
+  const Schema schema = Example2Schema();
+  const auto patterns = Example2LevelTwo(schema);
+  HittingSetStats stats;
+  const HittingSetResult result =
+      GreedyHittingSet(patterns, schema, nullptr, &stats);
+  ASSERT_EQ(result.combinations.size(), 3u);
+  EXPECT_EQ(result.gains, (std::vector<std::size_t>{3, 2, 1}));
+  EXPECT_TRUE(result.unresolvable.empty());
+  EXPECT_TRUE(ValidateHittingSet(patterns, result, schema).ok());
+  EXPECT_EQ(stats.iterations, 3u);
+  EXPECT_GT(stats.tree_nodes_visited, 0u);
+}
+
+TEST(GreedyHittingSet, Example2FirstPickHitsThreeCompatiblePatterns) {
+  // The paper's run picks 02011 (hitting P1, P3, P4). Several 3-compatible
+  // families exist ({P1,P3,P4}, {P3,P4,P5}, {P3,P5,P6}), so assert the
+  // greedy property — the first pick hits exactly three patterns — rather
+  // than one tie-break.
+  const Schema schema = Example2Schema();
+  const auto patterns = Example2LevelTwo(schema);
+  const HittingSetResult result = GreedyHittingSet(patterns, schema);
+  ASSERT_FALSE(result.combinations.empty());
+  const auto& first = result.combinations[0];
+  int hits = 0;
+  for (const Pattern& p : patterns) hits += p.Matches(first);
+  EXPECT_EQ(hits, 3);
+  // And the paper's 02011 indeed hits three patterns too.
+  const std::vector<Value> paper_pick = {0, 2, 0, 1, 1};
+  int paper_hits = 0;
+  for (const Pattern& p : patterns) paper_hits += p.Matches(paper_pick);
+  EXPECT_EQ(paper_hits, 3);
+}
+
+TEST(GreedyHittingSet, GeneralizedPatternsDescribeThePick) {
+  const Schema schema = Example2Schema();
+  const auto patterns = Example2LevelTwo(schema);
+  const HittingSetResult result = GreedyHittingSet(patterns, schema);
+  ASSERT_EQ(result.generalized.size(), result.combinations.size());
+  for (std::size_t k = 0; k < result.combinations.size(); ++k) {
+    // The generalized pattern must match its own pick, and every pattern the
+    // pick *newly* hits must dominate-or-equal the generalized pattern (so
+    // any combination matching it hits the same patterns).
+    EXPECT_TRUE(result.generalized[k].Matches(result.combinations[k]));
+    for (const Pattern& p : patterns) {
+      if (!p.Matches(result.combinations[k])) continue;
+      bool hit_earlier = false;
+      for (std::size_t e = 0; e < k; ++e) {
+        hit_earlier = hit_earlier || p.Matches(result.combinations[e]);
+      }
+      if (hit_earlier) continue;
+      EXPECT_TRUE(p.DominatesOrEquals(result.generalized[k]))
+          << p.ToString() << " vs " << result.generalized[k].ToString();
+    }
+  }
+}
+
+TEST(GreedyHittingSet, SinglePatternSinglePick) {
+  const Schema schema = Schema::Binary(3);
+  const HittingSetResult result =
+      GreedyHittingSet({P("1X0", schema)}, schema);
+  ASSERT_EQ(result.combinations.size(), 1u);
+  EXPECT_TRUE(P("1X0", schema).Matches(result.combinations[0]));
+  EXPECT_EQ(result.gains, (std::vector<std::size_t>{1}));
+}
+
+TEST(GreedyHittingSet, EmptyInputYieldsEmptyResult) {
+  const Schema schema = Schema::Binary(3);
+  const HittingSetResult result = GreedyHittingSet({}, schema);
+  EXPECT_TRUE(result.combinations.empty());
+  EXPECT_TRUE(result.unresolvable.empty());
+}
+
+TEST(GreedyHittingSet, OneCombinationCanHitEverything) {
+  // Compatible patterns collapse into a single pick.
+  const Schema schema = Schema::Binary(4);
+  const std::vector<Pattern> patterns = {P("1XXX", schema), P("X1XX", schema),
+                                         P("XX1X", schema), P("XXX1", schema)};
+  const HittingSetResult result = GreedyHittingSet(patterns, schema);
+  ASSERT_EQ(result.combinations.size(), 1u);
+  EXPECT_EQ(result.combinations[0], (std::vector<Value>{1, 1, 1, 1}));
+  EXPECT_EQ(result.generalized[0].ToString(), "1111");
+}
+
+TEST(GreedyHittingSet, DisjointPatternsNeedOneEach) {
+  const Schema schema = Schema::Uniform({3, 2});
+  const std::vector<Pattern> patterns = {P("0X", schema), P("1X", schema),
+                                         P("2X", schema)};
+  const HittingSetResult result = GreedyHittingSet(patterns, schema);
+  EXPECT_EQ(result.combinations.size(), 3u);
+}
+
+TEST(GreedyHittingSet, ValidationRulesRedirectPicks) {
+  const Schema schema = Schema::Binary(3);
+  ValidationOracle oracle;
+  // Forbid A1=1 & A2=1: the all-ones pick is invalid.
+  oracle.AddRule(*ValidationRule::Create({{0, {1}}, {1, {1}}}, schema));
+  const std::vector<Pattern> patterns = {P("1XX", schema), P("X1X", schema),
+                                         P("XX1", schema)};
+  HittingSetStats stats;
+  const HittingSetResult result =
+      GreedyHittingSet(patterns, schema, &oracle, &stats);
+  EXPECT_TRUE(result.unresolvable.empty());
+  EXPECT_EQ(result.combinations.size(), 2u);  // e.g. 101 + X1X pick
+  EXPECT_TRUE(ValidateHittingSet(patterns, result, schema, &oracle).ok());
+}
+
+TEST(GreedyHittingSet, ImpossiblePatternsReportedUnresolvable) {
+  const Schema schema = Schema::Binary(2);
+  ValidationOracle oracle;
+  // Forbid everything with A1=1.
+  oracle.AddRule(*ValidationRule::Create({{0, {1}}}, schema));
+  const std::vector<Pattern> patterns = {P("1X", schema), P("0X", schema)};
+  const HittingSetResult result =
+      GreedyHittingSet(patterns, schema, &oracle, nullptr);
+  ASSERT_EQ(result.unresolvable.size(), 1u);
+  EXPECT_EQ(result.unresolvable[0].ToString(), "1X");
+  ASSERT_EQ(result.combinations.size(), 1u);
+  EXPECT_TRUE(ValidateHittingSet(patterns, result, schema, &oracle).ok());
+}
+
+TEST(GreedyHittingSet, AllPatternsUnresolvable) {
+  const Schema schema = Schema::Binary(2);
+  ValidationOracle oracle;
+  oracle.AddRule(*ValidationRule::Create({{0, {0, 1}}}, schema));  // all
+  const std::vector<Pattern> patterns = {P("1X", schema)};
+  const HittingSetResult result =
+      GreedyHittingSet(patterns, schema, &oracle, nullptr);
+  EXPECT_TRUE(result.combinations.empty());
+  EXPECT_EQ(result.unresolvable.size(), 1u);
+}
+
+TEST(NaiveGreedy, AgreesWithIndexedGreedyOnGains) {
+  // The two implementations may tie-break differently but must produce the
+  // same gain sequence and pick count (greedy is deterministic up to ties
+  // in this metric).
+  const Schema schema = Example2Schema();
+  const auto patterns = Example2LevelTwo(schema);
+  const HittingSetResult fast = GreedyHittingSet(patterns, schema);
+  auto naive = NaiveGreedyHittingSet(patterns, schema);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->combinations.size(), fast.combinations.size());
+  EXPECT_EQ(naive->gains, fast.gains);
+  EXPECT_TRUE(ValidateHittingSet(patterns, *naive, schema).ok());
+}
+
+TEST(NaiveGreedy, RespectsEnumerationLimit) {
+  const Schema schema = Schema::Binary(30);
+  const auto result = NaiveGreedyHittingSet({Pattern::Root(30)}, schema,
+                                            nullptr, nullptr, 1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NaiveGreedy, HonoursValidationOracle) {
+  const Schema schema = Schema::Binary(2);
+  ValidationOracle oracle;
+  oracle.AddRule(*ValidationRule::Create({{0, {1}}}, schema));
+  const std::vector<Pattern> patterns = {P("1X", schema), P("0X", schema)};
+  auto result = NaiveGreedyHittingSet(patterns, schema, &oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->unresolvable.size(), 1u);
+  EXPECT_TRUE(ValidateHittingSet(patterns, *result, schema, &oracle).ok());
+}
+
+TEST(GreedyHittingSet, RandomizedEquivalenceWithNaive) {
+  // Property sweep: on random pattern sets over mixed-cardinality schemas,
+  // the indexed greedy and the naive greedy produce identical gain
+  // sequences, and both hit everything.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Schema schema = Schema::Uniform({2, 3, 2, 2});
+    std::vector<Pattern> patterns;
+    const int m = 2 + static_cast<int>(rng.NextUint64(8));
+    for (int j = 0; j < m; ++j) {
+      std::vector<Value> cells(4, kWildcard);
+      for (int a = 0; a < 4; ++a) {
+        if (rng.NextBool(0.5)) {
+          cells[static_cast<std::size_t>(a)] = static_cast<Value>(
+              rng.NextUint64(
+                  static_cast<std::uint64_t>(schema.cardinality(a))));
+        }
+      }
+      patterns.emplace_back(std::move(cells));
+    }
+    const HittingSetResult fast = GreedyHittingSet(patterns, schema);
+    auto naive = NaiveGreedyHittingSet(patterns, schema);
+    ASSERT_TRUE(naive.ok());
+    // The first gain is the global maximum and must agree; later gains can
+    // differ across tie-breaks, but both solutions must be complete.
+    ASSERT_FALSE(fast.gains.empty());
+    EXPECT_EQ(fast.gains[0], naive->gains[0]) << "trial " << trial;
+    EXPECT_TRUE(ValidateHittingSet(patterns, fast, schema).ok());
+    EXPECT_TRUE(ValidateHittingSet(patterns, *naive, schema).ok());
+    // Logarithmic-ratio sanity: greedy needs at most m picks.
+    EXPECT_LE(fast.combinations.size(), patterns.size());
+  }
+}
+
+TEST(GreedyHittingSet, GainsAreNonIncreasing) {
+  // Greedy gains never increase: each pick maximises over a shrinking set.
+  const Schema schema = Schema::Uniform({3, 3, 2});
+  const std::vector<Pattern> patterns = {
+      P("0XX", schema), P("X0X", schema), P("XX0", schema), P("1XX", schema),
+      P("X1X", schema), P("21X", schema), P("20X", schema)};
+  const HittingSetResult result = GreedyHittingSet(patterns, schema);
+  for (std::size_t k = 1; k < result.gains.size(); ++k) {
+    EXPECT_LE(result.gains[k], result.gains[k - 1]);
+  }
+  EXPECT_TRUE(ValidateHittingSet(patterns, result, schema).ok());
+}
+
+}  // namespace
+}  // namespace coverage

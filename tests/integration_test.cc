@@ -1,0 +1,190 @@
+// End-to-end scenarios chaining the whole public API: generate or load data,
+// aggregate, index, identify MUPs, plan enhancement, apply it, and verify the
+// dataset's coverage actually improved — the full §V workflow.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coverage_lib.h"
+
+namespace coverage {
+namespace {
+
+TEST(Integration, CompasAuditEndToEnd) {
+  // §V-B1 + §V-B3 as one pipeline on the synthetic COMPAS.
+  const auto compas = datagen::MakeCompas(4000, 21);
+  const AggregatedData agg(compas.data);
+  const BitmapCoverage oracle(agg);
+  const std::uint64_t tau = 10;
+
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
+  ASSERT_FALSE(mups.empty());
+  ScanCoverage scan(compas.data);
+  ASSERT_TRUE(ValidateMupSet(mups, scan, tau).ok());
+
+  ValidationOracle validator;
+  const Schema& schema = compas.data.schema();
+  validator.AddRule(*ValidationRule::Parse("marital in {unknown}", schema));
+
+  EnhancementOptions options;
+  options.tau = tau;
+  options.lambda = 2;
+  options.oracle = &validator;
+  auto plan = PlanCoverageEnhancement(oracle, mups, options);
+  ASSERT_TRUE(plan.ok());
+
+  const Dataset enlarged = ApplyPlan(compas.data, *plan);
+  const AggregatedData agg2(enlarged);
+  const BitmapCoverage oracle2(agg2);
+  const auto mups2 = FindMupsDeepDiver(oracle2, MupSearchOptions{.tau = tau});
+
+  // Every remaining level-<=2 uncovered pattern must be one the validator
+  // made unreachable.
+  auto remaining = UncoveredPatternsAtLevel(mups2, schema, 2, 1 << 20);
+  ASSERT_TRUE(remaining.ok());
+  for (const Pattern& p : *remaining) {
+    bool declared = false;
+    for (const Pattern& u : plan->unresolvable) {
+      declared = declared || u == p;
+    }
+    EXPECT_TRUE(declared) << p.ToString() << " still uncovered";
+  }
+}
+
+TEST(Integration, CsvRoundTripThroughPipeline) {
+  // Export a dataset to CSV, re-import, and verify identical MUPs.
+  const Dataset original = datagen::MakeBlueNile(5000, 3);
+  std::stringstream ss;
+  ASSERT_TRUE(original.WriteCsv(ss).ok());
+  auto reloaded = Dataset::ReadCsv(ss, original.schema());
+  ASSERT_TRUE(reloaded.ok());
+
+  const AggregatedData agg1(original), agg2(*reloaded);
+  const BitmapCoverage o1(agg1), o2(agg2);
+  const MupSearchOptions options{.tau = 25};
+  EXPECT_EQ(FindMupsDeepDiver(o1, options), FindMupsDeepDiver(o2, options));
+}
+
+TEST(Integration, EnhancementMonotonicallyRaisesCoveredLevel) {
+  // Applying plans for growing λ never lowers the maximum covered level and
+  // reaches each requested target.
+  const Dataset data = datagen::MakeAirbnb(400, 6, 31);
+  const std::uint64_t tau = 8;
+  Dataset current = data;
+  int previous_level = -1;
+  for (int lambda = 1; lambda <= 4; ++lambda) {
+    const AggregatedData agg(current);
+    const BitmapCoverage oracle(agg);
+    const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
+    EnhancementOptions options;
+    options.tau = tau;
+    options.lambda = lambda;
+    auto plan = PlanCoverageEnhancement(oracle, mups, options);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    current = ApplyPlan(current, *plan);
+
+    const AggregatedData agg2(current);
+    const BitmapCoverage oracle2(agg2);
+    const auto mups2 =
+        FindMupsDeepDiver(oracle2, MupSearchOptions{.tau = tau});
+    const int level = MaximumCoveredLevel(mups2, current.num_attributes());
+    EXPECT_GE(level, lambda);
+    EXPECT_GE(level, previous_level);
+    previous_level = level;
+  }
+}
+
+TEST(Integration, Figure11StyleClassifierExperiment) {
+  // The §V-B2 effect in miniature: a decision tree trained with no
+  // Hispanic-female rows performs badly on held-out HF rows; adding HF
+  // training rows improves subgroup accuracy while overall accuracy stays
+  // roughly flat.
+  const auto compas = datagen::MakeCompas(6889, 42);
+  const Dataset& data = compas.data;
+
+  std::vector<std::size_t> hf_rows, other_rows;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const bool hf = data.at(r, datagen::kCompasSex) == 1 &&
+                    data.at(r, datagen::kCompasRace) == 2;
+    (hf ? hf_rows : other_rows).push_back(r);
+  }
+  ASSERT_GE(hf_rows.size(), 100u);
+
+  Rng rng(17);
+  rng.Shuffle(hf_rows);
+  const std::vector<std::size_t> hf_test(hf_rows.begin(),
+                                         hf_rows.begin() + 20);
+  const std::vector<std::size_t> hf_pool(hf_rows.begin() + 20, hf_rows.end());
+
+  auto subgroup_accuracy = [&](std::size_t hf_in_train) {
+    std::vector<std::size_t> train = other_rows;
+    train.insert(train.end(), hf_pool.begin(),
+                 hf_pool.begin() + static_cast<std::ptrdiff_t>(hf_in_train));
+    DecisionTree tree;
+    DecisionTree::Options topt;
+    topt.max_depth = 8;
+    topt.min_samples_leaf = 5;
+    tree.Fit(data, compas.labels, train, topt);
+    std::vector<int> actual, predicted;
+    for (std::size_t r : hf_test) {
+      actual.push_back(compas.labels[r]);
+      predicted.push_back(tree.Predict(data.row(r)));
+    }
+    return EvaluateBinary(actual, predicted).accuracy;
+  };
+
+  const double acc0 = subgroup_accuracy(0);
+  const double acc80 = subgroup_accuracy(80);
+  EXPECT_GT(acc80, acc0 + 0.1)
+      << "coverage remediation should lift subgroup accuracy (0 HF: " << acc0
+      << ", 80 HF: " << acc80 << ")";
+}
+
+TEST(Integration, StatsRoughlyConsistentAcrossAlgorithms) {
+  const Dataset data = datagen::MakeAirbnb(2000, 10, 55);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const MupSearchOptions options{.tau = 40};
+  MupSearchStats breaker, combiner, diver;
+  FindMupsPatternBreaker(oracle, options, &breaker);
+  auto c = FindMupsPatternCombiner(oracle, options, &combiner);
+  ASSERT_TRUE(c.ok());
+  FindMupsDeepDiver(oracle, options, &diver);
+  EXPECT_EQ(breaker.num_mups, combiner.num_mups);
+  EXPECT_EQ(breaker.num_mups, diver.num_mups);
+  EXPECT_GT(breaker.coverage_queries, 0u);
+  EXPECT_GT(diver.coverage_queries, 0u);
+}
+
+TEST(Integration, NutritionalLabelPipeline) {
+  const Dataset data = datagen::MakeAirbnb(800, 8, 77);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const std::uint64_t tau = 25;
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
+  const CoverageReport report =
+      BuildCoverageReport(data.schema(), mups, data.num_rows(), tau);
+  const std::string label = RenderNutritionalLabel(report);
+  EXPECT_NE(label.find("MUPs"), std::string::npos);
+  EXPECT_EQ(report.num_mups, mups.size());
+  EXPECT_EQ(report.maximum_covered_level,
+            MaximumCoveredLevel(mups, data.num_attributes()));
+}
+
+TEST(Integration, LevelLimitedScalesToWideData) {
+  // Fig. 16's premise: with max_level = 2, DEEPDIVER handles dozens of
+  // attributes quickly (full search would be hopeless at d=30).
+  const Dataset data = datagen::MakeAirbnb(5000, 30, 91);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options{.tau = 50};
+  options.max_level = 2;
+  const auto mups = FindMupsDeepDiver(oracle, options);
+  for (const Pattern& p : mups) EXPECT_LE(p.level(), 2);
+  ScanCoverage scan(data);
+  EXPECT_TRUE(ValidateMupSet(mups, scan, options.tau).ok());
+}
+
+}  // namespace
+}  // namespace coverage

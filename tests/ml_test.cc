@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/split.h"
+
+namespace coverage {
+namespace {
+
+// --------------------------------------------------------------- metrics --
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<int> y = {1, 0, 1, 1, 0};
+  const auto m = EvaluateBinary(y, y);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.num_samples, 5u);
+}
+
+TEST(Metrics, AllWrong) {
+  const std::vector<int> a = {1, 1, 0, 0};
+  const std::vector<int> p = {0, 0, 1, 1};
+  const auto m = EvaluateBinary(a, p);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, KnownConfusionMatrix) {
+  // tp=2 fp=1 fn=1 tn=1 -> precision 2/3, recall 2/3, f1 2/3, acc 3/5.
+  const std::vector<int> a = {1, 1, 1, 0, 0};
+  const std::vector<int> p = {1, 1, 0, 1, 0};
+  const auto m = EvaluateBinary(a, p);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.6);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, DegenerateCasesDefined) {
+  EXPECT_EQ(EvaluateBinary({}, {}).num_samples, 0u);
+  // No positives anywhere: precision/recall/f1 are 0 by convention.
+  const auto m = EvaluateBinary({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+// ----------------------------------------------------------------- split --
+
+TEST(Split, TrainTestPartition) {
+  Rng rng(4);
+  const auto split = MakeTrainTestSplit(100, 0.2, rng);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  std::vector<bool> seen(100, false);
+  for (std::size_t i : split.train) seen[i] = true;
+  for (std::size_t i : split.test) {
+    EXPECT_FALSE(seen[i]);  // disjoint
+    seen[i] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);  // exhaustive
+}
+
+TEST(Split, DeterministicUnderSeed) {
+  Rng a(7), b(7);
+  const auto s1 = MakeTrainTestSplit(50, 0.3, a);
+  const auto s2 = MakeTrainTestSplit(50, 0.3, b);
+  EXPECT_EQ(s1.test, s2.test);
+  EXPECT_EQ(s1.train, s2.train);
+}
+
+TEST(Split, KFoldsPartitionEverything) {
+  Rng rng(11);
+  const auto folds = MakeKFolds(100, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> test_count(100, 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test.size(), 20u);
+    EXPECT_EQ(fold.train.size(), 80u);
+    for (std::size_t i : fold.test) ++test_count[i];
+  }
+  for (int c : test_count) EXPECT_EQ(c, 1);  // each row tested exactly once
+}
+
+// --------------------------------------------------------- decision tree --
+
+Dataset XorDataset(std::vector<int>* labels, int copies) {
+  Dataset data(Schema::Binary(2));
+  for (int c = 0; c < copies; ++c) {
+    for (Value a = 0; a < 2; ++a) {
+      for (Value b = 0; b < 2; ++b) {
+        data.AppendRow(std::vector<Value>{a, b});
+        labels->push_back(a != b ? 1 : 0);
+      }
+    }
+  }
+  return data;
+}
+
+TEST(DecisionTree, LearnsXor) {
+  // XOR needs depth 2; a Gini tree with equality splits nails it exactly.
+  std::vector<int> labels;
+  const Dataset data = XorDataset(&labels, 10);
+  DecisionTree tree;
+  tree.Fit(data, labels, DecisionTree::Options{});
+  EXPECT_EQ(tree.Predict(std::vector<Value>{0, 0}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{0, 1}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{1, 0}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{1, 1}), 0);
+}
+
+TEST(DecisionTree, PureLabelsYieldLeaf) {
+  std::vector<int> labels(8, 1);
+  Dataset data(Schema::Binary(3));
+  for (int i = 0; i < 8; ++i) {
+    data.AppendRow(std::vector<Value>{static_cast<Value>(i & 1),
+                                      static_cast<Value>((i >> 1) & 1),
+                                      static_cast<Value>((i >> 2) & 1)});
+  }
+  DecisionTree tree;
+  tree.Fit(data, labels, DecisionTree::Options{});
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{1, 1, 1}), 1);
+}
+
+TEST(DecisionTree, MaxDepthLimitsTree) {
+  std::vector<int> labels;
+  const Dataset data = XorDataset(&labels, 5);
+  DecisionTree stump;
+  DecisionTree::Options options;
+  options.max_depth = 0;
+  stump.Fit(data, labels, options);
+  EXPECT_EQ(stump.num_nodes(), 1u);  // no split allowed
+}
+
+TEST(DecisionTree, MulticategoricalSplit) {
+  // Label depends on a ternary attribute: value 2 -> positive.
+  Dataset data(Schema::Uniform({3, 2}));
+  std::vector<int> labels;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<Value>(rng.NextUint64(3));
+    const auto b = static_cast<Value>(rng.NextUint64(2));
+    data.AppendRow(std::vector<Value>{a, b});
+    labels.push_back(a == 2 ? 1 : 0);
+  }
+  DecisionTree tree;
+  tree.Fit(data, labels, DecisionTree::Options{});
+  EXPECT_EQ(tree.Predict(std::vector<Value>{2, 0}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{2, 1}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{0, 0}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{1, 1}), 0);
+}
+
+TEST(DecisionTree, FitOnRowSubset) {
+  // Train only on rows where the label is a function of A1; rows outside
+  // the subset would otherwise poison the tree.
+  Dataset data(Schema::Binary(1));
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    data.AppendRow(std::vector<Value>{static_cast<Value>(i % 2)});
+    labels.push_back(i < 6 ? (i % 2) : 1 - (i % 2));  // last 4 inverted
+  }
+  std::vector<std::size_t> subset = {0, 1, 2, 3, 4, 5};
+  DecisionTree tree;
+  tree.Fit(data, labels, subset, DecisionTree::Options{});
+  EXPECT_EQ(tree.Predict(std::vector<Value>{0}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{1}), 1);
+}
+
+TEST(DecisionTree, PredictAllMatchesPredict) {
+  std::vector<int> labels;
+  const Dataset data = XorDataset(&labels, 3);
+  DecisionTree tree;
+  tree.Fit(data, labels, DecisionTree::Options{});
+  std::vector<std::size_t> rows = {0, 1, 2, 3};
+  const auto preds = tree.PredictAll(data, rows);
+  ASSERT_EQ(preds.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(preds[i], tree.Predict(data.row(rows[i])));
+  }
+}
+
+TEST(DecisionTree, GeneralisesOnNoisyMajority) {
+  // 90% of the signal follows A1; the tree must recover it despite noise.
+  Rng rng(13);
+  Dataset data(Schema::Uniform({2, 3}));
+  std::vector<int> labels;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<Value>(rng.NextUint64(2));
+    const auto b = static_cast<Value>(rng.NextUint64(3));
+    data.AppendRow(std::vector<Value>{a, b});
+    const int clean = a;
+    labels.push_back(rng.NextBool(0.9) ? clean : 1 - clean);
+  }
+  DecisionTree tree;
+  DecisionTree::Options options;
+  options.max_depth = 3;
+  options.min_samples_leaf = 20;
+  tree.Fit(data, labels, options);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{1, 0}), 1);
+  EXPECT_EQ(tree.Predict(std::vector<Value>{0, 2}), 0);
+}
+
+TEST(DecisionTree, MinSamplesLeafPreventsSlivers) {
+  std::vector<int> labels;
+  const Dataset data = XorDataset(&labels, 1);  // 4 rows
+  DecisionTree tree;
+  DecisionTree::Options options;
+  options.min_samples_leaf = 3;  // no split can satisfy 3+3 on 4 rows
+  tree.Fit(data, labels, options);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace coverage

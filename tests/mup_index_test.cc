@@ -1,0 +1,128 @@
+#include "mups/mup_index.h"
+
+#include <gtest/gtest.h>
+
+namespace coverage {
+namespace {
+
+Pattern P(const std::string& text, const Schema& schema) {
+  auto p = Pattern::Parse(text, schema);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(MupDominanceIndex, EmptyIndexDominatesNothing) {
+  const Schema schema = Schema::Binary(3);
+  MupDominanceIndex index(schema);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.IsDominated(P("111", schema)));
+  EXPECT_FALSE(index.DominatesSome(Pattern::Root(3)));
+  EXPECT_FALSE(index.Contains(Pattern::Root(3)));
+}
+
+TEST(MupDominanceIndex, MembershipIsExact) {
+  const Schema schema = Schema::Binary(3);
+  MupDominanceIndex index(schema);
+  index.Add(P("1XX", schema));
+  EXPECT_TRUE(index.Contains(P("1XX", schema)));
+  EXPECT_FALSE(index.Contains(P("0XX", schema)));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(MupDominanceIndex, DescendantIsDominated) {
+  const Schema schema = Schema::Binary(4);
+  MupDominanceIndex index(schema);
+  index.Add(P("1XXX", schema));
+  EXPECT_TRUE(index.IsDominated(P("10X1", schema)));
+  EXPECT_TRUE(index.IsDominated(P("1111", schema)));
+  EXPECT_TRUE(index.IsDominated(P("1XX0", schema)));
+}
+
+TEST(MupDominanceIndex, NonDescendantNotDominated) {
+  const Schema schema = Schema::Binary(4);
+  MupDominanceIndex index(schema);
+  index.Add(P("1XXX", schema));
+  EXPECT_FALSE(index.IsDominated(P("0XXX", schema)));
+  EXPECT_FALSE(index.IsDominated(P("X1XX", schema)));  // incomparable
+  EXPECT_FALSE(index.IsDominated(Pattern::Root(4)));   // ancestor
+  EXPECT_FALSE(index.IsDominated(P("1XXX", schema)));  // equality is strict
+}
+
+TEST(MupDominanceIndex, AncestorDominatesSome) {
+  const Schema schema = Schema::Binary(4);
+  MupDominanceIndex index(schema);
+  index.Add(P("10X1", schema));
+  EXPECT_TRUE(index.DominatesSome(Pattern::Root(4)));
+  EXPECT_TRUE(index.DominatesSome(P("1XXX", schema)));
+  EXPECT_TRUE(index.DominatesSome(P("10XX", schema)));
+  EXPECT_FALSE(index.DominatesSome(P("11XX", schema)));
+  EXPECT_FALSE(index.DominatesSome(P("10X1", schema)));  // strict
+  EXPECT_FALSE(index.DominatesSome(P("1011", schema)));  // descendant
+}
+
+TEST(MupDominanceIndex, MultipleMupsAnyMatchCounts) {
+  const Schema schema = Schema::Binary(4);
+  MupDominanceIndex index(schema);
+  index.Add(P("1XXX", schema));
+  index.Add(P("X0X0", schema));
+  EXPECT_TRUE(index.IsDominated(P("1010", schema)));  // dominated by both
+  EXPECT_TRUE(index.IsDominated(P("X0X0", schema).WithCell(0, 0)));  // 00X0
+  EXPECT_TRUE(index.DominatesSome(P("XXX0", schema)));  // ancestor of X0X0
+  EXPECT_FALSE(index.IsDominated(P("01X1", schema)));
+}
+
+TEST(MupDominanceIndex, MixedCardinalities) {
+  const Schema schema = Schema::Uniform({3, 4, 2});
+  MupDominanceIndex index(schema);
+  index.Add(P("2XX", schema));
+  index.Add(P("X31", schema));
+  EXPECT_TRUE(index.IsDominated(P("23X", schema)));
+  EXPECT_TRUE(index.IsDominated(P("231", schema)));
+  EXPECT_FALSE(index.IsDominated(P("13X", schema)));
+  EXPECT_TRUE(index.DominatesSome(P("X3X", schema)));
+  EXPECT_TRUE(index.DominatesSome(P("XX1", schema)));
+  EXPECT_FALSE(index.DominatesSome(P("X2X", schema)));
+}
+
+TEST(MupDominanceIndex, AgreesWithDirectDominanceChecks) {
+  // Property: index answers equal brute-force checks over all patterns of a
+  // small graph for an arbitrary antichain.
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  MupDominanceIndex index(schema);
+  const std::vector<Pattern> mups = {P("1XX", schema), P("X2X", schema),
+                                     P("X01", schema)};
+  for (const Pattern& m : mups) index.Add(m);
+
+  for (Value a = -1; a < 2; ++a) {
+    for (Value b = -1; b < 3; ++b) {
+      for (Value c = -1; c < 2; ++c) {
+        const Pattern p({a, b, c});
+        bool dominated = false, dominates = false;
+        for (const Pattern& m : mups) {
+          dominated = dominated || m.Dominates(p);
+          dominates = dominates || p.Dominates(m);
+        }
+        EXPECT_EQ(index.IsDominated(p), dominated) << p.ToString();
+        EXPECT_EQ(index.DominatesSome(p), dominates) << p.ToString();
+      }
+    }
+  }
+}
+
+TEST(MupDominanceIndex, GrowsPastWordBoundary) {
+  // More than 64 MUPs exercises multi-word bit vectors.
+  const Schema schema = Schema::Uniform({100, 2});
+  MupDominanceIndex index(schema);
+  for (Value v = 0; v < 100; ++v) {
+    index.Add(Pattern({v, kWildcard}));
+  }
+  EXPECT_EQ(index.size(), 100u);
+  for (Value v = 0; v < 100; ++v) {
+    EXPECT_TRUE(index.IsDominated(Pattern({v, Value{1}})));
+  }
+  EXPECT_TRUE(index.DominatesSome(Pattern::Root(2)));
+  EXPECT_FALSE(index.IsDominated(Pattern({kWildcard, Value{1}})));
+}
+
+}  // namespace
+}  // namespace coverage

@@ -1,0 +1,209 @@
+// Property-based cross-validation of the MUP search algorithms: on randomly
+// generated datasets over assorted schemas, all five algorithms must produce
+// the identical MUP set, and that set must satisfy the MUP invariants
+// (uncovered, all parents covered, antichain) checked against the
+// definitional scan oracle.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "coverage/bitmap_coverage.h"
+#include "coverage/scan_coverage.h"
+#include "datagen/airbnb.h"
+#include "mups/mups.h"
+
+namespace coverage {
+namespace {
+
+struct SweepCase {
+  std::vector<int> cardinalities;
+  std::size_t num_rows;
+  std::uint64_t tau;
+  std::uint64_t seed;
+  double skew;  // higher -> more mass on value 0 per attribute
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = "c";
+  for (int c : info.param.cardinalities) name += std::to_string(c);
+  name += "_n" + std::to_string(info.param.num_rows);
+  name += "_tau" + std::to_string(info.param.tau);
+  name += "_s" + std::to_string(info.param.seed);
+  return name;
+}
+
+Dataset GenerateSkewed(const SweepCase& c) {
+  const Schema schema = Schema::Uniform(c.cardinalities);
+  Rng rng(c.seed);
+  Dataset data(schema);
+  std::vector<Value> row(c.cardinalities.size());
+  for (std::size_t r = 0; r < c.num_rows; ++r) {
+    for (std::size_t a = 0; a < c.cardinalities.size(); ++a) {
+      const auto card = static_cast<std::uint64_t>(c.cardinalities[a]);
+      std::uint64_t v = rng.NextUint64(card);
+      if (rng.NextBool(c.skew)) v = std::min(v, rng.NextUint64(card));
+      row[a] = static_cast<Value>(v);
+    }
+    data.AppendRow(row);
+  }
+  return data;
+}
+
+class MupEquivalenceSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MupEquivalenceSweep, AllAlgorithmsAgreeAndInvariantsHold) {
+  const SweepCase& c = GetParam();
+  const Dataset data = GenerateSkewed(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  ScanCoverage scan(data);
+
+  MupSearchOptions options{.tau = c.tau};
+  auto naive = FindMupsNaive(scan, data.schema(), options);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+
+  const auto breaker = FindMupsPatternBreaker(oracle, options);
+  EXPECT_EQ(breaker, *naive) << "PATTERN-BREAKER diverges";
+
+  auto combiner = FindMupsPatternCombiner(oracle, options);
+  ASSERT_TRUE(combiner.ok());
+  EXPECT_EQ(*combiner, *naive) << "PATTERN-COMBINER diverges";
+
+  const auto diver = FindMupsDeepDiver(oracle, options);
+  EXPECT_EQ(diver, *naive) << "DEEPDIVER diverges";
+
+  auto apriori = FindMupsApriori(oracle, options);
+  ASSERT_TRUE(apriori.ok());
+  EXPECT_EQ(*apriori, *naive) << "APRIORI diverges";
+
+  EXPECT_TRUE(ValidateMupSet(*naive, scan, c.tau).ok());
+}
+
+TEST_P(MupEquivalenceSweep, LevelLimitedEqualsFilteredFull) {
+  const SweepCase& c = GetParam();
+  const Dataset data = GenerateSkewed(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+
+  MupSearchOptions full{.tau = c.tau};
+  const auto all = FindMupsDeepDiver(oracle, full);
+  const int d = data.num_attributes();
+  for (int max_level = 0; max_level <= d; ++max_level) {
+    MupSearchOptions limited{.tau = c.tau};
+    limited.max_level = max_level;
+    const auto got = FindMupsDeepDiver(oracle, limited);
+    std::vector<Pattern> expected;
+    for (const Pattern& p : all) {
+      if (p.level() <= max_level) expected.push_back(p);
+    }
+    EXPECT_EQ(got, expected) << "max_level=" << max_level;
+
+    const auto got_breaker = FindMupsPatternBreaker(oracle, limited);
+    EXPECT_EQ(got_breaker, expected) << "breaker max_level=" << max_level;
+  }
+}
+
+TEST_P(MupEquivalenceSweep, BitmapOracleMatchesScanOnMups) {
+  const SweepCase& c = GetParam();
+  const Dataset data = GenerateSkewed(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  ScanCoverage scan(data);
+  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = c.tau});
+  for (const Pattern& p : mups) {
+    EXPECT_EQ(oracle.Coverage(p), scan.Coverage(p));
+    for (const Pattern& parent : p.Parents()) {
+      EXPECT_EQ(oracle.Coverage(parent), scan.Coverage(parent));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MupEquivalenceSweep,
+    ::testing::Values(
+        // Binary schemas of growing width.
+        SweepCase{{2, 2}, 10, 2, 1, 0.3},
+        SweepCase{{2, 2, 2}, 30, 3, 2, 0.5},
+        SweepCase{{2, 2, 2, 2}, 60, 4, 3, 0.5},
+        SweepCase{{2, 2, 2, 2, 2}, 120, 5, 4, 0.6},
+        SweepCase{{2, 2, 2, 2, 2, 2}, 200, 6, 5, 0.4},
+        // Mixed cardinalities.
+        SweepCase{{3, 2}, 25, 3, 6, 0.4},
+        SweepCase{{3, 4, 2}, 80, 4, 7, 0.5},
+        SweepCase{{4, 3, 3, 2}, 150, 5, 8, 0.5},
+        SweepCase{{5, 2, 4}, 100, 6, 9, 0.6},
+        SweepCase{{2, 6, 2, 3}, 140, 4, 10, 0.4},
+        // Cardinality-1 attributes are legal and degenerate.
+        SweepCase{{1, 2, 3}, 40, 3, 11, 0.4},
+        SweepCase{{1, 1, 2}, 20, 2, 12, 0.3},
+        // Small n relative to tau: almost everything uncovered.
+        SweepCase{{2, 3, 2}, 5, 4, 13, 0.5},
+        SweepCase{{3, 3}, 3, 10, 14, 0.2},
+        // Large n relative to the domain: almost everything covered.
+        SweepCase{{2, 2, 2}, 500, 2, 15, 0.1},
+        SweepCase{{3, 2, 2}, 400, 3, 16, 0.2},
+        // tau = 1 (pure emptiness detection).
+        SweepCase{{2, 3, 3}, 30, 1, 17, 0.7},
+        SweepCase{{4, 4}, 12, 1, 18, 0.6},
+        // Heavier skew concentrates coverage and spawns mid-level MUPs.
+        SweepCase{{2, 2, 2, 2, 2}, 80, 8, 19, 0.9},
+        SweepCase{{3, 3, 3}, 90, 9, 20, 0.8}),
+    CaseName);
+
+TEST_P(MupEquivalenceSweep, DominanceModesAgree) {
+  // The three DEEPDIVER dominance strategies (Appendix-B bitmap index,
+  // linear scan, no pruning at all) are interchangeable in output.
+  const SweepCase& c = GetParam();
+  const Dataset data = GenerateSkewed(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options{.tau = c.tau};
+  options.dominance_mode = MupSearchOptions::DominanceMode::kBitmapIndex;
+  const auto bitmap = FindMupsDeepDiver(oracle, options);
+  options.dominance_mode = MupSearchOptions::DominanceMode::kLinearScan;
+  const auto linear = FindMupsDeepDiver(oracle, options);
+  options.dominance_mode = MupSearchOptions::DominanceMode::kNoPruning;
+  const auto none = FindMupsDeepDiver(oracle, options);
+  EXPECT_EQ(bitmap, linear);
+  EXPECT_EQ(bitmap, none);
+}
+
+TEST_P(MupEquivalenceSweep, ScanOracleMatchesBitmapOracleInSearch) {
+  // PATTERN-BREAKER and DEEPDIVER accept any CoverageOracle; running them
+  // over the definitional scan oracle must give the same MUPs.
+  const SweepCase& c = GetParam();
+  const Dataset data = GenerateSkewed(c);
+  const AggregatedData agg(data);
+  const BitmapCoverage bitmap(agg);
+  ScanCoverage scan(data);
+  MupSearchOptions options{.tau = c.tau};
+  EXPECT_EQ(FindMupsPatternBreaker(scan, data.schema(), options),
+            FindMupsPatternBreaker(bitmap, options));
+  EXPECT_EQ(FindMupsDeepDiver(scan, data.schema(), options),
+            FindMupsDeepDiver(bitmap, options));
+}
+
+// A coarse-grained end-to-end property on the AirBnB generator: DEEPDIVER
+// and PATTERN-BREAKER agree on a realistic boolean workload.
+TEST(MupEquivalenceAirbnb, BreakerDiverCombinerAgree) {
+  const Dataset data = datagen::MakeAirbnb(2000, 8, 123);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const MupSearchOptions options{.tau = 20};
+  const auto breaker = FindMupsPatternBreaker(oracle, options);
+  const auto diver = FindMupsDeepDiver(oracle, options);
+  auto combiner = FindMupsPatternCombiner(oracle, options);
+  ASSERT_TRUE(combiner.ok());
+  EXPECT_EQ(breaker, diver);
+  EXPECT_EQ(breaker, *combiner);
+  EXPECT_FALSE(breaker.empty());
+  ScanCoverage scan(data);
+  EXPECT_TRUE(ValidateMupSet(breaker, scan, options.tau).ok());
+}
+
+}  // namespace
+}  // namespace coverage

@@ -1,0 +1,337 @@
+#include "mups/mups.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "coverage/scan_coverage.h"
+#include "datagen/adversarial.h"
+
+namespace coverage {
+namespace {
+
+Dataset MakeExample1() {
+  Dataset data(Schema::Binary(3));
+  data.AppendRow(std::vector<Value>{0, 1, 0});
+  data.AppendRow(std::vector<Value>{0, 0, 1});
+  data.AppendRow(std::vector<Value>{0, 0, 0});
+  data.AppendRow(std::vector<Value>{0, 1, 1});
+  data.AppendRow(std::vector<Value>{0, 0, 1});
+  return data;
+}
+
+std::set<std::string> Names(const std::vector<Pattern>& ps) {
+  std::set<std::string> names;
+  for (const Pattern& p : ps) names.insert(p.ToString());
+  return names;
+}
+
+class AllAlgorithms : public ::testing::TestWithParam<MupAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Mups, AllAlgorithms,
+    ::testing::Values(MupAlgorithm::kNaive, MupAlgorithm::kPatternBreaker,
+                      MupAlgorithm::kPatternCombiner, MupAlgorithm::kDeepDiver,
+                      MupAlgorithm::kApriori),
+    [](const ::testing::TestParamInfo<MupAlgorithm>& info) {
+      std::string name = ToString(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+TEST_P(AllAlgorithms, Example1HasSingleMup) {
+  // Example 1 with τ=1: the only MUP is 1XX (the 8 other uncovered patterns
+  // are dominated by it).
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 1});
+  ASSERT_TRUE(mups.ok()) << mups.status().ToString();
+  EXPECT_EQ(Names(*mups), (std::set<std::string>{"1XX"}));
+}
+
+TEST_P(AllAlgorithms, Example1HigherThreshold) {
+  // τ=2: 010, 000 and 011 each appear once, 1XX not at all. Expected MUPs
+  // are the maximal uncovered patterns; validate invariants instead of a
+  // hand-computed list, then cross-check against naive below.
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 2});
+  ASSERT_TRUE(mups.ok());
+  ScanCoverage scan(data);
+  EXPECT_TRUE(ValidateMupSet(*mups, scan, 2).ok());
+  auto reference =
+      FindMupsNaive(scan, data.schema(), MupSearchOptions{.tau = 2});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(*mups, *reference);
+}
+
+TEST_P(AllAlgorithms, FullyCoveredDatasetHasNoMups) {
+  // Every combination of a tiny domain present: nothing is uncovered at τ=1.
+  Dataset data(Schema::Binary(2));
+  for (Value a = 0; a < 2; ++a) {
+    for (Value b = 0; b < 2; ++b) data.AppendRow(std::vector<Value>{a, b});
+  }
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 1});
+  ASSERT_TRUE(mups.ok());
+  EXPECT_TRUE(mups->empty());
+}
+
+TEST_P(AllAlgorithms, EmptyDatasetRootIsTheOnlyMup) {
+  const Dataset data(Schema::Binary(3));
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 1});
+  ASSERT_TRUE(mups.ok());
+  EXPECT_EQ(Names(*mups), (std::set<std::string>{"XXX"}));
+}
+
+TEST_P(AllAlgorithms, ThresholdAboveDatasetSize) {
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 6});
+  ASSERT_TRUE(mups.ok());
+  EXPECT_EQ(Names(*mups), (std::set<std::string>{"XXX"}));
+}
+
+TEST_P(AllAlgorithms, Theorem1DiagonalConstruction) {
+  // Theorem 1: the diagonal dataset with n=4 and τ = n/2+1 = 3 has exactly
+  // n + C(n, n/2) = 4 + 6 = 10 MUPs: the four single-1 patterns and the six
+  // patterns with two deterministic zeros.
+  const Dataset data = datagen::MakeDiagonal(4);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 3});
+  ASSERT_TRUE(mups.ok());
+  EXPECT_EQ(mups->size(), 10u);
+  int single_ones = 0, double_zeros = 0;
+  for (const Pattern& p : *mups) {
+    if (p.level() == 1) {
+      EXPECT_EQ(p.cell(p.RightmostDeterministic()), 1);
+      ++single_ones;
+    } else {
+      EXPECT_EQ(p.level(), 2);
+      for (int i = 0; i < 4; ++i) {
+        if (p.is_deterministic(i)) {
+          EXPECT_EQ(p.cell(i), 0);
+        }
+      }
+      ++double_zeros;
+    }
+  }
+  EXPECT_EQ(single_ones, 4);
+  EXPECT_EQ(double_zeros, 6);
+  ScanCoverage scan(data);
+  EXPECT_TRUE(ValidateMupSet(*mups, scan, 3).ok());
+}
+
+TEST_P(AllAlgorithms, Theorem1LargerInstance) {
+  // n=6, τ=4: 6 + C(6,3) = 26 MUPs.
+  const Dataset data = datagen::MakeDiagonal(6);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 4});
+  ASSERT_TRUE(mups.ok());
+  EXPECT_EQ(mups->size(), 26u);
+}
+
+TEST_P(AllAlgorithms, Theorem2VertexCoverReduction) {
+  // Theorem 2's reduction: with τ=3, the MUPs are exactly the |E| single-1
+  // patterns (one per edge).
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}};
+  const Dataset data = datagen::MakeVertexCoverReduction(4, edges);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 3});
+  ASSERT_TRUE(mups.ok());
+  EXPECT_EQ(Names(*mups), (std::set<std::string>{"1XXXX", "X1XXX", "XX1XX",
+                                                 "XXX1X", "XXXX1"}));
+}
+
+TEST_P(AllAlgorithms, MixedCardinalitiesAgainstNaive) {
+  Rng rng(77);
+  const Schema schema = Schema::Uniform({3, 2, 4, 2});
+  Dataset data(schema);
+  std::vector<Value> row(4);
+  for (int i = 0; i < 300; ++i) {
+    for (int a = 0; a < 4; ++a) {
+      // Skewed draws leave corners uncovered.
+      const auto c = static_cast<std::uint64_t>(schema.cardinality(a));
+      row[static_cast<std::size_t>(a)] = static_cast<Value>(
+          std::min(rng.NextUint64(c), rng.NextUint64(c)));
+    }
+    data.AppendRow(row);
+  }
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  auto mups = FindMups(GetParam(), oracle, MupSearchOptions{.tau = 5});
+  ASSERT_TRUE(mups.ok());
+  ScanCoverage scan(data);
+  auto reference =
+      FindMupsNaive(scan, schema, MupSearchOptions{.tau = 5});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(*mups, *reference);
+}
+
+// ------------------------------------------------- algorithm specifics --
+
+TEST(PatternBreaker, SoundnessRegressionDominatedCandidate) {
+  // Regression for the Algorithm-1 pitfall documented in mups.h: with
+  // D = {1101, 1110} and τ=1, XX00 is a MUP and 1100 must NOT be reported
+  // even though all its parents are generated.
+  Dataset data(Schema::Binary(4));
+  data.AppendRow(std::vector<Value>{1, 1, 0, 1});
+  data.AppendRow(std::vector<Value>{1, 1, 1, 0});
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const auto mups = FindMupsPatternBreaker(oracle, MupSearchOptions{.tau = 1});
+  for (const Pattern& p : mups) {
+    EXPECT_NE(p.ToString(), "1100");
+  }
+  ScanCoverage scan(data);
+  EXPECT_TRUE(ValidateMupSet(mups, scan, 1).ok());
+  auto reference = FindMupsNaive(scan, data.schema(),
+                                 MupSearchOptions{.tau = 1});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(mups, *reference);
+}
+
+TEST(PatternBreaker, StatsAreFilled) {
+  const Dataset data = MakeExample1();
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchStats stats;
+  const auto mups =
+      FindMupsPatternBreaker(oracle, MupSearchOptions{.tau = 1}, &stats);
+  EXPECT_EQ(stats.num_mups, mups.size());
+  EXPECT_GT(stats.coverage_queries, 0u);
+  EXPECT_GT(stats.nodes_generated, 0u);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(PatternCombiner, RefusesHugeCombinationSpace) {
+  const Dataset data = datagen::MakeDiagonal(8);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options{.tau = 2};
+  options.enumeration_limit = 16;  // 2^8 = 256 combinations > 16
+  const auto result = FindMupsPatternCombiner(oracle, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeepDiver, PruningStatsAccumulate) {
+  const Dataset data = datagen::MakeDiagonal(8);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchStats stats;
+  const auto mups =
+      FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 5}, &stats);
+  EXPECT_EQ(stats.num_mups, mups.size());
+  EXPECT_GT(stats.nodes_pruned, 0u);
+  ScanCoverage scan(data);
+  EXPECT_TRUE(ValidateMupSet(mups, scan, 5).ok());
+}
+
+TEST(DeepDiver, CoverageQueriesBelowPatternBreaker) {
+  // DEEPDIVER's dominance pruning should issue no more coverage queries
+  // than PATTERN-BREAKER on a MUP-rich dataset (the paper's core claim).
+  const Dataset data = datagen::MakeDiagonal(10);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchStats breaker_stats, diver_stats;
+  FindMupsPatternBreaker(oracle, MupSearchOptions{.tau = 6}, &breaker_stats);
+  FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 6}, &diver_stats);
+  EXPECT_EQ(breaker_stats.num_mups, diver_stats.num_mups);
+  EXPECT_LE(diver_stats.coverage_queries, breaker_stats.coverage_queries);
+}
+
+TEST(LevelLimited, MaxLevelRestrictsOutput) {
+  const Dataset data = datagen::MakeDiagonal(6);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  // Unlimited: MUPs at levels 1 and 3 (n=6, τ=4 -> zeros at level 3).
+  auto all = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 4});
+  MupSearchOptions limited{.tau = 4};
+  limited.max_level = 1;
+  auto level1 = FindMupsDeepDiver(oracle, limited);
+  std::vector<Pattern> expected;
+  for (const Pattern& p : all) {
+    if (p.level() <= 1) expected.push_back(p);
+  }
+  EXPECT_EQ(level1, expected);
+}
+
+TEST(LevelLimited, AllAlgorithmsAgreeUnderMaxLevel) {
+  const Dataset data = datagen::MakeDiagonal(6);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options{.tau = 4};
+  options.max_level = 2;
+  auto breaker = FindMupsPatternBreaker(oracle, options);
+  auto diver = FindMupsDeepDiver(oracle, options);
+  auto combiner = FindMupsPatternCombiner(oracle, options);
+  auto apriori = FindMupsApriori(oracle, options);
+  ASSERT_TRUE(combiner.ok());
+  ASSERT_TRUE(apriori.ok());
+  EXPECT_EQ(breaker, diver);
+  EXPECT_EQ(breaker, *combiner);
+  EXPECT_EQ(breaker, *apriori);
+}
+
+TEST(Naive, RespectsEnumerationLimit) {
+  const Dataset data = datagen::MakeDiagonal(30);
+  ScanCoverage oracle(data);
+  MupSearchOptions options{.tau = 2};
+  options.enumeration_limit = 1000;  // 3^30 patterns is far beyond this
+  const auto result = FindMupsNaive(oracle, data.schema(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ------------------------------------------------------------ utilities --
+
+TEST(MupUtilities, LevelHistogram) {
+  const Schema schema = Schema::Binary(4);
+  const std::vector<Pattern> mups = {*Pattern::Parse("1XXX", schema),
+                                     *Pattern::Parse("X10X", schema),
+                                     *Pattern::Parse("X01X", schema)};
+  const auto hist = MupLevelHistogram(mups, 4);
+  EXPECT_EQ(hist, (std::vector<std::size_t>{0, 1, 2, 0, 0}));
+}
+
+TEST(MupUtilities, MaximumCoveredLevel) {
+  const Schema schema = Schema::Binary(4);
+  EXPECT_EQ(MaximumCoveredLevel({}, 4), 4);
+  EXPECT_EQ(MaximumCoveredLevel({*Pattern::Parse("X10X", schema)}, 4), 1);
+  EXPECT_EQ(MaximumCoveredLevel({Pattern::Root(4)}, 4), -1);
+}
+
+TEST(MupUtilities, ValidateMupSetRejectsCoveredPattern) {
+  const Dataset data = MakeExample1();
+  ScanCoverage scan(data);
+  const std::vector<Pattern> bogus = {*Pattern::Parse("0XX", data.schema())};
+  EXPECT_FALSE(ValidateMupSet(bogus, scan, 1).ok());
+}
+
+TEST(MupUtilities, ValidateMupSetRejectsDominatedPair) {
+  const Dataset data = MakeExample1();
+  ScanCoverage scan(data);
+  const std::vector<Pattern> bogus = {*Pattern::Parse("1XX", data.schema()),
+                                      *Pattern::Parse("11X", data.schema())};
+  EXPECT_FALSE(ValidateMupSet(bogus, scan, 1).ok());
+}
+
+TEST(MupUtilities, AlgorithmNames) {
+  EXPECT_EQ(ToString(MupAlgorithm::kPatternBreaker), "PATTERN-BREAKER");
+  EXPECT_EQ(ToString(MupAlgorithm::kDeepDiver), "DEEPDIVER");
+}
+
+}  // namespace
+}  // namespace coverage

@@ -1,0 +1,416 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "pattern/pattern_ops.h"
+
+namespace coverage {
+namespace {
+
+Pattern P(const std::string& text, const Schema& schema) {
+  auto p = Pattern::Parse(text, schema);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+// --------------------------------------------------------------- Pattern --
+
+TEST(Pattern, RootHasLevelZero) {
+  const Pattern root = Pattern::Root(4);
+  EXPECT_EQ(root.level(), 0);
+  EXPECT_EQ(root.num_attributes(), 4);
+  EXPECT_EQ(root.ToString(), "XXXX");
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(root.is_deterministic(i));
+}
+
+TEST(Pattern, ParseRoundTrip) {
+  const Schema schema = Schema::Binary(4);
+  const Pattern p = P("X1X0", schema);
+  EXPECT_EQ(p.ToString(), "X1X0");
+  EXPECT_EQ(p.level(), 2);
+  EXPECT_EQ(p.cell(1), 1);
+  EXPECT_EQ(p.cell(0), kWildcard);
+}
+
+TEST(Pattern, ParseRejectsBadInput) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_FALSE(Pattern::Parse("XX", schema).ok());     // wrong width
+  EXPECT_FALSE(Pattern::Parse("XX2", schema).ok());    // out of cardinality
+  EXPECT_FALSE(Pattern::Parse("X!0", schema).ok());    // invalid character
+  EXPECT_TRUE(Pattern::Parse("x10", schema).ok());     // lowercase x ok
+}
+
+TEST(Pattern, ParseBase36Values) {
+  const Schema schema = Schema::Uniform({12});
+  const Pattern p = P("b", schema);
+  EXPECT_EQ(p.cell(0), 11);
+  EXPECT_EQ(p.ToString(), "b");
+}
+
+TEST(Pattern, MatchesEquationOne) {
+  // The worked example under Definition 1: P = X1X0 on four binary
+  // attributes; t1 = 1100 and t2 = 0110 match, t3 = 1010 does not.
+  const Schema schema = Schema::Binary(4);
+  const Pattern p = P("X1X0", schema);
+  EXPECT_TRUE(p.Matches(std::vector<Value>{1, 1, 0, 0}));
+  EXPECT_TRUE(p.Matches(std::vector<Value>{0, 1, 1, 0}));
+  EXPECT_FALSE(p.Matches(std::vector<Value>{1, 0, 1, 0}));
+}
+
+TEST(Pattern, RootMatchesEverything) {
+  const Pattern root = Pattern::Root(3);
+  EXPECT_TRUE(root.Matches(std::vector<Value>{0, 1, 0}));
+  EXPECT_TRUE(root.Matches(std::vector<Value>{1, 1, 1}));
+}
+
+TEST(Pattern, DominatesWorkedExample) {
+  // §II: P2 = 10X1 is dominated by P1 = 1XXX.
+  const Schema schema = Schema::Binary(4);
+  const Pattern p1 = P("1XXX", schema);
+  const Pattern p2 = P("10X1", schema);
+  EXPECT_TRUE(p1.Dominates(p2));
+  EXPECT_FALSE(p2.Dominates(p1));
+}
+
+TEST(Pattern, DominationIsStrict) {
+  const Schema schema = Schema::Binary(3);
+  const Pattern p = P("1X0", schema);
+  EXPECT_FALSE(p.Dominates(p));
+  EXPECT_TRUE(p.DominatesOrEquals(p));
+}
+
+TEST(Pattern, DominatesRequiresAgreement) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_FALSE(P("1XX", schema).Dominates(P("0XX", schema)));
+  EXPECT_FALSE(P("1XX", schema).Dominates(P("X11", schema)));
+  EXPECT_TRUE(P("XXX", schema).Dominates(P("0XX", schema)));
+}
+
+TEST(Pattern, DominanceImpliesMatchSubset) {
+  // Property check on a small universe: if P dominates Q then every tuple
+  // matching Q matches P.
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  std::vector<Pattern> all;
+  for (Value a = -1; a < 2; ++a) {
+    for (Value b = -1; b < 3; ++b) {
+      for (Value c = -1; c < 2; ++c) {
+        all.push_back(Pattern({a, b, c}));
+      }
+    }
+  }
+  std::vector<std::vector<Value>> tuples;
+  for (Value a = 0; a < 2; ++a) {
+    for (Value b = 0; b < 3; ++b) {
+      for (Value c = 0; c < 2; ++c) tuples.push_back({a, b, c});
+    }
+  }
+  for (const Pattern& p : all) {
+    for (const Pattern& q : all) {
+      if (!p.Dominates(q)) continue;
+      for (const auto& t : tuples) {
+        if (q.Matches(t)) EXPECT_TRUE(p.Matches(t));
+      }
+      EXPECT_LT(p.level(), q.level());
+    }
+  }
+}
+
+TEST(Pattern, LevelExamplesFromPaper) {
+  const Schema schema = Schema::Binary(4);
+  EXPECT_EQ(P("1XXX", schema).level(), 1);
+  EXPECT_EQ(P("10X1", schema).level(), 3);
+}
+
+TEST(Pattern, ParentsRelaxOneCell) {
+  const Schema schema = Schema::Binary(4);
+  const Pattern p = P("10X1", schema);
+  const auto parents = p.Parents();
+  ASSERT_EQ(parents.size(), 3u);
+  std::set<std::string> names;
+  for (const Pattern& parent : parents) names.insert(parent.ToString());
+  EXPECT_EQ(names, (std::set<std::string>{"X0X1", "1XX1", "10XX"}));
+  for (const Pattern& parent : parents) {
+    EXPECT_TRUE(parent.Dominates(p));
+    EXPECT_EQ(parent.level(), p.level() - 1);
+  }
+}
+
+TEST(Pattern, RootHasNoParents) {
+  EXPECT_TRUE(Pattern::Root(3).Parents().empty());
+}
+
+TEST(Pattern, RightmostHelpers) {
+  const Schema schema = Schema::Binary(5);
+  EXPECT_EQ(P("X1X0X", schema).RightmostDeterministic(), 3);
+  EXPECT_EQ(P("X1X0X", schema).RightmostWildcard(), 4);
+  EXPECT_EQ(P("XXXXX", schema).RightmostDeterministic(), -1);
+  EXPECT_EQ(P("01010", schema).RightmostWildcard(), -1);
+}
+
+TEST(Pattern, ValueCountDefinitionSeven) {
+  // Definition 7's example: P = X1X0 over four binary attributes has value
+  // count 2 * 2 = 4.
+  const Schema schema = Schema::Binary(4);
+  EXPECT_EQ(P("X1X0", schema).ValueCount(schema), 4u);
+  EXPECT_EQ(Pattern::Root(4).ValueCount(schema), 16u);
+  EXPECT_EQ(P("0101", schema).ValueCount(schema), 1u);
+}
+
+TEST(Pattern, ValueCountMixedCardinalities) {
+  const Schema schema = Schema::Uniform({2, 3, 5});
+  EXPECT_EQ(P("0XX", schema).ValueCount(schema), 15u);
+  EXPECT_EQ(P("X2X", schema).ValueCount(schema), 10u);
+}
+
+TEST(Pattern, LabelledString) {
+  Schema schema({Attribute{"race", {"AA", "C", "Hispanic", "other"}},
+                 Attribute{"marital", {"single", "married", "sep", "widowed",
+                                       "so", "div", "unk"}}});
+  const Pattern p = P("23", schema);
+  EXPECT_EQ(p.ToLabelledString(schema), "race=Hispanic, marital=widowed");
+  EXPECT_EQ(Pattern::Root(2).ToLabelledString(schema), "<any>");
+}
+
+TEST(Pattern, HashConsistentWithEquality) {
+  const Schema schema = Schema::Binary(4);
+  const Pattern a = P("X1X0", schema);
+  const Pattern b = P("X1X0", schema);
+  const Pattern c = P("X1X1", schema);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  std::unordered_set<Pattern, PatternHash> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Pattern, FromTuple) {
+  const std::vector<Value> t = {1, 0, 2};
+  const Pattern p = Pattern::FromTuple(t);
+  EXPECT_EQ(p.level(), 3);
+  EXPECT_TRUE(p.Matches(t));
+}
+
+// ---------------------------------------------------------- pattern_ops --
+
+TEST(PatternOps, Rule1WorkedExample) {
+  // §III-C: node 0XX generates 0X0, 0X1, 00X, 01X; node X1X generates X10
+  // and X11.
+  const Schema schema = Schema::Binary(3);
+  auto to_names = [](const std::vector<Pattern>& ps) {
+    std::set<std::string> names;
+    for (const Pattern& p : ps) names.insert(p.ToString());
+    return names;
+  };
+  EXPECT_EQ(to_names(Rule1Children(P("0XX", schema), schema)),
+            (std::set<std::string>{"00X", "01X", "0X0", "0X1"}));
+  EXPECT_EQ(to_names(Rule1Children(P("X1X", schema), schema)),
+            (std::set<std::string>{"X10", "X11"}));
+}
+
+TEST(PatternOps, Rule1RootGeneratesAllLevelOne) {
+  const Schema schema = Schema::Uniform({2, 3});
+  const auto children = Rule1Children(Pattern::Root(2), schema);
+  EXPECT_EQ(children.size(), 5u);  // 2 + 3 values
+}
+
+TEST(PatternOps, Rule1LeafGeneratesNothing) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_TRUE(Rule1Children(P("010", schema), schema).empty());
+}
+
+TEST(PatternOps, Rule1GeneratorInverts) {
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  // Every non-root pattern is generated by exactly its Rule-1 generator
+  // (Theorem 3): enumerate the whole graph and check.
+  for (Value a = -1; a < 2; ++a) {
+    for (Value b = -1; b < 3; ++b) {
+      for (Value c = -1; c < 2; ++c) {
+        const Pattern p({a, b, c});
+        if (p.level() == 0) continue;
+        const Pattern gen = Rule1Generator(p);
+        const auto children = Rule1Children(gen, schema);
+        EXPECT_EQ(std::count(children.begin(), children.end(), p), 1);
+      }
+    }
+  }
+}
+
+TEST(PatternOps, Rule1ExactlyOnceAcrossLevel) {
+  // Theorem 3, global form: generating children of all patterns at one
+  // level yields each level-(l+1) pattern exactly once.
+  const Schema schema = Schema::Uniform({2, 3, 2, 2});
+  std::vector<Pattern> level = {Pattern::Root(4)};
+  for (int l = 0; l < 4; ++l) {
+    std::vector<Pattern> next;
+    for (const Pattern& p : level) {
+      for (const Pattern& c : Rule1Children(p, schema)) next.push_back(c);
+    }
+    std::set<Pattern> unique(next.begin(), next.end());
+    EXPECT_EQ(unique.size(), next.size()) << "duplicates at level " << (l + 1);
+    level = std::move(next);
+  }
+}
+
+TEST(PatternOps, Rule2WorkedExamples) {
+  // §III-D: X01 generates XX1; 000 generates 00X, 0X0, X00.
+  const Schema schema = Schema::Binary(3);
+  auto to_names = [](const std::vector<Pattern>& ps) {
+    std::set<std::string> names;
+    for (const Pattern& p : ps) names.insert(p.ToString());
+    return names;
+  };
+  EXPECT_EQ(to_names(Rule2Parents(P("X01", schema))),
+            (std::set<std::string>{"XX1"}));
+  EXPECT_EQ(to_names(Rule2Parents(P("000", schema))),
+            (std::set<std::string>{"00X", "0X0", "X00"}));
+}
+
+TEST(PatternOps, Rule2OnlyRelaxesZeros) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_TRUE(Rule2Parents(P("X11", schema)).empty());
+  EXPECT_EQ(Rule2Parents(P("X10", schema)).size(), 1u);
+}
+
+TEST(PatternOps, Rule2GeneratorInverts) {
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  for (Value a = -1; a < 2; ++a) {
+    for (Value b = -1; b < 3; ++b) {
+      for (Value c = -1; c < 2; ++c) {
+        const Pattern p({a, b, c});
+        if (p.level() == 3) continue;  // leaves have no Rule-2 generator
+        const Pattern gen = Rule2Generator(p);
+        const auto parents = Rule2Parents(gen);
+        EXPECT_EQ(std::count(parents.begin(), parents.end(), p), 1)
+            << p.ToString();
+      }
+    }
+  }
+}
+
+TEST(PatternOps, PartitionChildrenCoverDisjointly) {
+  const Schema schema = Schema::Uniform({2, 3});
+  const Pattern p = P("1X", schema);
+  const auto children = PartitionChildren(p, schema, 1);
+  ASSERT_EQ(children.size(), 3u);
+  // Every tuple matching p matches exactly one child.
+  for (Value b = 0; b < 3; ++b) {
+    const std::vector<Value> t = {1, b};
+    int matches = 0;
+    for (const Pattern& c : children) matches += c.Matches(t);
+    EXPECT_EQ(matches, 1);
+  }
+}
+
+TEST(PatternOps, DescendantsAtLevelAppendixCExample) {
+  // Appendix C: the level-3 subset patterns of P1 = XX01X (5 attrs, A2 and
+  // A3 ternary) are 0X01X, 1X01X, X001X, X101X, X201X, XX010, XX011.
+  const Schema schema = Schema::Uniform({2, 3, 3, 2, 2});
+  const Pattern p1 = P("XX01X", schema);
+  auto desc = DescendantsAtLevel(p1, schema, 3, 1000);
+  ASSERT_TRUE(desc.ok());
+  std::set<std::string> names;
+  for (const Pattern& p : *desc) names.insert(p.ToString());
+  EXPECT_EQ(names, (std::set<std::string>{"0X01X", "1X01X", "X001X", "X101X",
+                                          "X201X", "XX010", "XX011"}));
+}
+
+TEST(PatternOps, DescendantsAtSameLevelIsSelf) {
+  const Schema schema = Schema::Binary(3);
+  const Pattern p = P("1X0", schema);
+  auto desc = DescendantsAtLevel(p, schema, 2, 10);
+  ASSERT_TRUE(desc.ok());
+  ASSERT_EQ(desc->size(), 1u);
+  EXPECT_EQ((*desc)[0], p);
+}
+
+TEST(PatternOps, DescendantsRejectBadLevel) {
+  const Schema schema = Schema::Binary(3);
+  EXPECT_FALSE(DescendantsAtLevel(P("1X0", schema), schema, 1, 10).ok());
+  EXPECT_FALSE(DescendantsAtLevel(P("1X0", schema), schema, 4, 10).ok());
+}
+
+TEST(PatternOps, DescendantsRespectLimit) {
+  const Schema schema = Schema::Binary(10);
+  const auto result = DescendantsAtLevel(Pattern::Root(10), schema, 5, 10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PatternOps, DescendantsCountMatchesCombinatorics) {
+  // Root of d=4 binary at level 2: C(4,2) * 2^2 = 24 descendants.
+  const Schema schema = Schema::Binary(4);
+  auto desc = DescendantsAtLevel(Pattern::Root(4), schema, 2, 1000);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->size(), 24u);
+  std::set<Pattern> unique(desc->begin(), desc->end());
+  EXPECT_EQ(unique.size(), 24u);
+}
+
+TEST(PatternOps, ForEachMatchingCombination) {
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  const Pattern p = P("1XX", schema);
+  std::vector<std::vector<Value>> combos;
+  ASSERT_TRUE(ForEachMatchingCombination(
+                  p, schema, 100,
+                  [&](const std::vector<Value>& c) { combos.push_back(c); })
+                  .ok());
+  EXPECT_EQ(combos.size(), 6u);
+  for (const auto& c : combos) EXPECT_TRUE(p.Matches(c));
+  // Lexicographic order, wildcards as odometer.
+  EXPECT_EQ(combos.front(), (std::vector<Value>{1, 0, 0}));
+  EXPECT_EQ(combos.back(), (std::vector<Value>{1, 2, 1}));
+}
+
+TEST(PatternOps, ForEachMatchingCombinationRespectsLimit) {
+  const Schema schema = Schema::Binary(20);
+  const Status st = ForEachMatchingCombination(
+      Pattern::Root(20), schema, 1000, [](const std::vector<Value>&) {});
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PatternOps, ForEachMatchingFullyDeterministic) {
+  const Schema schema = Schema::Binary(3);
+  int calls = 0;
+  ASSERT_TRUE(ForEachMatchingCombination(P("101", schema), schema, 10,
+                                         [&](const std::vector<Value>& c) {
+                                           ++calls;
+                                           EXPECT_EQ(c, (std::vector<Value>{
+                                                            1, 0, 1}));
+                                         })
+                  .ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PatternOps, UnifyMergesDeterministicCells) {
+  const Schema schema = Schema::Uniform({2, 3, 3, 2, 2});
+  // The combination 02011 hits P1 = XX01X, P3 = XXXX1, P4 = 02XXX
+  // (Example 2); their unification is 0201 1 -> "02011"? No: cells fixed by
+  // any of them: A1=0 (P4), A2=2 (P4), A3=0 (P1), A4=1 (P1), A5=1 (P3).
+  const Pattern u = Unify({*Pattern::Parse("XX01X", schema),
+                           *Pattern::Parse("XXXX1", schema),
+                           *Pattern::Parse("02XXX", schema)});
+  EXPECT_EQ(u.ToString(), "02011");
+}
+
+TEST(PatternOps, UnifyKeepsSharedWildcards) {
+  const Schema schema = Schema::Binary(4);
+  const Pattern u = Unify({*Pattern::Parse("1XXX", schema),
+                           *Pattern::Parse("X0XX", schema)});
+  EXPECT_EQ(u.ToString(), "10XX");
+}
+
+TEST(PatternOps, UnifySingleton) {
+  const Schema schema = Schema::Binary(3);
+  const Pattern p = *Pattern::Parse("1X0", schema);
+  EXPECT_EQ(Unify({p}), p);
+}
+
+}  // namespace
+}  // namespace coverage

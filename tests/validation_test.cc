@@ -1,0 +1,131 @@
+#include "enhancement/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/compas.h"
+
+namespace coverage {
+namespace {
+
+TEST(ValidationRule, CreateSortsAndDeduplicates) {
+  const Schema schema = Schema::Uniform({3, 4});
+  auto rule = ValidationRule::Create(
+      {{1, {2, 0, 2}}, {0, {1}}}, schema);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->terms().size(), 2u);
+  EXPECT_EQ(rule->terms()[0].attr, 0);
+  EXPECT_EQ(rule->terms()[1].values, (std::vector<Value>{0, 2}));
+  EXPECT_EQ(rule->decidable_prefix(), 2);
+}
+
+TEST(ValidationRule, CreateRejectsBadInput) {
+  const Schema schema = Schema::Uniform({3, 4});
+  EXPECT_FALSE(ValidationRule::Create({}, schema).ok());
+  EXPECT_FALSE(ValidationRule::Create({{0, {}}}, schema).ok());
+  EXPECT_FALSE(ValidationRule::Create({{0, {5}}}, schema).ok());
+  EXPECT_FALSE(ValidationRule::Create({{7, {0}}}, schema).ok());
+  EXPECT_FALSE(ValidationRule::Create({{0, {1}}, {0, {2}}}, schema).ok());
+}
+
+TEST(ValidationRule, SatisfiedByFullCombination) {
+  const Schema schema = Schema::Uniform({3, 4, 2});
+  auto rule = ValidationRule::Create({{0, {1}}, {2, {0}}}, schema);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->SatisfiedBy(std::vector<Value>{1, 3, 0}));
+  EXPECT_FALSE(rule->SatisfiedBy(std::vector<Value>{1, 3, 1}));
+  EXPECT_FALSE(rule->SatisfiedBy(std::vector<Value>{0, 3, 0}));
+}
+
+TEST(ValidationRule, SatisfiedByPrefixNeedsDecidability) {
+  const Schema schema = Schema::Uniform({3, 4, 2});
+  auto rule = ValidationRule::Create({{0, {1}}, {2, {0}}}, schema);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->decidable_prefix(), 3);
+  // Prefix of length 2 cannot decide a rule mentioning attribute 2.
+  EXPECT_FALSE(rule->SatisfiedByPrefix(std::vector<Value>{1, 3}));
+  EXPECT_TRUE(rule->SatisfiedByPrefix(std::vector<Value>{1, 3, 0}));
+}
+
+TEST(ValidationRule, PrefixDecidableEarly) {
+  const Schema schema = Schema::Uniform({3, 4, 2});
+  auto rule = ValidationRule::Create({{0, {2}}}, schema);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->SatisfiedByPrefix(std::vector<Value>{2}));
+  EXPECT_FALSE(rule->SatisfiedByPrefix(std::vector<Value>{1}));
+}
+
+TEST(ValidationRule, ParseAgainstCompasLabels) {
+  // §V-B3's oracle rules: (a) marital status unknown is ruled out; (b) age
+  // group below 20 cannot be non-single.
+  const Schema schema = datagen::CompasSchema();
+  auto rule_a = ValidationRule::Parse("marital in {unknown}", schema);
+  ASSERT_TRUE(rule_a.ok()) << rule_a.status().ToString();
+  EXPECT_EQ(rule_a->ToString(schema), "marital in {unknown}");
+  // sex=male age=<20 race=AA marital=unknown.
+  EXPECT_TRUE(rule_a->SatisfiedBy(std::vector<Value>{0, 0, 0, 6}));
+  EXPECT_FALSE(rule_a->SatisfiedBy(std::vector<Value>{0, 0, 0, 0}));
+
+  auto rule_b = ValidationRule::Parse(
+      "age in {<20} and marital in {married, separated, widowed, sig-other, "
+      "divorced}",
+      schema);
+  ASSERT_TRUE(rule_b.ok()) << rule_b.status().ToString();
+  EXPECT_TRUE(rule_b->SatisfiedBy(std::vector<Value>{0, 0, 0, 1}));
+  EXPECT_FALSE(rule_b->SatisfiedBy(std::vector<Value>{0, 1, 0, 1}));
+  EXPECT_FALSE(rule_b->SatisfiedBy(std::vector<Value>{0, 0, 0, 0}));
+}
+
+TEST(ValidationRule, ParseRejectsGarbage) {
+  const Schema schema = datagen::CompasSchema();
+  EXPECT_FALSE(ValidationRule::Parse("", schema).ok());
+  EXPECT_FALSE(ValidationRule::Parse("marital = unknown", schema).ok());
+  EXPECT_FALSE(ValidationRule::Parse("bogus in {x}", schema).ok());
+  EXPECT_FALSE(ValidationRule::Parse("marital in {nope}", schema).ok());
+}
+
+TEST(ValidationOracle, NoRulesAcceptsEverything) {
+  ValidationOracle oracle;
+  EXPECT_TRUE(oracle.IsValid(std::vector<Value>{0, 1, 2}));
+  EXPECT_FALSE(oracle.PrefixInvalid(std::vector<Value>{0}));
+}
+
+TEST(ValidationOracle, AnySatisfiedRuleInvalidates) {
+  const Schema schema = Schema::Uniform({2, 2});
+  ValidationOracle oracle;
+  oracle.AddRule(*ValidationRule::Create({{0, {0}}}, schema));
+  oracle.AddRule(*ValidationRule::Create({{1, {1}}}, schema));
+  EXPECT_FALSE(oracle.IsValid(std::vector<Value>{0, 0}));  // rule 1
+  EXPECT_FALSE(oracle.IsValid(std::vector<Value>{1, 1}));  // rule 2
+  EXPECT_TRUE(oracle.IsValid(std::vector<Value>{1, 0}));
+  EXPECT_EQ(oracle.num_rules(), 2u);
+}
+
+TEST(ValidationOracle, PrefixPruning) {
+  const Schema schema = Schema::Uniform({2, 2, 2});
+  ValidationOracle oracle;
+  oracle.AddRule(*ValidationRule::Create({{0, {1}}, {1, {1}}}, schema));
+  EXPECT_FALSE(oracle.PrefixInvalid(std::vector<Value>{1}));
+  EXPECT_TRUE(oracle.PrefixInvalid(std::vector<Value>{1, 1}));
+  EXPECT_FALSE(oracle.PrefixInvalid(std::vector<Value>{1, 0}));
+  EXPECT_TRUE(oracle.PrefixInvalid(std::vector<Value>{1, 1, 0}));
+}
+
+TEST(ValidationOracle, PrefixNeverInvalidatesValidExtension) {
+  // Property: if PrefixInvalid(prefix) then every extension is invalid.
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  ValidationOracle oracle;
+  oracle.AddRule(*ValidationRule::Create({{0, {1}}, {1, {0, 2}}}, schema));
+  oracle.AddRule(*ValidationRule::Create({{2, {0}}}, schema));
+  for (Value a = 0; a < 2; ++a) {
+    for (Value b = 0; b < 3; ++b) {
+      const std::vector<Value> prefix = {a, b};
+      if (!oracle.PrefixInvalid(prefix)) continue;
+      for (Value c = 0; c < 2; ++c) {
+        EXPECT_FALSE(oracle.IsValid(std::vector<Value>{a, b, c}));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coverage

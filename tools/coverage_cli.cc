@@ -1,0 +1,30 @@
+// coverage_cli — command-line coverage auditing and remediation for CSV
+// files, wrapping the libcoverage API end to end.
+//
+//   coverage_cli audit   --csv data.csv --tau 30 [--max-level L]
+//       Prints the nutritional-label widget and the full MUP list.
+//
+//   coverage_cli enhance --csv data.csv --tau 30 --lambda 2
+//                        [--rule "attr in {v1, v2} and attr2 in {v3}"]...
+//       Prints the acquisition plan reaching maximum covered level lambda.
+//
+//   coverage_cli stats   --csv data.csv
+//       Prints the inferred schema and per-attribute value histograms.
+//
+// The schema is inferred from the CSV: attribute names from the header,
+// value dictionaries in order of first appearance (columns with more than
+// --max-cardinality distinct values are rejected with a bucketization hint).
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coverage_lib.h"
+#include "tools/coverage_cli_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return coverage::cli::Run(args, std::cout, std::cerr);
+}

@@ -1,0 +1,269 @@
+#include "tools/coverage_cli_lib.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "coverage_lib.h"
+
+namespace coverage {
+namespace cli {
+
+namespace {
+
+StatusOr<std::uint64_t> ParseUint(const std::string& flag,
+                                  const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("flag " + flag +
+                                   " expects a non-negative integer, got '" +
+                                   text + "'");
+  }
+}
+
+}  // namespace
+
+std::string Usage() {
+  return
+      "usage: coverage_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  audit    identify maximal uncovered patterns (MUPs)\n"
+      "  enhance  compute the minimal acquisition plan for a target level\n"
+      "  stats    print the inferred schema and value histograms\n"
+      "  help     show this message\n"
+      "\n"
+      "flags:\n"
+      "  --csv PATH              input CSV (header row; categorical values)\n"
+      "  --tau N                 coverage threshold (default 30)\n"
+      "  --lambda L              enhance: target maximum covered level "
+      "(default 1)\n"
+      "  --max-level L           audit: limit MUP discovery to level <= L\n"
+      "  --max-cardinality N     schema inference cap per column (default "
+      "100)\n"
+      "  --rule \"A in {v1, v2}\"  enhance: validation rule (repeatable)\n"
+      "  --list-mups             audit: print every MUP, not only the label\n";
+}
+
+StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
+  CliOptions options;
+  if (args.empty()) {
+    return Status::InvalidArgument("missing command\n" + Usage());
+  }
+  options.command = args[0];
+  if (options.command == "help" || options.command == "--help" ||
+      options.command == "-h") {
+    options.command = "help";
+    return options;
+  }
+  if (options.command != "audit" && options.command != "enhance" &&
+      options.command != "stats") {
+    return Status::InvalidArgument("unknown command '" + options.command +
+                                   "'\n" + Usage());
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag " + flag + " expects a value");
+      }
+      return args[++i];
+    };
+    if (flag == "--csv") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.csv_path = *v;
+    } else if (flag == "--tau") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto parsed = ParseUint(flag, *v);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0) {
+        return Status::InvalidArgument("--tau must be positive");
+      }
+      options.tau = *parsed;
+    } else if (flag == "--lambda") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto parsed = ParseUint(flag, *v);
+      if (!parsed.ok()) return parsed.status();
+      options.lambda = static_cast<int>(*parsed);
+    } else if (flag == "--max-level") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto parsed = ParseUint(flag, *v);
+      if (!parsed.ok()) return parsed.status();
+      options.max_level = static_cast<int>(*parsed);
+    } else if (flag == "--max-cardinality") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto parsed = ParseUint(flag, *v);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0) {
+        return Status::InvalidArgument("--max-cardinality must be positive");
+      }
+      options.max_cardinality = static_cast<int>(*parsed);
+    } else if (flag == "--rule") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.rules.push_back(*v);
+    } else if (flag == "--list-mups") {
+      options.list_mups = true;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'\n" +
+                                     Usage());
+    }
+  }
+  if (options.csv_path.empty()) {
+    return Status::InvalidArgument("--csv is required\n" + Usage());
+  }
+  return options;
+}
+
+namespace {
+
+StatusOr<Dataset> LoadCsv(const CliOptions& options) {
+  std::ifstream in(options.csv_path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open '" + options.csv_path + "'");
+  }
+  return Dataset::InferFromCsv(in, options.max_cardinality);
+}
+
+int RunStats(const CliOptions& options, std::ostream& out,
+             std::ostream& err) {
+  auto data = LoadCsv(options);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  const Schema& schema = data->schema();
+  out << "rows: " << FormatCount(data->num_rows())
+      << "   attributes: " << schema.num_attributes()
+      << "   value combinations: "
+      << FormatCount(schema.NumValueCombinations()) << "\n\n";
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    std::vector<std::size_t> counts(
+        static_cast<std::size_t>(schema.cardinality(a)), 0);
+    for (std::size_t r = 0; r < data->num_rows(); ++r) {
+      ++counts[static_cast<std::size_t>(data->at(r, a))];
+    }
+    out << schema.attribute(a).name << " (cardinality "
+        << schema.cardinality(a) << "):\n";
+    for (Value v = 0; v < static_cast<Value>(schema.cardinality(a)); ++v) {
+      out << "  " << schema.attribute(a).value_names[static_cast<std::size_t>(
+                 v)]
+          << ": " << counts[static_cast<std::size_t>(v)] << "\n";
+    }
+  }
+  return 0;
+}
+
+int RunAudit(const CliOptions& options, std::ostream& out,
+             std::ostream& err) {
+  auto data = LoadCsv(options);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  const AggregatedData agg(*data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions search;
+  search.tau = options.tau;
+  search.max_level = options.max_level;
+  MupSearchStats stats;
+  const auto mups = FindMupsDeepDiver(oracle, search, &stats);
+  out << RenderNutritionalLabel(BuildCoverageReport(
+      data->schema(), mups, data->num_rows(), options.tau));
+  out << "discovery: " << FormatDouble(stats.seconds, 4) << " s, "
+      << stats.coverage_queries << " coverage queries\n";
+  if (options.list_mups) {
+    out << "\nall MUPs (most general first):\n";
+    std::vector<Pattern> sorted = mups;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Pattern& a, const Pattern& b) {
+                if (a.level() != b.level()) return a.level() < b.level();
+                return a < b;
+              });
+    for (const Pattern& p : sorted) {
+      out << "  " << p.ToString() << "  "
+          << p.ToLabelledString(data->schema()) << "\n";
+    }
+  }
+  return 0;
+}
+
+int RunEnhance(const CliOptions& options, std::ostream& out,
+               std::ostream& err) {
+  auto data = LoadCsv(options);
+  if (!data.ok()) {
+    err << data.status().ToString() << "\n";
+    return 1;
+  }
+  const Schema& schema = data->schema();
+  if (options.lambda < 0 || options.lambda > schema.num_attributes()) {
+    err << "--lambda must be within [0, " << schema.num_attributes()
+        << "]\n";
+    return 1;
+  }
+  ValidationOracle validator;
+  for (const std::string& text : options.rules) {
+    auto rule = ValidationRule::Parse(text, schema);
+    if (!rule.ok()) {
+      err << "bad --rule: " << rule.status().ToString() << "\n";
+      return 1;
+    }
+    validator.AddRule(*rule);
+  }
+
+  const AggregatedData agg(*data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions search;
+  search.tau = options.tau;
+  search.max_level = options.lambda;
+  const auto mups = FindMupsDeepDiver(oracle, search);
+
+  EnhancementOptions eopts;
+  eopts.tau = options.tau;
+  eopts.lambda = options.lambda;
+  eopts.oracle = validator.num_rules() > 0 ? &validator : nullptr;
+  auto plan = PlanCoverageEnhancement(oracle, mups, eopts);
+  if (!plan.ok()) {
+    err << plan.status().ToString() << "\n";
+    return 1;
+  }
+  out << RenderAcquisitionPlan(*plan, schema);
+  return 0;
+}
+
+}  // namespace
+
+int RunParsed(const CliOptions& options, std::ostream& out,
+              std::ostream& err) {
+  if (options.command == "help") {
+    out << Usage();
+    return 0;
+  }
+  if (options.command == "stats") return RunStats(options, out, err);
+  if (options.command == "audit") return RunAudit(options, out, err);
+  if (options.command == "enhance") return RunEnhance(options, out, err);
+  err << "unknown command '" << options.command << "'\n" << Usage();
+  return 1;
+}
+
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  auto options = ParseArgs(args);
+  if (!options.ok()) {
+    err << options.status().message() << "\n";
+    return 2;
+  }
+  return RunParsed(*options, out, err);
+}
+
+}  // namespace cli
+}  // namespace coverage

@@ -1,0 +1,44 @@
+#ifndef COVERAGE_TOOLS_COVERAGE_CLI_LIB_H_
+#define COVERAGE_TOOLS_COVERAGE_CLI_LIB_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coverage {
+namespace cli {
+
+/// Parsed command line of coverage_cli. Kept in a library so the argument
+/// grammar is unit-testable without spawning processes.
+struct CliOptions {
+  std::string command;            // "audit" | "enhance" | "stats" | "help"
+  std::string csv_path;
+  std::uint64_t tau = 30;         // the §II rule-of-thumb default
+  int lambda = 1;
+  int max_level = -1;
+  int max_cardinality = 100;
+  std::vector<std::string> rules; // validation-rule strings
+  bool list_mups = false;         // audit: print every MUP, not just the label
+};
+
+/// Parses argv (without the program name). Returns InvalidArgument with a
+/// usage-style message on malformed input.
+StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string Usage();
+
+/// Executes a parsed command; returns the process exit code.
+int RunParsed(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+/// ParseArgs + RunParsed.
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace cli
+}  // namespace coverage
+
+#endif  // COVERAGE_TOOLS_COVERAGE_CLI_LIB_H_

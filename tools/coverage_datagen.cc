@@ -1,0 +1,20 @@
+// coverage_datagen — emits the library's synthetic datasets as CSV so the
+// whole paper workflow can be driven from a shell:
+//
+//   coverage_datagen --dataset compas --n 6889 --seed 42 > compas.csv
+//   coverage_cli audit --csv compas.csv --tau 10 --list-mups
+//   coverage_cli enhance --csv compas.csv --tau 10 --lambda 2
+//       --rule "marital in {unknown}"
+//
+// Datasets: compas (4 demographic attributes + reoffended label column),
+// airbnb (--d boolean attributes), bluenile (7 catalog attributes),
+// diagonal (--d, the Theorem-1 adversarial construction).
+
+#include <iostream>
+
+#include "tools/coverage_datagen_lib.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return coverage::cli::RunDatagen(args, std::cout, std::cerr);
+}

@@ -1,0 +1,162 @@
+#include "tools/coverage_datagen_lib.h"
+
+#include <iostream>
+
+#include "coverage_lib.h"
+
+namespace coverage {
+namespace cli {
+
+std::string DatagenUsage() {
+  return
+      "usage: coverage_datagen --dataset NAME [flags] > out.csv\n"
+      "\n"
+      "datasets:\n"
+      "  compas    4 demographic attributes (default n = 6889)\n"
+      "  airbnb    --d boolean amenity attributes (default n = 10000)\n"
+      "  bluenile  7 catalog attributes (default n = 116300)\n"
+      "  diagonal  Theorem-1 adversarial construction (n = d rows)\n"
+      "\n"
+      "flags:\n"
+      "  --n N          number of rows (where applicable)\n"
+      "  --d D          attribute count for airbnb (1-36) / diagonal\n"
+      "  --seed S       RNG seed (default 42)\n"
+      "  --with-label   compas: append the 'reoffended' label column\n";
+}
+
+StatusOr<DatagenOptions> ParseDatagenArgs(
+    const std::vector<std::string>& args) {
+  DatagenOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag " + flag + " expects a value");
+      }
+      return args[++i];
+    };
+    auto next_uint = [&]() -> StatusOr<std::uint64_t> {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      try {
+        std::size_t pos = 0;
+        const unsigned long long parsed = std::stoull(*v, &pos);
+        if (pos != v->size()) throw std::invalid_argument(*v);
+        return static_cast<std::uint64_t>(parsed);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("flag " + flag +
+                                       " expects an integer, got '" + *v +
+                                       "'");
+      }
+    };
+    if (flag == "--dataset") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.dataset = *v;
+    } else if (flag == "--n") {
+      auto v = next_uint();
+      if (!v.ok()) return v.status();
+      options.n = static_cast<std::size_t>(*v);
+    } else if (flag == "--d") {
+      auto v = next_uint();
+      if (!v.ok()) return v.status();
+      options.d = static_cast<int>(*v);
+    } else if (flag == "--seed") {
+      auto v = next_uint();
+      if (!v.ok()) return v.status();
+      options.seed = *v;
+    } else if (flag == "--with-label") {
+      options.with_label = true;
+    } else if (flag == "--help" || flag == "-h" || flag == "help") {
+      options.help = true;
+      return options;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'\n" +
+                                     DatagenUsage());
+    }
+  }
+  if (options.dataset.empty()) {
+    return Status::InvalidArgument("--dataset is required\n" + DatagenUsage());
+  }
+  if (options.dataset != "compas" && options.dataset != "airbnb" &&
+      options.dataset != "bluenile" && options.dataset != "diagonal") {
+    return Status::InvalidArgument("unknown dataset '" + options.dataset +
+                                   "'\n" + DatagenUsage());
+  }
+  if (options.dataset == "airbnb" && (options.d < 1 || options.d > 36)) {
+    return Status::InvalidArgument("airbnb supports --d in [1, 36]");
+  }
+  if (options.dataset == "diagonal" && options.d < 1) {
+    return Status::InvalidArgument("diagonal needs --d >= 1");
+  }
+  if (options.with_label && options.dataset != "compas") {
+    return Status::InvalidArgument("--with-label only applies to compas");
+  }
+  return options;
+}
+
+namespace {
+
+/// CSV emission with an optional extra label column (labels are not part of
+/// the coverage schema, mirroring §II's treatment of label attributes).
+Status WriteCsvWithLabel(const Dataset& data, const std::vector<int>& labels,
+                         std::ostream& out) {
+  const Schema& schema = data.schema();
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (i != 0) out << ',';
+    out << schema.attribute(i).name;
+  }
+  out << ",reoffended\n";
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      if (i != 0) out << ',';
+      out << schema.attribute(i).value_names[static_cast<std::size_t>(
+          data.at(r, i))];
+    }
+    out << ',' << labels[r] << "\n";
+  }
+  return out.good() ? Status::OK() : Status::Internal("CSV write failed");
+}
+
+}  // namespace
+
+int RunDatagen(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  auto options = ParseDatagenArgs(args);
+  if (!options.ok()) {
+    err << options.status().message() << "\n";
+    return 2;
+  }
+  if (options->help) {
+    out << DatagenUsage();
+    return 0;
+  }
+  Status st;
+  if (options->dataset == "compas") {
+    const std::size_t n = options->n == 0 ? 6889 : options->n;
+    if (n < 200) {
+      err << "compas needs --n >= 200 (forced minority cells)\n";
+      return 1;
+    }
+    const auto compas = datagen::MakeCompas(n, options->seed);
+    st = options->with_label
+             ? WriteCsvWithLabel(compas.data, compas.labels, out)
+             : compas.data.WriteCsv(out);
+  } else if (options->dataset == "airbnb") {
+    const std::size_t n = options->n == 0 ? 10000 : options->n;
+    st = datagen::MakeAirbnb(n, options->d, options->seed).WriteCsv(out);
+  } else if (options->dataset == "bluenile") {
+    const std::size_t n = options->n == 0 ? 116300 : options->n;
+    st = datagen::MakeBlueNile(n, options->seed).WriteCsv(out);
+  } else {  // diagonal
+    st = datagen::MakeDiagonal(options->d).WriteCsv(out);
+  }
+  if (!st.ok()) {
+    err << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace coverage

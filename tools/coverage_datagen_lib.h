@@ -1,0 +1,38 @@
+#ifndef COVERAGE_TOOLS_COVERAGE_DATAGEN_LIB_H_
+#define COVERAGE_TOOLS_COVERAGE_DATAGEN_LIB_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coverage {
+namespace cli {
+
+/// Parsed command line of coverage_datagen.
+struct DatagenOptions {
+  std::string dataset;          // "compas" | "airbnb" | "bluenile" | "diagonal"
+  std::size_t n = 0;            // 0 -> per-dataset default
+  int d = 13;                   // airbnb/diagonal width
+  std::uint64_t seed = 42;
+  bool with_label = false;      // compas: append the reoffended column
+  bool help = false;
+};
+
+/// Parses argv (without the program name).
+StatusOr<DatagenOptions> ParseDatagenArgs(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string DatagenUsage();
+
+/// Generates the requested dataset and writes CSV to `out`; returns the
+/// process exit code.
+int RunDatagen(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace cli
+}  // namespace coverage
+
+#endif  // COVERAGE_TOOLS_COVERAGE_DATAGEN_LIB_H_
