@@ -20,13 +20,12 @@ using namespace coverage;
 class ExactThresholdOracle : public CoverageOracle {
  public:
   explicit ExactThresholdOracle(const BitmapCoverage& inner) : inner_(inner) {}
-  std::uint64_t Coverage(const Pattern& p) const override {
-    ++num_queries_;
-    return inner_.Coverage(p);
+  std::uint64_t Coverage(const Pattern& p, QueryContext& ctx) const override {
+    return inner_.Coverage(p, ctx);
   }
-  bool CoverageAtLeast(const Pattern& p, std::uint64_t tau) const override {
-    ++num_queries_;
-    return inner_.Coverage(p) >= tau;
+  bool CoverageAtLeast(const Pattern& p, std::uint64_t tau,
+                       QueryContext& ctx) const override {
+    return inner_.Coverage(p, ctx) >= tau;
   }
 
  private:

@@ -17,6 +17,7 @@ int main() {
   options.tau = std::max<std::uint64_t>(1, n / 1000);
   options.enumeration_limit = 1u << 26;
 
+  bench::BenchJson json("fig15_airbnb_dimensions");
   TablePrinter table({"d", "P-BREAKER (s)", "P-COMBINER (s)", "DEEPDIVER (s)",
                       "# MUPs"});
   for (int d = 5; d <= d_max; d += 2) {
@@ -37,6 +38,14 @@ int main() {
         .Cell(bench::SecondsCell(combiner.seconds))
         .Cell(bench::SecondsCell(diver.seconds))
         .Cell(static_cast<std::uint64_t>(diver.num_mups))
+        .Done();
+    json.Row()
+        .Field("n", static_cast<std::uint64_t>(n))
+        .Field("d", d)
+        .Field("pattern_breaker_seconds", breaker.seconds)
+        .Field("pattern_combiner_seconds", combiner.seconds)
+        .Field("deep_diver_seconds", diver.seconds)
+        .Field("num_mups", static_cast<std::uint64_t>(diver.num_mups))
         .Done();
   }
   table.Print(std::cout);

@@ -52,6 +52,39 @@ struct AirbnbFixture {
       : data(datagen::MakeAirbnb(n, d)), agg(data), oracle(agg) {}
 };
 
+void BM_AndChainDotFused(benchmark::State& state) {
+  // The fused coverage kernel vs the materialise-then-dot composition below:
+  // the fused form must never lose, or threshold queries regressed.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitVector a = MakeRandomBits(n, 0.3, 1);
+  const BitVector b = MakeRandomBits(n, 0.3, 2);
+  const BitVector c = MakeRandomBits(n, 0.3, 4);
+  const BitVector* ops[3] = {&a, &b, &c};
+  std::vector<std::uint64_t> counts(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitVector::AndChainDot(ops, 3, counts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AndChainDotFused)->Arg(1024)->Arg(32768)->Arg(262144);
+
+void BM_AndChainDotMaterialised(benchmark::State& state) {
+  // The seed's composition: copy, AND chain, then dot.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitVector a = MakeRandomBits(n, 0.3, 1);
+  const BitVector b = MakeRandomBits(n, 0.3, 2);
+  const BitVector c = MakeRandomBits(n, 0.3, 4);
+  std::vector<std::uint64_t> counts(n, 3);
+  for (auto _ : state) {
+    BitVector acc = a;
+    acc.AndWith(b);
+    acc.AndWith(c);
+    benchmark::DoNotOptimize(acc.Dot(counts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AndChainDotMaterialised)->Arg(1024)->Arg(32768)->Arg(262144);
+
 void BM_CoverageQuery(benchmark::State& state) {
   static const AirbnbFixture fixture(100000, 15);
   Rng rng(11);
@@ -73,6 +106,31 @@ void BM_CoverageQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoverageQuery);
+
+void BM_CoverageAtLeastQuery(benchmark::State& state) {
+  // The cov(P) >= τ oracle call PATTERN-BREAKER and DEEPDIVER issue millions
+  // of times, through an explicit reused QueryContext.
+  static const AirbnbFixture fixture(100000, 15);
+  Rng rng(19);
+  std::vector<Pattern> probes;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<Value> cells(15, kWildcard);
+    for (int a = 0; a < 15; ++a) {
+      if (rng.NextBool(0.4)) {
+        cells[static_cast<std::size_t>(a)] =
+            static_cast<Value>(rng.NextUint64(2));
+      }
+    }
+    probes.emplace_back(std::move(cells));
+  }
+  QueryContext ctx;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.oracle.CoverageAtLeast(probes[i++ & 255], 100, ctx));
+  }
+}
+BENCHMARK(BM_CoverageAtLeastQuery);
 
 void BM_ScanCoverageQuery(benchmark::State& state) {
   static const Dataset data = datagen::MakeAirbnb(100000, 15);

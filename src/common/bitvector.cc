@@ -121,6 +121,98 @@ std::size_t BitVector::AndCount3(const BitVector& a, const BitVector& b,
   return total;
 }
 
+namespace {
+
+/// Adds counts[base + i] for every set bit i of `word` to `sum`.
+inline void DotWord(BitVector::Word word, const std::uint64_t* counts,
+                    std::size_t base, std::uint64_t& sum) {
+  while (word != 0) {
+    const int bit = __builtin_ctzll(word);
+    sum += counts[base + static_cast<std::size_t>(bit)];
+    word &= word - 1;
+  }
+}
+
+/// ANDs word `w` of all `n` operands, branchlessly — the exact-count kernel
+/// has no early exit, so keeping the chain free of data-dependent branches
+/// lets the compiler vectorise across the 4-word blocks.
+inline BitVector::Word ChainWord(const BitVector* const* ops, int n,
+                                 std::size_t w) {
+  BitVector::Word word = ops[0]->words()[w];
+  for (int k = 1; k < n; ++k) word &= ops[k]->words()[w];
+  return word;
+}
+
+/// ANDs word `w` of all `n` operands, stopping once the word zeroes. With
+/// operands ordered sparsest first (the threshold path), most words die
+/// after one or two ANDs, which beats the vectorised full chain.
+inline BitVector::Word ChainWordEarly(const BitVector* const* ops, int n,
+                                      std::size_t w) {
+  BitVector::Word word = ops[0]->words()[w];
+  for (int k = 1; k < n && word != 0; ++k) word &= ops[k]->words()[w];
+  return word;
+}
+
+}  // namespace
+
+std::uint64_t BitVector::AndChainDot(
+    const BitVector* const* ops, int n,
+    const std::vector<std::uint64_t>& counts) {
+  assert(n >= 1);
+  assert(counts.size() == ops[0]->size());
+  const std::size_t num_words = ops[0]->num_words();
+  const std::uint64_t* c = counts.data();
+  std::uint64_t sum = 0;
+  std::size_t w = 0;
+  // 4-way unrolled main loop: the chain ANDs are independent across the four
+  // words, and the combined zero test skips the bit-scatter dot entirely for
+  // the (common) fully-pruned blocks.
+  for (; w + 4 <= num_words; w += 4) {
+    const Word w0 = ChainWord(ops, n, w);
+    const Word w1 = ChainWord(ops, n, w + 1);
+    const Word w2 = ChainWord(ops, n, w + 2);
+    const Word w3 = ChainWord(ops, n, w + 3);
+    if ((w0 | w1 | w2 | w3) == 0) continue;
+    DotWord(w0, c, w * kBitsPerWord, sum);
+    DotWord(w1, c, (w + 1) * kBitsPerWord, sum);
+    DotWord(w2, c, (w + 2) * kBitsPerWord, sum);
+    DotWord(w3, c, (w + 3) * kBitsPerWord, sum);
+  }
+  for (; w < num_words; ++w) {
+    DotWord(ChainWord(ops, n, w), c, w * kBitsPerWord, sum);
+  }
+  return sum;
+}
+
+bool BitVector::AndChainAtLeast(const BitVector* const* ops, int n,
+                                const std::vector<std::uint64_t>& counts,
+                                std::uint64_t tau) {
+  assert(n >= 1);
+  assert(counts.size() == ops[0]->size());
+  if (tau == 0) return true;
+  const std::size_t num_words = ops[0]->num_words();
+  const std::uint64_t* c = counts.data();
+  std::uint64_t sum = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= num_words; w += 4) {
+    const Word w0 = ChainWordEarly(ops, n, w);
+    const Word w1 = ChainWordEarly(ops, n, w + 1);
+    const Word w2 = ChainWordEarly(ops, n, w + 2);
+    const Word w3 = ChainWordEarly(ops, n, w + 3);
+    if ((w0 | w1 | w2 | w3) == 0) continue;
+    DotWord(w0, c, w * kBitsPerWord, sum);
+    DotWord(w1, c, (w + 1) * kBitsPerWord, sum);
+    DotWord(w2, c, (w + 2) * kBitsPerWord, sum);
+    DotWord(w3, c, (w + 3) * kBitsPerWord, sum);
+    if (sum >= tau) return true;
+  }
+  for (; w < num_words; ++w) {
+    DotWord(ChainWordEarly(ops, n, w), c, w * kBitsPerWord, sum);
+    if (sum >= tau) return true;
+  }
+  return false;
+}
+
 std::size_t BitVector::FindFirst() const {
   for (std::size_t w = 0; w < words_.size(); ++w) {
     if (words_[w] != 0) {

@@ -82,6 +82,22 @@ class BitVector {
   static std::size_t AndCount3(const BitVector& a, const BitVector& b,
                                const BitVector& c);
 
+  /// Dot product of `(ops[0] & ops[1] & ... & ops[n-1])` against `counts`
+  /// without materialising the intersection: the AND chain and the dot are
+  /// fused into one word-blocked pass, so a threshold/coverage query touches
+  /// each operand word exactly once and allocates nothing. Preconditions:
+  /// `n >= 1`, all operands share one size, `counts.size() == size()`.
+  static std::uint64_t AndChainDot(const BitVector* const* ops, int n,
+                                   const std::vector<std::uint64_t>& counts);
+
+  /// True iff `AndChainDot(ops, n, counts) >= tau`, early-exiting as soon as
+  /// the partial sum reaches `tau`. This is the cov(P) >= τ kernel behind
+  /// PATTERN-BREAKER and DEEPDIVER; callers order `ops` most-selective first
+  /// so the chain zeroes words as early as possible.
+  static bool AndChainAtLeast(const BitVector* const* ops, int n,
+                              const std::vector<std::uint64_t>& counts,
+                              std::uint64_t tau);
+
   /// Index of the first set bit, or `size()` if none.
   std::size_t FindFirst() const;
 

@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace coverage {
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int extra = num_workers > 1 ? num_workers - 1 : 0;
+  threads_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(worker);
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    remaining_ = static_cast<int>(threads_.size());
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  try {
+    fn(0);
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, std::size_t chunk,
+                             const std::function<void(int, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  std::atomic<std::size_t> next{0};
+  RunOnAll([&](int worker) {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+    }
+  });
+}
+
+}  // namespace coverage

@@ -1,0 +1,68 @@
+#ifndef COVERAGE_COMMON_THREAD_POOL_H_
+#define COVERAGE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coverage {
+
+/// A fixed-size worker pool for the parallel MUP searches. The pool spawns
+/// `num_workers - 1` threads; the calling thread always participates as
+/// worker 0, so `ThreadPool(1)` costs nothing and runs everything inline.
+///
+/// The pool exposes exactly the two primitives the searches need:
+///
+///   RunOnAll(fn)        — run `fn(worker)` once on every worker concurrently
+///                         (DEEPDIVER's sharded dive loops).
+///   ParallelFor(n, fn)  — distribute indices [0, n) across the workers in
+///                         dynamically balanced chunks (PATTERN-BREAKER's
+///                         per-level frontier evaluation).
+///
+/// Both block until all work finishes, and rethrow the first exception any
+/// worker raised. Workers are reused across calls; only one call may be in
+/// flight at a time (the pool is owned by one search).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the calling thread; always >= 1.
+  int num_workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs `fn(worker)` on every worker (worker in [0, num_workers())),
+  /// the calling thread serving worker 0. Returns once every invocation has
+  /// finished; rethrows the first exception raised.
+  void RunOnAll(const std::function<void(int)>& fn);
+
+  /// Invokes `fn(worker, index)` exactly once for every index in [0, n),
+  /// handing out chunks of `chunk` consecutive indices to idle workers.
+  void ParallelFor(std::size_t n, std::size_t chunk,
+                   const std::function<void(int, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;  // RunOnAll waits here for completion
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per job so workers run each once
+  int remaining_ = 0;             // workers still inside the current job
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_COMMON_THREAD_POOL_H_

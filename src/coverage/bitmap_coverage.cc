@@ -26,91 +26,47 @@ BitmapCoverage::BitmapCoverage(const AggregatedData& data) : data_(data) {
   }
   index_popcounts_.reserve(indices_.size());
   for (const BitVector& bv : indices_) index_popcounts_.push_back(bv.Count());
-  scratch_ = BitVector(data.num_combinations());
 }
 
-std::uint64_t BitmapCoverage::Coverage(const Pattern& pattern) const {
-  ++num_queries_;
-  // Fast paths: the root pattern needs no index work, and single-cell
-  // patterns need no AND.
-  int first_det = -1;
-  int num_det = 0;
+int BitmapCoverage::GatherSlots(const Pattern& pattern,
+                                QueryContext& ctx) const {
+  ctx.slots.clear();
   for (int i = 0; i < pattern.num_attributes(); ++i) {
-    if (pattern.is_deterministic(i)) {
-      if (first_det < 0) first_det = i;
-      ++num_det;
-    }
-  }
-  if (num_det == 0) return data_.total_count();
-  if (num_det == 1) {
-    return index(first_det, pattern.cell(first_det)).Dot(data_.counts());
-  }
-  BitVector acc = index(first_det, pattern.cell(first_det));
-  for (int i = first_det + 1; i < pattern.num_attributes(); ++i) {
     if (!pattern.is_deterministic(i)) continue;
-    acc.AndWith(index(i, pattern.cell(i)));
-    if (acc.None()) return 0;
+    ctx.slots.push_back(&index(i, pattern.cell(i)));
   }
-  return acc.Dot(data_.counts());
+  const BitVector* base = indices_.data();
+  std::sort(ctx.slots.begin(), ctx.slots.end(),
+            [&](const BitVector* a, const BitVector* b) {
+              return index_popcounts_[static_cast<std::size_t>(a - base)] <
+                     index_popcounts_[static_cast<std::size_t>(b - base)];
+            });
+  return static_cast<int>(ctx.slots.size());
 }
 
-bool BitmapCoverage::CoverageAtLeast(const Pattern& pattern,
-                                     std::uint64_t tau) const {
-  ++num_queries_;
-  // Gather deterministic cells ordered by index selectivity (sparsest
-  // first) so the accumulator shrinks as fast as possible.
-  assert(pattern.level() <= 64 && "CoverageAtLeast supports up to 64 cells");
-  int det_slots[64];
-  int num_det = 0;
+std::uint64_t BitmapCoverage::Coverage(const Pattern& pattern,
+                                       QueryContext& ctx) const {
+  ctx.CountQuery();
+  // No selectivity sort here: without an early exit the fused chain does
+  // identical work in any operand order.
+  ctx.slots.clear();
   for (int i = 0; i < pattern.num_attributes(); ++i) {
     if (!pattern.is_deterministic(i)) continue;
-    det_slots[num_det++] =
-        offsets_[static_cast<std::size_t>(i)] + pattern.cell(i);
+    ctx.slots.push_back(&index(i, pattern.cell(i)));
   }
+  if (ctx.slots.empty()) return data_.total_count();
+  return BitVector::AndChainDot(ctx.slots.data(),
+                                static_cast<int>(ctx.slots.size()),
+                                data_.counts());
+}
+
+bool BitmapCoverage::CoverageAtLeast(const Pattern& pattern, std::uint64_t tau,
+                                     QueryContext& ctx) const {
+  ctx.CountQuery();
+  const int num_det = GatherSlots(pattern, ctx);
   if (num_det == 0) return data_.total_count() >= tau;
-
-  std::sort(det_slots, det_slots + num_det, [&](int a, int b) {
-    return index_popcounts_[static_cast<std::size_t>(a)] <
-           index_popcounts_[static_cast<std::size_t>(b)];
-  });
-
-  const std::vector<std::uint64_t>& counts = data_.counts();
-  const std::size_t num_words = scratch_.num_words();
-
-  if (num_det == 1) {
-    // Single index: stream its words directly against the counts.
-    const BitVector& only = indices_[static_cast<std::size_t>(det_slots[0])];
-    std::uint64_t sum = 0;
-    for (std::size_t w = 0; w < num_words; ++w) {
-      BitVector::Word word = only.words()[w];
-      while (word != 0) {
-        const int bit = __builtin_ctzll(word);
-        sum += counts[w * BitVector::kBitsPerWord +
-                      static_cast<std::size_t>(bit)];
-        if (sum >= tau) return true;
-        word &= word - 1;
-      }
-    }
-    return false;
-  }
-
-  scratch_ = indices_[static_cast<std::size_t>(det_slots[0])];
-  for (int k = 1; k < num_det; ++k) {
-    scratch_.AndWith(indices_[static_cast<std::size_t>(det_slots[k])]);
-    if (scratch_.None()) return false;
-  }
-  std::uint64_t sum = 0;
-  for (std::size_t w = 0; w < num_words; ++w) {
-    BitVector::Word word = scratch_.words()[w];
-    while (word != 0) {
-      const int bit = __builtin_ctzll(word);
-      sum +=
-          counts[w * BitVector::kBitsPerWord + static_cast<std::size_t>(bit)];
-      if (sum >= tau) return true;
-      word &= word - 1;
-    }
-  }
-  return false;
+  return BitVector::AndChainAtLeast(ctx.slots.data(), num_det, data_.counts(),
+                                    tau);
 }
 
 BitVector BitmapCoverage::MatchVector(const Pattern& pattern) const {

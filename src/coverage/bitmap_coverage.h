@@ -13,19 +13,29 @@ namespace coverage {
 /// (attribute, value) over the *distinct* value combinations of D; coverage
 /// of a pattern is the AND of the vectors of its deterministic cells dotted
 /// with the multiplicity vector.
+///
+/// All query state lives in the caller's QueryContext and the AND chain is
+/// fused with the dot product (BitVector::AndChainDot / AndChainAtLeast), so
+/// queries materialise no intermediate vector, allocate nothing, and one
+/// oracle instance is safely shareable across any number of threads.
 class BitmapCoverage : public CoverageOracle {
  public:
   /// The aggregated data must outlive the oracle.
   explicit BitmapCoverage(const AggregatedData& data);
 
-  std::uint64_t Coverage(const Pattern& pattern) const override;
+  using CoverageOracle::Coverage;
+  using CoverageOracle::CoverageAtLeast;
 
-  /// Threshold query with two early exits: the AND chain runs most-selective
-  /// index first and stops when the accumulator empties; the closing dot
-  /// product stops as soon as the partial sum reaches `tau`. This is the
-  /// kernel PATTERN-BREAKER and DEEPDIVER issue millions of times.
-  bool CoverageAtLeast(const Pattern& pattern,
-                       std::uint64_t tau) const override;
+  std::uint64_t Coverage(const Pattern& pattern,
+                         QueryContext& ctx) const override;
+
+  /// Threshold query with two early exits: the fused chain runs
+  /// most-selective index first so blocks zero out as fast as possible, and
+  /// the running dot product stops as soon as the partial sum reaches `tau`.
+  /// This is the kernel PATTERN-BREAKER and DEEPDIVER issue millions of
+  /// times.
+  bool CoverageAtLeast(const Pattern& pattern, std::uint64_t tau,
+                       QueryContext& ctx) const override;
 
   /// The bit vector of distinct combinations matching `pattern` (AND of the
   /// deterministic cells' vectors). Exposed for DEEPDIVER's climb phase and
@@ -41,15 +51,14 @@ class BitmapCoverage : public CoverageOracle {
   }
 
  private:
+  /// Fills `ctx.slots` with the pattern's deterministic-cell index vectors,
+  /// ordered sparsest first. Returns the slot count.
+  int GatherSlots(const Pattern& pattern, QueryContext& ctx) const;
+
   const AggregatedData& data_;
   std::vector<int> offsets_;        // attr -> first index slot
   std::vector<BitVector> indices_;  // per (attr, value), Σ c_i vectors
   std::vector<std::size_t> index_popcounts_;  // parallel to indices_
-
-  /// Reused accumulator for threshold queries; avoids a 4 KB allocation per
-  /// query. BitmapCoverage is therefore not thread-safe for concurrent
-  /// queries on one instance (use one oracle per thread).
-  mutable BitVector scratch_;
 };
 
 }  // namespace coverage

@@ -2,40 +2,91 @@
 #define COVERAGE_COVERAGE_COVERAGE_ORACLE_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "common/bitvector.h"
 #include "pattern/pattern.h"
 
 namespace coverage {
 
+/// Per-caller state for coverage queries: reusable scratch buffers plus the
+/// query counter the paper's efficiency argument is stated in. Oracles keep
+/// no mutable per-query state of their own, so one oracle instance can serve
+/// any number of threads as long as each thread brings its own QueryContext.
+/// Contexts are cheap to construct and intended to be reused across queries —
+/// the buffers grow to the working-set size once and are never reallocated on
+/// the hot path.
+class QueryContext {
+ public:
+  /// Number of Coverage() / CoverageAtLeast() calls served through this
+  /// context so far.
+  std::uint64_t num_queries() const { return num_queries_; }
+  void ResetQueryCounter() { num_queries_ = 0; }
+
+  // --- implementation state, used by oracle implementations ---------------
+
+  /// Selectivity-ordered operand buffer for the fused AND-chain kernels
+  /// (one slot per deterministic cell of the queried pattern).
+  std::vector<const BitVector*> slots;
+
+  void CountQuery() { ++num_queries_; }
+
+ private:
+  std::uint64_t num_queries_ = 0;
+};
+
 /// The coverage oracle of Appendix A: answers cov(P, D) (Definition 2).
-/// Implementations track how many times they were consulted, the cost metric
-/// the paper's search algorithms are designed to minimise.
+///
+/// The primary entry points take an explicit QueryContext and are const in
+/// the strong sense: implementations must not mutate any member state, so
+/// concurrent queries on one oracle are safe provided each thread uses its
+/// own context. The context-free overloads are single-threaded conveniences
+/// that route through an internal default context (which also backs
+/// `num_queries()`, the cost metric the search algorithms minimise).
 class CoverageOracle {
  public:
   virtual ~CoverageOracle() = default;
 
-  /// Number of tuples of D matching `pattern`.
-  virtual std::uint64_t Coverage(const Pattern& pattern) const = 0;
+  /// Number of tuples of D matching `pattern`. Thread-safe with a private
+  /// `ctx` per thread.
+  virtual std::uint64_t Coverage(const Pattern& pattern,
+                                 QueryContext& ctx) const = 0;
 
   /// True iff cov(pattern) >= tau. Implementations may answer this much
   /// faster than an exact count (early exit once tau matches are found);
   /// the search algorithms only ever need the comparison.
-  virtual bool CoverageAtLeast(const Pattern& pattern,
-                               std::uint64_t tau) const {
-    return Coverage(pattern) >= tau;
+  virtual bool CoverageAtLeast(const Pattern& pattern, std::uint64_t tau,
+                               QueryContext& ctx) const {
+    return Coverage(pattern, ctx) >= tau;
+  }
+
+  /// Single-threaded convenience overloads on the oracle's default context.
+  std::uint64_t Coverage(const Pattern& pattern) const {
+    return Coverage(pattern, default_context_);
+  }
+  bool CoverageAtLeast(const Pattern& pattern, std::uint64_t tau) const {
+    return CoverageAtLeast(pattern, tau, default_context_);
   }
 
   /// True iff cov(pattern) >= tau (Definition 3).
   bool IsCovered(const Pattern& pattern, std::uint64_t tau) const {
     return CoverageAtLeast(pattern, tau);
   }
+  bool IsCovered(const Pattern& pattern, std::uint64_t tau,
+                 QueryContext& ctx) const {
+    return CoverageAtLeast(pattern, tau, ctx);
+  }
 
-  /// Number of Coverage() calls served so far.
-  std::uint64_t num_queries() const { return num_queries_; }
-  void ResetQueryCounter() { num_queries_ = 0; }
+  /// Number of Coverage() calls served through the default context.
+  std::uint64_t num_queries() const { return default_context_.num_queries(); }
+  void ResetQueryCounter() { default_context_.ResetQueryCounter(); }
 
- protected:
-  mutable std::uint64_t num_queries_ = 0;
+  /// The context behind the convenience overloads; exposed so serial callers
+  /// can mix both API styles against one counter.
+  QueryContext& default_context() const { return default_context_; }
+
+ private:
+  mutable QueryContext default_context_;
 };
 
 }  // namespace coverage

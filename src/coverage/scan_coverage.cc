@@ -2,8 +2,9 @@
 
 namespace coverage {
 
-std::uint64_t ScanCoverage::Coverage(const Pattern& pattern) const {
-  ++num_queries_;
+std::uint64_t ScanCoverage::Coverage(const Pattern& pattern,
+                                     QueryContext& ctx) const {
+  ctx.CountQuery();
   std::uint64_t count = 0;
   for (std::size_t r = 0; r < dataset_.num_rows(); ++r) {
     if (pattern.Matches(dataset_.row(r))) ++count;

@@ -14,7 +14,11 @@ class ScanCoverage : public CoverageOracle {
   /// The dataset must outlive the oracle.
   explicit ScanCoverage(const Dataset& dataset) : dataset_(dataset) {}
 
-  std::uint64_t Coverage(const Pattern& pattern) const override;
+  using CoverageOracle::Coverage;
+  using CoverageOracle::CoverageAtLeast;
+
+  std::uint64_t Coverage(const Pattern& pattern,
+                         QueryContext& ctx) const override;
 
  private:
   const Dataset& dataset_;

@@ -24,6 +24,13 @@ struct MupSearchOptions {
   /// tens of attributes). -1 means unlimited.
   int max_level = -1;
 
+  /// Worker count for PATTERN-BREAKER and DEEPDIVER. 1 (the default) runs
+  /// the serial algorithms; N > 1 evaluates PATTERN-BREAKER's BFS frontiers
+  /// and DEEPDIVER's dives on a pool of N workers sharing one oracle (each
+  /// worker queries through its own QueryContext). The returned MUP set is
+  /// identical to the serial one for any N. Other algorithms ignore this.
+  int num_threads = 1;
+
   /// Upper bound on guarded exponential enumerations (naive pattern-graph
   /// walk, PATTERN-COMBINER's level-d pass, APRIORI candidate sets). The
   /// affected algorithms return ResourceExhausted instead of blowing up.

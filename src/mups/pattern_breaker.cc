@@ -1,22 +1,55 @@
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "mups/mups.h"
 #include "pattern/pattern_ops.h"
 
 namespace coverage {
+
+namespace {
+
+using PatternSet = std::unordered_set<Pattern, PatternHash>;
+
+/// Per-frontier-node outcome of the (parallelisable) evaluation step. The
+/// decision for a node depends only on state frozen at the start of its BFS
+/// level — the previous level's covered set and the MUPs discovered on
+/// earlier levels — plus the (immutable) oracle, so frontier nodes can be
+/// evaluated in any order or concurrently and merged back in queue order to
+/// reproduce the serial output bit for bit.
+enum class NodeOutcome : std::uint8_t { kSkipped, kMup, kCovered };
+
+NodeOutcome EvaluateNode(const Pattern& p, const CoverageOracle& oracle,
+                         std::uint64_t tau, const PatternSet& prev_covered,
+                         const PatternSet& mup_set, QueryContext& ctx) {
+  // Skip candidates with an unverified or uncovered parent; they cannot
+  // be MUPs (either pruned region or dominated by one).
+  for (const Pattern& parent : p.Parents()) {
+    if (!prev_covered.contains(parent) || mup_set.contains(parent)) {
+      return NodeOutcome::kSkipped;
+    }
+  }
+  return oracle.CoverageAtLeast(p, tau, ctx) ? NodeOutcome::kCovered
+                                             : NodeOutcome::kMup;
+}
+
+}  // namespace
 
 std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
                                             const Schema& schema,
                                             const MupSearchOptions& options,
                                             MupSearchStats* stats) {
   Stopwatch timer;
-  const std::uint64_t queries_before = oracle.num_queries();
   const int d = schema.num_attributes();
   const int max_level = options.max_level < 0 ? d : options.max_level;
 
-  using PatternSet = std::unordered_set<Pattern, PatternHash>;
+  const int num_workers = options.num_threads > 1 ? options.num_threads : 1;
+  ThreadPool pool(num_workers);
+  std::vector<QueryContext> contexts(
+      static_cast<std::size_t>(pool.num_workers()));
 
   std::vector<Pattern> queue = {Pattern::Root(d)};
   std::vector<Pattern> mups;
@@ -26,33 +59,48 @@ std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
   // check sound).
   PatternSet prev_covered;
   std::uint64_t nodes_generated = 1;
+  std::vector<NodeOutcome> outcomes;
 
   for (int level = 0; level <= max_level && !queue.empty(); ++level) {
+    // Evaluate the frontier: reads only level-start state, so the pool can
+    // chew through it in dynamically balanced chunks.
+    outcomes.assign(queue.size(), NodeOutcome::kSkipped);
+    if (num_workers > 1 && queue.size() > 1) {
+      pool.ParallelFor(queue.size(), /*chunk=*/16,
+                       [&](int worker, std::size_t i) {
+                         outcomes[i] = EvaluateNode(
+                             queue[i], oracle, options.tau, prev_covered,
+                             mup_set, contexts[static_cast<std::size_t>(
+                                 worker)]);
+                       });
+    } else {
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        outcomes[i] = EvaluateNode(queue[i], oracle, options.tau, prev_covered,
+                                   mup_set, contexts[0]);
+      }
+    }
+
+    // Deterministic merge in queue order: identical to the serial loop.
     std::vector<Pattern> next_queue;
     PatternSet covered_here;
-    for (const Pattern& p : queue) {
-      // Skip candidates with an unverified or uncovered parent; they cannot
-      // be MUPs (either pruned region or dominated by one).
-      bool skip = false;
-      for (const Pattern& parent : p.Parents()) {
-        if (!prev_covered.contains(parent) || mup_set.contains(parent)) {
-          skip = true;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      Pattern& p = queue[i];
+      switch (outcomes[i]) {
+        case NodeOutcome::kSkipped:
           break;
-        }
-      }
-      if (skip) continue;
-
-      if (!oracle.CoverageAtLeast(p, options.tau)) {
-        mups.push_back(p);
-        mup_set.insert(p);
-      } else {
-        covered_here.insert(p);
-        if (level < max_level) {
-          for (Pattern& child : Rule1Children(p, schema)) {
-            ++nodes_generated;
-            next_queue.push_back(std::move(child));
+        case NodeOutcome::kMup:
+          mup_set.insert(p);
+          mups.push_back(std::move(p));
+          break;
+        case NodeOutcome::kCovered:
+          if (level < max_level) {
+            for (Pattern& child : Rule1Children(p, schema)) {
+              ++nodes_generated;
+              next_queue.push_back(std::move(child));
+            }
           }
-        }
+          covered_here.insert(std::move(p));
+          break;
       }
     }
     prev_covered = std::move(covered_here);
@@ -61,7 +109,9 @@ std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
 
   std::sort(mups.begin(), mups.end());
   if (stats != nullptr) {
-    stats->coverage_queries = oracle.num_queries() - queries_before;
+    std::uint64_t queries = 0;
+    for (const QueryContext& ctx : contexts) queries += ctx.num_queries();
+    stats->coverage_queries = queries;
     stats->nodes_generated = nodes_generated;
     stats->seconds = timer.ElapsedSeconds();
     stats->num_mups = mups.size();

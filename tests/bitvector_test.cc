@@ -229,5 +229,105 @@ TEST(BitVector, RandomizedAgainstReference) {
   }
 }
 
+// --- fused AND-chain kernels ------------------------------------------------
+
+namespace {
+
+/// Naive composition the fused kernels must agree with: materialise the AND
+/// chain, then dot.
+std::uint64_t NaiveAndChainDot(const std::vector<BitVector>& ops,
+                               const std::vector<std::uint64_t>& counts) {
+  BitVector acc = ops[0];
+  for (std::size_t i = 1; i < ops.size(); ++i) acc.AndWith(ops[i]);
+  return acc.Dot(counts);
+}
+
+std::vector<const BitVector*> Pointers(const std::vector<BitVector>& ops) {
+  std::vector<const BitVector*> ptrs;
+  for (const BitVector& op : ops) ptrs.push_back(&op);
+  return ptrs;
+}
+
+std::vector<BitVector> RandomOperands(int n, std::size_t bits, double density,
+                                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(density);
+  std::vector<BitVector> ops;
+  for (int k = 0; k < n; ++k) {
+    BitVector bv(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (coin(rng)) bv.Set(i);
+    }
+    ops.push_back(std::move(bv));
+  }
+  return ops;
+}
+
+std::vector<std::uint64_t> RandomCounts(std::size_t bits, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 1000);
+  std::vector<std::uint64_t> counts(bits);
+  for (auto& c : counts) c = dist(rng);
+  return counts;
+}
+
+}  // namespace
+
+TEST(AndChainDot, MatchesNaiveComposition) {
+  // Sweep operand counts and sizes across the unroll boundaries (sizes that
+  // are 0/1/2/3 mod 4 words, with and without a padded tail word).
+  for (const std::size_t bits : {1u, 63u, 64u, 100u, 256u, 300u, 1000u}) {
+    for (const int n : {1, 2, 3, 5, 8}) {
+      const auto ops = RandomOperands(n, bits, 0.3, bits * 31 + n);
+      const auto counts = RandomCounts(bits, bits * 7 + n);
+      const auto ptrs = Pointers(ops);
+      EXPECT_EQ(BitVector::AndChainDot(ptrs.data(), n, counts),
+                NaiveAndChainDot(ops, counts))
+          << "bits=" << bits << " n=" << n;
+    }
+  }
+}
+
+TEST(AndChainDot, EmptyIntersectionIsZero) {
+  std::vector<BitVector> ops = {BitVector(200), BitVector(200, true)};
+  const auto counts = RandomCounts(200, 1);
+  const auto ptrs = Pointers(ops);
+  EXPECT_EQ(BitVector::AndChainDot(ptrs.data(), 2, counts), 0u);
+}
+
+TEST(AndChainAtLeast, AgreesWithDotAcrossTauSweep) {
+  const std::size_t bits = 300;
+  for (const int n : {1, 2, 4}) {
+    const auto ops = RandomOperands(n, bits, 0.4, 17 + n);
+    const auto counts = RandomCounts(bits, 29 + n);
+    const auto ptrs = Pointers(ops);
+    const std::uint64_t exact = NaiveAndChainDot(ops, counts);
+    for (const std::uint64_t tau :
+         {std::uint64_t{0}, std::uint64_t{1}, exact > 0 ? exact - 1 : 0,
+          exact, exact + 1, exact * 2 + 5}) {
+      EXPECT_EQ(BitVector::AndChainAtLeast(ptrs.data(), n, counts, tau),
+                exact >= tau)
+          << "n=" << n << " tau=" << tau << " exact=" << exact;
+    }
+  }
+}
+
+TEST(AndChainAtLeast, TauZeroIsAlwaysTrue) {
+  const BitVector empty(128);
+  const BitVector* op = &empty;
+  const std::vector<std::uint64_t> counts(128, 5);
+  EXPECT_TRUE(BitVector::AndChainAtLeast(&op, 1, counts, 0));
+  EXPECT_FALSE(BitVector::AndChainAtLeast(&op, 1, counts, 1));
+}
+
+TEST(AndChainDot, PaddingBitsDoNotLeak) {
+  // 70 bits leaves 58 dead bits in the last word; an all-ones operand pair
+  // must sum exactly the 70 live counts.
+  std::vector<BitVector> ops = {BitVector(70, true), BitVector(70, true)};
+  const std::vector<std::uint64_t> counts(70, 3);
+  const auto ptrs = Pointers(ops);
+  EXPECT_EQ(BitVector::AndChainDot(ptrs.data(), 2, counts), 210u);
+}
+
 }  // namespace
 }  // namespace coverage

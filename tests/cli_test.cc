@@ -59,6 +59,23 @@ TEST(CliParse, AllFlags) {
   EXPECT_TRUE(options->list_mups);
 }
 
+TEST(CliParse, ThreadsFlagBothForms) {
+  auto spaced = ParseArgs({"audit", "--csv", "d.csv", "--threads", "4"});
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced->threads, 4);
+  auto joined = ParseArgs({"audit", "--csv", "d.csv", "--threads=8"});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->threads, 8);
+  EXPECT_EQ(ParseArgs({"audit", "--csv", "d.csv"})->threads, 1);
+}
+
+TEST(CliParse, RejectsBadThreadCounts) {
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--threads", "0"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--threads", "-2"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--threads=1025"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--threads"}).ok());
+}
+
 TEST(CliParse, RejectsMissingCsv) {
   EXPECT_FALSE(ParseArgs({"audit", "--tau", "5"}).ok());
 }

@@ -1,0 +1,143 @@
+// The contract of MupSearchOptions::num_threads: for any worker count, the
+// parallel PATTERN-BREAKER and DEEPDIVER return *exactly* the serial MUP set
+// (same patterns, same order). Exercised on the COMPAS workload and on
+// adversarial data whose MUPs sit at many different levels, plus the
+// thread-safety contract of a shared BitmapCoverage.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "coverage_lib.h"
+
+namespace coverage {
+namespace {
+
+std::string Render(const std::vector<Pattern>& mups) {
+  std::string out;
+  for (const Pattern& p : mups) {
+    out += p.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDeterminismTest, PatternBreakerMatchesSerialOnCompas) {
+  const Dataset data = datagen::MakeCompas().data;
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options;
+  options.tau = 10;
+  const auto serial = FindMupsPatternBreaker(oracle, options);
+  ASSERT_FALSE(serial.empty());
+
+  options.num_threads = GetParam();
+  MupSearchStats stats;
+  const auto parallel = FindMupsPatternBreaker(oracle, options, &stats);
+  EXPECT_EQ(Render(parallel), Render(serial));
+  EXPECT_EQ(stats.num_mups, serial.size());
+  // The parallel frontier evaluation issues exactly the serial queries.
+  MupSearchStats serial_stats;
+  options.num_threads = 1;
+  FindMupsPatternBreaker(oracle, options, &serial_stats);
+  EXPECT_EQ(stats.coverage_queries, serial_stats.coverage_queries);
+  EXPECT_EQ(stats.nodes_generated, serial_stats.nodes_generated);
+}
+
+TEST_P(ParallelDeterminismTest, DeepDiverMatchesSerialOnCompas) {
+  const Dataset data = datagen::MakeCompas().data;
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options;
+  options.tau = 10;
+  const auto serial = FindMupsDeepDiver(oracle, options);
+  ASSERT_FALSE(serial.empty());
+
+  options.num_threads = GetParam();
+  const auto parallel = FindMupsDeepDiver(oracle, options);
+  EXPECT_EQ(Render(parallel), Render(serial));
+  EXPECT_TRUE(ValidateMupSet(parallel, oracle, options.tau).ok());
+}
+
+TEST_P(ParallelDeterminismTest, BothAlgorithmsMatchOnDiagonalData) {
+  // MakeDiagonal spreads MUPs across levels; run every dominance mode so the
+  // shared-index locking is exercised through all three strategies.
+  const Dataset data = datagen::MakeDiagonal(8);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  for (const auto mode : {MupSearchOptions::DominanceMode::kBitmapIndex,
+                          MupSearchOptions::DominanceMode::kLinearScan,
+                          MupSearchOptions::DominanceMode::kNoPruning}) {
+    MupSearchOptions options;
+    options.tau = 1;
+    options.dominance_mode = mode;
+    const auto serial_diver = FindMupsDeepDiver(oracle, options);
+    const auto serial_breaker = FindMupsPatternBreaker(oracle, options);
+    EXPECT_EQ(Render(serial_diver), Render(serial_breaker));
+
+    options.num_threads = GetParam();
+    EXPECT_EQ(Render(FindMupsDeepDiver(oracle, options)),
+              Render(serial_diver));
+    EXPECT_EQ(Render(FindMupsPatternBreaker(oracle, options)),
+              Render(serial_breaker));
+  }
+}
+
+TEST_P(ParallelDeterminismTest, LevelLimitedSearchMatchesSerial) {
+  const Dataset data = datagen::MakeAirbnb(20000, 10);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options;
+  options.tau = 40;
+  options.max_level = 4;
+  const auto serial = FindMupsDeepDiver(oracle, options);
+
+  options.num_threads = GetParam();
+  EXPECT_EQ(Render(FindMupsDeepDiver(oracle, options)), Render(serial));
+  EXPECT_EQ(Render(FindMupsPatternBreaker(oracle, options)), Render(serial));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(SharedOracle, ConcurrentQueriesOneInstance) {
+  // The thread-safety contract of the redesigned oracle: many threads, one
+  // BitmapCoverage, one QueryContext per thread. Under TSan this is the
+  // canary for any shared mutable query state.
+  const Dataset data = datagen::MakeAirbnb(20000, 8);
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  const ScanCoverage reference(data);
+
+  PatternGraph graph(data.schema());
+  const auto all = graph.EnumerateAll(1u << 20);
+  ASSERT_TRUE(all.ok());
+
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext ctx;
+      QueryContext scan_ctx;
+      for (std::size_t i = static_cast<std::size_t>(t); i < all->size();
+           i += 8) {
+        const Pattern& p = (*all)[i];
+        if (oracle.Coverage(p, ctx) != reference.Coverage(p, scan_ctx)) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+        if (oracle.CoverageAtLeast(p, 25, ctx) !=
+            (reference.Coverage(p, scan_ctx) >= 25)) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
+}
+
+}  // namespace
+}  // namespace coverage

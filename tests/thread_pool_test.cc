@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace coverage {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1);
+  int calls = 0;
+  pool.RunOnAll([&](int worker) {
+    EXPECT_EQ(worker, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, RunOnAllInvokesEveryWorkerOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::mutex mu;
+  std::set<int> seen;
+  pool.RunOnAll([&](int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(worker).second) << "worker ran twice";
+  });
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int workers : {1, 2, 3, 8}) {
+    ThreadPool pool(workers);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, /*chunk=*/7, [&](int, std::size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  std::mutex mu;
+  pool.ParallelFor(0, 16, [&](int, std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, 16, [&](int, std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(10, 1, [&](int, std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.RunOnAll([&](int worker) {
+        if (worker == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // The pool must survive a throwing job.
+  std::atomic<int> calls{0};
+  pool.RunOnAll([&](int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+}  // namespace
+}  // namespace coverage

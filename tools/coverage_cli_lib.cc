@@ -45,6 +45,8 @@ std::string Usage() {
       "  --max-level L           audit: limit MUP discovery to level <= L\n"
       "  --max-cardinality N     schema inference cap per column (default "
       "100)\n"
+      "  --threads N             worker threads for MUP discovery (default "
+      "1)\n"
       "  --rule \"A in {v1, v2}\"  enhance: validation rule (repeatable)\n"
       "  --list-mups             audit: print every MUP, not only the label\n";
 }
@@ -107,6 +109,21 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
         return Status::InvalidArgument("--max-cardinality must be positive");
       }
       options.max_cardinality = static_cast<int>(*parsed);
+    } else if (flag == "--threads" || flag.starts_with("--threads=")) {
+      std::string text;
+      if (flag == "--threads") {
+        auto v = next();
+        if (!v.ok()) return v.status();
+        text = *v;
+      } else {
+        text = flag.substr(std::string("--threads=").size());
+      }
+      auto parsed = ParseUint("--threads", text);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0 || *parsed > 1024) {
+        return Status::InvalidArgument("--threads must be within [1, 1024]");
+      }
+      options.threads = static_cast<int>(*parsed);
     } else if (flag == "--rule") {
       auto v = next();
       if (!v.ok()) return v.status();
@@ -175,6 +192,7 @@ int RunAudit(const CliOptions& options, std::ostream& out,
   MupSearchOptions search;
   search.tau = options.tau;
   search.max_level = options.max_level;
+  search.num_threads = options.threads;
   MupSearchStats stats;
   const auto mups = FindMupsDeepDiver(oracle, search, &stats);
   out << RenderNutritionalLabel(BuildCoverageReport(
@@ -225,6 +243,7 @@ int RunEnhance(const CliOptions& options, std::ostream& out,
   MupSearchOptions search;
   search.tau = options.tau;
   search.max_level = options.lambda;
+  search.num_threads = options.threads;
   const auto mups = FindMupsDeepDiver(oracle, search);
 
   EnhancementOptions eopts;

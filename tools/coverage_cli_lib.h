@@ -20,6 +20,7 @@ struct CliOptions {
   int lambda = 1;
   int max_level = -1;
   int max_cardinality = 100;
+  int threads = 1;                // MUP-search worker count
   std::vector<std::string> rules; // validation-rule strings
   bool list_mups = false;         // audit: print every MUP, not just the label
 };
