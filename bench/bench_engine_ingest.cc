@@ -1,0 +1,185 @@
+// Streaming-engine ingest benchmark: chunked CSV ingestion throughput and
+// incremental MUP-update latency of the CoverageEngine, with a memory
+// comparison against the whole-file load path.
+//
+// The dataset is an AirBnB-style generation written to a temporary CSV in
+// chunks, so not even the *generator* ever holds the full table; the engine
+// then ingests it chunk by chunk. Peak RSS (VmHWM) is sampled after the
+// streamed ingest and again after a deliberate whole-file
+// Dataset::InferFromCsv load — the gap is the memory the streaming path
+// never pays. REPRO_FULL=1 runs the paper-scale 1M rows.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "bench_common.h"
+
+namespace {
+
+/// VmRSS / VmHWM in MiB from /proc/self/status; 0.0 when unavailable.
+double ProcStatusMib(const std::string& key) {
+  std::ifstream status("/proc/self/status");
+  std::string token;
+  while (status >> token) {
+    if (token == key + ":") {
+      double kib = 0.0;
+      status >> kib;
+      return kib / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+/// Appends `n` AirBnB-style rows to `os` (no header), generated with `seed`.
+void WriteRows(std::ostream& os, const coverage::Schema& schema,
+               std::size_t n, int d, std::uint64_t seed) {
+  const coverage::Dataset chunk = coverage::datagen::MakeAirbnb(n, d, seed);
+  for (std::size_t r = 0; r < chunk.num_rows(); ++r) {
+    const auto row = chunk.row(r);
+    for (int i = 0; i < d; ++i) {
+      if (i != 0) os << ',';
+      os << schema.attribute(i)
+                .value_names[static_cast<std::size_t>(row[i])];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace coverage;
+  const std::size_t n = bench::AirbnbRows();
+  const int d = bench::FullScale() ? 15 : 13;
+  const std::uint64_t tau = std::max<std::uint64_t>(1, n / 1000);
+  bench::Banner("Streaming engine: chunked ingest + incremental updates",
+                "AirBnB n = " + FormatCount(n) + ", d = " + std::to_string(d) +
+                    ", tau = " + std::to_string(tau));
+  bench::BenchJson json("engine_ingest");
+
+  // ---- generate the CSV in bounded-memory chunks --------------------------
+  const Schema schema = datagen::MakeAirbnb(1, d).schema();
+  const std::string csv_path = "bench_engine_ingest_tmp.csv";
+  {
+    std::ofstream csv(csv_path);
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      if (i != 0) csv << ',';
+      csv << schema.attribute(i).name;
+    }
+    csv << '\n';
+    constexpr std::size_t kGenChunk = 50000;
+    std::size_t written = 0;
+    while (written < n) {
+      const std::size_t take = std::min(kGenChunk, n - written);
+      WriteRows(csv, schema, take, d, 7 + written);
+      written += take;
+    }
+  }
+
+  // ---- chunked ingest sweep ----------------------------------------------
+  TablePrinter table({"chunk rows", "rows/s", "read (s)", "updates (s)",
+                      "# MUPs", "peak chunk", "VmHWM (MiB)"});
+  std::optional<CoverageEngine> loaded;  // last sweep's engine, for appends
+  for (const std::size_t chunk_rows : {std::size_t{4096}, std::size_t{65536}}) {
+    EngineOptions options;
+    options.tau = tau;
+    loaded.emplace(schema, options);
+    CoverageEngine& engine = *loaded;
+    std::ifstream csv(csv_path);
+    Stopwatch timer;
+    const auto stats = engine.IngestCsvChunked(csv, chunk_rows);
+    const double seconds = timer.ElapsedSeconds();
+    if (!stats.ok()) {
+      std::cerr << stats.status().ToString() << "\n";
+      return 1;
+    }
+    const double rows_per_sec = static_cast<double>(stats->rows) / seconds;
+    const double hwm = ProcStatusMib("VmHWM");
+    // The streaming guarantee, measured: the engine never held more decoded
+    // rows than one chunk.
+    if (stats->peak_chunk_rows > chunk_rows) {
+      std::cerr << "FAIL: peak resident chunk " << stats->peak_chunk_rows
+                << " exceeds requested " << chunk_rows << "\n";
+      return 1;
+    }
+    table.Row()
+        .Cell(FormatCount(chunk_rows))
+        .Cell(FormatCount(static_cast<std::uint64_t>(rows_per_sec)))
+        .Cell(FormatDouble(stats->read_seconds, 3))
+        .Cell(FormatDouble(stats->update_seconds, 3))
+        .Cell(static_cast<std::uint64_t>(engine.Mups().size()))
+        .Cell(FormatCount(stats->peak_chunk_rows))
+        .Cell(FormatDouble(hwm, 1))
+        .Done();
+    json.Row()
+        .Field("mode", "ingest")
+        .Field("n", static_cast<std::uint64_t>(n))
+        .Field("d", d)
+        .Field("tau", tau)
+        .Field("chunk_rows", static_cast<std::uint64_t>(chunk_rows))
+        .Field("rows_per_sec", rows_per_sec)
+        .Field("read_seconds", stats->read_seconds)
+        .Field("update_seconds", stats->update_seconds)
+        .Field("coverage_queries", stats->coverage_queries)
+        .Field("num_mups", static_cast<std::uint64_t>(engine.Mups().size()))
+        .Field("peak_chunk_rows",
+               static_cast<std::uint64_t>(stats->peak_chunk_rows))
+        .Field("vm_hwm_mib", hwm)
+        .Done();
+  }
+  table.Print(std::cout);
+
+  // ---- incremental-update latency on the loaded engine --------------------
+  for (const std::size_t batch : {std::size_t{100}, std::size_t{10000}}) {
+    const Dataset rows = datagen::MakeAirbnb(batch, d, 4242);
+    EngineUpdateStats update;
+    if (!loaded->AppendRows(rows, &update).ok()) return 1;
+    std::cout << "incremental append of " << FormatCount(batch)
+              << " rows: " << FormatDouble(update.seconds * 1e3, 3) << " ms ("
+              << update.mups_rechecked << " rechecked, "
+              << update.mups_newly_covered << " newly covered, "
+              << update.mups_added << " added, " << update.coverage_queries
+              << " queries)\n";
+    json.Row()
+        .Field("mode", "append")
+        .Field("batch_rows", static_cast<std::uint64_t>(batch))
+        .Field("seconds", update.seconds)
+        .Field("mups_rechecked",
+               static_cast<std::uint64_t>(update.mups_rechecked))
+        .Field("mups_newly_covered",
+               static_cast<std::uint64_t>(update.mups_newly_covered))
+        .Field("mups_added", static_cast<std::uint64_t>(update.mups_added))
+        .Field("coverage_queries", update.coverage_queries)
+        .Done();
+  }
+
+  // ---- memory comparison: streamed vs whole-file load ---------------------
+  const double hwm_streamed = ProcStatusMib("VmHWM");
+  {
+    std::ifstream csv(csv_path);
+    auto whole = Dataset::InferFromCsv(csv, 100);
+    if (!whole.ok()) return 1;
+    std::cout << "whole-file load materialised "
+              << FormatCount(whole->num_rows()) << " rows\n";
+  }
+  const double hwm_whole = ProcStatusMib("VmHWM");
+  std::cout << "peak RSS after streamed ingest: "
+            << FormatDouble(hwm_streamed, 1)
+            << " MiB; after whole-file load: " << FormatDouble(hwm_whole, 1)
+            << " MiB\n"
+            << "expected shape: the streamed peak is bounded by one chunk + "
+               "the aggregated\nrelation (min(n, 2^d) combos), far below the "
+               "whole-file peak at paper scale\n";
+  json.Row()
+      .Field("mode", "memory")
+      .Field("vm_hwm_streamed_mib", hwm_streamed)
+      .Field("vm_hwm_whole_file_mib", hwm_whole)
+      .Done();
+
+  std::remove(csv_path.c_str());
+  return 0;
+}

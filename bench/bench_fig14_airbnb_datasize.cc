@@ -12,6 +12,8 @@ int main() {
   bench::Banner("Figure 14: MUP identification vs data size (AirBnB)",
                 "d = " + std::to_string(d) + ", tau = 0.1% of n");
 
+  bench::BenchJson json("fig14_airbnb_datasize");
+
   std::vector<std::size_t> sizes = {1000, 10000, 100000};
   sizes.push_back(bench::FullScale() ? 1000000 : 200000);
 
@@ -40,6 +42,17 @@ int main() {
         .Cell(bench::SecondsCell(diver.seconds))
         .Cell(static_cast<std::uint64_t>(diver.num_mups))
         .Cell(static_cast<std::uint64_t>(agg.num_combinations()))
+        .Done();
+    json.Row()
+        .Field("n", static_cast<std::uint64_t>(n))
+        .Field("d", d)
+        .Field("tau", options.tau)
+        .Field("pattern_breaker_s", breaker.seconds)
+        .Field("pattern_combiner_s", combiner.seconds)
+        .Field("deep_diver_s", diver.seconds)
+        .Field("num_mups", static_cast<std::uint64_t>(diver.num_mups))
+        .Field("distinct_combos",
+               static_cast<std::uint64_t>(agg.num_combinations()))
         .Done();
   }
   table.Print(std::cout);

@@ -33,8 +33,10 @@ void BitVector::Fill(bool value) {
 }
 
 void BitVector::PushBack(bool value) {
-  Resize(num_bits_ + 1);
-  if (value) Set(num_bits_ - 1, true);
+  const std::size_t bit = num_bits_ % kBitsPerWord;
+  if (bit == 0) words_.push_back(Word{0});
+  if (value) words_.back() |= Word{1} << bit;
+  ++num_bits_;
 }
 
 void BitVector::Resize(std::size_t num_bits, bool value) {
@@ -47,6 +49,34 @@ void BitVector::Resize(std::size_t num_bits, bool value) {
       Set(i, true);
     }
   }
+  ClearPadding();
+}
+
+void BitVector::Reserve(std::size_t num_bits) {
+  words_.reserve(WordsFor(num_bits));
+}
+
+void BitVector::AppendWords(const Word* words, std::size_t num_bits) {
+  if (num_bits == 0) return;
+  const std::size_t in_words = WordsFor(num_bits);
+  const std::size_t offset = num_bits_ % kBitsPerWord;
+  // The unaligned loop pushes all in_words words before the trailing trim,
+  // so reserve for the transient peak, not the final word count.
+  words_.reserve(words_.size() + in_words);
+  if (offset == 0) {
+    words_.insert(words_.end(), words, words + in_words);
+  } else {
+    // Shift-merge across the boundary: the low (64 - offset) bits of each
+    // incoming word land in the current last word, the rest start the next.
+    const std::size_t shift = kBitsPerWord - offset;
+    for (std::size_t i = 0; i < in_words; ++i) {
+      words_.back() |= words[i] << offset;
+      words_.push_back(words[i] >> shift);
+    }
+    // The loop may have opened one word more than the new size needs.
+    words_.resize(WordsFor(num_bits_ + num_bits));
+  }
+  num_bits_ += num_bits;
   ClearPadding();
 }
 

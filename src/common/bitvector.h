@@ -43,11 +43,25 @@ class BitVector {
   /// Sets every bit to `value`.
   void Fill(bool value);
 
-  /// Appends one bit, growing the vector by one.
+  /// Appends one bit, growing the vector by one. Backing words grow one
+  /// 64-bit block at a time (amortised by the word vector's geometric
+  /// growth), so repeated PushBack never rewrites existing words.
   void PushBack(bool value);
 
   /// Grows or shrinks to `num_bits`; new bits are `value`.
   void Resize(std::size_t num_bits, bool value = false);
+
+  /// Reserves backing storage for at least `num_bits` bits without changing
+  /// size(); subsequent appends up to that capacity never reallocate.
+  void Reserve(std::size_t num_bits);
+
+  /// Appends `num_bits` bits read LSB-first from `words` (which must hold at
+  /// least ceil(num_bits / 64) words; bits past `num_bits` in the last word
+  /// are ignored). The append is word-blocked: when the current size is not
+  /// word-aligned the incoming words are shift-merged across the boundary,
+  /// touching each word exactly once — this is the allocation-amortised bulk
+  /// growth path behind the incremental coverage index.
+  void AppendWords(const Word* words, std::size_t num_bits);
 
   /// Number of set bits.
   std::size_t Count() const;

@@ -28,6 +28,41 @@ BitmapCoverage::BitmapCoverage(const AggregatedData& data) : data_(data) {
   for (const BitVector& bv : indices_) index_popcounts_.push_back(bv.Count());
 }
 
+BitmapCoverage::BitmapCoverage(const AggregatedData& data,
+                               const BitmapCoverage& prev)
+    : data_(data),
+      offsets_(prev.offsets_),
+      indices_(prev.indices_),
+      index_popcounts_(prev.index_popcounts_) {
+  assert(data.schema() == prev.data_.schema());
+  const std::size_t prev_n = prev.data_.num_combinations();
+  const std::size_t new_n = data.num_combinations();
+  assert(prev_n <= new_n);
+  if (prev_n == new_n) return;
+  const int d = data.schema().num_attributes();
+  // Pack the new combinations' membership bits slot-major, then extend every
+  // slot vector with one AppendWords call.
+  const std::size_t delta_words =
+      (new_n - prev_n + BitVector::kBitsPerWord - 1) / BitVector::kBitsPerWord;
+  std::vector<BitVector::Word> deltas(indices_.size() * delta_words, 0);
+  for (std::size_t k = prev_n; k < new_n; ++k) {
+    const auto combo = data.combination(k);
+    const std::size_t j = k - prev_n;
+    for (int i = 0; i < d; ++i) {
+      const std::size_t slot =
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(i)]) +
+          static_cast<std::size_t>(combo[static_cast<std::size_t>(i)]);
+      deltas[slot * delta_words + j / BitVector::kBitsPerWord] |=
+          BitVector::Word{1} << (j % BitVector::kBitsPerWord);
+      ++index_popcounts_[slot];
+    }
+  }
+  for (std::size_t slot = 0; slot < indices_.size(); ++slot) {
+    indices_[slot].AppendWords(deltas.data() + slot * delta_words,
+                               new_n - prev_n);
+  }
+}
+
 int BitmapCoverage::GatherSlots(const Pattern& pattern,
                                 QueryContext& ctx) const {
   ctx.slots.clear();

@@ -23,6 +23,15 @@ class BitmapCoverage : public CoverageOracle {
   /// The aggregated data must outlive the oracle.
   explicit BitmapCoverage(const AggregatedData& data);
 
+  /// Incremental build: `data` must extend `prev.data()` — same schema, and
+  /// the first prev.data().num_combinations() combinations identical (the
+  /// prefix stability AggregatedData::AppendRows guarantees). The per-slot
+  /// vectors are copied from `prev` and grown by one word-blocked append
+  /// that sets only the new combinations' bits; multiplicity changes of
+  /// existing combinations live entirely in `data.counts()` and need no
+  /// index work. This is the epoch-advance path of the streaming engine.
+  BitmapCoverage(const AggregatedData& data, const BitmapCoverage& prev);
+
   using CoverageOracle::Coverage;
   using CoverageOracle::CoverageAtLeast;
 

@@ -34,8 +34,10 @@
 #include "datagen/compas.h"             // IWYU pragma: export
 #include "dataset/aggregate.h"          // IWYU pragma: export
 #include "dataset/bucketize.h"          // IWYU pragma: export
+#include "dataset/csv_stream.h"         // IWYU pragma: export
 #include "dataset/dataset.h"            // IWYU pragma: export
 #include "dataset/schema.h"             // IWYU pragma: export
+#include "engine/coverage_engine.h"     // IWYU pragma: export
 #include "enhancement/enhancement.h"    // IWYU pragma: export
 #include "enhancement/expansion.h"      // IWYU pragma: export
 #include "enhancement/hitting_set.h"    // IWYU pragma: export

@@ -1,28 +1,37 @@
 #include "dataset/aggregate.h"
 
 #include <cassert>
+#include <utility>
 
 namespace coverage {
 
-AggregatedData::AggregatedData(const Dataset& dataset)
-    : schema_(dataset.schema()) {
+AggregatedData::AggregatedData(Schema schema) : schema_(std::move(schema)) {
   keyable_ = schema_.NumValueCombinations() < Schema::kCombinationLimit;
   assert(keyable_ &&
          "aggregation requires the combination space to fit in 64 bits");
-  const int d = num_attributes();
+}
+
+AggregatedData::AggregatedData(const Dataset& dataset)
+    : AggregatedData(dataset.schema()) {
   index_.reserve(dataset.num_rows());
-  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
-    const auto row = dataset.row(r);
-    const std::uint64_t key = KeyOf(row);
-    auto [it, inserted] = index_.try_emplace(key, counts_.size());
-    if (inserted) {
-      cells_.insert(cells_.end(), row.begin(), row.end());
-      counts_.push_back(0);
-    }
-    ++counts_[it->second];
-    ++total_count_;
+  AppendRows(dataset);
+}
+
+void AggregatedData::AppendRow(std::span<const Value> row) {
+  assert(static_cast<int>(row.size()) == num_attributes());
+  const std::uint64_t key = KeyOf(row);
+  auto [it, inserted] = index_.try_emplace(key, counts_.size());
+  if (inserted) {
+    cells_.insert(cells_.end(), row.begin(), row.end());
+    counts_.push_back(0);
   }
-  (void)d;
+  ++counts_[it->second];
+  ++total_count_;
+}
+
+void AggregatedData::AppendRows(const Dataset& rows) {
+  assert(rows.schema() == schema_);
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) AppendRow(rows.row(r));
 }
 
 std::uint64_t AggregatedData::KeyOf(std::span<const Value> combination) const {

@@ -15,10 +15,25 @@ namespace coverage {
 /// `D` together with their multiplicities. All coverage machinery operates on
 /// this compression — its size is bounded by min(n, Π c_i), which is why data
 /// size has little effect on MUP-identification runtime (paper, Fig. 14).
+///
+/// The relation is appendable: new rows either bump the multiplicity of an
+/// existing combination in place or append a new combination *at the end*,
+/// so combination ids are stable across appends. This prefix stability is
+/// what lets BitmapCoverage extend a previous epoch's index instead of
+/// rebuilding it (see the incremental constructor there).
 class AggregatedData {
  public:
+  /// An empty relation over `schema`; rows arrive through AppendRows.
+  explicit AggregatedData(Schema schema);
+
   /// Groups the rows of `dataset` by full value combination.
   explicit AggregatedData(const Dataset& dataset);
+
+  /// Folds in one row (must match the schema in width and value ranges).
+  void AppendRow(std::span<const Value> row);
+
+  /// Folds in every row of `rows` (whose schema must equal ours).
+  void AppendRows(const Dataset& rows);
 
   const Schema& schema() const { return schema_; }
 

@@ -1,0 +1,131 @@
+#include "dataset/csv_stream.h"
+
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace coverage {
+
+StatusOr<Schema> InferSchemaFromCsv(std::istream& is, int max_cardinality,
+                                    std::vector<Value>* encoded_rows) {
+  if (max_cardinality < 1) {
+    return Status::InvalidArgument("max_cardinality must be >= 1");
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("CSV input is empty (missing header)");
+  }
+  std::vector<std::string> names;
+  for (const std::string& field : Split(Trim(line), ',')) {
+    names.emplace_back(Trim(field));
+    if (names.back().empty()) {
+      return Status::InvalidArgument("CSV header has an empty column name");
+    }
+  }
+  const std::size_t d = names.size();
+
+  std::vector<std::vector<std::string>> dictionaries(d);
+  std::vector<std::unordered_map<std::string, Value>> lookup(d);
+  std::size_t num_rows = 0;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != d) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(d));
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      std::string value(Trim(fields[c]));
+      auto [it, inserted] = lookup[c].try_emplace(
+          value, static_cast<Value>(dictionaries[c].size()));
+      if (inserted) {
+        if (static_cast<int>(dictionaries[c].size()) >= max_cardinality) {
+          return Status::InvalidArgument(
+              "column '" + names[c] + "' exceeds " +
+              std::to_string(max_cardinality) +
+              " distinct values; bucketize it first (see Bucketizer)");
+        }
+        dictionaries[c].push_back(std::move(value));
+      }
+      if (encoded_rows != nullptr) encoded_rows->push_back(it->second);
+    }
+    ++num_rows;
+  }
+  if (num_rows == 0) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+
+  std::vector<Attribute> attrs(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    attrs[c].name = names[c];
+    attrs[c].value_names = std::move(dictionaries[c]);
+  }
+  return Schema(std::move(attrs));
+}
+
+StatusOr<CsvChunkReader> CsvChunkReader::Open(std::istream& is,
+                                              const Schema& schema) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument("CSV input is empty (missing header)");
+  }
+  const std::vector<std::string> header = Split(Trim(line), ',');
+  if (static_cast<int>(header.size()) != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, schema has " + std::to_string(schema.num_attributes()));
+  }
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (std::string(Trim(header[static_cast<std::size_t>(i)])) !=
+        schema.attribute(i).name) {
+      return Status::InvalidArgument(
+          "CSV column '" + header[static_cast<std::size_t>(i)] +
+          "' does not match schema attribute '" + schema.attribute(i).name +
+          "'");
+    }
+  }
+  return CsvChunkReader(is, schema);
+}
+
+StatusOr<std::size_t> CsvChunkReader::ReadChunk(Dataset& out,
+                                                std::size_t max_rows) {
+  const Schema& schema = *schema_;
+  std::vector<Value> buf(static_cast<std::size_t>(schema.num_attributes()));
+  std::string line;
+  std::size_t appended = 0;
+  while (appended < max_rows && std::getline(*is_, line)) {
+    ++line_no_;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (static_cast<int>(fields.size()) != schema.num_attributes()) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line_no_) +
+                                     " has " + std::to_string(fields.size()) +
+                                     " fields, expected " +
+                                     std::to_string(schema.num_attributes()));
+    }
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      auto value = schema.ValueIndex(
+          i, std::string(Trim(fields[static_cast<std::size_t>(i)])));
+      if (!value.ok()) {
+        return Status::InvalidArgument("CSV line " + std::to_string(line_no_) +
+                                       ": " + value.status().message());
+      }
+      buf[static_cast<std::size_t>(i)] = *value;
+    }
+    out.AppendRow(buf);
+    ++appended;
+  }
+  rows_read_ += appended;
+  return appended;
+}
+
+}  // namespace coverage

@@ -1,0 +1,65 @@
+#ifndef COVERAGE_DATASET_CSV_STREAM_H_
+#define COVERAGE_DATASET_CSV_STREAM_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <limits>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+#include "dataset/schema.h"
+
+namespace coverage {
+
+/// Streaming pass over a CSV that builds the schema: attribute names from
+/// the header, per-column value dictionaries in order of first appearance.
+/// With `encoded_rows == nullptr` peak memory is O(Σ c_i) — the
+/// dictionaries — no matter how many rows the stream holds, which makes it
+/// the schema-discovery companion of the chunked ingest path. When
+/// `encoded_rows` is given, every row's encoded values are appended to it
+/// row-major (this is the single implementation of the inference grammar;
+/// Dataset::InferFromCsv is this pass plus materialisation). A column
+/// exceeding `max_cardinality` distinct values yields InvalidArgument with
+/// a hint to bucketize (§II preprocessing).
+StatusOr<Schema> InferSchemaFromCsv(std::istream& is,
+                                    int max_cardinality = 100,
+                                    std::vector<Value>* encoded_rows = nullptr);
+
+/// Pull-based chunked CSV reader against a known schema: validates the
+/// header eagerly, then hands out row blocks of any requested size without
+/// ever materialising the remainder of the stream. The CSV grammar (header
+/// of attribute names, labelled values, trimmed fields, blank lines
+/// skipped) is exactly Dataset::ReadCsv's — which is implemented on top of
+/// this reader.
+class CsvChunkReader {
+ public:
+  /// Reads and validates the header row. The stream and schema must outlive
+  /// the reader.
+  static StatusOr<CsvChunkReader> Open(std::istream& is, const Schema& schema);
+
+  /// Parses up to `max_rows` data rows and appends them to `out` (whose
+  /// schema must equal the reader's). Returns the number of rows appended;
+  /// 0 means the stream is exhausted. Malformed rows yield InvalidArgument
+  /// with the 1-based line number.
+  StatusOr<std::size_t> ReadChunk(
+      Dataset& out,
+      std::size_t max_rows = std::numeric_limits<std::size_t>::max());
+
+  /// Data rows successfully handed out so far.
+  std::size_t rows_read() const { return rows_read_; }
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  CsvChunkReader(std::istream& is, const Schema& schema)
+      : is_(&is), schema_(&schema) {}
+
+  std::istream* is_;
+  const Schema* schema_;
+  std::size_t line_no_ = 1;  // the header
+  std::size_t rows_read_ = 0;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_DATASET_CSV_STREAM_H_

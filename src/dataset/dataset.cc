@@ -3,9 +3,10 @@
 #include <cassert>
 #include <istream>
 #include <ostream>
-#include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
+#include "dataset/csv_stream.h"
 
 namespace coverage {
 
@@ -70,118 +71,22 @@ Status Dataset::WriteCsv(std::ostream& os) const {
 }
 
 StatusOr<Dataset> Dataset::ReadCsv(std::istream& is, const Schema& schema) {
-  std::string line;
-  if (!std::getline(is, line)) {
-    return Status::InvalidArgument("CSV input is empty (missing header)");
-  }
-  const std::vector<std::string> header = Split(Trim(line), ',');
-  if (static_cast<int>(header.size()) != schema.num_attributes()) {
-    return Status::InvalidArgument(
-        "CSV header has " + std::to_string(header.size()) +
-        " columns, schema has " + std::to_string(schema.num_attributes()));
-  }
-  for (int i = 0; i < schema.num_attributes(); ++i) {
-    if (std::string(Trim(header[static_cast<std::size_t>(i)])) !=
-        schema.attribute(i).name) {
-      return Status::InvalidArgument(
-          "CSV column '" + header[static_cast<std::size_t>(i)] +
-          "' does not match schema attribute '" + schema.attribute(i).name +
-          "'");
-    }
-  }
-
+  auto reader = CsvChunkReader::Open(is, schema);
+  if (!reader.ok()) return reader.status();
   Dataset out(schema);
-  std::vector<Value> buf(static_cast<std::size_t>(schema.num_attributes()));
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string_view trimmed = Trim(line);
-    if (trimmed.empty()) continue;
-    const std::vector<std::string> fields = Split(trimmed, ',');
-    if (static_cast<int>(fields.size()) != schema.num_attributes()) {
-      return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
-                                     " has " + std::to_string(fields.size()) +
-                                     " fields, expected " +
-                                     std::to_string(schema.num_attributes()));
-    }
-    for (int i = 0; i < schema.num_attributes(); ++i) {
-      auto value = schema.ValueIndex(
-          i, std::string(Trim(fields[static_cast<std::size_t>(i)])));
-      if (!value.ok()) {
-        return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
-                                       ": " + value.status().message());
-      }
-      buf[static_cast<std::size_t>(i)] = *value;
-    }
-    out.AppendRow(buf);
-  }
+  auto read = reader->ReadChunk(out);
+  if (!read.ok()) return read.status();
   return out;
 }
 
 StatusOr<Dataset> Dataset::InferFromCsv(std::istream& is,
                                         int max_cardinality) {
-  if (max_cardinality < 1) {
-    return Status::InvalidArgument("max_cardinality must be >= 1");
-  }
-  std::string line;
-  if (!std::getline(is, line)) {
-    return Status::InvalidArgument("CSV input is empty (missing header)");
-  }
-  std::vector<std::string> names;
-  for (const std::string& field : Split(Trim(line), ',')) {
-    names.emplace_back(Trim(field));
-    if (names.back().empty()) {
-      return Status::InvalidArgument("CSV header has an empty column name");
-    }
-  }
-  const std::size_t d = names.size();
-
-  // First pass materialises the raw field matrix while building per-column
-  // dictionaries in order of first appearance.
-  std::vector<std::vector<std::string>> dictionaries(d);
-  std::vector<std::unordered_map<std::string, Value>> lookup(d);
   std::vector<Value> encoded;
-  std::size_t num_rows = 0;
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string_view trimmed = Trim(line);
-    if (trimmed.empty()) continue;
-    const std::vector<std::string> fields = Split(trimmed, ',');
-    if (fields.size() != d) {
-      return Status::InvalidArgument(
-          "CSV line " + std::to_string(line_no) + " has " +
-          std::to_string(fields.size()) + " fields, expected " +
-          std::to_string(d));
-    }
-    for (std::size_t c = 0; c < d; ++c) {
-      const std::string value(Trim(fields[c]));
-      auto [it, inserted] = lookup[c].try_emplace(
-          value, static_cast<Value>(dictionaries[c].size()));
-      if (inserted) {
-        if (static_cast<int>(dictionaries[c].size()) >= max_cardinality) {
-          return Status::InvalidArgument(
-              "column '" + names[c] + "' exceeds " +
-              std::to_string(max_cardinality) +
-              " distinct values; bucketize it first (see Bucketizer)");
-        }
-        dictionaries[c].push_back(value);
-      }
-      encoded.push_back(it->second);
-    }
-    ++num_rows;
-  }
-  if (num_rows == 0) {
-    return Status::InvalidArgument("CSV has a header but no data rows");
-  }
-
-  std::vector<Attribute> attrs(d);
-  for (std::size_t c = 0; c < d; ++c) {
-    attrs[c].name = names[c];
-    attrs[c].value_names = std::move(dictionaries[c]);
-  }
-  Dataset out{Schema(std::move(attrs))};
-  for (std::size_t r = 0; r < num_rows; ++r) {
+  auto schema = InferSchemaFromCsv(is, max_cardinality, &encoded);
+  if (!schema.ok()) return schema.status();
+  const std::size_t d = static_cast<std::size_t>(schema->num_attributes());
+  Dataset out(std::move(*schema));
+  for (std::size_t r = 0; r < encoded.size() / d; ++r) {
     out.AppendRow(std::span<const Value>(encoded.data() + r * d, d));
   }
   return out;

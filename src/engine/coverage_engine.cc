@@ -1,0 +1,253 @@
+#include "engine/coverage_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "dataset/csv_stream.h"
+#include "mups/mup_index.h"
+
+namespace coverage {
+
+namespace {
+
+using DominanceMode = MupSearchOptions::DominanceMode;
+
+/// "Is `p` strictly dominated by a maintained MUP?" under the engine's
+/// dominance mode. `mups` is the live set (survivors + MUPs found so far
+/// this epoch); `index` is only populated in kBitmapIndex mode.
+bool IsDominatedByMups(const std::vector<Pattern>& mups,
+                       const MupDominanceIndex& index, DominanceMode mode,
+                       const Pattern& p) {
+  switch (mode) {
+    case DominanceMode::kBitmapIndex:
+      return index.IsDominated(p);
+    case DominanceMode::kLinearScan:
+      for (const Pattern& m : mups) {
+        if (m.Dominates(p)) return true;
+      }
+      return false;
+    case DominanceMode::kNoPruning:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+CoverageEngine::CoverageEngine(Schema schema, EngineOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  assert(options_.num_threads >= 1);
+  auto first = std::shared_ptr<Snapshot>(
+      new Snapshot(AggregatedData(schema_), nullptr, 0));
+  // cov(P) = 0 for every pattern of the empty dataset, so the root is the
+  // unique MUP whenever tau >= 1; the first append bootstraps the full
+  // search by re-expanding beneath it once it crosses τ.
+  if (options_.tau >= 1) {
+    first->mups_.push_back(Pattern::Root(schema_.num_attributes()));
+  }
+  current_ = std::move(first);
+}
+
+CoverageEngine::~CoverageEngine() = default;
+
+std::shared_ptr<const CoverageEngine::Snapshot> CoverageEngine::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return current_;
+}
+
+void CoverageEngine::Publish(std::shared_ptr<const Snapshot> next) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  current_ = std::move(next);
+}
+
+Status CoverageEngine::AppendRows(std::span<const Row> rows,
+                                  EngineUpdateStats* stats) {
+  Dataset chunk(schema_);
+  const int d = schema_.num_attributes();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (static_cast<int>(rows[r].size()) != d) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " values, schema has " +
+          std::to_string(d));
+    }
+    for (int i = 0; i < d; ++i) {
+      const Value v = rows[r][static_cast<std::size_t>(i)];
+      if (v < 0 || v >= static_cast<Value>(schema_.cardinality(i))) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r) + ", attribute '" +
+            schema_.attribute(i).name + "': value " + std::to_string(v) +
+            " out of range [0, " + std::to_string(schema_.cardinality(i)) +
+            ")");
+      }
+    }
+    chunk.AppendRow(rows[r]);
+  }
+  return AppendRows(chunk, stats);
+}
+
+Status CoverageEngine::AppendRows(const Dataset& rows,
+                                  EngineUpdateStats* stats) {
+  if (!(rows.schema() == schema_)) {
+    return Status::InvalidArgument(
+        "appended rows' schema does not match the engine schema");
+  }
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  Stopwatch timer;
+  const std::shared_ptr<const Snapshot> cur = snapshot();
+
+  AggregatedData agg = cur->agg_;  // prefix-stable copy, extended in place
+  agg.AppendRows(rows);
+  auto next = std::shared_ptr<Snapshot>(
+      new Snapshot(std::move(agg), &cur->oracle_, cur->epoch_ + 1));
+
+  EngineUpdateStats local;
+  EngineUpdateStats* s = stats != nullptr ? stats : &local;
+  *s = EngineUpdateStats{};
+  s->rows_appended = rows.num_rows();
+  s->new_combinations =
+      next->agg_.num_combinations() - cur->agg_.num_combinations();
+
+  next->mups_ = UpdateMups(*next, cur->mups_, s);
+  Publish(std::move(next));
+  s->seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<IngestStats> CoverageEngine::IngestCsvChunked(std::istream& is,
+                                                       std::size_t chunk_rows) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be >= 1");
+  }
+  auto reader = CsvChunkReader::Open(is, schema_);
+  if (!reader.ok()) return reader.status();
+
+  IngestStats stats;
+  Stopwatch read_timer;
+  for (;;) {
+    read_timer.Restart();
+    Dataset chunk(schema_);  // only this chunk is ever resident
+    auto read = reader->ReadChunk(chunk, chunk_rows);
+    if (!read.ok()) return read.status();
+    stats.read_seconds += read_timer.ElapsedSeconds();
+    if (*read == 0) break;
+
+    EngineUpdateStats update;
+    const Status appended = AppendRows(chunk, &update);
+    if (!appended.ok()) return appended;
+    ++stats.chunks;
+    stats.rows += *read;
+    stats.peak_chunk_rows = std::max(stats.peak_chunk_rows, *read);
+    stats.update_seconds += update.seconds;
+    stats.coverage_queries += update.coverage_queries;
+  }
+  return stats;
+}
+
+std::vector<Pattern> CoverageEngine::UpdateMups(
+    const Snapshot& next, const std::vector<Pattern>& old_mups,
+    EngineUpdateStats* stats) {
+  const BitmapCoverage& oracle = next.oracle();
+  const Schema& schema = next.data().schema();
+  const std::uint64_t tau = options_.tau;
+  const int d = schema.num_attributes();
+  const int max_level = options_.max_level < 0 ? d : options_.max_level;
+  const DominanceMode mode = options_.dominance_mode;
+
+  // Phase 1 — recheck every previous MUP against the grown counts. The
+  // probes are independent, so they parallelise over the pool with a
+  // deterministic merge by index.
+  std::vector<char> covered(old_mups.size(), 0);
+  if (options_.num_threads > 1 && old_mups.size() >= 128) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    ThreadPool& pool = *pool_;
+    std::vector<QueryContext> ctxs(
+        static_cast<std::size_t>(pool.num_workers()));
+    pool.ParallelFor(old_mups.size(), 64, [&](int worker, std::size_t i) {
+      covered[i] = oracle.CoverageAtLeast(
+                       old_mups[i], tau,
+                       ctxs[static_cast<std::size_t>(worker)])
+                       ? 1
+                       : 0;
+    });
+    for (const QueryContext& ctx : ctxs) {
+      stats->coverage_queries += ctx.num_queries();
+    }
+  } else {
+    QueryContext ctx;
+    for (std::size_t i = 0; i < old_mups.size(); ++i) {
+      covered[i] = oracle.CoverageAtLeast(old_mups[i], tau, ctx) ? 1 : 0;
+    }
+    stats->coverage_queries += ctx.num_queries();
+  }
+
+  std::vector<Pattern> mups;      // survivors, then fresh discoveries
+  std::vector<Pattern> frontier;  // newly covered → re-expansion roots
+  for (std::size_t i = 0; i < old_mups.size(); ++i) {
+    (covered[i] != 0 ? frontier : mups).push_back(old_mups[i]);
+  }
+  stats->mups_rechecked = old_mups.size();
+  stats->mups_newly_covered = frontier.size();
+  if (frontier.empty()) return mups;  // still sorted: a subsequence
+
+  // Phase 2 — re-seed the Appendix-B dominance index from the survivors in
+  // one batched append; fresh MUPs join it as they are found.
+  MupDominanceIndex index(schema);
+  if (mode == DominanceMode::kBitmapIndex) index.AddBatch(mups);
+
+  // Phase 3 — BFS over the covered region beneath the newly covered MUPs.
+  // Insert monotonicity confines every fresh MUP to these subtrees: an
+  // uncovered child with every parent covered is a MUP; a covered child is
+  // expanded further. `seen` dedups nodes shared between subtrees.
+  QueryContext ctx;
+  std::unordered_set<Pattern, PatternHash> seen(frontier.begin(),
+                                                frontier.end());
+  std::deque<Pattern> queue(frontier.begin(), frontier.end());
+  while (!queue.empty()) {
+    const Pattern p = std::move(queue.front());
+    queue.pop_front();
+    if (p.level() >= max_level) continue;  // children would exceed the cap
+    for (int attr = 0; attr < d; ++attr) {
+      if (p.is_deterministic(attr)) continue;
+      for (Value v = 0; v < static_cast<Value>(schema.cardinality(attr));
+           ++v) {
+        Pattern child = p.WithCell(attr, v);
+        if (!seen.insert(child).second) continue;
+        if (oracle.CoverageAtLeast(child, tau, ctx)) {
+          queue.push_back(std::move(child));
+          continue;
+        }
+        // Uncovered. Beneath a maintained MUP → not maximal, whole subtree
+        // already accounted for.
+        if (IsDominatedByMups(mups, index, mode, child)) continue;
+        // Maximal iff every parent is covered; `p` is one of them and is
+        // known covered.
+        bool maximal = true;
+        for (const Pattern& parent : child.Parents()) {
+          if (parent == p) continue;
+          if (!oracle.CoverageAtLeast(parent, tau, ctx)) {
+            maximal = false;
+            break;
+          }
+        }
+        if (!maximal) continue;
+        mups.push_back(child);
+        ++stats->mups_added;
+        if (mode == DominanceMode::kBitmapIndex) index.Add(child);
+      }
+    }
+  }
+  stats->coverage_queries += ctx.num_queries();
+  std::sort(mups.begin(), mups.end());
+  return mups;
+}
+
+}  // namespace coverage

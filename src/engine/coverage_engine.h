@@ -1,0 +1,190 @@
+#ifndef COVERAGE_ENGINE_COVERAGE_ENGINE_H_
+#define COVERAGE_ENGINE_COVERAGE_ENGINE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "coverage/bitmap_coverage.h"
+#include "coverage/coverage_oracle.h"
+#include "dataset/aggregate.h"
+#include "dataset/dataset.h"
+#include "dataset/schema.h"
+#include "mups/mups.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+class ThreadPool;
+
+/// Configuration of a CoverageEngine; fixed for the engine's lifetime so
+/// every epoch answers the same Problem-1 instance.
+struct EngineOptions {
+  /// Coverage threshold τ (Definition 3).
+  std::uint64_t tau = 30;
+
+  /// When >= 0, maintain only MUPs of level <= max_level (§V-C3).
+  int max_level = -1;
+
+  /// Worker count for the epoch updates: the old-MUP recheck sweep is
+  /// distributed over a pool of this size (deterministic — results are
+  /// merged by index). 1 runs everything inline.
+  int num_threads = 1;
+
+  /// Dominance strategy for the incremental maintenance pruning, mirroring
+  /// DEEPDIVER's ablation modes; all three produce identical MUP sets.
+  MupSearchOptions::DominanceMode dominance_mode =
+      MupSearchOptions::DominanceMode::kBitmapIndex;
+};
+
+/// Instrumentation of one epoch advance (one AppendRows call).
+struct EngineUpdateStats {
+  std::size_t rows_appended = 0;
+  std::size_t new_combinations = 0;   ///< distinct combos added this epoch
+  std::size_t mups_rechecked = 0;     ///< previous MUPs whose count was probed
+  std::size_t mups_newly_covered = 0; ///< previous MUPs that crossed τ
+  std::size_t mups_added = 0;         ///< fresh MUPs found beneath them
+  std::uint64_t coverage_queries = 0; ///< oracle calls spent on maintenance
+  double seconds = 0.0;               ///< epoch build wall-clock
+};
+
+/// Instrumentation of one IngestCsvChunked call.
+struct IngestStats {
+  std::size_t chunks = 0;
+  std::size_t rows = 0;
+  /// Largest number of decoded rows resident at any instant — bounded by the
+  /// requested chunk size by construction; the engine never materialises the
+  /// stream (only the aggregated relation, whose size is min(n, Π c_i)).
+  std::size_t peak_chunk_rows = 0;
+  double read_seconds = 0.0;    ///< CSV parsing + dictionary encoding
+  double update_seconds = 0.0;  ///< epoch builds (bitmap append + MUPs)
+  std::uint64_t coverage_queries = 0;
+};
+
+/// A long-lived, incrementally maintained coverage service: the paper's
+/// assess → acquire → re-assess loop (§I) without ever recomputing from
+/// scratch. The engine owns a fixed (bucketized) schema and advances through
+/// *epochs*: each AppendRows / ingest chunk copies the current aggregated
+/// relation, extends it in place, grows the inverted bitmap index by one
+/// word-blocked append (BitmapCoverage's incremental constructor), and
+/// updates the MUP set incrementally.
+///
+/// MUP maintenance exploits insert monotonicity: appending rows only
+/// increases pattern counts, so covered patterns stay covered, a previous
+/// MUP that is still uncovered is still a MUP, and every *new* MUP lies
+/// strictly beneath a previous MUP whose count crossed τ. The update
+/// therefore rechecks the previous MUPs and re-expands only from the newly
+/// covered ones, pruning with the Appendix-B dominance index (re-seeded per
+/// epoch via MupDominanceIndex::AddBatch). The result is bit-identical to a
+/// from-scratch search on the accumulated data.
+///
+/// Concurrency: epochs are immutable once published. Readers take a
+/// shared_ptr snapshot (Query / Mups / snapshot()) and are never blocked by
+/// or exposed to an in-flight epoch build; writers serialise among
+/// themselves. Queries go through the caller's QueryContext exactly as with
+/// a standalone BitmapCoverage.
+class CoverageEngine {
+ public:
+  /// One immutable epoch: the aggregated relation, its oracle, and the MUP
+  /// set. Handed out as shared_ptr<const Snapshot>; safe to hold across
+  /// later appends (it simply keeps answering for its epoch) and to share
+  /// across threads.
+  class Snapshot {
+   public:
+    const AggregatedData& data() const { return agg_; }
+    const BitmapCoverage& oracle() const { return oracle_; }
+    /// Sorted lexicographically, like every FindMups* result.
+    const std::vector<Pattern>& mups() const { return mups_; }
+    std::uint64_t epoch() const { return epoch_; }
+    std::uint64_t num_rows() const { return agg_.total_count(); }
+
+   private:
+    friend class CoverageEngine;
+    Snapshot(AggregatedData agg, const BitmapCoverage* prev,
+             std::uint64_t epoch)
+        : agg_(std::move(agg)),
+          oracle_(prev == nullptr ? BitmapCoverage(agg_)
+                                  : BitmapCoverage(agg_, *prev)),
+          epoch_(epoch) {}
+
+    AggregatedData agg_;
+    BitmapCoverage oracle_;  // references agg_
+    std::vector<Pattern> mups_;
+    std::uint64_t epoch_;
+  };
+
+  /// A borrowed row of encoded values, schema-width.
+  using Row = std::span<const Value>;
+
+  /// Starts at epoch 0 over the empty dataset (whose only MUP is the root
+  /// whenever tau >= 1). The schema must be final — bucketize first.
+  explicit CoverageEngine(Schema schema, EngineOptions options = {});
+  ~CoverageEngine();
+
+  const Schema& schema() const { return schema_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// The currently published epoch; never null.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Streams CSV data (header validated against the schema) in chunks of
+  /// `chunk_rows`, advancing one epoch per chunk. Only one chunk of decoded
+  /// rows is ever resident; the stream itself is never materialised.
+  StatusOr<IngestStats> IngestCsvChunked(std::istream& is,
+                                         std::size_t chunk_rows);
+
+  /// Appends encoded rows (validated against the schema) as one epoch.
+  Status AppendRows(std::span<const Row> rows,
+                    EngineUpdateStats* stats = nullptr);
+
+  /// Appends every row of `rows` (whose schema must equal ours) as one
+  /// epoch.
+  Status AppendRows(const Dataset& rows, EngineUpdateStats* stats = nullptr);
+
+  /// The current MUP set (Problem 1 on the accumulated data), sorted.
+  std::vector<Pattern> Mups() const { return snapshot()->mups(); }
+
+  /// cov(pattern) on the current epoch.
+  std::uint64_t Query(const Pattern& pattern, QueryContext& ctx) const {
+    return snapshot()->oracle().Coverage(pattern, ctx);
+  }
+  std::uint64_t Query(const Pattern& pattern) const {
+    QueryContext ctx;
+    return Query(pattern, ctx);
+  }
+
+  /// cov(pattern) >= tau on the current epoch.
+  bool QueryAtLeast(const Pattern& pattern, std::uint64_t tau,
+                    QueryContext& ctx) const {
+    return snapshot()->oracle().CoverageAtLeast(pattern, tau, ctx);
+  }
+
+  std::uint64_t epoch() const { return snapshot()->epoch(); }
+  std::uint64_t num_rows() const { return snapshot()->num_rows(); }
+
+ private:
+  /// Incremental Problem-1 maintenance described above; returns the new MUP
+  /// set, sorted. Caller holds writer_mu_.
+  std::vector<Pattern> UpdateMups(const Snapshot& next,
+                                  const std::vector<Pattern>& old_mups,
+                                  EngineUpdateStats* stats);
+
+  void Publish(std::shared_ptr<const Snapshot> next);
+
+  Schema schema_;
+  EngineOptions options_;
+  mutable std::mutex snapshot_mu_;  // guards current_ (pointer swap only)
+  std::mutex writer_mu_;            // serialises epoch builds
+  std::shared_ptr<const Snapshot> current_;
+  /// Lazily built recheck pool, reused across epochs (guarded by writer_mu_)
+  /// so a long chunked ingest pays thread spawn once, not per chunk.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_ENGINE_COVERAGE_ENGINE_H_

@@ -1,5 +1,6 @@
 #include "mups/mup_index.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace coverage {
@@ -19,6 +20,15 @@ void MupDominanceIndex::Add(const Pattern& mup) {
   assert(mup.num_attributes() == schema_.num_attributes());
   assert(!member_set_.contains(mup));
   const std::size_t bit = mups_.size();
+  // Geometric word-block reservation, applied to every slot at once: the
+  // per-slot vectors all share one length, so one capacity schedule keeps
+  // each of them reallocating O(log n) times over n Adds instead of
+  // resizing bit by bit.
+  if (bit >= reserved_bits_) {
+    reserved_bits_ =
+        std::max<std::size_t>(2 * reserved_bits_, 16 * BitVector::kBitsPerWord);
+    for (BitVector& index : indices_) index.Reserve(reserved_bits_);
+  }
   mups_.push_back(mup);
   member_set_.insert(mup);
   for (BitVector& index : indices_) index.PushBack(false);
@@ -29,6 +39,37 @@ void MupDominanceIndex::Add(const Pattern& mup) {
       mutable_wildcard_index(i).Set(bit, true);
     }
   }
+}
+
+void MupDominanceIndex::AddBatch(std::span<const Pattern> mups) {
+  if (mups.empty()) return;
+  const std::size_t base = mups_.size();
+  const std::size_t k = mups.size();
+  const int d = schema_.num_attributes();
+  // One packed delta per slot, filled MUP-major so each pattern is decoded
+  // once, then appended to every slot in a single word-blocked pass.
+  const std::size_t delta_words =
+      (k + BitVector::kBitsPerWord - 1) / BitVector::kBitsPerWord;
+  std::vector<BitVector::Word> deltas(indices_.size() * delta_words, 0);
+  mups_.reserve(base + k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Pattern& mup = mups[j];
+    assert(mup.num_attributes() == d);
+    assert(!member_set_.contains(mup));
+    mups_.push_back(mup);
+    member_set_.insert(mup);
+    for (int i = 0; i < d; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(
+          offsets_[static_cast<std::size_t>(i)] +
+          (mup.is_deterministic(i) ? 1 + mup.cell(i) : 0));
+      deltas[slot * delta_words + j / BitVector::kBitsPerWord] |=
+          BitVector::Word{1} << (j % BitVector::kBitsPerWord);
+    }
+  }
+  for (std::size_t slot = 0; slot < indices_.size(); ++slot) {
+    indices_[slot].AppendWords(deltas.data() + slot * delta_words, k);
+  }
+  if (base + k > reserved_bits_) reserved_bits_ = base + k;
 }
 
 bool MupDominanceIndex::IsDominated(const Pattern& pattern) const {

@@ -3,6 +3,7 @@
 
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -20,8 +21,18 @@ class MupDominanceIndex {
  public:
   explicit MupDominanceIndex(const Schema& schema);
 
-  /// Registers a newly discovered MUP.
+  /// Registers a newly discovered MUP. Per-slot bit vectors grow in 64-bit
+  /// word blocks (with a geometric reservation schedule shared across all
+  /// slots), so a long discovery run never rewrites existing words.
   void Add(const Pattern& mup);
+
+  /// Registers `mups` in one shot: every slot vector is extended by
+  /// |mups| bits with a single BitVector::AppendWords call, so the per-Add
+  /// slot sweep is paid once per batch instead of once per MUP. Used by the
+  /// incremental engine, which re-seeds the index from a surviving MUP set
+  /// on every epoch. The batch must be duplicate-free and disjoint from the
+  /// already-registered set.
+  void AddBatch(std::span<const Pattern> mups);
 
   std::size_t size() const { return mups_.size(); }
   const std::vector<Pattern>& mups() const { return mups_; }
@@ -66,6 +77,7 @@ class MupDominanceIndex {
   std::vector<BitVector> indices_;
   std::vector<Pattern> mups_;
   std::unordered_set<Pattern, PatternHash> member_set_;
+  std::size_t reserved_bits_ = 0;  // bits all slots have capacity for
 };
 
 /// Reader/writer-locked facade over MupDominanceIndex for the parallel

@@ -320,6 +320,89 @@ TEST(AndChainAtLeast, TauZeroIsAlwaysTrue) {
   EXPECT_FALSE(BitVector::AndChainAtLeast(&op, 1, counts, 1));
 }
 
+TEST(BitVector, AppendWordsToEmpty) {
+  BitVector bv;
+  const std::vector<std::uint64_t> words = {0b1011, 0b1};
+  bv.AppendWords(words.data(), 65);
+  EXPECT_EQ(bv.size(), 65u);
+  EXPECT_EQ(bv.Count(), 4u);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_FALSE(bv.Get(2));
+  EXPECT_TRUE(bv.Get(64));
+}
+
+TEST(BitVector, AppendWordsWordAligned) {
+  BitVector bv(64);
+  bv.Set(63, true);
+  const std::uint64_t word = ~std::uint64_t{0};
+  bv.AppendWords(&word, 10);
+  EXPECT_EQ(bv.size(), 74u);
+  EXPECT_EQ(bv.Count(), 11u);  // bit 63 plus ten appended ones
+  for (std::size_t i = 64; i < 74; ++i) EXPECT_TRUE(bv.Get(i));
+  // Input bits past num_bits must not leak into the padding.
+  EXPECT_EQ(bv.words()[1], (std::uint64_t{1} << 10) - 1);
+}
+
+TEST(BitVector, AppendWordsCrossesWordBoundary) {
+  // Start mid-word so every appended word is shift-merged across a boundary.
+  BitVector bv;
+  for (int i = 0; i < 40; ++i) bv.PushBack(i % 3 == 0);
+  BitVector expected = bv;
+  const std::vector<std::uint64_t> words = {0xdeadbeefcafef00dULL,
+                                            0x0123456789abcdefULL};
+  bv.AppendWords(words.data(), 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    expected.PushBack((words[i / 64] >> (i % 64)) & 1);
+  }
+  EXPECT_EQ(bv, expected);
+  EXPECT_EQ(bv.size(), 140u);
+}
+
+TEST(BitVector, AppendWordsIgnoresBitsPastCount) {
+  BitVector bv;
+  for (int i = 0; i < 60; ++i) bv.PushBack(false);
+  // Only the low 7 bits of the input are live; the all-ones rest must be
+  // dropped whether it lands in the merged word or the trimmed overflow.
+  const std::uint64_t word = ~std::uint64_t{0};
+  bv.AppendWords(&word, 7);
+  EXPECT_EQ(bv.size(), 67u);
+  EXPECT_EQ(bv.Count(), 7u);
+  EXPECT_EQ(bv.num_words(), 2u);
+}
+
+TEST(BitVector, AppendWordsZeroBitsIsNoOp) {
+  BitVector bv(10, true);
+  bv.AppendWords(nullptr, 0);
+  EXPECT_EQ(bv.size(), 10u);
+  EXPECT_EQ(bv.Count(), 10u);
+}
+
+TEST(BitVector, ReservePreservesContentAndSize) {
+  BitVector bv(70, true);
+  bv.Reserve(4096);
+  EXPECT_EQ(bv.size(), 70u);
+  EXPECT_EQ(bv.Count(), 70u);
+  bv.PushBack(true);
+  EXPECT_EQ(bv.size(), 71u);
+  EXPECT_EQ(bv.Count(), 71u);
+}
+
+TEST(BitVector, AppendWordsRandomizedAgainstPushBack) {
+  std::mt19937_64 rng(2024);
+  BitVector appended;
+  BitVector reference;
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t num_bits = rng() % 150;
+    std::vector<std::uint64_t> words((num_bits + 63) / 64 + 1);
+    for (auto& w : words) w = rng();
+    appended.AppendWords(words.data(), num_bits);
+    for (std::size_t i = 0; i < num_bits; ++i) {
+      reference.PushBack((words[i / 64] >> (i % 64)) & 1);
+    }
+    ASSERT_EQ(appended, reference) << "round " << round;
+  }
+}
+
 TEST(AndChainDot, PaddingBitsDoNotLeak) {
   // 70 bits leaves 58 dead bits in the last word; an all-ones operand pair
   // must sum exactly the 70 live counts.

@@ -97,6 +97,21 @@ TEST(CliParse, RejectsUnknownFlag) {
   EXPECT_FALSE(ParseArgs({"audit", "--csv", "x", "--bogus"}).ok());
 }
 
+TEST(CliParse, EngineFlags) {
+  auto options = ParseArgs(
+      {"audit", "--csv", "d.csv", "--engine", "--chunk-rows", "1024"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options->engine);
+  EXPECT_EQ(options->chunk_rows, 1024u);
+  auto defaults = ParseArgs({"audit", "--csv", "d.csv"});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_FALSE(defaults->engine);
+  EXPECT_EQ(defaults->chunk_rows, 65536u);
+  EXPECT_FALSE(
+      ParseArgs({"audit", "--csv", "d.csv", "--chunk-rows", "0"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "d.csv", "--chunk-rows"}).ok());
+}
+
 // --------------------------------------------------------------- RunCli --
 
 class CliRunTest : public ::testing::Test {
@@ -138,6 +153,36 @@ TEST_F(CliRunTest, AuditPrintsLabel) {
       << err.str();
   EXPECT_NE(out.str().find("COVERAGE LABEL"), std::string::npos);
   EXPECT_NE(out.str().find("coverage queries"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AuditEngineMatchesWholeFileAudit) {
+  // The streamed engine audit must print the same nutritional label and the
+  // same MUP list as the whole-file audit, for any chunk size.
+  std::ostringstream whole_out, whole_err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--list-mups"},
+                                 whole_out, whole_err),
+            0)
+      << whole_err.str();
+  const std::string whole = whole_out.str();
+  const std::string whole_label = whole.substr(0, whole.find("discovery:"));
+  const std::string whole_list = whole.substr(whole.find("all MUPs"));
+
+  for (const char* chunk_rows : {"97", "100000"}) {
+    std::ostringstream out, err;
+    ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau",
+                                    "10", "--list-mups", "--engine",
+                                    "--chunk-rows", chunk_rows},
+                                   out, err),
+              0)
+        << err.str();
+    const std::string streamed = out.str();
+    ASSERT_NE(streamed.find("ingest:"), std::string::npos);
+    EXPECT_EQ(streamed.substr(0, streamed.find("ingest:")), whole_label)
+        << "chunk_rows=" << chunk_rows;
+    EXPECT_EQ(streamed.substr(streamed.find("all MUPs")), whole_list)
+        << "chunk_rows=" << chunk_rows;
+  }
 }
 
 TEST_F(CliRunTest, AuditListMupsShowsPatterns) {

@@ -1,0 +1,121 @@
+#include "dataset/csv_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/compas.h"
+#include "dataset/dataset.h"
+
+namespace coverage {
+namespace {
+
+std::string CompasCsv(std::size_t n) {
+  const datagen::LabeledData compas = datagen::MakeCompas(n);
+  std::ostringstream os;
+  EXPECT_TRUE(compas.data.WriteCsv(os).ok());
+  return os.str();
+}
+
+TEST(InferSchemaFromCsv, MatchesInferFromCsv) {
+  const std::string csv = CompasCsv(500);
+  std::istringstream schema_in(csv);
+  auto schema = InferSchemaFromCsv(schema_in);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  std::istringstream data_in(csv);
+  auto whole = Dataset::InferFromCsv(data_in);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(*schema == whole->schema());
+}
+
+TEST(InferSchemaFromCsv, RejectsEmptyAndHeaderOnly) {
+  std::istringstream empty("");
+  EXPECT_FALSE(InferSchemaFromCsv(empty).ok());
+  std::istringstream header_only("a,b,c\n");
+  EXPECT_FALSE(InferSchemaFromCsv(header_only).ok());
+}
+
+TEST(InferSchemaFromCsv, EnforcesMaxCardinality) {
+  std::istringstream in("col\nv1\nv2\nv3\n");
+  const auto schema = InferSchemaFromCsv(in, 2);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_NE(schema.status().message().find("bucketize"), std::string::npos);
+}
+
+TEST(CsvChunkReader, ChunkedEqualsWholeFileRead) {
+  const std::string csv = CompasCsv(337);
+  std::istringstream schema_in(csv);
+  const Schema schema = *InferSchemaFromCsv(schema_in);
+
+  std::istringstream whole_in(csv);
+  const auto whole = Dataset::ReadCsv(whole_in, schema);
+  ASSERT_TRUE(whole.ok());
+
+  for (const std::size_t chunk_rows : {1u, 7u, 64u, 1000u}) {
+    std::istringstream chunk_in(csv);
+    auto reader = CsvChunkReader::Open(chunk_in, schema);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    Dataset assembled(schema);
+    std::size_t chunks = 0;
+    for (;;) {
+      const auto read = reader->ReadChunk(assembled, chunk_rows);
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      if (*read == 0) break;
+      EXPECT_LE(*read, chunk_rows);
+      ++chunks;
+    }
+    EXPECT_EQ(reader->rows_read(), whole->num_rows());
+    ASSERT_EQ(assembled.num_rows(), whole->num_rows()) << chunk_rows;
+    EXPECT_GE(chunks, (whole->num_rows() + chunk_rows - 1) / chunk_rows);
+    for (std::size_t r = 0; r < whole->num_rows(); ++r) {
+      for (int a = 0; a < schema.num_attributes(); ++a) {
+        ASSERT_EQ(assembled.at(r, a), whole->at(r, a))
+            << "row " << r << " attr " << a << " chunk " << chunk_rows;
+      }
+    }
+  }
+}
+
+TEST(CsvChunkReader, SkipsBlankLinesAcrossChunkBoundaries) {
+  const Schema schema = Schema::Binary(2);
+  std::istringstream in("A1,A2\n0,1\n\n\n1,0\n\n0,0\n");
+  auto reader = CsvChunkReader::Open(in, schema);
+  ASSERT_TRUE(reader.ok());
+  Dataset out(schema);
+  std::size_t total = 0;
+  for (;;) {
+    const auto read = reader->ReadChunk(out, 1);
+    ASSERT_TRUE(read.ok());
+    if (*read == 0) break;
+    total += *read;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.at(1, 0), Value{1});
+}
+
+TEST(CsvChunkReader, RejectsMismatchedHeader) {
+  const Schema schema = Schema::Binary(2);
+  std::istringstream wrong_names("X,Y\n0,1\n");
+  EXPECT_FALSE(CsvChunkReader::Open(wrong_names, schema).ok());
+  std::istringstream wrong_width("A1\n0\n");
+  EXPECT_FALSE(CsvChunkReader::Open(wrong_width, schema).ok());
+}
+
+TEST(CsvChunkReader, ReportsLineNumberOfBadRow) {
+  const Schema schema = Schema::Binary(2);
+  std::istringstream in("A1,A2\n0,1\n1,bogus\n");
+  auto reader = CsvChunkReader::Open(in, schema);
+  ASSERT_TRUE(reader.ok());
+  Dataset out(schema);
+  const auto first = reader->ReadChunk(out, 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  const auto bad = reader->ReadChunk(out, 1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coverage

@@ -1,0 +1,303 @@
+#include "engine/coverage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/adversarial.h"
+#include "datagen/airbnb.h"
+#include "datagen/compas.h"
+#include "mups/mups.h"
+
+namespace coverage {
+namespace {
+
+/// The ground truth the engine must reproduce bit-identically: a
+/// from-scratch DEEPDIVER run on the accumulated data (sorted output).
+std::vector<Pattern> FromScratchMups(const Dataset& data,
+                                     const EngineOptions& eopts) {
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions opts;
+  opts.tau = eopts.tau;
+  opts.max_level = eopts.max_level;
+  opts.dominance_mode = eopts.dominance_mode;
+  return FindMupsDeepDiver(oracle, opts);
+}
+
+std::string ToCsv(const Dataset& data) {
+  std::ostringstream os;
+  EXPECT_TRUE(data.WriteCsv(os).ok());
+  return os.str();
+}
+
+TEST(CoverageEngine, EpochZeroIsEmptyWithRootMup) {
+  const Schema schema = Schema::Binary(3);
+  CoverageEngine engine(schema, {.tau = 5});
+  EXPECT_EQ(engine.epoch(), 0u);
+  EXPECT_EQ(engine.num_rows(), 0u);
+  EXPECT_EQ(engine.Mups(), std::vector<Pattern>{Pattern::Root(3)});
+  EXPECT_EQ(engine.Query(Pattern::Root(3)), 0u);
+}
+
+TEST(CoverageEngine, AppendRowsValidatesShapeAndRange) {
+  const Schema schema = Schema::Binary(2);
+  CoverageEngine engine(schema, {.tau = 1});
+  const std::vector<Value> narrow = {Value{1}};
+  const std::vector<Value> out_of_range = {Value{1}, Value{2}};
+  const std::vector<CoverageEngine::Row> bad_width = {narrow};
+  const std::vector<CoverageEngine::Row> bad_range = {out_of_range};
+  EXPECT_FALSE(engine.AppendRows(std::span(bad_width)).ok());
+  EXPECT_FALSE(engine.AppendRows(std::span(bad_range)).ok());
+  EXPECT_EQ(engine.epoch(), 0u);  // failed appends publish nothing
+
+  const std::vector<Value> good = {Value{1}, Value{0}};
+  const std::vector<CoverageEngine::Row> two_rows = {good, good};
+  ASSERT_TRUE(engine.AppendRows(std::span(two_rows)).ok());
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_EQ(engine.num_rows(), 2u);
+  EXPECT_EQ(engine.Query(Pattern({Value{1}, Value{0}})), 2u);
+}
+
+TEST(CoverageEngine, RejectsForeignSchemaAndBadIngestInput) {
+  CoverageEngine engine(Schema::Binary(2), {.tau = 1});
+  EXPECT_FALSE(engine.AppendRows(Dataset(Schema::Binary(3))).ok());
+
+  std::istringstream bad_header("X,Y\n0,1\n");
+  EXPECT_FALSE(engine.IngestCsvChunked(bad_header, 10).ok());
+  std::istringstream fine("A1,A2\n0,1\n");
+  EXPECT_FALSE(engine.IngestCsvChunked(fine, 0).ok());  // chunk_rows >= 1
+  EXPECT_EQ(engine.epoch(), 0u);
+}
+
+/// Chunked ingest must land on exactly the from-scratch state for any chunk
+/// size, on all three workload families of §V.
+TEST(CoverageEngine, ChunkedIngestEqualsWholeFileAcrossDatasets) {
+  struct Case {
+    const char* name;
+    Dataset data;
+    std::uint64_t tau;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"compas", datagen::MakeCompas(2000).data, 10});
+  cases.push_back({"airbnb", datagen::MakeAirbnb(3000, 8), 12});
+  cases.push_back({"diagonal", datagen::MakeDiagonal(8), 5});
+
+  for (const Case& c : cases) {
+    const std::string csv = ToCsv(c.data);
+    EngineOptions opts;
+    opts.tau = c.tau;
+    const std::vector<Pattern> expected = FromScratchMups(c.data, opts);
+
+    for (const std::size_t chunk_rows : {3u, 64u, 100000u}) {
+      CoverageEngine engine(c.data.schema(), opts);
+      std::istringstream in(csv);
+      const auto stats = engine.IngestCsvChunked(in, chunk_rows);
+      ASSERT_TRUE(stats.ok()) << c.name << ": " << stats.status().ToString();
+      EXPECT_EQ(stats->rows, c.data.num_rows());
+      EXPECT_LE(stats->peak_chunk_rows, chunk_rows);
+      EXPECT_EQ(stats->chunks,
+                (c.data.num_rows() + chunk_rows - 1) / chunk_rows);
+      EXPECT_EQ(engine.num_rows(), c.data.num_rows());
+      EXPECT_EQ(engine.Mups(), expected)
+          << c.name << " chunk_rows=" << chunk_rows;
+    }
+  }
+}
+
+/// Point queries on the engine snapshot must agree with a from-scratch
+/// oracle for arbitrary patterns.
+TEST(CoverageEngine, QueriesMatchFromScratchOracle) {
+  const Dataset data = datagen::MakeAirbnb(1500, 6);
+  CoverageEngine engine(data.schema(), {.tau = 8});
+  ASSERT_TRUE(engine.AppendRows(data).ok());
+
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  QueryContext engine_ctx;
+  QueryContext oracle_ctx;
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Value> cells(6);
+    for (int i = 0; i < 6; ++i) {
+      cells[static_cast<std::size_t>(i)] =
+          static_cast<Value>(rng.NextInt(-1, 1));
+    }
+    const Pattern p(cells);
+    ASSERT_EQ(engine.Query(p, engine_ctx), oracle.Coverage(p, oracle_ctx))
+        << p.ToString();
+    ASSERT_EQ(engine.QueryAtLeast(p, 8, engine_ctx),
+              oracle.CoverageAtLeast(p, 8, oracle_ctx))
+        << p.ToString();
+  }
+}
+
+/// A held snapshot keeps answering for its own epoch after later appends.
+TEST(CoverageEngine, SnapshotsAreImmutableAcrossEpochs) {
+  const datagen::LabeledData compas = datagen::MakeCompas(600);
+  CoverageEngine engine(compas.data.schema(), {.tau = 10});
+  ASSERT_TRUE(engine.AppendRows(compas.data.Head(300)).ok());
+  const auto old_snapshot = engine.snapshot();
+  const std::vector<Pattern> old_mups = old_snapshot->mups();
+  const std::uint64_t old_rows = old_snapshot->num_rows();
+
+  Dataset tail(compas.data.schema());
+  for (std::size_t r = 300; r < compas.data.num_rows(); ++r) {
+    tail.AppendRow(compas.data.row(r));
+  }
+  ASSERT_TRUE(engine.AppendRows(tail).ok());
+
+  EXPECT_EQ(old_snapshot->num_rows(), old_rows);
+  EXPECT_EQ(old_snapshot->mups(), old_mups);
+  EXPECT_EQ(old_snapshot->epoch(), 1u);
+  EXPECT_EQ(engine.epoch(), 2u);
+  EXPECT_EQ(engine.num_rows(), compas.data.num_rows());
+  EXPECT_EQ(engine.Mups(), FromScratchMups(compas.data, engine.options()));
+}
+
+/// The core invariant: after every randomized append batch, the maintained
+/// MUP set is bit-identical to a from-scratch recompute — across all
+/// dominance modes, serial and 8-thread rechecks, and a level cap.
+TEST(CoverageEngineProperty, IncrementalEqualsFromScratchAfterRandomBatches) {
+  using DominanceMode = MupSearchOptions::DominanceMode;
+  const Schema schema = Schema::Uniform({3, 2, 4, 2});
+  for (const DominanceMode mode :
+       {DominanceMode::kBitmapIndex, DominanceMode::kLinearScan,
+        DominanceMode::kNoPruning}) {
+    for (const int threads : {1, 8}) {
+      for (const int max_level : {-1, 2}) {
+        EngineOptions opts;
+        opts.tau = 5;
+        opts.max_level = max_level;
+        opts.num_threads = threads;
+        opts.dominance_mode = mode;
+        CoverageEngine engine(schema, opts);
+        Dataset accumulated(schema);
+        Rng rng(1000 + 100 * static_cast<int>(mode) + 10 * threads +
+                (max_level + 1));
+        std::vector<Value> row(4);
+        for (int batch = 0; batch < 12; ++batch) {
+          const std::size_t k = rng.NextUint64(41);  // 0..40, empties too
+          Dataset chunk(schema);
+          for (std::size_t r = 0; r < k; ++r) {
+            for (int i = 0; i < 4; ++i) {
+              // Skew toward low values so counts actually cross τ.
+              const auto card =
+                  static_cast<std::uint64_t>(schema.cardinality(i));
+              row[static_cast<std::size_t>(i)] = static_cast<Value>(
+                  std::min(rng.NextUint64(card), rng.NextUint64(card)));
+            }
+            chunk.AppendRow(row);
+            accumulated.AppendRow(row);
+          }
+          ASSERT_TRUE(engine.AppendRows(chunk).ok());
+          ASSERT_EQ(engine.Mups(), FromScratchMups(accumulated, opts))
+              << "mode=" << static_cast<int>(mode) << " threads=" << threads
+              << " max_level=" << max_level << " batch=" << batch;
+        }
+      }
+    }
+  }
+}
+
+/// MUP-heavy workload (Theorem-1 diagonal, ~936 MUPs): the 8-thread recheck
+/// sweep takes the pool path and must stay exact while appends shrink the
+/// MUP set.
+TEST(CoverageEngineProperty, ParallelRecheckOnMupHeavyDiagonal) {
+  const Dataset diagonal = datagen::MakeDiagonal(12);
+  EngineOptions opts;
+  opts.tau = 7;
+  opts.num_threads = 8;
+  CoverageEngine engine(diagonal.schema(), opts);
+  ASSERT_TRUE(engine.AppendRows(diagonal).ok());
+
+  Dataset accumulated(diagonal.schema());
+  for (std::size_t r = 0; r < diagonal.num_rows(); ++r) {
+    accumulated.AppendRow(diagonal.row(r));
+  }
+  ASSERT_EQ(engine.Mups(), FromScratchMups(accumulated, opts));
+  ASSERT_GE(engine.Mups().size(), 128u);  // exercises the pool threshold
+
+  // Re-appending diagonal rows pushes singleton counts over τ batch by
+  // batch; every epoch must still match a from-scratch run.
+  Rng rng(7);
+  for (int batch = 0; batch < 6; ++batch) {
+    Dataset chunk(diagonal.schema());
+    for (int r = 0; r < 8; ++r) {
+      const std::size_t pick = rng.NextUint64(diagonal.num_rows());
+      chunk.AppendRow(diagonal.row(pick));
+      accumulated.AppendRow(diagonal.row(pick));
+    }
+    EngineUpdateStats stats;
+    ASSERT_TRUE(engine.AppendRows(chunk, &stats).ok());
+    ASSERT_EQ(engine.Mups(), FromScratchMups(accumulated, opts))
+        << "batch " << batch;
+    EXPECT_EQ(stats.mups_rechecked,
+              stats.mups_newly_covered +
+                  (engine.Mups().size() - stats.mups_added));
+  }
+}
+
+/// Validates the engine's set against the paper's MUP invariants directly
+/// (every MUP uncovered, parents covered, antichain).
+TEST(CoverageEngine, MaintainedSetSatisfiesMupInvariants) {
+  const Dataset data = datagen::MakeAirbnb(2500, 7);
+  CoverageEngine engine(data.schema(), {.tau = 15});
+  const std::string csv = ToCsv(data);
+  std::istringstream in(csv);
+  ASSERT_TRUE(engine.IngestCsvChunked(in, 500).ok());
+
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  EXPECT_TRUE(ValidateMupSet(engine.Mups(), oracle, 15).ok());
+}
+
+/// Readers on snapshots must never observe a torn epoch while a writer
+/// advances; run under TSan in CI.
+TEST(CoverageEngine, ConcurrentReadersDuringAppends) {
+  const datagen::LabeledData compas = datagen::MakeCompas(2000);
+  CoverageEngine engine(compas.data.schema(), {.tau = 10});
+  ASSERT_TRUE(engine.AppendRows(compas.data.Head(100)).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &stop] {
+      QueryContext ctx;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = engine.snapshot();
+        // Internal consistency of one epoch: the root's coverage equals the
+        // row count, and every published MUP is uncovered on that epoch.
+        const int d = snap->data().schema().num_attributes();
+        ASSERT_EQ(snap->oracle().Coverage(Pattern::Root(d), ctx),
+                  snap->num_rows());
+        for (const Pattern& mup : snap->mups()) {
+          ASSERT_FALSE(snap->oracle().CoverageAtLeast(mup, 10, ctx));
+        }
+      }
+    });
+  }
+
+  std::size_t next = 100;
+  while (next < compas.data.num_rows()) {
+    const std::size_t end = std::min(next + 100, compas.data.num_rows());
+    Dataset chunk(compas.data.schema());
+    for (std::size_t r = next; r < end; ++r) {
+      chunk.AppendRow(compas.data.row(r));
+    }
+    ASSERT_TRUE(engine.AppendRows(chunk).ok());
+    next = end;
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(engine.Mups(), FromScratchMups(compas.data, engine.options()));
+}
+
+}  // namespace
+}  // namespace coverage

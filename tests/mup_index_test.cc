@@ -124,5 +124,69 @@ TEST(MupDominanceIndex, GrowsPastWordBoundary) {
   EXPECT_FALSE(index.IsDominated(Pattern({kWildcard, Value{1}})));
 }
 
+TEST(MupDominanceIndex, AddBatchMatchesSequentialAdds) {
+  const Schema schema = Schema::Uniform({5, 3, 4});
+  // An antichain mixing levels and wildcard positions.
+  const std::vector<Pattern> batch = {
+      Pattern({Value{0}, kWildcard, Value{1}}),
+      Pattern({Value{1}, Value{2}, kWildcard}),
+      Pattern({kWildcard, Value{0}, Value{3}}),
+      Pattern({Value{4}, kWildcard, kWildcard}),
+  };
+  MupDominanceIndex batched(schema);
+  batched.AddBatch(batch);
+  MupDominanceIndex sequential(schema);
+  for (const Pattern& m : batch) sequential.Add(m);
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  EXPECT_EQ(batched.mups(), sequential.mups());
+  // Every probe answer must agree over the full level-<=2 pattern space.
+  for (Value a = -1; a < 5; ++a) {
+    for (Value b = -1; b < 3; ++b) {
+      for (Value c = -1; c < 4; ++c) {
+        const Pattern p({a, b, c});
+        EXPECT_EQ(batched.Contains(p), sequential.Contains(p));
+        EXPECT_EQ(batched.IsDominated(p), sequential.IsDominated(p))
+            << p.ToString();
+        EXPECT_EQ(batched.DominatesSome(p), sequential.DominatesSome(p))
+            << p.ToString();
+      }
+    }
+  }
+}
+
+TEST(MupDominanceIndex, AddBatchAfterAddsCrossesWordBoundary) {
+  // Seed 60 single Adds so the batch append starts mid-word, then grow past
+  // the 64-bit boundary in one AddBatch.
+  const Schema schema = Schema::Uniform({100, 2});
+  MupDominanceIndex index(schema);
+  std::vector<Pattern> batch;
+  for (Value v = 0; v < 100; ++v) {
+    if (v < 60) {
+      index.Add(Pattern({v, kWildcard}));
+    } else {
+      batch.push_back(Pattern({v, kWildcard}));
+    }
+  }
+  index.AddBatch(batch);
+  EXPECT_EQ(index.size(), 100u);
+  for (Value v = 0; v < 100; ++v) {
+    EXPECT_TRUE(index.Contains(Pattern({v, kWildcard})));
+    EXPECT_TRUE(index.IsDominated(Pattern({v, Value{1}}))) << v;
+  }
+  EXPECT_TRUE(index.DominatesSome(Pattern::Root(2)));
+  EXPECT_FALSE(index.IsDominated(Pattern({kWildcard, Value{1}})));
+}
+
+TEST(MupDominanceIndex, AddBatchEmptyIsNoOp) {
+  const Schema schema = Schema::Binary(3);
+  MupDominanceIndex index(schema);
+  index.AddBatch({});
+  EXPECT_EQ(index.size(), 0u);
+  index.Add(Pattern({Value{1}, kWildcard, kWildcard}));
+  index.AddBatch({});
+  EXPECT_EQ(index.size(), 1u);
+}
+
 }  // namespace
 }  // namespace coverage

@@ -48,7 +48,13 @@ std::string Usage() {
       "  --threads N             worker threads for MUP discovery (default "
       "1)\n"
       "  --rule \"A in {v1, v2}\"  enhance: validation rule (repeatable)\n"
-      "  --list-mups             audit: print every MUP, not only the label\n";
+      "  --list-mups             audit: print every MUP, not only the label\n"
+      "  --engine                audit: stream the CSV through the\n"
+      "                          incremental CoverageEngine instead of\n"
+      "                          loading it whole (two passes over the file:\n"
+      "                          schema discovery, then chunked ingest)\n"
+      "  --chunk-rows N          engine: rows per ingest chunk (default "
+      "65536)\n";
 }
 
 StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -130,6 +136,17 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.rules.push_back(*v);
     } else if (flag == "--list-mups") {
       options.list_mups = true;
+    } else if (flag == "--engine") {
+      options.engine = true;
+    } else if (flag == "--chunk-rows") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto parsed = ParseUint(flag, *v);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0) {
+        return Status::InvalidArgument("--chunk-rows must be positive");
+      }
+      options.chunk_rows = *parsed;
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'\n" +
                                      Usage());
@@ -180,8 +197,83 @@ int RunStats(const CliOptions& options, std::ostream& out,
   return 0;
 }
 
+void PrintAuditReport(const Schema& schema, const std::vector<Pattern>& mups,
+                      std::size_t num_rows, const CliOptions& options,
+                      const std::string& discovery_line, std::ostream& out) {
+  out << RenderNutritionalLabel(
+      BuildCoverageReport(schema, mups, num_rows, options.tau));
+  out << discovery_line;
+  if (options.list_mups) {
+    out << "\nall MUPs (most general first):\n";
+    std::vector<Pattern> sorted = mups;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Pattern& a, const Pattern& b) {
+                if (a.level() != b.level()) return a.level() < b.level();
+                return a < b;
+              });
+    for (const Pattern& p : sorted) {
+      out << "  " << p.ToString() << "  " << p.ToLabelledString(schema)
+          << "\n";
+    }
+  }
+}
+
+/// The streaming audit: pass 1 discovers the schema (dictionaries only, no
+/// row ever materialised), pass 2 feeds the engine chunk by chunk so peak
+/// memory stays at one chunk plus the aggregated relation.
+int RunAuditEngine(const CliOptions& options, std::ostream& out,
+                   std::ostream& err) {
+  std::ifstream schema_pass(options.csv_path);
+  if (!schema_pass.good()) {
+    err << Status::NotFound("cannot open '" + options.csv_path + "'")
+               .ToString()
+        << "\n";
+    return 1;
+  }
+  auto schema = InferSchemaFromCsv(schema_pass, options.max_cardinality);
+  if (!schema.ok()) {
+    err << schema.status().ToString() << "\n";
+    return 1;
+  }
+
+  EngineOptions eopts;
+  eopts.tau = options.tau;
+  eopts.max_level = options.max_level;
+  eopts.num_threads = options.threads;
+  CoverageEngine engine(*schema, eopts);
+
+  std::ifstream ingest_pass(options.csv_path);
+  if (!ingest_pass.good()) {
+    err << Status::NotFound("cannot reopen '" + options.csv_path +
+                            "' for the ingest pass")
+               .ToString()
+        << "\n";
+    return 1;
+  }
+  auto stats = engine.IngestCsvChunked(
+      ingest_pass, static_cast<std::size_t>(options.chunk_rows));
+  if (!stats.ok()) {
+    err << stats.status().ToString() << "\n";
+    return 1;
+  }
+
+  const auto snapshot = engine.snapshot();
+  const std::string discovery_line =
+      "ingest: " + FormatCount(stats->rows) + " rows in " +
+      std::to_string(stats->chunks) + " chunks of <= " +
+      FormatCount(stats->peak_chunk_rows) + ", " +
+      FormatDouble(stats->read_seconds, 4) + " s read + " +
+      FormatDouble(stats->update_seconds, 4) + " s incremental updates, " +
+      std::to_string(stats->coverage_queries) + " coverage queries\n";
+  PrintAuditReport(*schema, snapshot->mups(),
+                   static_cast<std::size_t>(snapshot->num_rows()), options,
+                   discovery_line, out);
+  return 0;
+}
+
 int RunAudit(const CliOptions& options, std::ostream& out,
              std::ostream& err) {
+  if (options.engine) return RunAuditEngine(options, out, err);
   auto data = LoadCsv(options);
   if (!data.ok()) {
     err << data.status().ToString() << "\n";
@@ -195,23 +287,11 @@ int RunAudit(const CliOptions& options, std::ostream& out,
   search.num_threads = options.threads;
   MupSearchStats stats;
   const auto mups = FindMupsDeepDiver(oracle, search, &stats);
-  out << RenderNutritionalLabel(BuildCoverageReport(
-      data->schema(), mups, data->num_rows(), options.tau));
-  out << "discovery: " << FormatDouble(stats.seconds, 4) << " s, "
-      << stats.coverage_queries << " coverage queries\n";
-  if (options.list_mups) {
-    out << "\nall MUPs (most general first):\n";
-    std::vector<Pattern> sorted = mups;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const Pattern& a, const Pattern& b) {
-                if (a.level() != b.level()) return a.level() < b.level();
-                return a < b;
-              });
-    for (const Pattern& p : sorted) {
-      out << "  " << p.ToString() << "  "
-          << p.ToLabelledString(data->schema()) << "\n";
-    }
-  }
+  const std::string discovery_line =
+      "discovery: " + FormatDouble(stats.seconds, 4) + " s, " +
+      std::to_string(stats.coverage_queries) + " coverage queries\n";
+  PrintAuditReport(data->schema(), mups, data->num_rows(), options,
+                   discovery_line, out);
   return 0;
 }
 

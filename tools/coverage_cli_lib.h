@@ -23,6 +23,8 @@ struct CliOptions {
   int threads = 1;                // MUP-search worker count
   std::vector<std::string> rules; // validation-rule strings
   bool list_mups = false;         // audit: print every MUP, not just the label
+  bool engine = false;            // audit: stream through CoverageEngine
+  std::uint64_t chunk_rows = 65536;  // engine: rows per ingest chunk
 };
 
 /// Parses argv (without the program name). Returns InvalidArgument with a
