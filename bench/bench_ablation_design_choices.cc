@@ -38,6 +38,7 @@ int main() {
   using namespace coverage;
   bench::Banner("Ablation: dominance index, coverage oracle, early exit",
                 "AirBnB-like synthetic workloads");
+  bench::BenchJson json("ablation_design_choices");
 
   // ---- A. dominance strategies in DEEPDIVER ------------------------------
   {
@@ -62,6 +63,14 @@ int main() {
           .Cell(linear.seconds, 4)
           .Cell(none.seconds, 4)
           .Cell(static_cast<std::uint64_t>(bitmap.num_mups))
+          .Done();
+      json.Row()
+          .Field("study", "dominance")
+          .Field("tau", tau)
+          .Field("bitmap_index_s", bitmap.seconds)
+          .Field("linear_scan_s", linear.seconds)
+          .Field("no_pruning_s", none.seconds)
+          .Field("num_mups", static_cast<std::uint64_t>(bitmap.num_mups))
           .Done();
     }
     table.Print(std::cout);
@@ -88,6 +97,13 @@ int main() {
           .Cell(slow.seconds, 4)
           .Cell(static_cast<std::uint64_t>(fast.num_mups))
           .Done();
+      json.Row()
+          .Field("study", "oracle")
+          .Field("n", static_cast<std::uint64_t>(n))
+          .Field("bitmap_oracle_s", fast.seconds)
+          .Field("scan_oracle_s", slow.seconds)
+          .Field("num_mups", static_cast<std::uint64_t>(fast.num_mups))
+          .Done();
     }
     table.Print(std::cout);
     std::cout << "scan cost grows with n; the bitmap oracle is bounded by "
@@ -111,6 +127,12 @@ int main() {
           .Cell(tau)
           .Cell(fast.seconds, 4)
           .Cell(slow.seconds, 4)
+          .Done();
+      json.Row()
+          .Field("study", "early_exit")
+          .Field("tau", tau)
+          .Field("early_exit_s", fast.seconds)
+          .Field("exact_count_s", slow.seconds)
           .Done();
     }
     table.Print(std::cout);

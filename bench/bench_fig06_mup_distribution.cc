@@ -20,6 +20,7 @@ int main() {
   const auto histogram = MupLevelHistogram(mups, 13);
 
   TablePrinter table({"level", "# of MUPs", "bar"});
+  bench::BenchJson json("fig06_mup_distribution");
   std::size_t peak = 0;
   for (std::size_t c : histogram) peak = std::max(peak, c);
   for (std::size_t level = 0; level < histogram.size(); ++level) {
@@ -29,6 +30,12 @@ int main() {
         .Cell(static_cast<std::uint64_t>(level))
         .Cell(static_cast<std::uint64_t>(count))
         .Cell(std::string(width, '#'))
+        .Done();
+    json.Row()
+        .Field("level", static_cast<std::uint64_t>(level))
+        .Field("num_mups", static_cast<std::uint64_t>(count))
+        .Field("discovery_seconds", stats.seconds)
+        .Field("total_mups", static_cast<std::uint64_t>(mups.size()))
         .Done();
   }
   table.Print(std::cout);

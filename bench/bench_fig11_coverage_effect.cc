@@ -49,6 +49,7 @@ int main() {
 
   TablePrinter table({"HF in train", "overall acc", "overall F1",
                       "subgroup acc", "subgroup F1"});
+  bench::BenchJson json("fig11_coverage_effect");
   for (std::size_t hf_in_train : {0u, 20u, 40u, 60u, 80u}) {
     std::vector<std::size_t> train = train_base;
     train.insert(train.end(), hf_pool.begin(),
@@ -67,6 +68,13 @@ int main() {
         .Cell(overall.f1, 3)
         .Cell(subgroup.accuracy, 3)
         .Cell(subgroup.f1, 3)
+        .Done();
+    json.Row()
+        .Field("hf_in_train", static_cast<std::uint64_t>(hf_in_train))
+        .Field("overall_accuracy", overall.accuracy)
+        .Field("overall_f1", overall.f1)
+        .Field("subgroup_accuracy", subgroup.accuracy)
+        .Field("subgroup_f1", subgroup.f1)
         .Done();
   }
   table.Print(std::cout);

@@ -22,6 +22,7 @@ int main() {
 
   TablePrinter table({"tau rate", "tau", "APRIORI (s)", "P-BREAKER (s)",
                       "P-COMBINER (s)", "DEEPDIVER (s)", "# MUPs"});
+  bench::BenchJson json("fig12_airbnb_threshold");
   for (const double rate : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
     MupSearchOptions options;
     options.tau = std::max<std::uint64_t>(
@@ -47,6 +48,17 @@ int main() {
         .Cell(bench::SecondsCell(combiner.seconds))
         .Cell(bench::SecondsCell(diver.seconds))
         .Cell(static_cast<std::uint64_t>(diver.num_mups))
+        .Done();
+    json.Row()
+        .Field("n", static_cast<std::uint64_t>(n))
+        .Field("d", d)
+        .Field("tau_rate", rate)
+        .Field("tau", options.tau)
+        .Field("apriori_s", apriori.seconds)
+        .Field("pattern_breaker_s", breaker.seconds)
+        .Field("pattern_combiner_s", combiner.seconds)
+        .Field("deep_diver_s", diver.seconds)
+        .Field("num_mups", static_cast<std::uint64_t>(diver.num_mups))
         .Done();
   }
   table.Print(std::cout);

@@ -18,6 +18,7 @@ int main() {
 
   TablePrinter table({"tau rate", "tau", "P-BREAKER (s)", "P-COMBINER (s)",
                       "DEEPDIVER (s)", "# MUPs"});
+  bench::BenchJson json("fig13_bluenile_threshold");
   for (const double rate : {1e-5, 1e-4, 1e-3, 1e-2}) {
     MupSearchOptions options;
     options.tau = std::max<std::uint64_t>(
@@ -35,6 +36,15 @@ int main() {
         .Cell(bench::SecondsCell(combiner.seconds))
         .Cell(bench::SecondsCell(diver.seconds))
         .Cell(static_cast<std::uint64_t>(diver.num_mups))
+        .Done();
+    json.Row()
+        .Field("n", static_cast<std::uint64_t>(n))
+        .Field("tau_rate", rate)
+        .Field("tau", options.tau)
+        .Field("pattern_breaker_s", breaker.seconds)
+        .Field("pattern_combiner_s", combiner.seconds)
+        .Field("deep_diver_s", diver.seconds)
+        .Field("num_mups", static_cast<std::uint64_t>(diver.num_mups))
         .Done();
   }
   table.Print(std::cout);

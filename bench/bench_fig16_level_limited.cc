@@ -24,6 +24,7 @@ int main() {
   for (int l : levels) header.push_back("max l=" + std::to_string(l) + " (s)");
   header.push_back("# MUPs (max l)");
   TablePrinter table(header);
+  bench::BenchJson json("fig16_level_limited");
 
   for (const int d : widths) {
     std::vector<int> attrs;
@@ -50,6 +51,14 @@ int main() {
           bench::TimeMupSearch(MupAlgorithm::kDeepDiver, oracle, options);
       row.Cell(bench::SecondsCell(stats.seconds));
       last_mups = stats.num_mups;
+      json.Row()
+          .Field("n", static_cast<std::uint64_t>(n))
+          .Field("d", d)
+          .Field("max_level", max_level)
+          .Field("tau", options.tau)
+          .Field("deep_diver_s", stats.seconds)
+          .Field("num_mups", static_cast<std::uint64_t>(stats.num_mups))
+          .Done();
     }
     row.Cell(static_cast<std::uint64_t>(last_mups));
     row.Done();

@@ -29,6 +29,7 @@ int main() {
   }
   header.push_back("naive l=3 (s)");
   TablePrinter table(header);
+  bench::BenchJson json("fig17_enhancement_threshold");
 
   for (const double rate : rates) {
     MupSearchOptions search;
@@ -47,8 +48,17 @@ int main() {
       options.enumeration_limit = 1u << 21;
       Stopwatch timer;
       auto plan = PlanCoverageEnhancement(oracle, mups, options);
-      row.Cell(plan.ok() ? FormatDouble(timer.ElapsedSeconds(), 4)
-                         : std::string("DNF"));
+      const double seconds = plan.ok() ? timer.ElapsedSeconds() : -1.0;
+      row.Cell(bench::SecondsCell(seconds));
+      json.Row()
+          .Field("n", static_cast<std::uint64_t>(n))
+          .Field("tau_rate", rate)
+          .Field("tau", search.tau)
+          .Field("lambda", lambda)
+          .Field("solver", "greedy")
+          .Field("seconds", seconds)
+          .Field("num_mups", static_cast<std::uint64_t>(mups.size()))
+          .Done();
     }
 
     // Naive baseline at λ=3 only — the paper's plot has a single naive
@@ -64,8 +74,17 @@ int main() {
       options.enumeration_limit = 1u << 21;
       Stopwatch timer;
       auto plan = PlanCoverageEnhancement(oracle, mups, options);
-      row.Cell(plan.ok() ? FormatDouble(timer.ElapsedSeconds(), 4)
-                         : std::string("DNF"));
+      const double seconds = plan.ok() ? timer.ElapsedSeconds() : -1.0;
+      row.Cell(bench::SecondsCell(seconds));
+      json.Row()
+          .Field("n", static_cast<std::uint64_t>(n))
+          .Field("tau_rate", rate)
+          .Field("tau", search.tau)
+          .Field("lambda", 3)
+          .Field("solver", "naive")
+          .Field("seconds", seconds)
+          .Field("num_mups", static_cast<std::uint64_t>(mups.size()))
+          .Done();
     } else {
       row.Cell("-");
     }

@@ -23,6 +23,7 @@ int main() {
     header.push_back("greedy l=" + std::to_string(l) + " (s)");
   }
   TablePrinter table(header);
+  bench::BenchJson json("fig18_enhancement_dimensions");
 
   for (int d = 5; d <= d_max; d += 5) {
     std::vector<int> attrs;
@@ -48,8 +49,16 @@ int main() {
       options.enumeration_limit = 1u << 21;
       Stopwatch timer;
       auto plan = PlanCoverageEnhancement(oracle, mups, options);
-      row.Cell(plan.ok() ? FormatDouble(timer.ElapsedSeconds(), 4)
-                         : std::string("DNF"));
+      const double seconds = plan.ok() ? timer.ElapsedSeconds() : -1.0;
+      row.Cell(bench::SecondsCell(seconds));
+      json.Row()
+          .Field("n", static_cast<std::uint64_t>(n))
+          .Field("d", d)
+          .Field("tau", tau)
+          .Field("lambda", lambda)
+          .Field("seconds", seconds)
+          .Field("num_mups", static_cast<std::uint64_t>(mups.size()))
+          .Done();
     }
     row.Done();
   }

@@ -26,6 +26,7 @@ int main() {
     header.push_back("out l=" + std::to_string(l));
   }
   TablePrinter table(header);
+  bench::BenchJson json("fig19_enhancement_sizes");
 
   for (int d = 5; d <= d_max; d += 5) {
     std::vector<int> attrs;
@@ -56,6 +57,19 @@ int main() {
       } else {
         row.Cell("DNF").Cell("DNF");
       }
+      json.Row()
+          .Field("n", static_cast<std::uint64_t>(n))
+          .Field("d", d)
+          .Field("tau", tau)
+          .Field("lambda", lambda)
+          .Field("input_patterns",
+                 static_cast<std::uint64_t>(plan.ok() ? plan->targets.size()
+                                                      : 0))
+          .Field("output_combinations",
+                 static_cast<std::uint64_t>(plan.ok() ? plan->items.size()
+                                                      : 0))
+          .Field("completed", plan.ok() ? 1 : 0)
+          .Done();
     }
     row.Done();
   }

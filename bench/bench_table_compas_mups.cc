@@ -31,12 +31,20 @@ int main() {
 
   const auto hist = MupLevelHistogram(mups, 4);
   TablePrinter table({"level", "# of MUPs", "paper"});
+  bench::BenchJson json("table_compas_mups");
   const char* paper[5] = {"0", "0", "19", "23", "23"};
   for (std::size_t l = 0; l < hist.size(); ++l) {
     table.Row()
         .Cell(static_cast<std::uint64_t>(l))
         .Cell(static_cast<std::uint64_t>(hist[l]))
         .Cell(paper[l])
+        .Done();
+    json.Row()
+        .Field("level", static_cast<std::uint64_t>(l))
+        .Field("num_mups", static_cast<std::uint64_t>(hist[l]))
+        .Field("uncovered_singles",
+               static_cast<std::uint64_t>(uncovered_singles))
+        .Field("total_mups", static_cast<std::uint64_t>(mups.size()))
         .Done();
   }
   table.Print(std::cout);

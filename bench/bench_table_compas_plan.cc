@@ -53,5 +53,17 @@ int main() {
             << " level-2 pattern(s) remain uncovered (all blocked by the "
                "validation rules: "
             << plan->unresolvable.size() << " declared unresolvable)\n";
+
+  bench::BenchJson json("table_compas_plan");
+  json.Row()
+      .Field("tau", tau)
+      .Field("lambda", 2)
+      .Field("num_mups", static_cast<std::uint64_t>(mups.size()))
+      .Field("plan_items", static_cast<std::uint64_t>(plan->items.size()))
+      .Field("plan_targets", static_cast<std::uint64_t>(plan->targets.size()))
+      .Field("unresolvable",
+             static_cast<std::uint64_t>(plan->unresolvable.size()))
+      .Field("uncovered_level2_after", static_cast<std::uint64_t>(blocked))
+      .Done();
   return 0;
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fails if any intra-repo markdown link points at a missing file.
+
+Scans every tracked *.md for inline links and reference definitions,
+resolves relative targets against the linking file, and reports the ones
+that do not exist. External links (http/https/mailto) and pure anchors are
+skipped — this is an offline structural check, not a crawler. Used by the
+`docs` CI job; run locally as `python3 scripts/check_markdown_links.py`.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) plus reference definitions `[label]: target`.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-seed", "build-tsan", ".claude"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def targets_in(text):
+    for pattern in (INLINE_LINK, REF_DEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in targets_in(text):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = target.split("#", 1)[0]
+            if not resolved:
+                continue
+            base = root if resolved.startswith("/") else os.path.dirname(path)
+            resolved = os.path.normpath(
+                os.path.join(base, resolved.lstrip("/")))
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s):")
+        for source, target in broken:
+            print(f"  {source}: {target}")
+        return 1
+    print(f"ok: {checked} intra-repo link target(s) exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

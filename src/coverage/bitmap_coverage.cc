@@ -35,18 +35,62 @@ BitmapCoverage::BitmapCoverage(const AggregatedData& data,
       indices_(prev.indices_),
       index_popcounts_(prev.index_popcounts_) {
   assert(data.schema() == prev.data_.schema());
+  assert(prev.data_.num_tombstones() == 0 &&
+         "a prefix with tombstones may revive combinations; use the "
+         "decremental constructor");
+  ExtendWithNewCombinations(prev.data_.num_combinations());
+}
+
+BitmapCoverage::BitmapCoverage(const AggregatedData& data,
+                               const BitmapCoverage& prev,
+                               std::span<const std::size_t> tombstoned,
+                               std::span<const std::size_t> revived)
+    : data_(data),
+      offsets_(prev.offsets_),
+      indices_(prev.indices_),
+      index_popcounts_(prev.index_popcounts_) {
+  assert(data.schema() == prev.data_.schema());
   const std::size_t prev_n = prev.data_.num_combinations();
-  const std::size_t new_n = data.num_combinations();
+  for (const std::size_t k : tombstoned) {
+    assert(k < prev_n && data.count(k) == 0);
+    SetCombinationBits(k, false);
+  }
+  for (const std::size_t k : revived) {
+    assert(k < prev_n && data.count(k) > 0);
+    SetCombinationBits(k, true);
+  }
+  ExtendWithNewCombinations(prev_n);
+}
+
+void BitmapCoverage::SetCombinationBits(std::size_t k, bool value) {
+  const auto combo = data_.combination(k);
+  const int d = data_.schema().num_attributes();
+  for (int i = 0; i < d; ++i) {
+    const std::size_t slot =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(i)]) +
+        static_cast<std::size_t>(combo[static_cast<std::size_t>(i)]);
+    assert(indices_[slot].Get(k) != value);
+    indices_[slot].Set(k, value);
+    if (value) {
+      ++index_popcounts_[slot];
+    } else {
+      --index_popcounts_[slot];
+    }
+  }
+}
+
+void BitmapCoverage::ExtendWithNewCombinations(std::size_t prev_n) {
+  const std::size_t new_n = data_.num_combinations();
   assert(prev_n <= new_n);
   if (prev_n == new_n) return;
-  const int d = data.schema().num_attributes();
+  const int d = data_.schema().num_attributes();
   // Pack the new combinations' membership bits slot-major, then extend every
   // slot vector with one AppendWords call.
   const std::size_t delta_words =
       (new_n - prev_n + BitVector::kBitsPerWord - 1) / BitVector::kBitsPerWord;
   std::vector<BitVector::Word> deltas(indices_.size() * delta_words, 0);
   for (std::size_t k = prev_n; k < new_n; ++k) {
-    const auto combo = data.combination(k);
+    const auto combo = data_.combination(k);
     const std::size_t j = k - prev_n;
     for (int i = 0; i < d; ++i) {
       const std::size_t slot =

@@ -24,9 +24,20 @@ void AggregatedData::AppendRow(std::span<const Value> row) {
   if (inserted) {
     cells_.insert(cells_.end(), row.begin(), row.end());
     counts_.push_back(0);
+  } else if (counts_[it->second] == 0) {
+    --tombstones_;  // the combination revives in place, keeping its id
   }
   ++counts_[it->second];
   ++total_count_;
+}
+
+bool AggregatedData::DecrementRow(std::span<const Value> row) {
+  assert(static_cast<int>(row.size()) == num_attributes());
+  const auto it = index_.find(KeyOf(row));
+  if (it == index_.end() || counts_[it->second] == 0) return false;
+  if (--counts_[it->second] == 0) ++tombstones_;
+  --total_count_;
+  return true;
 }
 
 void AggregatedData::AppendRows(const Dataset& rows) {

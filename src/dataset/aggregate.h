@@ -21,6 +21,18 @@ namespace coverage {
 /// so combination ids are stable across appends. This prefix stability is
 /// what lets BitmapCoverage extend a previous epoch's index instead of
 /// rebuilding it (see the incremental constructor there).
+///
+/// The relation is also decrementable (sliding windows, GDPR erasure): a
+/// combination whose multiplicity falls to 0 is *tombstoned* — it keeps its
+/// id, its slot in the table, and its entry in the key index, so ids stay
+/// prefix-stable through any append/retract interleaving — and revives in
+/// place if the same combination is appended again. Tombstones contribute 0
+/// to every coverage query by construction (the dot runs over counts), so
+/// correctness never depends on compacting them; BitmapCoverage's
+/// decremental constructor zeroes their bits to keep queries fast.
+///
+/// Not thread-safe; the streaming engine mutates copies under its writer
+/// lock and publishes them as immutable snapshots.
 class AggregatedData {
  public:
   /// An empty relation over `schema`; rows arrive through AppendRows.
@@ -30,15 +42,27 @@ class AggregatedData {
   explicit AggregatedData(const Dataset& dataset);
 
   /// Folds in one row (must match the schema in width and value ranges).
+  /// Amortised O(d) (one hash probe + possible tail append).
   void AppendRow(std::span<const Value> row);
 
   /// Folds in every row of `rows` (whose schema must equal ours).
   void AppendRows(const Dataset& rows);
 
+  /// Removes one occurrence of `row`. Returns false — leaving the relation
+  /// unchanged — if the combination is absent or already at multiplicity 0.
+  /// When a count reaches 0 the combination is tombstoned, never erased
+  /// (see the class comment). Amortised O(d).
+  bool DecrementRow(std::span<const Value> row);
+
   const Schema& schema() const { return schema_; }
 
-  /// Number of distinct value combinations.
+  /// Number of distinct value combinations, tombstones included (this is
+  /// the width of every bitmap built over the relation).
   std::size_t num_combinations() const { return counts_.size(); }
+
+  /// Number of combinations currently at multiplicity 0. Zero for any
+  /// relation that has only ever been appended to.
+  std::size_t num_tombstones() const { return tombstones_; }
 
   /// Total number of underlying rows (Σ counts).
   std::uint64_t total_count() const { return total_count_; }
@@ -60,13 +84,18 @@ class AggregatedData {
 
   int num_attributes() const { return schema_.num_attributes(); }
 
- private:
+  /// The mixed-radix key of a full value combination — the canonical 64-bit
+  /// row identity (well-defined because construction asserts Π cᵢ fits).
+  /// Exposed so row-multiset bookkeeping outside the relation (e.g. the
+  /// engine's sliding-window scrub) keys rows identically.
   std::uint64_t KeyOf(std::span<const Value> combination) const;
 
+ private:
   Schema schema_;
   std::vector<Value> cells_;            // distinct combinations, row-major
   std::vector<std::uint64_t> counts_;   // parallel multiplicities
   std::uint64_t total_count_ = 0;
+  std::size_t tombstones_ = 0;          // combinations at multiplicity 0
   bool keyable_ = false;                // Π c_i fits in 64 bits
   std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> combo id
 };

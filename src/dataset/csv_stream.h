@@ -21,6 +21,9 @@ namespace coverage {
 /// Dataset::InferFromCsv is this pass plus materialisation). A column
 /// exceeding `max_cardinality` distinct values yields InvalidArgument with
 /// a hint to bucketize (§II preprocessing).
+///
+/// One pass over the stream, O(d) hash probes per row. Not thread-safe (it
+/// advances the caller's istream); run one inference per stream.
 StatusOr<Schema> InferSchemaFromCsv(std::istream& is,
                                     int max_cardinality = 100,
                                     std::vector<Value>* encoded_rows = nullptr);
@@ -31,6 +34,11 @@ StatusOr<Schema> InferSchemaFromCsv(std::istream& is,
 /// of attribute names, labelled values, trimmed fields, blank lines
 /// skipped) is exactly Dataset::ReadCsv's — which is implemented on top of
 /// this reader.
+///
+/// Thread-safety: none — the reader owns the stream cursor, so exactly one
+/// thread may pump it (CoverageEngine::IngestCsvChunked pumps under its
+/// writer lock). Each ReadChunk is one pass over at most `max_rows` lines:
+/// O(rows · d) dictionary lookups, O(chunk) peak memory in `out`.
 class CsvChunkReader {
  public:
   /// Reads and validates the header row. The stream and schema must outlive

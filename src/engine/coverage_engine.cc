@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -37,6 +38,33 @@ bool IsDominatedByMups(const std::vector<Pattern>& mups,
   return false;
 }
 
+/// Validates borrowed rows against `schema` (width + value ranges) and
+/// materialises them as a Dataset batch.
+Status EncodeRows(const Schema& schema,
+                  std::span<const CoverageEngine::Row> rows, Dataset* out) {
+  const int d = schema.num_attributes();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (static_cast<int>(rows[r].size()) != d) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(rows[r].size()) + " values, schema has " +
+          std::to_string(d));
+    }
+    for (int i = 0; i < d; ++i) {
+      const Value v = rows[r][static_cast<std::size_t>(i)];
+      if (v < 0 || v >= static_cast<Value>(schema.cardinality(i))) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r) + ", attribute '" +
+            schema.attribute(i).name + "': value " + std::to_string(v) +
+            " out of range [0, " + std::to_string(schema.cardinality(i)) +
+            ")");
+      }
+    }
+    out->AppendRow(rows[r]);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 CoverageEngine::CoverageEngine(Schema schema, EngineOptions options)
@@ -69,26 +97,8 @@ void CoverageEngine::Publish(std::shared_ptr<const Snapshot> next) {
 Status CoverageEngine::AppendRows(std::span<const Row> rows,
                                   EngineUpdateStats* stats) {
   Dataset chunk(schema_);
-  const int d = schema_.num_attributes();
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    if (static_cast<int>(rows[r].size()) != d) {
-      return Status::InvalidArgument(
-          "row " + std::to_string(r) + " has " +
-          std::to_string(rows[r].size()) + " values, schema has " +
-          std::to_string(d));
-    }
-    for (int i = 0; i < d; ++i) {
-      const Value v = rows[r][static_cast<std::size_t>(i)];
-      if (v < 0 || v >= static_cast<Value>(schema_.cardinality(i))) {
-        return Status::InvalidArgument(
-            "row " + std::to_string(r) + ", attribute '" +
-            schema_.attribute(i).name + "': value " + std::to_string(v) +
-            " out of range [0, " + std::to_string(schema_.cardinality(i)) +
-            ")");
-      }
-    }
-    chunk.AppendRow(rows[r]);
-  }
+  const Status encoded = EncodeRows(schema_, rows, &chunk);
+  if (!encoded.ok()) return encoded;
   return AppendRows(chunk, stats);
 }
 
@@ -102,22 +112,172 @@ Status CoverageEngine::AppendRows(const Dataset& rows,
   Stopwatch timer;
   const std::shared_ptr<const Snapshot> cur = snapshot();
 
-  AggregatedData agg = cur->agg_;  // prefix-stable copy, extended in place
-  agg.AppendRows(rows);
-  auto next = std::shared_ptr<Snapshot>(
-      new Snapshot(std::move(agg), &cur->oracle_, cur->epoch_ + 1));
-
   EngineUpdateStats local;
   EngineUpdateStats* s = stats != nullptr ? stats : &local;
   *s = EngineUpdateStats{};
   s->rows_appended = rows.num_rows();
+
+  // Window bookkeeping: retain the batch, then collect whole oldest batches
+  // past either limit for eviction in this same epoch. Empty batches are
+  // not retained — they would occupy a window_max_epochs slot and evict a
+  // real batch without any data having arrived.
+  Dataset evicted(schema_);
+  if (Windowed() && rows.num_rows() > 0) {
+    window_batches_.push_back(rows);
+    window_rows_ += rows.num_rows();
+    while (!window_batches_.empty() &&
+           ((options_.window_max_rows > 0 &&
+             window_rows_ > options_.window_max_rows) ||
+            (options_.window_max_epochs > 0 &&
+             window_batches_.size() > options_.window_max_epochs))) {
+      const Dataset& oldest = window_batches_.front();
+      for (std::size_t r = 0; r < oldest.num_rows(); ++r) {
+        evicted.AppendRow(oldest.row(r));
+      }
+      window_rows_ -= oldest.num_rows();
+      window_batches_.pop_front();
+    }
+  }
+
+  // Step 1 — the append epoch.
+  std::shared_ptr<Snapshot> next;
+  {
+    AggregatedData agg = cur->agg_;  // prefix-stable copy, extended in place
+    agg.AppendRows(rows);
+    if (cur->agg_.num_tombstones() == 0) {
+      // Pure accumulation: multiplicity changes need no index work.
+      next = std::shared_ptr<Snapshot>(
+          new Snapshot(std::move(agg), &cur->oracle_, cur->epoch_ + 1));
+    } else {
+      // Appending over tombstones can revive combinations in place; diff
+      // the prefix so the oracle re-sets their masked bits.
+      std::vector<std::size_t> revived;
+      for (std::size_t k = 0; k < cur->agg_.num_combinations(); ++k) {
+        if (cur->agg_.count(k) == 0 && agg.count(k) > 0) revived.push_back(k);
+      }
+      next = std::shared_ptr<Snapshot>(new Snapshot(
+          std::move(agg), cur->oracle_, {}, revived, cur->epoch_ + 1));
+    }
+  }
   s->new_combinations =
       next->agg_.num_combinations() - cur->agg_.num_combinations();
-
   next->mups_ = UpdateMups(*next, cur->mups_, s);
+
+  // Step 2 — the eviction (retraction) epoch, folded into the same publish.
+  if (evicted.num_rows() > 0) {
+    std::shared_ptr<Snapshot> shrunk;
+    const Status retracted =
+        RetractFrom(next, evicted, cur->epoch_ + 1, s, &shrunk);
+    if (!retracted.ok()) {
+      return Status::Internal("window eviction failed to retract: " +
+                              retracted.ToString());
+    }
+    next = std::move(shrunk);
+  }
+
   Publish(std::move(next));
   s->seconds = timer.ElapsedSeconds();
   return Status::OK();
+}
+
+Status CoverageEngine::RetractRows(std::span<const Row> rows,
+                                   EngineUpdateStats* stats) {
+  Dataset chunk(schema_);
+  const Status encoded = EncodeRows(schema_, rows, &chunk);
+  if (!encoded.ok()) return encoded;
+  return RetractRows(chunk, stats);
+}
+
+Status CoverageEngine::RetractRows(const Dataset& rows,
+                                   EngineUpdateStats* stats) {
+  if (!(rows.schema() == schema_)) {
+    return Status::InvalidArgument(
+        "retracted rows' schema does not match the engine schema");
+  }
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  Stopwatch timer;
+  const std::shared_ptr<const Snapshot> cur = snapshot();
+
+  EngineUpdateStats local;
+  EngineUpdateStats* s = stats != nullptr ? stats : &local;
+  *s = EngineUpdateStats{};
+
+  std::shared_ptr<Snapshot> next;
+  const Status retracted =
+      RetractFrom(cur, rows, cur->epoch_ + 1, s, &next);
+  if (!retracted.ok()) return retracted;  // nothing published
+  // Only after the retraction is known good: keep the retained window in
+  // sync so a later eviction cannot double-retract these occurrences.
+  if (Windowed()) ScrubWindow(rows);
+  Publish(std::move(next));
+  s->seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status CoverageEngine::RetractFrom(const std::shared_ptr<const Snapshot>& base,
+                                   const Dataset& removed, std::uint64_t epoch,
+                                   EngineUpdateStats* stats,
+                                   std::shared_ptr<Snapshot>* out) {
+  AggregatedData agg = base->agg_;  // same combinations, counts shrink
+  for (std::size_t r = 0; r < removed.num_rows(); ++r) {
+    if (!agg.DecrementRow(removed.row(r))) {
+      return Status::InvalidArgument(
+          "retracted row " + std::to_string(r) +
+          " is not present in the engine's current data");
+    }
+  }
+
+  // Diff the shared prefix (a retraction adds no combinations): combinations
+  // whose multiplicity reached 0 are tombstoned and have their index bits
+  // masked; every changed combination now below τ seeds the upward climb.
+  std::vector<std::size_t> tombstoned;
+  std::vector<Pattern> seeds;
+  for (std::size_t k = 0; k < agg.num_combinations(); ++k) {
+    if (agg.count(k) == base->agg_.count(k)) continue;
+    if (agg.count(k) == 0) tombstoned.push_back(k);
+    if (agg.count(k) < options_.tau) {
+      seeds.push_back(Pattern::FromTuple(agg.combination(k)));
+    }
+  }
+  stats->rows_retracted += removed.num_rows();
+  stats->combinations_tombstoned += tombstoned.size();
+
+  auto next = std::shared_ptr<Snapshot>(
+      new Snapshot(std::move(agg), base->oracle_, tombstoned, {}, epoch));
+  next->mups_ = RetractMups(*next, base->mups_, std::move(seeds), stats);
+  *out = std::move(next);
+  return Status::OK();
+}
+
+void CoverageEngine::ScrubWindow(const Dataset& removed) {
+  // Key rows exactly as the aggregated relation does, so the scrub and the
+  // retraction agree on row identity.
+  const AggregatedData& agg = snapshot()->data();
+  std::unordered_map<std::uint64_t, std::uint64_t> pending;
+  for (std::size_t r = 0; r < removed.num_rows(); ++r) {
+    ++pending[agg.KeyOf(removed.row(r))];
+  }
+  for (Dataset& batch : window_batches_) {
+    if (pending.empty()) break;
+    Dataset kept(schema_);
+    bool changed = false;
+    for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+      const auto it = pending.find(agg.KeyOf(batch.row(r)));
+      if (it != pending.end()) {
+        if (--it->second == 0) pending.erase(it);
+        changed = true;
+        --window_rows_;
+        continue;
+      }
+      kept.AppendRow(batch.row(r));
+    }
+    if (changed) batch = std::move(kept);
+  }
+  // The engine's data is exactly the window multiset, so a validated
+  // retraction always finds its rows here.
+  assert(pending.empty());
+  std::erase_if(window_batches_,
+                [](const Dataset& b) { return b.num_rows() == 0; });
 }
 
 StatusOr<IngestStats> CoverageEngine::IngestCsvChunked(std::istream& is,
@@ -244,6 +404,146 @@ std::vector<Pattern> CoverageEngine::UpdateMups(
         if (mode == DominanceMode::kBitmapIndex) index.Add(child);
       }
     }
+  }
+  stats->coverage_queries += ctx.num_queries();
+  std::sort(mups.begin(), mups.end());
+  return mups;
+}
+
+std::vector<Pattern> CoverageEngine::RetractMups(
+    const Snapshot& next, const std::vector<Pattern>& old_mups,
+    std::vector<Pattern> seeds, EngineUpdateStats* stats) {
+  const BitmapCoverage& oracle = next.oracle();
+  const Schema& schema = next.data().schema();
+  const std::uint64_t tau = options_.tau;
+  const int d = schema.num_attributes();
+  const int max_level = options_.max_level < 0 ? d : options_.max_level;
+  const DominanceMode mode = options_.dominance_mode;
+
+  // No retracted combination crossed below τ ⇒ the MUP set is unchanged:
+  // a demotion would need a parent below τ, which in turn forces a changed
+  // matched combination below τ — i.e. a seed. Skip all maintenance.
+  if (seeds.empty()) return old_mups;
+
+  // Phase 1 — deletion keeps every previous MUP uncovered, but maximality
+  // can break: a parent whose count fell below τ is now an uncovered strict
+  // ancestor. Recheck each previous MUP's parents; the probes are
+  // independent, so they parallelise over the pool with a deterministic
+  // merge by index, exactly like the append-path recheck.
+  std::vector<char> maximal(old_mups.size(), 1);
+  const auto recheck = [&](const Pattern& m, QueryContext& ctx) -> char {
+    for (const Pattern& parent : m.Parents()) {
+      if (!oracle.CoverageAtLeast(parent, tau, ctx)) return 0;
+    }
+    return 1;
+  };
+  if (options_.num_threads > 1 && old_mups.size() >= 128) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    ThreadPool& pool = *pool_;
+    std::vector<QueryContext> ctxs(
+        static_cast<std::size_t>(pool.num_workers()));
+    pool.ParallelFor(old_mups.size(), 64, [&](int worker, std::size_t i) {
+      maximal[i] =
+          recheck(old_mups[i], ctxs[static_cast<std::size_t>(worker)]);
+    });
+    for (const QueryContext& ctx : ctxs) {
+      stats->coverage_queries += ctx.num_queries();
+    }
+  } else {
+    QueryContext ctx;
+    for (std::size_t i = 0; i < old_mups.size(); ++i) {
+      maximal[i] = recheck(old_mups[i], ctx);
+    }
+    stats->coverage_queries += ctx.num_queries();
+  }
+  stats->mups_rechecked += old_mups.size();
+
+  // Phase 2 — seed the Appendix-B index with the whole previous set in one
+  // batched append, then Remove the demoted MUPs: only verified-maximal
+  // patterns may stay, because both pruning directions below lean on
+  // maximality (a pattern strictly dominating a maintained MUP generalises
+  // one of its covered parents).
+  MupDominanceIndex index(schema);
+  if (mode == DominanceMode::kBitmapIndex) index.AddBatch(old_mups);
+  std::vector<Pattern> mups;  // survivors, then fresh discoveries
+  std::unordered_set<Pattern, PatternHash> member;
+  for (std::size_t i = 0; i < old_mups.size(); ++i) {
+    if (maximal[i] != 0) {
+      mups.push_back(old_mups[i]);
+      member.insert(old_mups[i]);
+    } else {
+      if (mode == DominanceMode::kBitmapIndex) index.Remove(old_mups[i]);
+      ++stats->mups_demoted;
+    }
+  }
+
+  // Phase 3 — upward BFS from the retracted combinations now below τ,
+  // expanding only through uncovered patterns. Every new MUP is an ancestor
+  // of such a combination (its count changed, so it matches a retracted
+  // row), and the whole lattice interval between the two is uncovered by
+  // monotonicity, so the walk reaches it. A visited pattern is a MUP iff
+  // every parent is covered; all parents are probed regardless, because
+  // each uncovered parent is itself a climb route. The memo answers each
+  // pattern once; the dominance index converts both strict-dominance
+  // directions into free coverage answers (below a MUP ⇒ uncovered, above
+  // one ⇒ covered).
+  QueryContext ctx;
+  std::unordered_map<Pattern, bool, PatternHash> covered;  // pattern → cov≥τ
+  std::deque<Pattern> queue;
+  for (Pattern& seed : seeds) {
+    if (covered.try_emplace(seed, false).second) {
+      queue.push_back(std::move(seed));
+    }
+  }
+  const auto is_covered = [&](const Pattern& q) -> bool {
+    const auto [it, inserted] = covered.try_emplace(q, false);
+    if (!inserted) return it->second;
+    bool cov = false;
+    bool known = false;
+    switch (mode) {
+      case DominanceMode::kBitmapIndex:
+        if (index.Contains(q) || index.IsDominated(q)) {
+          known = true;  // a maintained MUP, or beneath one: uncovered
+        } else if (index.DominatesSome(q)) {
+          cov = true;  // generalises a covered parent of a maintained MUP
+          known = true;
+        }
+        break;
+      case DominanceMode::kLinearScan:
+        for (const Pattern& m : mups) {
+          if (m.DominatesOrEquals(q)) {
+            known = true;
+            break;
+          }
+          if (q.Dominates(m)) {
+            cov = true;
+            known = true;
+            break;
+          }
+        }
+        break;
+      case DominanceMode::kNoPruning:
+        break;
+    }
+    if (!known) cov = oracle.CoverageAtLeast(q, tau, ctx);
+    it->second = cov;
+    if (!cov) queue.push_back(q);
+    return cov;
+  };
+  while (!queue.empty()) {
+    const Pattern p = std::move(queue.front());
+    queue.pop_front();
+    bool is_maximal = true;
+    for (const Pattern& parent : p.Parents()) {
+      if (!is_covered(parent)) is_maximal = false;  // keep probing: routes
+    }
+    if (!is_maximal || p.level() > max_level) continue;
+    if (!member.insert(p).second) continue;  // already a survivor
+    mups.push_back(p);
+    if (mode == DominanceMode::kBitmapIndex) index.Add(p);
+    ++stats->mups_added;
   }
   stats->coverage_queries += ctx.num_queries();
   std::sort(mups.begin(), mups.end());

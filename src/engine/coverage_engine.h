@@ -2,6 +2,7 @@
 #define COVERAGE_ENGINE_COVERAGE_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -39,15 +40,31 @@ struct EngineOptions {
   /// DEEPDIVER's ablation modes; all three produce identical MUP sets.
   MupSearchOptions::DominanceMode dominance_mode =
       MupSearchOptions::DominanceMode::kBitmapIndex;
+
+  /// Sliding-window mode. When `window_max_rows > 0`, each append retains
+  /// the batch and then evicts the *oldest retained batches whole* until at
+  /// most window_max_rows rows remain (so a batch larger than the window
+  /// is evicted in the very epoch that appended it, leaving the window
+  /// empty). When `window_max_epochs > 0`, at most that many most-recent
+  /// append batches are retained. Both zero (the default) disables
+  /// windowing: nothing is retained and appends are pure accumulation.
+  /// Either limit alone or both together may be set.
+  std::size_t window_max_rows = 0;
+  std::size_t window_max_epochs = 0;
 };
 
-/// Instrumentation of one epoch advance (one AppendRows call).
+/// Instrumentation of one epoch advance (one AppendRows / RetractRows call;
+/// a windowed append that evicts covers both its append and its retraction
+/// step).
 struct EngineUpdateStats {
   std::size_t rows_appended = 0;
+  std::size_t rows_retracted = 0;     ///< evicted or explicitly retracted
   std::size_t new_combinations = 0;   ///< distinct combos added this epoch
-  std::size_t mups_rechecked = 0;     ///< previous MUPs whose count was probed
+  std::size_t combinations_tombstoned = 0;  ///< combos whose count hit 0
+  std::size_t mups_rechecked = 0;     ///< previous MUPs re-probed
   std::size_t mups_newly_covered = 0; ///< previous MUPs that crossed τ
-  std::size_t mups_added = 0;         ///< fresh MUPs found beneath them
+  std::size_t mups_demoted = 0;       ///< previous MUPs that lost maximality
+  std::size_t mups_added = 0;         ///< fresh MUPs discovered
   std::uint64_t coverage_queries = 0; ///< oracle calls spent on maintenance
   double seconds = 0.0;               ///< epoch build wall-clock
 };
@@ -82,11 +99,33 @@ struct IngestStats {
 /// epoch via MupDominanceIndex::AddBatch). The result is bit-identical to a
 /// from-scratch search on the accumulated data.
 ///
+/// Data also shrinks (sliding windows, retention, GDPR erasure), through
+/// RetractRows or the EngineOptions sliding-window mode, and deletion
+/// *inverts* the monotonicity argument: counts only fall, so uncovered
+/// patterns stay uncovered — every previous MUP survives unless a parent
+/// dropped below τ, in which case it is no longer maximal and its
+/// replacement MUPs sit strictly *above* it in the pattern graph. The
+/// retraction update rechecks each previous MUP's parents, then walks
+/// ancestors upward from the retracted combinations that are below τ,
+/// through the uncovered region only, confirming as a MUP every uncovered
+/// pattern whose parents are all covered. Both dominance directions of the
+/// Appendix-B index prune oracle calls during the climb (dominated by a
+/// MUP ⇒ uncovered; strictly dominating a MUP ⇒ covered). Retracted
+/// combinations whose multiplicity reaches 0 are tombstoned in
+/// AggregatedData (ids stay prefix-stable) and their bits masked by
+/// BitmapCoverage's decremental constructor. Again the result is
+/// bit-identical to a from-scratch search on the surviving rows.
+///
 /// Concurrency: epochs are immutable once published. Readers take a
 /// shared_ptr snapshot (Query / Mups / snapshot()) and are never blocked by
 /// or exposed to an in-flight epoch build; writers serialise among
-/// themselves. Queries go through the caller's QueryContext exactly as with
-/// a standalone BitmapCoverage.
+/// themselves on an internal writer lock. Queries go through the caller's
+/// QueryContext exactly as with a standalone BitmapCoverage.
+///
+/// Complexity per epoch: O(distinct combinations) for the aggregated-
+/// relation copy and index extension, plus maintenance work proportional to
+/// the affected region of the pattern graph (rechecked MUPs + the BFS /
+/// climb frontier), not to the total data size.
 class CoverageEngine {
  public:
   /// One immutable epoch: the aggregated relation, its oracle, and the MUP
@@ -109,6 +148,16 @@ class CoverageEngine {
         : agg_(std::move(agg)),
           oracle_(prev == nullptr ? BitmapCoverage(agg_)
                                   : BitmapCoverage(agg_, *prev)),
+          epoch_(epoch) {}
+
+    /// Retraction / mixed epoch: combination liveness changed within the
+    /// shared prefix, so the oracle masks `tombstoned` ids and re-sets
+    /// `revived` ones (see BitmapCoverage's decremental constructor).
+    Snapshot(AggregatedData agg, const BitmapCoverage& prev,
+             std::span<const std::size_t> tombstoned,
+             std::span<const std::size_t> revived, std::uint64_t epoch)
+        : agg_(std::move(agg)),
+          oracle_(agg_, prev, tombstoned, revived),
           epoch_(epoch) {}
 
     AggregatedData agg_;
@@ -142,8 +191,23 @@ class CoverageEngine {
                     EngineUpdateStats* stats = nullptr);
 
   /// Appends every row of `rows` (whose schema must equal ours) as one
-  /// epoch.
+  /// epoch. In sliding-window mode the batch is retained and the epoch
+  /// additionally evicts the oldest retained batches past the configured
+  /// limit (EngineOptions::window_max_rows / window_max_epochs); the
+  /// published snapshot reflects append and eviction together.
   Status AppendRows(const Dataset& rows, EngineUpdateStats* stats = nullptr);
+
+  /// Removes one occurrence per row of `rows` (GDPR erasure / manual
+  /// retention) as one epoch. Every row must currently be present in the
+  /// requested multiplicity — otherwise InvalidArgument is returned and
+  /// nothing is published. In sliding-window mode the retracted occurrences
+  /// are also scrubbed from the retained batches, oldest first, so a later
+  /// eviction never double-retracts them.
+  Status RetractRows(std::span<const Row> rows,
+                     EngineUpdateStats* stats = nullptr);
+
+  /// As above, for a whole Dataset (whose schema must equal ours).
+  Status RetractRows(const Dataset& rows, EngineUpdateStats* stats = nullptr);
 
   /// The current MUP set (Problem 1 on the accumulated data), sorted.
   std::vector<Pattern> Mups() const { return snapshot()->mups(); }
@@ -167,11 +231,40 @@ class CoverageEngine {
   std::uint64_t num_rows() const { return snapshot()->num_rows(); }
 
  private:
-  /// Incremental Problem-1 maintenance described above; returns the new MUP
-  /// set, sorted. Caller holds writer_mu_.
+  /// Incremental Problem-1 maintenance for an append epoch (insert
+  /// monotonicity, downward re-expansion); returns the new MUP set, sorted.
+  /// Caller holds writer_mu_.
   std::vector<Pattern> UpdateMups(const Snapshot& next,
                                   const std::vector<Pattern>& old_mups,
                                   EngineUpdateStats* stats);
+
+  /// Incremental Problem-1 maintenance for a retraction epoch (deletion
+  /// monotonicity, upward climb from `seeds` — the retracted combinations
+  /// now below τ); returns the new MUP set, sorted. Caller holds writer_mu_.
+  std::vector<Pattern> RetractMups(const Snapshot& next,
+                                   const std::vector<Pattern>& old_mups,
+                                   std::vector<Pattern> seeds,
+                                   EngineUpdateStats* stats);
+
+  /// Builds the retraction snapshot: copies `base`'s relation, decrements
+  /// every row of `removed` (InvalidArgument if one is absent; nothing
+  /// published), diffs the prefix into tombstoned ids + climb seeds, and
+  /// runs RetractMups. On success stores the ready-to-publish snapshot in
+  /// `out`. Caller holds writer_mu_.
+  Status RetractFrom(const std::shared_ptr<const Snapshot>& base,
+                     const Dataset& removed, std::uint64_t epoch,
+                     EngineUpdateStats* stats,
+                     std::shared_ptr<Snapshot>* out);
+
+  /// Removes one occurrence per row of `removed` from the retained window
+  /// batches, oldest occurrences first (keyed by AggregatedData::KeyOf);
+  /// drops batches scrubbed empty. Caller holds writer_mu_ and has already
+  /// validated availability.
+  void ScrubWindow(const Dataset& removed);
+
+  bool Windowed() const {
+    return options_.window_max_rows > 0 || options_.window_max_epochs > 0;
+  }
 
   void Publish(std::shared_ptr<const Snapshot> next);
 
@@ -183,6 +276,11 @@ class CoverageEngine {
   /// Lazily built recheck pool, reused across epochs (guarded by writer_mu_)
   /// so a long chunked ingest pays thread spawn once, not per chunk.
   std::unique_ptr<ThreadPool> pool_;
+  /// Sliding-window bookkeeping (guarded by writer_mu_): the retained
+  /// append batches, oldest first, and their total row count. Empty unless
+  /// a window limit is configured.
+  std::deque<Dataset> window_batches_;
+  std::size_t window_rows_ = 0;
 };
 
 }  // namespace coverage

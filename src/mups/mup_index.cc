@@ -18,7 +18,7 @@ MupDominanceIndex::MupDominanceIndex(const Schema& schema) : schema_(schema) {
 
 void MupDominanceIndex::Add(const Pattern& mup) {
   assert(mup.num_attributes() == schema_.num_attributes());
-  assert(!member_set_.contains(mup));
+  assert(!member_index_.contains(mup));
   const std::size_t bit = mups_.size();
   // Geometric word-block reservation, applied to every slot at once: the
   // per-slot vectors all share one length, so one capacity schedule keeps
@@ -30,7 +30,7 @@ void MupDominanceIndex::Add(const Pattern& mup) {
     for (BitVector& index : indices_) index.Reserve(reserved_bits_);
   }
   mups_.push_back(mup);
-  member_set_.insert(mup);
+  member_index_.emplace(mup, bit);
   for (BitVector& index : indices_) index.PushBack(false);
   for (int i = 0; i < schema_.num_attributes(); ++i) {
     if (mup.is_deterministic(i)) {
@@ -55,9 +55,9 @@ void MupDominanceIndex::AddBatch(std::span<const Pattern> mups) {
   for (std::size_t j = 0; j < k; ++j) {
     const Pattern& mup = mups[j];
     assert(mup.num_attributes() == d);
-    assert(!member_set_.contains(mup));
+    assert(!member_index_.contains(mup));
     mups_.push_back(mup);
-    member_set_.insert(mup);
+    member_index_.emplace(mup, base + j);
     for (int i = 0; i < d; ++i) {
       const std::size_t slot = static_cast<std::size_t>(
           offsets_[static_cast<std::size_t>(i)] +
@@ -70,6 +70,23 @@ void MupDominanceIndex::AddBatch(std::span<const Pattern> mups) {
     indices_[slot].AppendWords(deltas.data() + slot * delta_words, k);
   }
   if (base + k > reserved_bits_) reserved_bits_ = base + k;
+}
+
+bool MupDominanceIndex::Remove(const Pattern& mup) {
+  const auto it = member_index_.find(mup);
+  if (it == member_index_.end()) return false;
+  const std::size_t pos = it->second;
+  const std::size_t last = mups_.size() - 1;
+  member_index_.erase(it);
+  if (pos != last) {
+    // Swap-with-last: move the final MUP's bits into the vacated position.
+    for (BitVector& index : indices_) index.Set(pos, index.Get(last));
+    mups_[pos] = std::move(mups_[last]);
+    member_index_[mups_[pos]] = pos;
+  }
+  mups_.pop_back();
+  for (BitVector& index : indices_) index.Resize(last);
+  return true;
 }
 
 bool MupDominanceIndex::IsDominated(const Pattern& pattern) const {
@@ -95,7 +112,7 @@ bool MupDominanceIndex::IsDominated(const Pattern& pattern) const {
   const std::size_t hits = acc.Count();
   if (hits == 0) return false;
   if (hits > 1) return true;
-  return !member_set_.contains(pattern);
+  return !member_index_.contains(pattern);
 }
 
 bool MupDominanceIndex::DominatesSome(const Pattern& pattern) const {
@@ -111,7 +128,7 @@ bool MupDominanceIndex::DominatesSome(const Pattern& pattern) const {
   const std::size_t hits = acc.Count();
   if (hits == 0) return false;
   if (hits > 1) return true;
-  return !member_set_.contains(pattern);
+  return !member_index_.contains(pattern);
 }
 
 }  // namespace coverage

@@ -4,7 +4,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitvector.h"
@@ -17,6 +17,18 @@ namespace coverage {
 /// value plus one for "wildcard here", with one bit per discovered MUP.
 /// DEEPDIVER consults it on every pop, so both checks are word-wise AND /
 /// OR-AND chains over the discovered set.
+///
+/// Thread-safety: none — wrap in SharedMupDominanceIndex (below) for
+/// concurrent use. Complexity: Add/Remove are O(Σ(cᵢ+1)) slot updates;
+/// IsDominated / DominatesSome are O(d·⌈m/64⌉) word operations over m
+/// registered MUPs, with a zero-accumulator early exit.
+///
+/// Both query directions double as *coverage* oracles relative to a set of
+/// verified MUPs, which is what the streaming engine's retraction walk
+/// exploits: a pattern strictly dominated by a MUP is more specific than an
+/// uncovered pattern, hence itself uncovered; a pattern strictly dominating
+/// a MUP generalises one of that MUP's (covered, by maximality) parents,
+/// hence is covered.
 class MupDominanceIndex {
  public:
   explicit MupDominanceIndex(const Schema& schema);
@@ -34,13 +46,21 @@ class MupDominanceIndex {
   /// already-registered set.
   void AddBatch(std::span<const Pattern> mups);
 
+  /// Unregisters a previously Added MUP: the last registered MUP is swapped
+  /// into its bit position and every slot vector shrinks by one bit, so a
+  /// removal costs O(Σ(cᵢ+1)) regardless of how many MUPs remain. Returns
+  /// false (no-op) if `mup` was never registered. The streaming engine uses
+  /// this on retraction epochs, where previously maximal MUPs can lose
+  /// maximality and must leave the index before it is used for pruning.
+  bool Remove(const Pattern& mup);
+
   std::size_t size() const { return mups_.size(); }
   const std::vector<Pattern>& mups() const { return mups_; }
 
   /// Exact membership (the discovered set is an antichain, so membership is
   /// not implied by either dominance direction).
   bool Contains(const Pattern& pattern) const {
-    return member_set_.contains(pattern);
+    return member_index_.contains(pattern);
   }
 
   /// True iff some discovered MUP strictly dominates `pattern` (Definition 9:
@@ -76,7 +96,9 @@ class MupDominanceIndex {
   /// Layout per attribute: [wildcard vector, value 0, value 1, ...].
   std::vector<BitVector> indices_;
   std::vector<Pattern> mups_;
-  std::unordered_set<Pattern, PatternHash> member_set_;
+  /// Pattern -> its bit position in the slot vectors (also the exact-
+  /// membership set). Kept positional so Remove can swap-with-last.
+  std::unordered_map<Pattern, std::size_t, PatternHash> member_index_;
   std::size_t reserved_bits_ = 0;  // bits all slots have capacity for
 };
 

@@ -112,6 +112,29 @@ TEST(CliParse, EngineFlags) {
   EXPECT_FALSE(ParseArgs({"audit", "--csv", "d.csv", "--chunk-rows"}).ok());
 }
 
+TEST(CliParse, WindowRowsRequiresEngine) {
+  auto options = ParseArgs({"audit", "--csv", "d.csv", "--engine",
+                            "--window-rows", "5000"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->window_rows, 5000u);
+  auto defaults = ParseArgs({"audit", "--csv", "d.csv", "--engine"});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->window_rows, 0u);  // windowing off by default
+  // A sliding window only exists on the streaming path.
+  EXPECT_FALSE(
+      ParseArgs({"audit", "--csv", "d.csv", "--window-rows", "5000"}).ok());
+  EXPECT_FALSE(
+      ParseArgs({"audit", "--csv", "d.csv", "--engine", "--window-rows", "0"})
+          .ok());
+}
+
+TEST(CliParse, UsageDocumentsEngineFlags) {
+  const std::string usage = Usage();
+  for (const char* flag : {"--engine", "--chunk-rows", "--window-rows"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
 // --------------------------------------------------------------- RunCli --
 
 class CliRunTest : public ::testing::Test {
@@ -183,6 +206,22 @@ TEST_F(CliRunTest, AuditEngineMatchesWholeFileAudit) {
     EXPECT_EQ(streamed.substr(streamed.find("all MUPs")), whole_list)
         << "chunk_rows=" << chunk_rows;
   }
+}
+
+TEST_F(CliRunTest, AuditEngineWindowReportsRetainedRows) {
+  // A windowed streaming audit labels only the tail of the stream and says
+  // so. 2000 rows in 500-row chunks with a 1200-row cap retain the last 2
+  // chunks (appending a chunk at 1000 retained makes 1500 > 1200 → evict).
+  std::ostringstream out, err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--engine", "--chunk-rows", "500",
+                                  "--window-rows", "1200"},
+                                 out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("window: last 1,200 rows (1,000 retained"),
+            std::string::npos)
+      << out.str();
 }
 
 TEST_F(CliRunTest, AuditListMupsShowsPatterns) {

@@ -145,5 +145,48 @@ TEST(BitmapCoverage, IndexExposesPerValueVectors) {
   EXPECT_EQ(oracle.index(0, 1).Count(), 0u);
 }
 
+TEST(BitmapCoverage, DecrementalBuildMasksTombstonedBits) {
+  const Dataset data = MakeExample1();
+  AggregatedData agg(data);
+  const BitmapCoverage base(agg);
+
+  // Tombstone 001 (id 1, multiplicity 2) by retracting both occurrences.
+  AggregatedData shrunk = agg;
+  ASSERT_TRUE(shrunk.DecrementRow(std::vector<Value>{0, 0, 1}));
+  ASSERT_TRUE(shrunk.DecrementRow(std::vector<Value>{0, 0, 1}));
+  const std::vector<std::size_t> tombstoned = {1};
+  const BitmapCoverage dec(shrunk, base, tombstoned, {});
+
+  // Queries agree with a from-scratch oracle over the surviving rows.
+  Dataset surviving(data.schema());
+  surviving.AppendRow(std::vector<Value>{0, 1, 0});
+  surviving.AppendRow(std::vector<Value>{0, 0, 0});
+  surviving.AppendRow(std::vector<Value>{0, 1, 1});
+  const AggregatedData fresh(surviving);
+  const BitmapCoverage scratch(fresh);
+  PatternGraph graph(data.schema());
+  const auto all = graph.EnumerateAll(100000);
+  ASSERT_TRUE(all.ok());
+  for (const Pattern& p : *all) {
+    EXPECT_EQ(dec.Coverage(p), scratch.Coverage(p)) << p.ToString();
+  }
+
+  // The tombstoned combination's bits really are masked, so its match
+  // vector is empty (a zero count alone would already keep the dot exact).
+  EXPECT_FALSE(dec.MatchVector(P("001", data.schema())).Any());
+  EXPECT_EQ(dec.index(2, 1).Count(), 1u);  // only 011 remains with A3=1
+
+  // Reviving the combination through the mixed build re-sets its bits.
+  AggregatedData regrown = shrunk;
+  regrown.AppendRow(std::vector<Value>{0, 0, 1});
+  regrown.AppendRow(std::vector<Value>{1, 1, 1});  // and a new combination
+  const std::vector<std::size_t> revived = {1};
+  const BitmapCoverage rev(regrown, dec, {}, revived);
+  EXPECT_EQ(rev.Coverage(P("001", data.schema())), 1u);
+  EXPECT_EQ(rev.Coverage(P("111", data.schema())), 1u);
+  EXPECT_EQ(rev.Coverage(Pattern::Root(3)), 5u);
+  EXPECT_EQ(rev.index(2, 1).Count(), 3u);  // 001 back, 011, 111
+}
+
 }  // namespace
 }  // namespace coverage

@@ -212,6 +212,45 @@ TEST(AggregatedData, CountsSumToRows) {
   EXPECT_LE(agg.num_combinations(), 24u);
 }
 
+TEST(AggregatedData, DecrementTombstonesAndRevivesInPlace) {
+  const Schema schema = Schema::Binary(2);
+  AggregatedData agg(schema);
+  agg.AppendRow(std::vector<Value>{0, 0});
+  agg.AppendRow(std::vector<Value>{0, 1});
+  agg.AppendRow(std::vector<Value>{0, 0});
+  ASSERT_EQ(agg.num_combinations(), 2u);
+  ASSERT_EQ(agg.total_count(), 3u);
+  EXPECT_EQ(agg.num_tombstones(), 0u);
+
+  EXPECT_TRUE(agg.DecrementRow(std::vector<Value>{0, 0}));
+  EXPECT_EQ(agg.CountOf(std::vector<Value>{0, 0}), 1u);
+  EXPECT_EQ(agg.total_count(), 2u);
+  EXPECT_EQ(agg.num_tombstones(), 0u);
+
+  // A count reaching 0 tombstones the combination: the id and the slot
+  // survive, so the table width never shrinks.
+  EXPECT_TRUE(agg.DecrementRow(std::vector<Value>{0, 0}));
+  EXPECT_EQ(agg.num_tombstones(), 1u);
+  EXPECT_EQ(agg.num_combinations(), 2u);
+  EXPECT_EQ(agg.CountOf(std::vector<Value>{0, 0}), 0u);
+  EXPECT_EQ(agg.count(0), 0u);
+
+  // Decrementing an absent or zero-count combination is a rejected no-op.
+  EXPECT_FALSE(agg.DecrementRow(std::vector<Value>{0, 0}));
+  EXPECT_FALSE(agg.DecrementRow(std::vector<Value>{1, 1}));
+  EXPECT_EQ(agg.total_count(), 1u);
+
+  // Re-appending the combination revives id 0 in place: prefix stability
+  // holds through any append/retract interleaving.
+  agg.AppendRow(std::vector<Value>{0, 0});
+  EXPECT_EQ(agg.num_tombstones(), 0u);
+  EXPECT_EQ(agg.num_combinations(), 2u);
+  EXPECT_EQ(agg.count(0), 1u);
+  agg.AppendRow(std::vector<Value>{1, 0});  // new combos still go to the end
+  EXPECT_EQ(agg.num_combinations(), 3u);
+  EXPECT_EQ(agg.CountOf(std::vector<Value>{1, 0}), 1u);
+}
+
 // ------------------------------------------------------------ Bucketizer --
 
 TEST(Bucketizer, EquiWidthBounds) {

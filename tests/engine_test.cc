@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -297,6 +298,388 @@ TEST(CoverageEngine, ConcurrentReadersDuringAppends) {
   for (std::thread& t : readers) t.join();
 
   EXPECT_EQ(engine.Mups(), FromScratchMups(compas.data, engine.options()));
+}
+
+// ---------------------------------------------------------------------------
+// Retraction (RetractRows) and sliding-window mode
+// ---------------------------------------------------------------------------
+
+Dataset FromRows(const Schema& schema,
+                 const std::vector<std::vector<Value>>& rows) {
+  Dataset d(schema);
+  for (const auto& r : rows) d.AppendRow(r);
+  return d;
+}
+
+TEST(CoverageEngineRetract, ValidatesAndRejectsAbsentRows) {
+  const Schema schema = Schema::Binary(2);
+  CoverageEngine engine(schema, {.tau = 1});
+  ASSERT_TRUE(engine.AppendRows(FromRows(schema, {{0, 0}, {0, 1}})).ok());
+  ASSERT_EQ(engine.epoch(), 1u);
+
+  // A combination never appended cannot be retracted.
+  EXPECT_FALSE(engine.RetractRows(FromRows(schema, {{1, 1}})).ok());
+  // Nor more occurrences than are present.
+  EXPECT_FALSE(
+      engine.RetractRows(FromRows(schema, {{0, 0}, {0, 0}})).ok());
+  // Failed retractions publish nothing.
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_EQ(engine.num_rows(), 2u);
+
+  EngineUpdateStats stats;
+  ASSERT_TRUE(engine.RetractRows(FromRows(schema, {{0, 1}}), &stats).ok());
+  EXPECT_EQ(engine.epoch(), 2u);
+  EXPECT_EQ(engine.num_rows(), 1u);
+  EXPECT_EQ(stats.rows_retracted, 1u);
+  EXPECT_EQ(stats.combinations_tombstoned, 1u);
+  EXPECT_EQ(engine.Query(Pattern({Value{0}, Value{1}})), 0u);
+  EXPECT_EQ(engine.Query(Pattern({Value{0}, Value{0}})), 1u);
+  // Schema mismatches are rejected like on the append side.
+  EXPECT_FALSE(engine.RetractRows(Dataset(Schema::Binary(3))).ok());
+}
+
+TEST(CoverageEngineRetract, DuplicateRowRetractionWithinOneBatch) {
+  const Schema schema = Schema::Binary(2);
+  CoverageEngine engine(schema, {.tau = 2});
+  const std::vector<Value> row = {Value{1}, Value{0}};
+  ASSERT_TRUE(
+      engine.AppendRows(FromRows(schema, {row, row, row, row, row})).ok());
+
+  // Three duplicates of the same row retracted in one batch.
+  ASSERT_TRUE(engine.RetractRows(FromRows(schema, {row, row, row})).ok());
+  EXPECT_EQ(engine.Query(Pattern(row)), 2u);
+  // Over-retraction within one batch fails atomically: nothing changes.
+  EXPECT_FALSE(engine.RetractRows(FromRows(schema, {row, row, row})).ok());
+  EXPECT_EQ(engine.Query(Pattern(row)), 2u);
+  ASSERT_TRUE(engine.RetractRows(FromRows(schema, {row, row})).ok());
+  EXPECT_EQ(engine.num_rows(), 0u);
+  EXPECT_EQ(engine.Mups(), std::vector<Pattern>{Pattern::Root(2)});
+}
+
+TEST(CoverageEngineRetract, RetractionUncoversRoot) {
+  const Schema schema = Schema::Uniform({2, 3});
+  EngineOptions opts;
+  opts.tau = 5;
+  CoverageEngine engine(schema, opts);
+  Dataset data = FromRows(
+      schema, {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}});
+  ASSERT_TRUE(engine.AppendRows(data).ok());
+  // cov(root) = 6 >= 5: the root is covered, so it is not a MUP.
+  const std::vector<Pattern> before = engine.Mups();
+  ASSERT_FALSE(std::count(before.begin(), before.end(), Pattern::Root(2)));
+
+  ASSERT_TRUE(engine.RetractRows(FromRows(schema, {{0, 0}, {1, 2}})).ok());
+  // cov(root) = 4 < 5: the whole graph is uncovered and the root is the
+  // unique maximal uncovered pattern.
+  EXPECT_EQ(engine.Mups(), std::vector<Pattern>{Pattern::Root(2)});
+  Dataset surviving =
+      FromRows(schema, {{0, 1}, {0, 2}, {1, 0}, {1, 1}});
+  EXPECT_EQ(engine.Mups(), FromScratchMups(surviving, opts));
+}
+
+/// The core retraction invariant: after every randomized append/retract
+/// step, the maintained MUP set is bit-identical to a from-scratch DEEPDIVER
+/// on the surviving rows — across all dominance modes, serial and 8-thread
+/// rechecks, and a level cap.
+TEST(CoverageEngineRetractProperty, RandomAppendRetractEqualsFromScratch) {
+  using DominanceMode = MupSearchOptions::DominanceMode;
+  const Schema schema = Schema::Uniform({3, 2, 4, 2});
+  for (const DominanceMode mode :
+       {DominanceMode::kBitmapIndex, DominanceMode::kLinearScan,
+        DominanceMode::kNoPruning}) {
+    for (const int threads : {1, 8}) {
+      for (const int max_level : {-1, 2}) {
+        EngineOptions opts;
+        opts.tau = 5;
+        opts.max_level = max_level;
+        opts.num_threads = threads;
+        opts.dominance_mode = mode;
+        CoverageEngine engine(schema, opts);
+        std::vector<std::vector<Value>> live;  // surviving row multiset
+        Rng rng(5000 + 100 * static_cast<int>(mode) + 10 * threads +
+                (max_level + 1));
+        for (int step = 0; step < 16; ++step) {
+          const bool retract = !live.empty() && rng.NextUint64(3) == 0;
+          if (retract) {
+            // Retract a random sub-multiset (up to half the live rows).
+            const std::size_t k = 1 + rng.NextUint64(live.size() / 2 + 1);
+            Dataset batch(schema);
+            for (std::size_t i = 0; i < k && !live.empty(); ++i) {
+              const std::size_t pick = rng.NextUint64(live.size());
+              batch.AppendRow(live[pick]);
+              live[pick] = live.back();
+              live.pop_back();
+            }
+            EngineUpdateStats stats;
+            ASSERT_TRUE(engine.RetractRows(batch, &stats).ok());
+            ASSERT_EQ(stats.rows_retracted, batch.num_rows());
+          } else {
+            const std::size_t k = rng.NextUint64(31);  // 0..30, empties too
+            Dataset batch(schema);
+            std::vector<Value> row(4);
+            for (std::size_t r = 0; r < k; ++r) {
+              for (int i = 0; i < 4; ++i) {
+                // Skew toward low values so counts actually cross τ.
+                const auto card =
+                    static_cast<std::uint64_t>(schema.cardinality(i));
+                row[static_cast<std::size_t>(i)] = static_cast<Value>(
+                    std::min(rng.NextUint64(card), rng.NextUint64(card)));
+              }
+              batch.AppendRow(row);
+              live.push_back(row);
+            }
+            ASSERT_TRUE(engine.AppendRows(batch).ok());
+          }
+          ASSERT_EQ(engine.num_rows(), live.size());
+          ASSERT_EQ(engine.Mups(),
+                    FromScratchMups(FromRows(schema, live), opts))
+              << "mode=" << static_cast<int>(mode) << " threads=" << threads
+              << " max_level=" << max_level << " step=" << step
+              << (retract ? " (retract)" : " (append)");
+        }
+      }
+    }
+  }
+}
+
+/// Emulates the engine's window semantics (evict whole oldest batches past
+/// the caps) so tests can state the expected surviving multiset.
+struct WindowModel {
+  std::size_t max_rows = 0;
+  std::size_t max_epochs = 0;
+  std::deque<std::vector<std::vector<Value>>> batches;
+  std::size_t rows = 0;
+
+  void Append(const std::vector<std::vector<Value>>& batch) {
+    batches.push_back(batch);
+    rows += batch.size();
+    while (!batches.empty() &&
+           ((max_rows > 0 && rows > max_rows) ||
+            (max_epochs > 0 && batches.size() > max_epochs))) {
+      rows -= batches.front().size();
+      batches.pop_front();
+    }
+  }
+
+  std::vector<std::vector<Value>> Live() const {
+    std::vector<std::vector<Value>> all;
+    for (const auto& b : batches) all.insert(all.end(), b.begin(), b.end());
+    return all;
+  }
+};
+
+TEST(CoverageEngineWindow, SlidingWindowMatchesFromScratchOnRetainedRows) {
+  const datagen::LabeledData compas = datagen::MakeCompas(900);
+  const Schema& schema = compas.data.schema();
+  EngineOptions opts;
+  opts.tau = 8;
+  opts.window_max_rows = 300;
+  CoverageEngine engine(schema, opts);
+  WindowModel model{.max_rows = 300};
+
+  std::size_t next = 0;
+  Rng rng(42);
+  while (next < compas.data.num_rows()) {
+    const std::size_t take = std::min<std::size_t>(
+        40 + rng.NextUint64(81), compas.data.num_rows() - next);
+    std::vector<std::vector<Value>> batch;
+    Dataset chunk(schema);
+    for (std::size_t r = next; r < next + take; ++r) {
+      chunk.AppendRow(compas.data.row(r));
+      batch.emplace_back(compas.data.row(r).begin(),
+                         compas.data.row(r).end());
+    }
+    next += take;
+    model.Append(batch);
+    EngineUpdateStats stats;
+    ASSERT_TRUE(engine.AppendRows(chunk, &stats).ok());
+    ASSERT_EQ(engine.num_rows(), model.rows);
+    ASSERT_LE(engine.num_rows(), 300u);
+    ASSERT_EQ(engine.Mups(),
+              FromScratchMups(FromRows(schema, model.Live()), opts))
+        << "after " << next << " streamed rows";
+  }
+  // The stream outgrew the window, so evictions actually happened.
+  EXPECT_LT(engine.num_rows(), compas.data.num_rows());
+}
+
+TEST(CoverageEngineWindow, BatchLargerThanWindowIsAppendedAndEvicted) {
+  const Schema schema = Schema::Uniform({3, 3});
+  EngineOptions opts;
+  opts.tau = 2;
+  opts.window_max_rows = 10;
+  CoverageEngine engine(schema, opts);
+
+  // Fill the window, then append one batch bigger than the whole window:
+  // it is retained and immediately evicted in the same epoch, together with
+  // everything older — the window shrinks to empty.
+  ASSERT_TRUE(engine.AppendRows(FromRows(schema, {{0, 0}, {1, 1}})).ok());
+  Dataset big(schema);
+  Rng rng(3);
+  std::vector<Value> row(2);
+  for (int r = 0; r < 25; ++r) {
+    row[0] = static_cast<Value>(rng.NextUint64(3));
+    row[1] = static_cast<Value>(rng.NextUint64(3));
+    big.AppendRow(row);
+  }
+  EngineUpdateStats stats;
+  ASSERT_TRUE(engine.AppendRows(big, &stats).ok());
+  EXPECT_EQ(stats.rows_appended, 25u);
+  EXPECT_EQ(stats.rows_retracted, 27u);  // the old window and the batch
+  EXPECT_EQ(engine.num_rows(), 0u);
+  EXPECT_EQ(engine.Mups(), std::vector<Pattern>{Pattern::Root(2)});
+
+  // The engine recovers: appending into the tombstoned state revives
+  // combinations in place and matches a from-scratch run.
+  Dataset small = FromRows(schema, {{0, 0}, {0, 0}, {2, 2}});
+  ASSERT_TRUE(engine.AppendRows(small).ok());
+  EXPECT_EQ(engine.num_rows(), 3u);
+  EXPECT_EQ(engine.Mups(), FromScratchMups(small, opts));
+}
+
+TEST(CoverageEngineWindow, MaxEpochsKeepsMostRecentBatches) {
+  const Schema schema = Schema::Uniform({4, 2});
+  EngineOptions opts;
+  opts.tau = 2;
+  opts.window_max_epochs = 2;
+  CoverageEngine engine(schema, opts);
+  WindowModel model{.max_epochs = 2};
+
+  Rng rng(11);
+  for (int batch_no = 0; batch_no < 6; ++batch_no) {
+    std::vector<std::vector<Value>> batch;
+    const std::size_t k = 3 + rng.NextUint64(5);
+    for (std::size_t r = 0; r < k; ++r) {
+      batch.push_back({static_cast<Value>(rng.NextUint64(4)),
+                       static_cast<Value>(rng.NextUint64(2))});
+    }
+    model.Append(batch);
+    ASSERT_TRUE(engine.AppendRows(FromRows(schema, batch)).ok());
+    ASSERT_EQ(engine.num_rows(), model.rows);
+    ASSERT_EQ(engine.Mups(),
+              FromScratchMups(FromRows(schema, model.Live()), opts))
+        << "batch " << batch_no;
+  }
+
+  // An empty append must not occupy an epoch slot: with the window already
+  // full, it would otherwise evict a real batch without any data arriving.
+  const std::vector<Pattern> before = engine.Mups();
+  const std::uint64_t rows_before = engine.num_rows();
+  ASSERT_TRUE(engine.AppendRows(Dataset(schema)).ok());
+  EXPECT_EQ(engine.num_rows(), rows_before);
+  EXPECT_EQ(engine.Mups(), before);
+}
+
+TEST(CoverageEngineWindow, ExplicitRetractionScrubsRetainedBatches) {
+  const Schema schema = Schema::Binary(2);
+  EngineOptions opts;
+  opts.tau = 1;
+  opts.window_max_rows = 4;
+  CoverageEngine engine(schema, opts);
+
+  // Window: [ {00, 00, 01} ].
+  ASSERT_TRUE(
+      engine.AppendRows(FromRows(schema, {{0, 0}, {0, 0}, {0, 1}})).ok());
+  // GDPR-style erasure of one 00 occurrence scrubs it from the retained
+  // batch too, so the window now holds 2 rows, not 3.
+  ASSERT_TRUE(engine.RetractRows(FromRows(schema, {{0, 0}})).ok());
+  EXPECT_EQ(engine.num_rows(), 2u);
+
+  // Appending 2 more rows lands exactly on the cap: nothing is evicted.
+  // Without the scrub the bookkeeping would see 5 rows and wrongly evict
+  // the first batch.
+  ASSERT_TRUE(engine.AppendRows(FromRows(schema, {{1, 0}, {1, 1}})).ok());
+  EXPECT_EQ(engine.num_rows(), 4u);
+  Dataset expected =
+      FromRows(schema, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_EQ(engine.Mups(), FromScratchMups(expected, opts));
+
+  // One more row pushes past the cap and evicts the scrubbed first batch
+  // ({00, 01} — the retracted occurrence must not be double-retracted).
+  ASSERT_TRUE(engine.AppendRows(FromRows(schema, {{1, 1}})).ok());
+  EXPECT_EQ(engine.num_rows(), 3u);
+  Dataset retained = FromRows(schema, {{1, 0}, {1, 1}, {1, 1}});
+  EXPECT_EQ(engine.Mups(), FromScratchMups(retained, opts));
+}
+
+TEST(CoverageEngineWindow, ChunkedIngestRespectsWindow) {
+  const Dataset data = datagen::MakeAirbnb(1200, 6);
+  const std::string csv = ToCsv(data);
+  EngineOptions opts;
+  opts.tau = 6;
+  opts.window_max_rows = 500;
+  CoverageEngine engine(data.schema(), opts);
+  std::istringstream in(csv);
+  const auto stats = engine.IngestCsvChunked(in, 200);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows, 1200u);
+
+  // 200-row chunks into a 500-row cap retain the last 2 chunks (400 rows):
+  // appending chunk 7 would make 600, evicting down to 400... the steady
+  // state after each append is 400 + the new 200 = 600 > 500 → evict → 400.
+  EXPECT_EQ(engine.num_rows(), 400u);
+  Dataset tail(data.schema());
+  for (std::size_t r = 800; r < 1200; ++r) tail.AppendRow(data.row(r));
+  EXPECT_EQ(engine.Mups(), FromScratchMups(tail, opts));
+}
+
+/// Readers on snapshots must never observe a torn epoch while a writer
+/// advances through windowed appends and explicit retractions; run under
+/// TSan in CI.
+TEST(CoverageEngineWindow, ConcurrentReadersDuringWindowedAppends) {
+  const datagen::LabeledData compas = datagen::MakeCompas(1200);
+  const Schema& schema = compas.data.schema();
+  EngineOptions opts;
+  opts.tau = 10;
+  opts.window_max_rows = 300;
+  CoverageEngine engine(schema, opts);
+  ASSERT_TRUE(engine.AppendRows(compas.data.Head(100)).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &stop] {
+      QueryContext ctx;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = engine.snapshot();
+        // Internal consistency of one epoch: the root's coverage equals the
+        // row count, and every published MUP is uncovered on that epoch.
+        const int d = snap->data().schema().num_attributes();
+        ASSERT_EQ(snap->oracle().Coverage(Pattern::Root(d), ctx),
+                  snap->num_rows());
+        for (const Pattern& mup : snap->mups()) {
+          ASSERT_FALSE(snap->oracle().CoverageAtLeast(mup, 10, ctx));
+        }
+      }
+    });
+  }
+
+  std::size_t next = 100;
+  int step = 0;
+  while (next < compas.data.num_rows()) {
+    const std::size_t end = std::min(next + 100, compas.data.num_rows());
+    Dataset chunk(schema);
+    for (std::size_t r = next; r < end; ++r) {
+      chunk.AppendRow(compas.data.row(r));
+    }
+    ASSERT_TRUE(engine.AppendRows(chunk).ok());
+    if (++step % 3 == 0 && engine.num_rows() > 20) {
+      // Interleave explicit erasure of a few currently-live rows.
+      const auto snap = engine.snapshot();
+      Dataset erase(schema);
+      for (std::size_t k = 0;
+           k < snap->data().num_combinations() && erase.num_rows() < 5;
+           ++k) {
+        if (snap->data().count(k) > 0) {
+          erase.AppendRow(snap->data().combination(k));
+        }
+      }
+      ASSERT_TRUE(engine.RetractRows(erase).ok());
+    }
+    next = end;
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.h"
+
 namespace coverage {
 namespace {
 
@@ -186,6 +190,84 @@ TEST(MupDominanceIndex, AddBatchEmptyIsNoOp) {
   index.Add(Pattern({Value{1}, kWildcard, kWildcard}));
   index.AddBatch({});
   EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(MupDominanceIndex, RemoveUnregistersAndCompacts) {
+  const Schema schema = Schema::Uniform({2, 3, 2});
+  MupDominanceIndex index(schema);
+  index.Add(P("1XX", schema));
+  index.Add(P("X2X", schema));
+  index.Add(P("X01", schema));
+
+  // Removing an unknown pattern is a rejected no-op.
+  EXPECT_FALSE(index.Remove(P("0XX", schema)));
+  EXPECT_EQ(index.size(), 3u);
+
+  // Removing the middle entry swaps the last into its position; probes must
+  // behave as if only the two survivors were ever added.
+  EXPECT_TRUE(index.Remove(P("X2X", schema)));
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_FALSE(index.Contains(P("X2X", schema)));
+  EXPECT_FALSE(index.Remove(P("X2X", schema)));
+  EXPECT_FALSE(index.IsDominated(P("X21", schema)));  // only X2X dominated it
+  EXPECT_TRUE(index.IsDominated(P("101", schema)));
+  EXPECT_TRUE(index.DominatesSome(P("XX1", schema)));  // above X01
+  EXPECT_FALSE(index.DominatesSome(P("X2X", schema)));
+
+  // Removing down to empty and re-adding keeps the bit layout consistent.
+  EXPECT_TRUE(index.Remove(P("1XX", schema)));
+  EXPECT_TRUE(index.Remove(P("X01", schema)));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.IsDominated(P("101", schema)));
+  index.Add(P("0XX", schema));
+  EXPECT_TRUE(index.IsDominated(P("01X", schema)));
+  EXPECT_FALSE(index.IsDominated(P("11X", schema)));
+}
+
+TEST(MupDominanceIndex, RandomAddRemoveAgreesWithDirectChecks) {
+  // Property: after an arbitrary interleaving of Adds and Removes (crossing
+  // the 64-bit word boundary), every probe equals the brute-force check
+  // against the surviving set.
+  const Schema schema = Schema::Uniform({40, 2, 2});
+  MupDominanceIndex index(schema);
+  std::vector<Pattern> live;
+  Rng rng(77);
+  for (int step = 0; step < 300; ++step) {
+    const bool remove = !live.empty() && rng.NextUint64(3) == 0;
+    if (remove) {
+      const std::size_t pick = rng.NextUint64(live.size());
+      ASSERT_TRUE(index.Remove(live[pick]));
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      // Level-1 patterns on a wide attribute keep the set an antichain-ish
+      // mix; skip duplicates to respect the Add contract.
+      const Pattern p({static_cast<Value>(rng.NextUint64(40)),
+                       static_cast<Value>(rng.NextInt(-1, 1)),
+                       static_cast<Value>(rng.NextInt(-1, 1))});
+      if (index.Contains(p)) continue;
+      index.Add(p);
+      live.push_back(p);
+    }
+  }
+  ASSERT_EQ(index.size(), live.size());
+  ASSERT_GT(live.size(), 64u);  // crossed a word boundary at some point
+
+  Rng probe_rng(78);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Pattern p({static_cast<Value>(probe_rng.NextInt(-1, 39)),
+                     static_cast<Value>(probe_rng.NextInt(-1, 1)),
+                     static_cast<Value>(probe_rng.NextInt(-1, 1))});
+    bool dominated = false, dominates = false, member = false;
+    for (const Pattern& m : live) {
+      dominated = dominated || m.Dominates(p);
+      dominates = dominates || p.Dominates(m);
+      member = member || m == p;
+    }
+    EXPECT_EQ(index.Contains(p), member) << p.ToString();
+    EXPECT_EQ(index.IsDominated(p), dominated) << p.ToString();
+    EXPECT_EQ(index.DominatesSome(p), dominates) << p.ToString();
+  }
 }
 
 }  // namespace

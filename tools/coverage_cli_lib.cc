@@ -54,7 +54,11 @@ std::string Usage() {
       "                          loading it whole (two passes over the file:\n"
       "                          schema discovery, then chunked ingest)\n"
       "  --chunk-rows N          engine: rows per ingest chunk (default "
-      "65536)\n";
+      "65536)\n"
+      "  --window-rows N         engine: sliding window — audit only the\n"
+      "                          last N rows of the stream; each chunk\n"
+      "                          evicts the oldest chunks past the cap\n"
+      "                          (requires --engine)\n";
 }
 
 StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
@@ -147,6 +151,15 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
         return Status::InvalidArgument("--chunk-rows must be positive");
       }
       options.chunk_rows = *parsed;
+    } else if (flag == "--window-rows") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto parsed = ParseUint(flag, *v);
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed == 0) {
+        return Status::InvalidArgument("--window-rows must be positive");
+      }
+      options.window_rows = *parsed;
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'\n" +
                                      Usage());
@@ -154,6 +167,11 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
   }
   if (options.csv_path.empty()) {
     return Status::InvalidArgument("--csv is required\n" + Usage());
+  }
+  if (options.window_rows > 0 && !options.engine) {
+    return Status::InvalidArgument(
+        "--window-rows requires --engine (only the streaming engine "
+        "maintains a sliding window)");
   }
   return options;
 }
@@ -240,6 +258,7 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
   eopts.tau = options.tau;
   eopts.max_level = options.max_level;
   eopts.num_threads = options.threads;
+  eopts.window_max_rows = options.window_rows;
   CoverageEngine engine(*schema, eopts);
 
   std::ifstream ingest_pass(options.csv_path);
@@ -258,13 +277,21 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
   }
 
   const auto snapshot = engine.snapshot();
-  const std::string discovery_line =
+  std::string discovery_line =
       "ingest: " + FormatCount(stats->rows) + " rows in " +
       std::to_string(stats->chunks) + " chunks of <= " +
       FormatCount(stats->peak_chunk_rows) + ", " +
       FormatDouble(stats->read_seconds, 4) + " s read + " +
       FormatDouble(stats->update_seconds, 4) + " s incremental updates, " +
       std::to_string(stats->coverage_queries) + " coverage queries\n";
+  if (options.window_rows > 0) {
+    discovery_line += "window: last " + FormatCount(options.window_rows) +
+                      " rows (" +
+                      FormatCount(static_cast<std::uint64_t>(
+                          snapshot->num_rows())) +
+                      " retained; the label describes the window, not the "
+                      "full stream)\n";
+  }
   PrintAuditReport(*schema, snapshot->mups(),
                    static_cast<std::size_t>(snapshot->num_rows()), options,
                    discovery_line, out);

@@ -25,6 +25,7 @@ struct CliOptions {
   bool list_mups = false;         // audit: print every MUP, not just the label
   bool engine = false;            // audit: stream through CoverageEngine
   std::uint64_t chunk_rows = 65536;  // engine: rows per ingest chunk
+  std::uint64_t window_rows = 0;  // engine: sliding-window row cap (0 = off)
 };
 
 /// Parses argv (without the program name). Returns InvalidArgument with a
