@@ -99,10 +99,11 @@ void BM_CoverageQuery(benchmark::State& state) {
     }
     probes.emplace_back(std::move(cells));
   }
+  QueryContext ctx;
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        fixture.oracle.Coverage(probes[i++ & 255]));
+        fixture.oracle.Coverage(probes[i++ & 255], ctx));
   }
 }
 BENCHMARK(BM_CoverageQuery);
@@ -136,8 +137,9 @@ void BM_ScanCoverageQuery(benchmark::State& state) {
   static const Dataset data = datagen::MakeAirbnb(100000, 15);
   static const ScanCoverage oracle(data);
   const Pattern probe = *Pattern::Parse("1XX0XXXXX1XXXXX", data.schema());
+  QueryContext ctx;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(oracle.Coverage(probe));
+    benchmark::DoNotOptimize(oracle.Coverage(probe, ctx));
   }
 }
 BENCHMARK(BM_ScanCoverageQuery);

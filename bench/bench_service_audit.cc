@@ -1,0 +1,107 @@
+// Façade overhead: the CoverageService request/response surface vs the
+// hand-wired pipeline it replaces (aggregate → BitmapCoverage → DEEPDIVER).
+// Both sides pay construction + search per repetition; the service adds
+// request validation, the planner bypassed (explicit algorithm) and the
+// response assembly. The claim the serving layer rests on: overhead < 2%.
+//
+// Emits BENCH_service_audit.json.
+//
+//   $ ./bench_service_audit           # default scale
+//   $ REPRO_FULL=1 ./bench_service_audit
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace coverage {
+namespace {
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+}  // namespace coverage
+
+int main() {
+  using namespace coverage;
+  using bench::BenchJson;
+
+  const std::size_t n = bench::AirbnbRows();
+  const int d = 13;
+  const std::uint64_t tau = n / 1000;
+  const int reps = 5;
+  bench::Banner("Service façade overhead",
+                "AirBnB n = " + FormatCount(n) + ", d = " +
+                    std::to_string(d) + ", tau = " + std::to_string(tau) +
+                    ", DEEPDIVER, median of " + std::to_string(reps));
+
+  const Dataset data = datagen::MakeAirbnb(n, d);
+
+  std::vector<double> hand_wired, facade;
+  std::size_t hand_mups = 0, facade_mups = 0;
+  for (int r = 0; r < reps; ++r) {
+    {
+      Stopwatch timer;
+      const AggregatedData agg(data);
+      const BitmapCoverage oracle(agg);
+      MupSearchOptions options;
+      options.tau = tau;
+      const auto mups = FindMupsDeepDiver(oracle, options);
+      hand_wired.push_back(timer.ElapsedSeconds());
+      hand_mups = mups.size();
+    }
+    {
+      Stopwatch timer;
+      auto service = CoverageService::FromDataset(data);
+      if (!service.ok()) return 1;
+      AuditRequest request;
+      request.tau = tau;
+      request.algorithm = MupAlgorithm::kDeepDiver;
+      const auto result = service->Audit(request);
+      if (!result.ok()) return 1;
+      facade.push_back(timer.ElapsedSeconds());
+      facade_mups = result->mups.size();
+    }
+  }
+  if (hand_mups != facade_mups) {
+    std::cerr << "MUP count mismatch: " << hand_mups << " vs " << facade_mups
+              << "\n";
+    return 1;
+  }
+
+  const double hand_med = Median(hand_wired);
+  const double facade_med = Median(facade);
+  const double overhead_pct = (facade_med - hand_med) / hand_med * 100.0;
+
+  TablePrinter table({"path", "median (s)", "# MUPs"});
+  table.Row().Cell("hand-wired").Cell(hand_med, 4).Cell(
+      static_cast<std::uint64_t>(hand_mups)).Done();
+  table.Row().Cell("CoverageService").Cell(facade_med, 4).Cell(
+      static_cast<std::uint64_t>(facade_mups)).Done();
+  table.Print(std::cout);
+  std::cout << "facade overhead: " << FormatDouble(overhead_pct, 2)
+            << "%  (target < 2%)\n";
+
+  BenchJson json("service_audit");
+  json.Row()
+      .Field("path", "hand_wired")
+      .Field("n", static_cast<std::uint64_t>(n))
+      .Field("d", static_cast<std::uint64_t>(d))
+      .Field("tau", tau)
+      .Field("seconds_median", hand_med)
+      .Field("num_mups", static_cast<std::uint64_t>(hand_mups))
+      .Done();
+  json.Row()
+      .Field("path", "service")
+      .Field("n", static_cast<std::uint64_t>(n))
+      .Field("d", static_cast<std::uint64_t>(d))
+      .Field("tau", tau)
+      .Field("seconds_median", facade_med)
+      .Field("num_mups", static_cast<std::uint64_t>(facade_mups))
+      .Field("overhead_pct", overhead_pct)
+      .Done();
+  return 0;
+}

@@ -19,11 +19,12 @@ int main() {
   const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
 
   // Single attribute values are all covered.
+  QueryContext ctx;
   std::size_t uncovered_singles = 0;
   for (int a = 0; a < schema.num_attributes(); ++a) {
     for (Value v = 0; v < static_cast<Value>(schema.cardinality(a)); ++v) {
       const Pattern p = Pattern::Root(4).WithCell(a, v);
-      uncovered_singles += oracle.Coverage(p) < tau;
+      uncovered_singles += oracle.Coverage(p, ctx) < tau;
     }
   }
   std::cout << "uncovered single attribute values: " << uncovered_singles
@@ -52,7 +53,7 @@ int main() {
 
   const Pattern xx23 = *Pattern::Parse("XX23", schema);
   std::cout << "pattern XX23 (" << xx23.ToLabelledString(schema)
-            << "): coverage = " << oracle.Coverage(xx23)
+            << "): coverage = " << oracle.Coverage(xx23, ctx)
             << "  (paper: 2, both re-offenders)\n\n";
 
   std::cout << "sample of the most general MUPs:\n";

@@ -16,30 +16,37 @@
 int main() {
   using namespace coverage;
 
-  const Dataset catalog = datagen::MakeBlueNile(30000);
-  const Schema& schema = catalog.schema();
+  // A datagen spec spins the catalog service up without any CSV on disk.
+  auto service =
+      CoverageService::FromSpec(
+          DatagenSpec{.name = "bluenile", .n = 30000, .seed = 11});
+  if (!service.ok()) {
+    std::cerr << service.status().ToString() << "\n";
+    return 1;
+  }
+  const Schema& schema = service->schema();
   const std::uint64_t tau = 15;
 
-  const AggregatedData agg(catalog);
-  const BitmapCoverage oracle(agg);
-  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
+  AuditRequest audit;
+  audit.tau = tau;
+  const auto audited = service->Audit(audit);
+  if (!audited.ok()) {
+    std::cerr << audited.status().ToString() << "\n";
+    return 1;
+  }
+  const std::vector<Pattern>& mups = audited->mups;
+  std::cout << RenderNutritionalLabel(audited->Report(schema, 5));
 
-  std::cout << RenderNutritionalLabel(
-      BuildCoverageReport(schema, mups, catalog.num_rows(), tau, 5));
-
+  // Target: every attribute *triple* covered -> maximum covered level 3.
   // Business rule: fair-cut stones are never stocked in flawless clarity
   // (nobody cuts an FL/IF stone poorly), so the planner must not ask for
   // them.
-  ValidationOracle validator;
-  validator.AddRule(
-      *ValidationRule::Parse("cut in {fair} and clarity in {FL, IF}", schema));
-
-  // Target: every attribute *triple* covered -> maximum covered level 3.
-  EnhancementOptions options;
-  options.tau = tau;
-  options.lambda = 3;
-  options.oracle = &validator;
-  const auto plan = PlanCoverageEnhancement(oracle, mups, options);
+  EnhanceRequest enhance;
+  enhance.tau = tau;
+  enhance.lambda = 3;
+  enhance.rules = {"cut in {fair} and clarity in {FL, IF}"};
+  enhance.mups = mups;
+  const auto plan = service->Enhance(enhance);
   if (!plan.ok()) {
     std::cerr << plan.status().ToString() << "\n";
     return 1;
@@ -63,8 +70,9 @@ int main() {
   // Alternative formulation: cover every uncovered *region* that spans at
   // least 1% of the combination space, regardless of its level.
   const std::uint64_t bar = schema.NumValueCombinations() / 100;
-  const auto by_count =
-      PlanCoverageEnhancementByValueCount(oracle, mups, bar, options);
+  EnhanceRequest by_count_request = enhance;
+  by_count_request.min_value_count = bar;
+  const auto by_count = service->Enhance(by_count_request);
   if (by_count.ok()) {
     std::cout << "\n-- value-count plan (regions spanning >= "
               << FormatCount(bar) << " combinations) "

@@ -40,15 +40,27 @@ int main() {
   const std::uint64_t tau = 10;
 
   // ---- 1. Coverage audit -------------------------------------------------
-  const AggregatedData agg(data);
-  const BitmapCoverage oracle(agg);
-  const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = tau});
-  std::cout << RenderNutritionalLabel(
-      BuildCoverageReport(schema, mups, data.num_rows(), tau, 6));
+  // The service owns aggregation + oracle; the audit's algorithm is the
+  // planner's pick (recorded in the result for observability).
+  auto service = CoverageService::FromDataset(data);
+  if (!service.ok()) {
+    std::cerr << service.status().ToString() << "\n";
+    return 1;
+  }
+  AuditRequest audit;
+  audit.tau = tau;
+  const auto audited = service->Audit(audit);
+  if (!audited.ok()) {
+    std::cerr << audited.status().ToString() << "\n";
+    return 1;
+  }
+  const std::vector<Pattern>& mups = audited->mups;
+  std::cout << RenderNutritionalLabel(audited->Report(schema, 6));
 
   const Pattern xx23 = *Pattern::Parse("XX23", schema);
+  const auto probe = service->Query(QueryRequest{xx23, 0});
   std::cout << "\nthe paper's example, " << xx23.ToLabelledString(schema)
-            << ": only " << oracle.Coverage(xx23)
+            << ": only " << (probe.ok() ? probe->coverage : 0)
             << " records — a model will generalise from the majority for "
                "this group.\n\n";
 
@@ -103,17 +115,15 @@ int main() {
             << "  f1 " << FormatDouble(subgroup2.f1, 3) << "\n\n";
 
   // And what the planner would actually tell a data owner to collect:
-  ValidationOracle validator;
-  validator.AddRule(*ValidationRule::Parse("marital in {unknown}", schema));
-  validator.AddRule(*ValidationRule::Parse(
+  EnhanceRequest enhance;
+  enhance.tau = tau;
+  enhance.lambda = 2;
+  enhance.rules = {
+      "marital in {unknown}",
       "age in {<20} and marital in {married, separated, widowed, sig-other, "
-      "divorced}",
-      schema));
-  EnhancementOptions eopts;
-  eopts.tau = tau;
-  eopts.lambda = 2;
-  eopts.oracle = &validator;
-  const auto plan = PlanCoverageEnhancement(oracle, mups, eopts);
+      "divorced}"};
+  enhance.mups = mups;
+  const auto plan = service->Enhance(enhance);
   if (plan.ok()) {
     std::cout << RenderAcquisitionPlan(*plan, schema);
   }

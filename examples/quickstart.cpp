@@ -1,8 +1,9 @@
-// Quickstart: the paper's Example 1 in a dozen lines of API.
+// Quickstart: the paper's Example 1 through the CoverageService façade.
 //
 // A tiny dataset over three binary attributes is audited for coverage
 // (Problem 1: MUP identification), and the minimum acquisition fixing the
-// gap is computed (Problem 2: coverage enhancement).
+// gap is computed (Problem 2: coverage enhancement). One service owns the
+// indexing; typed requests go in, Status-checked responses come out.
 //
 //   $ ./examples/quickstart
 
@@ -21,39 +22,53 @@ int main() {
   data.AppendRow(std::vector<Value>{0, 1, 1});
   data.AppendRow(std::vector<Value>{0, 0, 1});
 
-  // Index it: aggregate to distinct combinations, build inverted bitmaps.
-  const AggregatedData agg(data);
-  const BitmapCoverage oracle(agg);
+  // One facade owns aggregation, the Appendix-A oracle, and the planner.
+  auto service = CoverageService::FromDataset(data);
+  if (!service.ok()) {
+    std::cerr << service.status().ToString() << "\n";
+    return 1;
+  }
 
   // Problem 1 — find the maximal uncovered patterns with threshold τ = 1.
-  const MupSearchOptions options{.tau = 1};
-  const auto mups = FindMupsDeepDiver(oracle, options);
-  std::cout << "MUPs at tau=1:\n";
-  for (const Pattern& p : mups) {
-    std::cout << "  " << p.ToString() << "  (covers "
-              << p.ValueCount(data.schema()) << " value combinations)\n";
+  // algorithm defaults to kAuto: the §V planner picks the search and the
+  // result records what ran and why.
+  AuditRequest audit;
+  audit.tau = 1;
+  const auto result = service->Audit(audit);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
   }
+  std::cout << "MUPs at tau=1 (" << result->algorithm << "):\n";
+  for (const Pattern& p : result->mups) {
+    std::cout << "  " << p.ToString() << "  (covers "
+              << p.ValueCount(service->schema()) << " value combinations)\n";
+  }
+  std::cout << "planner: " << result->planner_rationale << "\n";
   // -> exactly one MUP: 1XX. The eight other uncovered patterns (1X0, 10X,
   //    111, ...) are dominated by it and correctly suppressed.
 
-  // Problem 2 — the cheapest acquisition reaching maximum covered level 1.
-  EnhancementOptions eopts;
-  eopts.tau = 1;
-  eopts.lambda = 1;
-  const auto plan = PlanCoverageEnhancement(oracle, mups, eopts);
+  // Problem 2 — the cheapest acquisition reaching maximum covered level 1,
+  // planned from the MUPs the audit just found.
+  EnhanceRequest enhance;
+  enhance.tau = 1;
+  enhance.lambda = 1;
+  enhance.mups = result->mups;
+  const auto plan = service->Enhance(enhance);
   if (!plan.ok()) {
     std::cerr << plan.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "\n" << RenderAcquisitionPlan(*plan, data.schema());
+  std::cout << "\n" << RenderAcquisitionPlan(*plan, service->schema());
 
   // Apply the plan and re-audit: the gap is gone.
   const Dataset enlarged = ApplyPlan(data, *plan);
-  const AggregatedData agg2(enlarged);
-  const BitmapCoverage oracle2(agg2);
-  const auto mups2 = FindMupsDeepDiver(oracle2, options);
+  auto service2 = CoverageService::FromDataset(enlarged);
+  if (!service2.ok()) return 1;
+  const auto result2 = service2->Audit(audit);
+  if (!result2.ok()) return 1;
   std::cout << "\nafter acquisition, maximum covered level = "
-            << MaximumCoveredLevel(mups2, 3) << " (was "
-            << MaximumCoveredLevel(mups, 3) << ")\n";
+            << MaximumCoveredLevel(result2->mups, 3) << " (was "
+            << MaximumCoveredLevel(result->mups, 3) << ")\n";
   return 0;
 }

@@ -1,8 +1,9 @@
 // Streaming ingestion: the paper's assess → acquire → re-assess loop (§I)
-// as a long-lived service. A CoverageEngine owns the COMPAS schema, ingests
-// the initial extract in chunks (never holding more than one chunk of rows),
-// and then absorbs targeted acquisition batches — each append updates the
-// MUP set incrementally instead of recomputing from scratch.
+// as a long-lived service. A CoverageService::Session owns the COMPAS
+// schema, ingests the initial extract in chunks (never holding more than one
+// chunk of rows), and then absorbs targeted acquisition batches — each
+// append updates the MUP set incrementally instead of recomputing from
+// scratch, so a session Audit() is a snapshot read, not a search.
 //
 //   $ ./examples/streaming_ingest
 
@@ -19,60 +20,82 @@ int main() {
   std::ostringstream csv;
   if (!compas.data.WriteCsv(csv).ok()) return 1;
 
-  // A long-lived engine over the (bucketized, final) schema.
-  EngineOptions options;
+  // A long-lived session over the (bucketized, final) schema.
+  CoverageService::SessionOptions options;
   options.tau = 10;
-  CoverageEngine engine(compas.data.schema(), options);
+  auto session =
+      CoverageService::OpenSession(compas.data.schema(), options);
+  if (!session.ok()) {
+    std::cerr << session.status().ToString() << "\n";
+    return 1;
+  }
 
   // Chunked ingest: 512 rows at a time, one incremental epoch per chunk.
   std::istringstream stream(csv.str());
-  const auto ingest = engine.IngestCsvChunked(stream, 512);
+  const auto ingest = session->IngestCsv(stream, 512);
   if (!ingest.ok()) {
     std::cerr << ingest.status().ToString() << "\n";
     return 1;
   }
+  AuditResult audit = session->Audit();
   std::cout << "ingested " << FormatCount(ingest->rows) << " rows in "
             << ingest->chunks << " chunks (peak resident chunk: "
             << ingest->peak_chunk_rows << " rows)\n"
-            << "epoch " << engine.epoch() << ": " << engine.Mups().size()
+            << "epoch " << session->epoch() << ": " << audit.mups.size()
             << " MUPs at tau=" << options.tau << "\n\n";
 
   // Acquisition loop: pick a MUP, acquire matching rows, re-assess. The
   // engine rechecks the old MUPs and re-expands only beneath the ones the
   // new rows covered.
-  for (int round = 0; round < 3 && !engine.Mups().empty(); ++round) {
-    const Pattern target = engine.Mups().front();
+  for (int round = 0; round < 3 && !audit.mups.empty(); ++round) {
+    const Pattern target = audit.mups.front();
     std::cout << "round " << round + 1 << ": acquiring 12 rows matching "
               << target.ToString() << "  ("
-              << target.ToLabelledString(engine.schema()) << ")\n";
+              << target.ToLabelledString(session->schema()) << ")\n";
 
     // Materialise rows matching the target (wildcards fixed to value 0).
-    Dataset acquired(engine.schema());
+    Dataset acquired(session->schema());
     std::vector<Value> row(static_cast<std::size_t>(
-        engine.schema().num_attributes()));
-    for (int i = 0; i < engine.schema().num_attributes(); ++i) {
+        session->schema().num_attributes()));
+    for (int i = 0; i < session->schema().num_attributes(); ++i) {
       row[static_cast<std::size_t>(i)] =
           target.is_deterministic(i) ? target.cell(i) : Value{0};
     }
     for (int r = 0; r < 12; ++r) acquired.AppendRow(row);
 
-    EngineUpdateStats update;
-    if (!engine.AppendRows(acquired, &update).ok()) return 1;
-    std::cout << "  epoch " << engine.epoch() << ": rechecked "
-              << update.mups_rechecked << " MUPs, " << update.mups_newly_covered
-              << " newly covered, " << update.mups_added << " new ones beneath"
-              << " -> " << engine.Mups().size() << " MUPs ("
-              << FormatDouble(update.seconds * 1e3, 3) << " ms, "
-              << update.coverage_queries << " queries)\n";
+    const auto update = session->Append(acquired);
+    if (!update.ok()) {
+      std::cerr << update.status().ToString() << "\n";
+      return 1;
+    }
+    audit = session->Audit();
+    std::cout << "  epoch " << session->epoch() << ": rechecked "
+              << update->mups_rechecked << " MUPs, "
+              << update->mups_newly_covered << " newly covered, "
+              << update->mups_added << " new ones beneath -> "
+              << audit.mups.size() << " MUPs ("
+              << FormatDouble(update->seconds * 1e3, 3) << " ms, "
+              << update->coverage_queries << " queries)\n";
   }
 
-  // Any snapshot keeps answering consistently while later epochs build.
-  const auto snapshot = engine.snapshot();
-  QueryContext ctx;
-  std::cout << "\nfinal epoch " << snapshot->epoch() << ": "
-            << FormatCount(snapshot->num_rows()) << " rows, cov(root) = "
-            << snapshot->oracle().Coverage(
-                   Pattern::Root(engine.schema().num_attributes()), ctx)
-            << ", " << snapshot->mups().size() << " MUPs remain\n";
+  // Batched probes answer against one consistent epoch snapshot even while
+  // writers keep appending.
+  QueryBatchRequest probes;
+  probes.queries.push_back(
+      QueryRequest{Pattern::Root(session->schema().num_attributes()), 0});
+  for (const Pattern& p : audit.mups) {
+    probes.queries.push_back(QueryRequest{p, 0});
+    if (probes.queries.size() >= 4) break;
+  }
+  const auto batch = session->QueryBatch(probes);
+  if (!batch.ok()) {
+    std::cerr << batch.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nfinal epoch " << session->epoch() << ": "
+            << FormatCount(session->num_rows()) << " rows, cov(root) = "
+            << batch->results[0].coverage << ", " << audit.mups.size()
+            << " MUPs remain (" << batch->results.size()
+            << " probes answered in one batch)\n";
   return 0;
 }

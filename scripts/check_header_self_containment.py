@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Checks that every public header compiles standalone.
+
+A header is self-contained when a translation unit consisting of nothing but
+`#include "the/header.h"` compiles. This keeps the public surface honest:
+users can include exactly what they need (the umbrella coverage_lib.h stays a
+convenience, not a requirement), and a header never silently leans on what a
+sibling happened to include first.
+
+Usage: python3 scripts/check_header_self_containment.py [--cxx g++]
+Run from the repository root. Exits non-zero listing every failing header.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+HEADER_ROOTS = ["src", "tools"]
+
+
+def headers():
+    for root in HEADER_ROOTS:
+        yield from sorted((REPO / root).rglob("*.h"))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cxx", default="g++", help="compiler to use")
+    args = parser.parse_args()
+
+    failures = []
+    checked = 0
+    for header in headers():
+        rel = header.relative_to(REPO)
+        # Headers are included the way the build includes them: relative to
+        # src/ for the library, relative to the repo root for tools/.
+        include = header.relative_to(REPO / "src") if rel.parts[0] == "src" else rel
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".cc", dir=str(REPO), delete=False
+        ) as tu:
+            tu.write(f'#include "{include.as_posix()}"\n')
+            tu_path = pathlib.Path(tu.name)
+        try:
+            proc = subprocess.run(
+                [
+                    args.cxx,
+                    "-std=c++20",
+                    "-fsyntax-only",
+                    "-Wall",
+                    "-Werror=missing-declarations",
+                    f"-I{REPO / 'src'}",
+                    f"-I{REPO}",
+                    str(tu_path),
+                ],
+                capture_output=True,
+                text=True,
+            )
+        finally:
+            tu_path.unlink()
+        checked += 1
+        if proc.returncode != 0:
+            failures.append((rel, proc.stderr.strip()))
+
+    if failures:
+        for rel, stderr in failures:
+            print(f"NOT SELF-CONTAINED: {rel}\n{stderr}\n", file=sys.stderr)
+        print(f"{len(failures)} of {checked} headers failed", file=sys.stderr)
+        return 1
+    print(f"all {checked} headers are self-contained")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

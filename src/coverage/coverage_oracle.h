@@ -61,16 +61,31 @@ class CoverageOracle {
   }
 
   /// Single-threaded convenience overloads on the oracle's default context.
+  ///
+  /// Deprecated: the hidden mutable default context makes these a
+  /// thread-safety trap — two threads innocently calling `Coverage(p)` on a
+  /// shared oracle race on its scratch buffers. Pass an explicit
+  /// QueryContext (one per thread), or go through CoverageService, whose
+  /// batched query API manages contexts for you.
+  [[deprecated(
+      "routes through a hidden shared QueryContext; pass an explicit "
+      "context (or use CoverageService::QueryBatch)")]]
   std::uint64_t Coverage(const Pattern& pattern) const {
     return Coverage(pattern, default_context_);
   }
+  [[deprecated(
+      "routes through a hidden shared QueryContext; pass an explicit "
+      "context (or use CoverageService::QueryBatch)")]]
   bool CoverageAtLeast(const Pattern& pattern, std::uint64_t tau) const {
     return CoverageAtLeast(pattern, tau, default_context_);
   }
 
   /// True iff cov(pattern) >= tau (Definition 3).
+  [[deprecated(
+      "routes through a hidden shared QueryContext; pass an explicit "
+      "context (or use CoverageService::QueryBatch)")]]
   bool IsCovered(const Pattern& pattern, std::uint64_t tau) const {
-    return CoverageAtLeast(pattern, tau);
+    return CoverageAtLeast(pattern, tau, default_context_);
   }
   bool IsCovered(const Pattern& pattern, std::uint64_t tau,
                  QueryContext& ctx) const {

@@ -5,19 +5,33 @@
 /// Umbrella header for libcoverage, a reproduction of
 /// "Assessing and Remedying Coverage for a Given Dataset" (ICDE 2019).
 ///
-/// Typical use:
+/// Typical use goes through the CoverageService façade — typed requests in,
+/// StatusOr<> responses out, with the paper's §V algorithm guidance built in
+/// as the kAuto planner:
 ///
 ///   #include "coverage_lib.h"
 ///   using namespace coverage;
 ///
-///   Dataset data = ...;                       // categorical relation
+///   Dataset data = ...;                            // categorical relation
+///   auto service = CoverageService::FromDataset(data);
+///   auto audit = service->Audit(AuditRequest{.tau = 30});    // Problem 1
+///   //   audit->mups + the planner's recorded decision
+///
+///   EnhanceRequest enhance{.tau = 30, .lambda = 2};
+///   enhance.mups = audit->mups;
+///   auto plan = service->Enhance(enhance);                   // Problem 2
+///
+/// Mutable data (appends, retractions, sliding windows) goes through
+/// CoverageService::OpenSession, which wraps the incremental CoverageEngine
+/// behind the same request/response types.
+///
+/// The lower layers stay public for hand-wiring (every header below is
+/// self-contained — include exactly what you need):
+///
 ///   AggregatedData agg(data);                 // distinct combos + counts
 ///   BitmapCoverage oracle(agg);               // Appendix-A inverted index
 ///   MupSearchOptions opts{.tau = 30};
 ///   auto mups = FindMupsDeepDiver(oracle, opts);   // Problem 1
-///
-///   EnhancementOptions eopts{.tau = 30, .lambda = 2};
-///   auto plan = PlanCoverageEnhancement(oracle, mups, eopts);  // Problem 2
 
 #include "common/bitvector.h"           // IWYU pragma: export
 #include "common/rng.h"                 // IWYU pragma: export
@@ -51,5 +65,6 @@
 #include "pattern/pattern.h"            // IWYU pragma: export
 #include "pattern/pattern_graph.h"      // IWYU pragma: export
 #include "pattern/pattern_ops.h"        // IWYU pragma: export
+#include "service/coverage_service.h"   // IWYU pragma: export
 
 #endif  // COVERAGE_COVERAGE_LIB_H_

@@ -31,6 +31,7 @@ StatusOr<CoveragePlan> SolveOverTargets(const BitmapCoverage& oracle,
   // them, so this is a safe upper bound per pattern and exact when matches
   // are disjoint.)
   std::vector<bool> assigned(targets.size(), false);
+  QueryContext ctx;
   for (std::size_t k = 0; k < hs.combinations.size(); ++k) {
     AcquisitionItem item;
     item.combination = std::move(hs.combinations[k]);
@@ -39,7 +40,7 @@ StatusOr<CoveragePlan> SolveOverTargets(const BitmapCoverage& oracle,
     for (std::size_t j = 0; j < targets.size(); ++j) {
       if (assigned[j] || !targets[j].Matches(item.combination)) continue;
       assigned[j] = true;
-      const std::uint64_t cov = oracle.Coverage(targets[j]);
+      const std::uint64_t cov = oracle.Coverage(targets[j], ctx);
       if (cov < options.tau) copies = std::max(copies, options.tau - cov);
     }
     item.copies = copies;

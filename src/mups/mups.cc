@@ -1,6 +1,9 @@
 #include "mups/mups.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/string_util.h"
 
 namespace coverage {
 
@@ -16,8 +19,60 @@ std::string ToString(MupAlgorithm algorithm) {
       return "DEEPDIVER";
     case MupAlgorithm::kApriori:
       return "APRIORI";
+    case MupAlgorithm::kAuto:
+      return "AUTO";
   }
   return "UNKNOWN";
+}
+
+PlannerDecision PlanMupSearch(const AggregatedData& data,
+                              const MupSearchOptions& options) {
+  const Schema& schema = data.schema();
+  PlannerDecision decision;
+  decision.max_level = options.max_level;
+
+  // §V-C3 / Fig. 16: a wide schema's pattern graph cannot be explored
+  // exhaustively; cap the search at the general levels where the dangerous
+  // gaps live. Only applies when the caller did not set a cap themselves.
+  if (options.max_level < 0 &&
+      schema.NumPatterns() > kPlannerPatternGraphBudget) {
+    decision.algorithm = MupAlgorithm::kDeepDiver;
+    decision.max_level = kPlannerWideMaxLevel;
+    decision.rationale =
+        "pattern graph has " + std::to_string(schema.NumPatterns()) +
+        " nodes (> " + std::to_string(kPlannerPatternGraphBudget) +
+        "): level-limited DEEPDIVER at level <= " +
+        std::to_string(kPlannerWideMaxLevel) + " (§V-C3, Fig. 16)";
+    return decision;
+  }
+
+  // Fig. 15's cost drivers: PATTERN-BREAKER pays one coverage query per
+  // covered node above the MUP frontier, DEEPDIVER one dive per MUP. Sparse
+  // data (few live combinations relative to Pi c_i) leaves the frontier near
+  // the top of the graph, where the BFS terminates after a few cheap levels;
+  // dense data pushes the MUPs deep, where the targeted dives win.
+  const std::size_t live =
+      data.num_combinations() - data.num_tombstones();
+  const double density =
+      static_cast<double>(live) /
+      static_cast<double>(std::max<std::uint64_t>(
+          schema.NumValueCombinations(), 1));
+  if (density <= kPlannerSparseDensity) {
+    decision.algorithm = MupAlgorithm::kPatternBreaker;
+    decision.rationale =
+        std::to_string(live) + " live combinations cover " +
+        FormatDouble(density * 100.0, 2) + "% of the value space (<= " +
+        FormatDouble(kPlannerSparseDensity * 100.0, 2) +
+        "%): shallow MUP frontier, top-down PATTERN-BREAKER (§V, Fig. 15)";
+  } else {
+    decision.algorithm = MupAlgorithm::kDeepDiver;
+    decision.rationale =
+        std::to_string(live) + " live combinations cover " +
+        FormatDouble(density * 100.0, 2) + "% of the value space (> " +
+        FormatDouble(kPlannerSparseDensity * 100.0, 2) +
+        "%): deep MUPs, dominance-pruned DEEPDIVER dives (§V, Fig. 15)";
+  }
+  return decision;
 }
 
 StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
@@ -35,19 +90,26 @@ StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
       return FindMupsDeepDiver(oracle, options, stats);
     case MupAlgorithm::kApriori:
       return FindMupsApriori(oracle, options, stats);
+    case MupAlgorithm::kAuto: {
+      const PlannerDecision decision = PlanMupSearch(oracle.data(), options);
+      MupSearchOptions resolved = options;
+      resolved.max_level = decision.max_level;
+      return FindMups(decision.algorithm, oracle, resolved, stats);
+    }
   }
   return Status::InvalidArgument("unknown MUP algorithm");
 }
 
 Status ValidateMupSet(const std::vector<Pattern>& mups,
                       const CoverageOracle& oracle, std::uint64_t tau) {
+  QueryContext ctx;
   for (const Pattern& p : mups) {
-    if (oracle.Coverage(p) >= tau) {
+    if (oracle.Coverage(p, ctx) >= tau) {
       return Status::Internal("pattern " + p.ToString() +
                               " is covered, not a MUP");
     }
     for (const Pattern& parent : p.Parents()) {
-      if (oracle.Coverage(parent) < tau) {
+      if (oracle.Coverage(parent, ctx) < tau) {
         return Status::Internal("MUP " + p.ToString() +
                                 " has uncovered parent " + parent.ToString());
       }

@@ -24,11 +24,13 @@ struct MupSearchOptions {
   /// tens of attributes). -1 means unlimited.
   int max_level = -1;
 
-  /// Worker count for PATTERN-BREAKER and DEEPDIVER. 1 (the default) runs
-  /// the serial algorithms; N > 1 evaluates PATTERN-BREAKER's BFS frontiers
-  /// and DEEPDIVER's dives on a pool of N workers sharing one oracle (each
-  /// worker queries through its own QueryContext). The returned MUP set is
-  /// identical to the serial one for any N. Other algorithms ignore this.
+  /// Worker count for PATTERN-BREAKER, DEEPDIVER, and PATTERN-COMBINER.
+  /// 1 (the default) runs the serial algorithms; N > 1 evaluates
+  /// PATTERN-BREAKER's BFS frontiers and DEEPDIVER's dives on a pool of N
+  /// workers sharing one oracle (each worker queries through its own
+  /// QueryContext), and shards PATTERN-COMBINER's level-d pass over the
+  /// combination space. The returned MUP set is identical to the serial one
+  /// for any N. Other algorithms ignore this.
   int num_threads = 1;
 
   /// Upper bound on guarded exponential enumerations (naive pattern-graph
@@ -63,10 +65,57 @@ enum class MupAlgorithm {
   kPatternCombiner,
   kDeepDiver,
   kApriori,
+  /// Let PlanMupSearch choose: the §V "which algorithm when" guidance as an
+  /// executable cost model over schema width, cardinalities, and the
+  /// aggregated-combination count. FindMups resolves kAuto before
+  /// dispatching; the other FindMups* entry points never see it.
+  kAuto,
 };
 
 /// Display name, e.g. "PATTERN-BREAKER".
 std::string ToString(MupAlgorithm algorithm);
+
+// ---------------------------------------------------------------------------
+// The kAuto planner (§V). Thresholds are exposed so the decision table is
+// testable against exactly the numbers the planner applies.
+
+/// A pattern graph with more than this many nodes (Π (c_i + 1)) is "wide":
+/// exhaustive exploration is off the table and the planner falls back to the
+/// level-limited search of §V-C3 / Fig. 16.
+inline constexpr std::uint64_t kPlannerPatternGraphBudget = std::uint64_t{1}
+                                                            << 24;
+
+/// The level cap the planner imposes on wide schemas: the dangerous coverage
+/// gaps are the *general* ones (combinations of up to three attributes —
+/// the Fig. 16 framing), and level-limited DEEPDIVER finds exactly those.
+inline constexpr int kPlannerWideMaxLevel = 3;
+
+/// Density = live distinct combinations / Π c_i. At or below this the data
+/// covers so little of the combination space that the MUP frontier sits near
+/// the top of the graph, where top-down PATTERN-BREAKER terminates after a
+/// few cheap BFS levels (Fig. 15's cost driver: BREAKER pays for every
+/// *covered* node above the frontier, DEEPDIVER for every dive to a deep
+/// MUP).
+inline constexpr double kPlannerSparseDensity = 1.0 / 16.0;
+
+/// What the planner decided and why. `algorithm` is always concrete (never
+/// kAuto); `max_level` is the effective cap the search should run with (the
+/// caller's own cap when one was set, kPlannerWideMaxLevel when the wide-
+/// schema fallback clamped an unlimited search, -1 otherwise).
+struct PlannerDecision {
+  MupAlgorithm algorithm = MupAlgorithm::kDeepDiver;
+  int max_level = -1;
+  /// One human-readable sentence citing the §V evidence for the choice;
+  /// surfaced through AuditResult for observability.
+  std::string rationale;
+};
+
+/// Resolves kAuto: inspects the schema (width, cardinalities, pattern-graph
+/// size) and the aggregated relation (live combination count) and picks
+/// PATTERN-BREAKER or DEEPDIVER, falling back to level-limited DEEPDIVER for
+/// wide schemas (§V-C3). Deterministic in its inputs.
+PlannerDecision PlanMupSearch(const AggregatedData& data,
+                              const MupSearchOptions& options);
 
 /// §III-A: enumerate the whole pattern graph, compute every coverage, and
 /// filter non-maximal uncovered patterns pairwise. Exponential; guarded by
@@ -101,7 +150,8 @@ inline std::vector<Pattern> FindMupsPatternBreaker(
 /// generation; coverage of a parent is the sum over a partition family of
 /// children, so the dataset is only consulted for the level-d pass. That pass
 /// enumerates all Π c_i full combinations and is guarded by
-/// `options.enumeration_limit`.
+/// `options.enumeration_limit`; with `options.num_threads > 1` it is sharded
+/// over the shared ThreadPool (bit-identical output for any worker count).
 StatusOr<std::vector<Pattern>> FindMupsPatternCombiner(
     const BitmapCoverage& oracle, const MupSearchOptions& options,
     MupSearchStats* stats = nullptr);

@@ -11,7 +11,7 @@ StatusOr<std::vector<Pattern>> FindMupsNaive(const CoverageOracle& oracle,
                                              const MupSearchOptions& options,
                                              MupSearchStats* stats) {
   Stopwatch timer;
-  const std::uint64_t queries_before = oracle.num_queries();
+  QueryContext ctx;
 
   PatternGraph graph(schema);
   auto all = graph.EnumerateAll(options.enumeration_limit);
@@ -21,7 +21,7 @@ StatusOr<std::vector<Pattern>> FindMupsNaive(const CoverageOracle& oracle,
   std::vector<Pattern> uncovered;
   for (const Pattern& p : *all) {
     if (options.max_level >= 0 && p.level() > options.max_level) continue;
-    if (oracle.Coverage(p) < options.tau) uncovered.push_back(p);
+    if (oracle.Coverage(p, ctx) < options.tau) uncovered.push_back(p);
   }
 
   // O(u^2) pairwise maximality filter.
@@ -39,7 +39,7 @@ StatusOr<std::vector<Pattern>> FindMupsNaive(const CoverageOracle& oracle,
   std::sort(mups.begin(), mups.end());
 
   if (stats != nullptr) {
-    stats->coverage_queries = oracle.num_queries() - queries_before;
+    stats->coverage_queries = ctx.num_queries();
     stats->nodes_generated = all->size();
     stats->seconds = timer.ElapsedSeconds();
     stats->num_mups = mups.size();

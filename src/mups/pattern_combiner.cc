@@ -1,7 +1,10 @@
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "mups/mups.h"
 #include "pattern/pattern_ops.h"
 
@@ -26,11 +29,65 @@ StatusOr<std::vector<Pattern>> FindMupsPatternCombiner(
 
   // Level-d pass: the coverage of a full combination is its multiplicity in
   // the aggregated relation (0 for absent combinations, which are uncovered
-  // and must participate).
+  // and must participate). The pass is embarrassingly parallel — each
+  // combination is probed independently — so with num_threads > 1 the
+  // combination space is sharded into blocks that fix a prefix of the
+  // attributes, one worker enumerating each block's suffix, and the per-block
+  // uncovered lists are merged in block order. The resulting map contents
+  // (and therefore the final sorted MUP set and every stat) are identical to
+  // the serial pass for any worker count.
   std::uint64_t nodes_generated = 0;
   std::uint64_t level_d_queries = 0;
   CountMap count;
-  {
+  const int num_workers = options.num_threads > 1 ? options.num_threads : 1;
+  // Enough blocks to balance dynamically, but no finer than one attribute's
+  // worth of prefix values per step.
+  std::uint64_t num_blocks = 1;
+  int prefix_len = 0;
+  while (prefix_len < d &&
+         num_blocks < static_cast<std::uint64_t>(4 * num_workers)) {
+    num_blocks *= static_cast<std::uint64_t>(schema.cardinality(prefix_len));
+    ++prefix_len;
+  }
+  if (num_workers > 1 && num_blocks > 1) {
+    using Uncovered = std::vector<std::pair<Pattern, std::uint64_t>>;
+    std::vector<Uncovered> block_uncovered(num_blocks);
+    std::vector<std::uint64_t> block_nodes(num_blocks, 0);
+    ThreadPool pool(num_workers);
+    pool.ParallelFor(
+        num_blocks, /*chunk=*/1, [&](int /*worker*/, std::size_t b) {
+          // Decode block id -> prefix values (attribute 0 most significant,
+          // so blocks enumerate in the same lexicographic order as the
+          // serial pass).
+          Pattern block = Pattern::Root(d);
+          std::uint64_t rest = b;
+          for (int a = prefix_len - 1; a >= 0; --a) {
+            const auto c = static_cast<std::uint64_t>(schema.cardinality(a));
+            block = block.WithCell(a, static_cast<Value>(rest % c));
+            rest /= c;
+          }
+          const Status st = ForEachMatchingCombination(
+              block, schema, options.enumeration_limit,
+              [&](const std::vector<Value>& combo) {
+                ++block_nodes[b];
+                const std::uint64_t c = data.CountOf(combo);
+                if (c < options.tau) {
+                  block_uncovered[b].emplace_back(Pattern::FromTuple(combo),
+                                                  c);
+                }
+              });
+          // Cannot fire: the whole space already passed the upfront guard,
+          // and each block enumerates a subset of it.
+          (void)st;
+        });
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      nodes_generated += block_nodes[b];
+      level_d_queries += block_nodes[b];
+      for (auto& [p, c] : block_uncovered[b]) {
+        count.emplace(std::move(p), c);
+      }
+    }
+  } else {
     const Status st = ForEachMatchingCombination(
         Pattern::Root(d), schema, options.enumeration_limit,
         [&](const std::vector<Value>& combo) {

@@ -1,0 +1,453 @@
+#include "service/coverage_service.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "datagen/adversarial.h"
+#include "datagen/airbnb.h"
+#include "datagen/bluenile.h"
+#include "datagen/compas.h"
+#include "dataset/csv_stream.h"
+
+namespace coverage {
+
+namespace {
+
+Status CheckThreads(int num_threads) {
+  if (num_threads < 1 || num_threads > 1024) {
+    return Status::InvalidArgument("num_threads must be within [1, 1024], got " +
+                                   std::to_string(num_threads));
+  }
+  return Status::OK();
+}
+
+Status CheckTau(std::uint64_t tau) {
+  if (tau == 0) {
+    return Status::InvalidArgument(
+        "tau must be >= 1 (Definition 3: a pattern is covered when at least "
+        "tau tuples match it)");
+  }
+  return Status::OK();
+}
+
+/// Answers one probe through `ctx`. Exact requests (tau == 0) pay for the
+/// full count; threshold requests use the early-exiting kernel and leave
+/// `coverage` unset by design.
+QueryOutcome AnswerOne(const CoverageOracle& oracle, const QueryRequest& q,
+                       QueryContext& ctx) {
+  QueryOutcome out;
+  if (q.tau > 0) {
+    out.covered = oracle.CoverageAtLeast(q.pattern, q.tau, ctx);
+  } else {
+    out.coverage = oracle.Coverage(q.pattern, ctx);
+    out.covered = out.coverage >= 1;
+  }
+  return out;
+}
+
+/// The shared fan-out of both query surfaces: N probes distributed over the
+/// pool in dynamically balanced chunks, one QueryContext per worker, results
+/// written to their request slot (so the output order is the request order
+/// no matter how workers interleave). Caller holds the pool's guard.
+QueryBatchResult RunQueryBatch(const CoverageOracle& oracle,
+                               const std::vector<QueryRequest>& queries,
+                               ThreadPool& pool) {
+  Stopwatch timer;
+  QueryBatchResult out;
+  out.results.resize(queries.size());
+  std::vector<QueryContext> contexts(
+      static_cast<std::size_t>(pool.num_workers()));
+  if (pool.num_workers() > 1 && queries.size() > 1) {
+    pool.ParallelFor(queries.size(), /*chunk=*/8,
+                     [&](int worker, std::size_t i) {
+                       out.results[i] = AnswerOne(
+                           oracle, queries[i],
+                           contexts[static_cast<std::size_t>(worker)]);
+                     });
+  } else {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out.results[i] = AnswerOne(oracle, queries[i], contexts[0]);
+    }
+  }
+  for (const QueryContext& ctx : contexts) {
+    out.coverage_queries += ctx.num_queries();
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+ThreadPool& EnsurePool(std::unique_ptr<ThreadPool>& slot, int num_threads) {
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(num_threads);
+  return *slot;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Validate()
+
+Status ServiceOptions::Validate() const {
+  COVERAGE_RETURN_IF_ERROR(CheckThreads(num_threads));
+  if (max_cardinality < 1) {
+    return Status::InvalidArgument("max_cardinality must be positive");
+  }
+  if (csv_chunk_rows == 0) {
+    return Status::InvalidArgument("csv_chunk_rows must be positive");
+  }
+  return Status::OK();
+}
+
+Status DatagenSpec::Validate() const {
+  if (name != "compas" && name != "airbnb" && name != "bluenile" &&
+      name != "diagonal") {
+    return Status::InvalidArgument(
+        "unknown datagen spec '" + name +
+        "' (expected compas | airbnb | bluenile | diagonal)");
+  }
+  if (name == "airbnb" && (d < 1 || d > 36)) {
+    return Status::InvalidArgument("airbnb width d must be within [1, 36]");
+  }
+  if (name == "diagonal" && (d < 1 || d > 64)) {
+    return Status::InvalidArgument("diagonal size d must be within [1, 64]");
+  }
+  return Status::OK();
+}
+
+Status AuditRequest::Validate() const {
+  COVERAGE_RETURN_IF_ERROR(CheckTau(tau));
+  if (max_level < -1) {
+    return Status::InvalidArgument(
+        "max_level must be -1 (unlimited) or >= 0");
+  }
+  if (enumeration_limit == 0) {
+    return Status::InvalidArgument("enumeration_limit must be positive");
+  }
+  return Status::OK();
+}
+
+Status EnhanceRequest::Validate() const {
+  COVERAGE_RETURN_IF_ERROR(CheckTau(tau));
+  if (lambda < 0) {
+    return Status::InvalidArgument("lambda must be >= 0");
+  }
+  if (!rules.empty() && validator != nullptr) {
+    return Status::InvalidArgument(
+        "pass either rule strings or a pre-built validator, not both");
+  }
+  if (enumeration_limit == 0) {
+    return Status::InvalidArgument("enumeration_limit must be positive");
+  }
+  return Status::OK();
+}
+
+Status QueryBatchRequest::Validate(const Schema& schema) const {
+  const int d = schema.num_attributes();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Pattern& p = queries[i].pattern;
+    if (p.num_attributes() != d) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(i) + ": pattern " + p.ToString() +
+          " has " + std::to_string(p.num_attributes()) + " cells, schema has " +
+          std::to_string(d) + " attributes");
+    }
+    for (int a = 0; a < d; ++a) {
+      const Value v = p.cell(a);
+      if (v != kWildcard &&
+          (v < 0 || v >= static_cast<Value>(schema.cardinality(a)))) {
+        return Status::InvalidArgument(
+            "query " + std::to_string(i) + ": pattern " + p.ToString() +
+            " fixes attribute " + schema.attribute(a).name +
+            " to out-of-range value " + std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CoverageService::SessionOptions::Validate() const {
+  COVERAGE_RETURN_IF_ERROR(CheckTau(tau));
+  COVERAGE_RETURN_IF_ERROR(CheckThreads(num_threads));
+  if (max_level < -1) {
+    return Status::InvalidArgument(
+        "max_level must be -1 (unlimited) or >= 0");
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- ingestion
+
+CoverageService::CoverageService(CoverageService&&) noexcept = default;
+CoverageService& CoverageService::operator=(CoverageService&&) noexcept =
+    default;
+CoverageService::~CoverageService() = default;
+
+CoverageService::Session::Session(Session&&) noexcept = default;
+CoverageService::Session& CoverageService::Session::operator=(
+    Session&&) noexcept = default;
+CoverageService::Session::~Session() = default;
+
+CoverageService::CoverageService(std::unique_ptr<AggregatedData> agg,
+                                 ServiceOptions options)
+    : options_(options),
+      agg_(std::move(agg)),
+      oracle_(std::make_unique<BitmapCoverage>(*agg_)),
+      pool_mu_(std::make_unique<std::mutex>()) {}
+
+StatusOr<CoverageService> CoverageService::FromDataset(
+    const Dataset& data, ServiceOptions options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  return CoverageService(std::make_unique<AggregatedData>(data), options);
+}
+
+StatusOr<CoverageService> CoverageService::FromCsv(std::istream& is,
+                                                   ServiceOptions options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  std::vector<Value> encoded;
+  auto schema = InferSchemaFromCsv(is, options.max_cardinality, &encoded);
+  if (!schema.ok()) return schema.status();
+  auto agg = std::make_unique<AggregatedData>(*schema);
+  const auto d = static_cast<std::size_t>(schema->num_attributes());
+  if (d > 0) {
+    for (std::size_t offset = 0; offset < encoded.size(); offset += d) {
+      agg->AppendRow(std::span<const Value>(encoded.data() + offset, d));
+    }
+  }
+  return CoverageService(std::move(agg), options);
+}
+
+StatusOr<CoverageService> CoverageService::FromCsvFile(
+    const std::string& path, ServiceOptions options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  std::ifstream schema_pass(path);
+  if (!schema_pass.good()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  auto schema = InferSchemaFromCsv(schema_pass, options.max_cardinality);
+  if (!schema.ok()) return schema.status();
+
+  std::ifstream ingest_pass(path);
+  if (!ingest_pass.good()) {
+    return Status::NotFound("cannot reopen '" + path +
+                            "' for the ingest pass");
+  }
+  auto reader = CsvChunkReader::Open(ingest_pass, *schema);
+  if (!reader.ok()) return reader.status();
+  auto agg = std::make_unique<AggregatedData>(*schema);
+  for (;;) {
+    Dataset chunk(*schema);
+    auto read = reader->ReadChunk(chunk, options.csv_chunk_rows);
+    if (!read.ok()) return read.status();
+    if (*read == 0) break;
+    agg->AppendRows(chunk);
+  }
+  return CoverageService(std::move(agg), options);
+}
+
+StatusOr<CoverageService> CoverageService::FromSpec(const DatagenSpec& spec,
+                                                    ServiceOptions options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  COVERAGE_RETURN_IF_ERROR(spec.Validate());
+  Dataset data{Schema()};
+  if (spec.name == "compas") {
+    data = datagen::MakeCompas(spec.n == 0 ? 6889 : spec.n, spec.seed).data;
+  } else if (spec.name == "airbnb") {
+    data = datagen::MakeAirbnb(spec.n == 0 ? 10000 : spec.n, spec.d,
+                               spec.seed);
+  } else if (spec.name == "bluenile") {
+    data = datagen::MakeBlueNile(spec.n == 0 ? 116300 : spec.n, spec.seed);
+  } else {
+    data = datagen::MakeDiagonal(spec.d);
+  }
+  return CoverageService(std::make_unique<AggregatedData>(data), options);
+}
+
+// ------------------------------------------------------------ entry points
+
+StatusOr<AuditResult> CoverageService::Audit(
+    const AuditRequest& request) const {
+  COVERAGE_RETURN_IF_ERROR(request.Validate());
+
+  MupSearchOptions search;
+  search.tau = request.tau;
+  search.max_level = request.max_level;
+  search.num_threads = options_.num_threads;
+  search.enumeration_limit = request.enumeration_limit;
+  search.dominance_mode = request.dominance_mode;
+
+  AuditResult result;
+  MupAlgorithm algorithm = request.algorithm;
+  if (algorithm == MupAlgorithm::kAuto) {
+    const PlannerDecision decision = PlanMupSearch(*agg_, search);
+    algorithm = decision.algorithm;
+    search.max_level = decision.max_level;
+    result.planner_rationale = decision.rationale;
+  }
+  auto mups = FindMups(algorithm, *oracle_, search, &result.stats);
+  if (!mups.ok()) return mups.status();
+
+  result.mups = std::move(*mups);
+  result.algorithm = ToString(algorithm);
+  result.max_level = search.max_level;
+  result.tau = request.tau;
+  result.num_rows = agg_->total_count();
+  return result;
+}
+
+StatusOr<CoveragePlan> CoverageService::Enhance(
+    const EnhanceRequest& request) const {
+  COVERAGE_RETURN_IF_ERROR(request.Validate());
+  if (request.lambda > schema().num_attributes()) {
+    return Status::InvalidArgument(
+        "lambda must be within [0, " +
+        std::to_string(schema().num_attributes()) + "] for this schema");
+  }
+
+  ValidationOracle parsed;
+  const ValidationOracle* validator = request.validator;
+  for (const std::string& text : request.rules) {
+    auto rule = ValidationRule::Parse(text, schema());
+    if (!rule.ok()) {
+      return Status::InvalidArgument("bad rule '" + text +
+                                     "': " + rule.status().message());
+    }
+    parsed.AddRule(*rule);
+  }
+  if (!request.rules.empty()) validator = &parsed;
+
+  std::vector<Pattern> mups;
+  if (request.mups.has_value()) {
+    mups = *request.mups;
+  } else {
+    // Discover the material MUPs (level <= lambda) with the planner's pick.
+    MupSearchOptions search;
+    search.tau = request.tau;
+    search.max_level = request.lambda;
+    search.num_threads = options_.num_threads;
+    search.enumeration_limit = request.enumeration_limit;
+    auto found = FindMups(MupAlgorithm::kAuto, *oracle_, search);
+    if (!found.ok()) return found.status();
+    mups = std::move(*found);
+  }
+
+  EnhancementOptions eopts;
+  eopts.tau = request.tau;
+  eopts.lambda = request.lambda;
+  eopts.oracle = validator;
+  eopts.use_naive_greedy = request.use_naive_greedy;
+  eopts.enumeration_limit = request.enumeration_limit;
+  if (request.min_value_count > 0) {
+    return PlanCoverageEnhancementByValueCount(*oracle_, mups,
+                                               request.min_value_count, eopts);
+  }
+  return PlanCoverageEnhancement(*oracle_, mups, eopts);
+}
+
+StatusOr<QueryOutcome> CoverageService::Query(
+    const QueryRequest& request) const {
+  QueryBatchRequest one;
+  one.queries.push_back(request);
+  COVERAGE_RETURN_IF_ERROR(one.Validate(schema()));
+  QueryContext ctx;
+  return AnswerOne(*oracle_, request, ctx);
+}
+
+StatusOr<QueryBatchResult> CoverageService::QueryBatch(
+    const QueryBatchRequest& request) const {
+  COVERAGE_RETURN_IF_ERROR(request.Validate(schema()));
+  std::lock_guard<std::mutex> lock(*pool_mu_);
+  return RunQueryBatch(*oracle_, request.queries,
+                       EnsurePool(pool_, options_.num_threads));
+}
+
+// ----------------------------------------------------------------- Session
+
+StatusOr<CoverageService::Session> CoverageService::OpenSession(
+    const Schema& schema, const SessionOptions& options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument(
+        "a session needs a schema with at least one attribute");
+  }
+  return Session(schema, options);
+}
+
+CoverageService::Session::Session(Schema schema, const SessionOptions& options)
+    : options_(options), pool_mu_(std::make_unique<std::mutex>()) {
+  EngineOptions eopts;
+  eopts.tau = options.tau;
+  eopts.max_level = options.max_level;
+  eopts.num_threads = options.num_threads;
+  eopts.dominance_mode = options.dominance_mode;
+  eopts.window_max_rows = options.window_max_rows;
+  eopts.window_max_epochs = options.window_max_epochs;
+  engine_ = std::make_unique<CoverageEngine>(std::move(schema), eopts);
+}
+
+const Schema& CoverageService::Session::schema() const {
+  return engine_->schema();
+}
+
+const CoverageService::SessionOptions& CoverageService::Session::options()
+    const {
+  return options_;
+}
+
+StatusOr<IngestStats> CoverageService::Session::IngestCsv(
+    std::istream& is, std::size_t chunk_rows) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be positive");
+  }
+  return engine_->IngestCsvChunked(is, chunk_rows);
+}
+
+StatusOr<EngineUpdateStats> CoverageService::Session::Append(
+    const Dataset& rows) {
+  EngineUpdateStats stats;
+  COVERAGE_RETURN_IF_ERROR(engine_->AppendRows(rows, &stats));
+  return stats;
+}
+
+StatusOr<EngineUpdateStats> CoverageService::Session::Retract(
+    const Dataset& rows) {
+  EngineUpdateStats stats;
+  COVERAGE_RETURN_IF_ERROR(engine_->RetractRows(rows, &stats));
+  return stats;
+}
+
+AuditResult CoverageService::Session::Audit() const {
+  const auto snap = engine_->snapshot();
+  AuditResult result;
+  result.mups = snap->mups();
+  result.stats.num_mups = result.mups.size();
+  result.algorithm = "ENGINE-INCREMENTAL";
+  result.planner_rationale =
+      "epoch " + std::to_string(snap->epoch()) +
+      " snapshot: MUPs maintained incrementally per append/retract, no "
+      "search ran for this audit";
+  result.max_level = options_.max_level;
+  result.tau = options_.tau;
+  result.num_rows = snap->num_rows();
+  return result;
+}
+
+StatusOr<QueryBatchResult> CoverageService::Session::QueryBatch(
+    const QueryBatchRequest& request) const {
+  COVERAGE_RETURN_IF_ERROR(request.Validate(schema()));
+  // One snapshot for the whole batch: every probe answers for the same
+  // epoch even if a writer advances the engine mid-batch.
+  const auto snap = engine_->snapshot();
+  std::lock_guard<std::mutex> lock(*pool_mu_);
+  return RunQueryBatch(snap->oracle(), request.queries,
+                       EnsurePool(pool_, options_.num_threads));
+}
+
+std::uint64_t CoverageService::Session::epoch() const {
+  return engine_->epoch();
+}
+
+std::uint64_t CoverageService::Session::num_rows() const {
+  return engine_->num_rows();
+}
+
+}  // namespace coverage

@@ -130,9 +130,37 @@ TEST(CliParse, WindowRowsRequiresEngine) {
 
 TEST(CliParse, UsageDocumentsEngineFlags) {
   const std::string usage = Usage();
-  for (const char* flag : {"--engine", "--chunk-rows", "--window-rows"}) {
+  for (const char* flag : {"--engine", "--chunk-rows", "--window-rows",
+                           "--algo", "--pattern", "--batch-file"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(CliParse, AlgoFlag) {
+  EXPECT_EQ(ParseArgs({"audit", "--csv", "d.csv"})->algo, "auto");
+  for (const char* name : {"auto", "deepdiver", "breaker", "pattern-breaker",
+                           "combiner", "pattern-combiner", "apriori",
+                           "naive"}) {
+    auto options = ParseArgs({"audit", "--csv", "d.csv", "--algo", name});
+    ASSERT_TRUE(options.ok()) << name;
+    EXPECT_EQ(options->algo, name);
+  }
+  EXPECT_FALSE(
+      ParseArgs({"audit", "--csv", "d.csv", "--algo", "magic"}).ok());
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "d.csv", "--algo"}).ok());
+}
+
+TEST(CliParse, QueryCommand) {
+  auto options = ParseArgs({"query", "--csv", "d.csv", "--pattern", "X1XX",
+                            "--pattern", "XX23"});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->command, "query");
+  EXPECT_EQ(options->patterns, (std::vector<std::string>{"X1XX", "XX23"}));
+  auto batch = ParseArgs({"query", "--csv", "d.csv", "--batch-file", "p.txt"});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->batch_file, "p.txt");
+  // A query without any pattern source is malformed.
+  EXPECT_FALSE(ParseArgs({"query", "--csv", "d.csv"}).ok());
 }
 
 // --------------------------------------------------------------- RunCli --
@@ -222,6 +250,88 @@ TEST_F(CliRunTest, AuditEngineWindowReportsRetainedRows) {
   EXPECT_NE(out.str().find("window: last 1,200 rows (1,000 retained"),
             std::string::npos)
       << out.str();
+}
+
+TEST_F(CliRunTest, AuditAlgoAutoReportsPlannerDecision) {
+  std::ostringstream out, err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--algo", "auto"},
+                                 out, err),
+            0)
+      << err.str();
+  // The planner's concrete pick and its rationale are surfaced.
+  EXPECT_NE(out.str().find("discovery: DEEPDIVER"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("planner:"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AuditExplicitAlgoMatchesAuto) {
+  // Every algorithm returns the same label; --algo only changes the engine
+  // doing the work (and the discovery line saying so).
+  std::ostringstream auto_out, err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10"},
+                                 auto_out, err),
+            0);
+  const std::string auto_label =
+      auto_out.str().substr(0, auto_out.str().find("discovery:"));
+  for (const char* algo : {"breaker", "combiner"}) {
+    std::ostringstream out, err2;
+    ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau",
+                                    "10", "--algo", algo},
+                                   out, err2),
+              0)
+        << err2.str();
+    EXPECT_EQ(out.str().substr(0, out.str().find("discovery:")), auto_label)
+        << algo;
+    EXPECT_EQ(out.str().find("planner:"), std::string::npos) << algo;
+  }
+}
+
+TEST_F(CliRunTest, QueryAnswersInlinePatterns) {
+  std::ostringstream out, err;
+  ASSERT_EQ(::coverage::cli::Run({"query", "--csv", csv_path_, "--tau", "10",
+                                  "--pattern", "XXXX", "--pattern", "X0XX"},
+                                 out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("XXXX  cov = 2,000  covered at tau=10"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("batch: 2 queries"), std::string::npos);
+}
+
+TEST_F(CliRunTest, QueryBatchFileMatchesInline) {
+  const std::string batch_path = ::testing::TempDir() + "/cli_test_batch.txt";
+  {
+    std::ofstream batch(batch_path);
+    batch << "# probes\n\nXXXX\nX0XX\n";
+  }
+  std::ostringstream inline_out, batch_out, err;
+  ASSERT_EQ(::coverage::cli::Run({"query", "--csv", csv_path_, "--pattern",
+                                  "XXXX", "--pattern", "X0XX", "--threads",
+                                  "4"},
+                                 inline_out, err),
+            0)
+      << err.str();
+  ASSERT_EQ(::coverage::cli::Run({"query", "--csv", csv_path_, "--batch-file",
+                                  batch_path, "--threads", "4"},
+                                 batch_out, err),
+            0)
+      << err.str();
+  std::remove(batch_path.c_str());
+  // Comments/blank lines are skipped; answers and order are identical. The
+  // trailing summary line carries wall-clock time, so compare up to it.
+  EXPECT_EQ(batch_out.str().substr(0, batch_out.str().find("batch:")),
+            inline_out.str().substr(0, inline_out.str().find("batch:")));
+}
+
+TEST_F(CliRunTest, QueryRejectsBadPattern) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::coverage::cli::Run({"query", "--csv", csv_path_, "--pattern",
+                                  "ZZ"},
+                                 out, err),
+            1);
+  EXPECT_NE(err.str().find("bad pattern"), std::string::npos);
 }
 
 TEST_F(CliRunTest, AuditListMupsShowsPatterns) {

@@ -29,28 +29,32 @@ TEST(ScanCoverage, AppendixAWorkedExample) {
   // Appendix A computes cov(0X1) = 3 on Example 1.
   const Dataset data = MakeExample1();
   ScanCoverage oracle(data);
-  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema())), 3u);
+  QueryContext ctx;
+  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema()), ctx), 3u);
 }
 
 TEST(ScanCoverage, RootCoversEverything) {
   const Dataset data = MakeExample1();
   ScanCoverage oracle(data);
-  EXPECT_EQ(oracle.Coverage(Pattern::Root(3)), 5u);
+  QueryContext ctx;
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(3), ctx), 5u);
 }
 
 TEST(ScanCoverage, UncoveredRegion) {
   const Dataset data = MakeExample1();
   ScanCoverage oracle(data);
-  EXPECT_EQ(oracle.Coverage(P("1XX", data.schema())), 0u);
-  EXPECT_EQ(oracle.Coverage(P("111", data.schema())), 0u);
+  QueryContext ctx;
+  EXPECT_EQ(oracle.Coverage(P("1XX", data.schema()), ctx), 0u);
+  EXPECT_EQ(oracle.Coverage(P("111", data.schema()), ctx), 0u);
 }
 
 TEST(ScanCoverage, CountsQueries) {
   const Dataset data = MakeExample1();
   ScanCoverage oracle(data);
   EXPECT_EQ(oracle.num_queries(), 0u);
-  oracle.Coverage(Pattern::Root(3));
-  oracle.Coverage(Pattern::Root(3));
+  // num_queries() reports the default context, reachable explicitly.
+  oracle.Coverage(Pattern::Root(3), oracle.default_context());
+  oracle.Coverage(Pattern::Root(3), oracle.default_context());
   EXPECT_EQ(oracle.num_queries(), 2u);
   oracle.ResetQueryCounter();
   EXPECT_EQ(oracle.num_queries(), 0u);
@@ -60,18 +64,20 @@ TEST(BitmapCoverage, MatchesWorkedExample) {
   const Dataset data = MakeExample1();
   const AggregatedData agg(data);
   BitmapCoverage oracle(agg);
-  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema())), 3u);
-  EXPECT_EQ(oracle.Coverage(Pattern::Root(3)), 5u);
-  EXPECT_EQ(oracle.Coverage(P("1XX", data.schema())), 0u);
-  EXPECT_EQ(oracle.Coverage(P("001", data.schema())), 2u);
+  QueryContext ctx;
+  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema()), ctx), 3u);
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(3), ctx), 5u);
+  EXPECT_EQ(oracle.Coverage(P("1XX", data.schema()), ctx), 0u);
+  EXPECT_EQ(oracle.Coverage(P("001", data.schema()), ctx), 2u);
 }
 
 TEST(BitmapCoverage, IsCoveredThreshold) {
   const Dataset data = MakeExample1();
   const AggregatedData agg(data);
   BitmapCoverage oracle(agg);
-  EXPECT_TRUE(oracle.IsCovered(P("0X1", data.schema()), 3));
-  EXPECT_FALSE(oracle.IsCovered(P("0X1", data.schema()), 4));
+  QueryContext ctx;
+  EXPECT_TRUE(oracle.IsCovered(P("0X1", data.schema()), 3, ctx));
+  EXPECT_FALSE(oracle.IsCovered(P("0X1", data.schema()), 4, ctx));
 }
 
 TEST(BitmapCoverage, MatchVectorSelectsCombinations) {
@@ -91,8 +97,9 @@ TEST(BitmapCoverage, EmptyDataset) {
   const Dataset data(Schema::Binary(3));
   const AggregatedData agg(data);
   BitmapCoverage oracle(agg);
-  EXPECT_EQ(oracle.Coverage(Pattern::Root(3)), 0u);
-  EXPECT_EQ(oracle.Coverage(P("101", data.schema())), 0u);
+  QueryContext ctx;
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(3), ctx), 0u);
+  EXPECT_EQ(oracle.Coverage(P("101", data.schema()), ctx), 0u);
 }
 
 TEST(BitmapCoverage, AgreesWithScanOnRandomData) {
@@ -117,8 +124,10 @@ TEST(BitmapCoverage, AgreesWithScanOnRandomData) {
     PatternGraph graph(schema);
     auto all = graph.EnumerateAll(100000);
     ASSERT_TRUE(all.ok());
+    QueryContext bctx, sctx;
     for (const Pattern& p : *all) {
-      EXPECT_EQ(bitmap.Coverage(p), scan.Coverage(p)) << p.ToString();
+      EXPECT_EQ(bitmap.Coverage(p, bctx), scan.Coverage(p, sctx))
+          << p.ToString();
     }
   }
 }
@@ -131,9 +140,10 @@ TEST(BitmapCoverage, SkewedDataStillExact) {
   const AggregatedData agg(data);
   EXPECT_EQ(agg.num_combinations(), 2u);
   BitmapCoverage oracle(agg);
-  EXPECT_EQ(oracle.Coverage(P("0X", data.schema())), 1000u);
-  EXPECT_EQ(oracle.Coverage(P("X1", data.schema())), 1u);
-  EXPECT_EQ(oracle.Coverage(Pattern::Root(2)), 1001u);
+  QueryContext ctx;
+  EXPECT_EQ(oracle.Coverage(P("0X", data.schema()), ctx), 1000u);
+  EXPECT_EQ(oracle.Coverage(P("X1", data.schema()), ctx), 1u);
+  EXPECT_EQ(oracle.Coverage(Pattern::Root(2), ctx), 1001u);
 }
 
 TEST(BitmapCoverage, IndexExposesPerValueVectors) {
@@ -167,8 +177,10 @@ TEST(BitmapCoverage, DecrementalBuildMasksTombstonedBits) {
   PatternGraph graph(data.schema());
   const auto all = graph.EnumerateAll(100000);
   ASSERT_TRUE(all.ok());
+  QueryContext dctx, sctx;
   for (const Pattern& p : *all) {
-    EXPECT_EQ(dec.Coverage(p), scratch.Coverage(p)) << p.ToString();
+    EXPECT_EQ(dec.Coverage(p, dctx), scratch.Coverage(p, sctx))
+        << p.ToString();
   }
 
   // The tombstoned combination's bits really are masked, so its match
@@ -182,9 +194,9 @@ TEST(BitmapCoverage, DecrementalBuildMasksTombstonedBits) {
   regrown.AppendRow(std::vector<Value>{1, 1, 1});  // and a new combination
   const std::vector<std::size_t> revived = {1};
   const BitmapCoverage rev(regrown, dec, {}, revived);
-  EXPECT_EQ(rev.Coverage(P("001", data.schema())), 1u);
-  EXPECT_EQ(rev.Coverage(P("111", data.schema())), 1u);
-  EXPECT_EQ(rev.Coverage(Pattern::Root(3)), 5u);
+  EXPECT_EQ(rev.Coverage(P("001", data.schema()), dctx), 1u);
+  EXPECT_EQ(rev.Coverage(P("111", data.schema()), dctx), 1u);
+  EXPECT_EQ(rev.Coverage(Pattern::Root(3), dctx), 5u);
   EXPECT_EQ(rev.index(2, 1).Count(), 3u);  // 001 back, 011, 111
 }
 

@@ -39,10 +39,11 @@ TEST(CoverageAtLeast, MatchesExactCountOnFullGraph) {
   PatternGraph graph(schema);
   auto all = graph.EnumerateAll(100000);
   ASSERT_TRUE(all.ok());
+  QueryContext ctx;
   for (const Pattern& p : *all) {
-    const std::uint64_t exact = oracle.Coverage(p);
+    const std::uint64_t exact = oracle.Coverage(p, ctx);
     for (const std::uint64_t tau : {1u, 2u, 5u, 50u, 400u, 401u}) {
-      EXPECT_EQ(oracle.CoverageAtLeast(p, tau), exact >= tau)
+      EXPECT_EQ(oracle.CoverageAtLeast(p, tau, ctx), exact >= tau)
           << p.ToString() << " tau=" << tau;
     }
   }
@@ -55,10 +56,11 @@ TEST(CoverageAtLeast, BoundaryTaus) {
   const AggregatedData agg(data);
   const BitmapCoverage oracle(agg);
   const Pattern p = *Pattern::Parse("1X1", schema);
-  EXPECT_TRUE(oracle.CoverageAtLeast(p, 7));
-  EXPECT_FALSE(oracle.CoverageAtLeast(p, 8));
-  EXPECT_TRUE(oracle.CoverageAtLeast(Pattern::Root(3), 7));
-  EXPECT_FALSE(oracle.CoverageAtLeast(Pattern::Root(3), 8));
+  QueryContext ctx;
+  EXPECT_TRUE(oracle.CoverageAtLeast(p, 7, ctx));
+  EXPECT_FALSE(oracle.CoverageAtLeast(p, 8, ctx));
+  EXPECT_TRUE(oracle.CoverageAtLeast(Pattern::Root(3), 7, ctx));
+  EXPECT_FALSE(oracle.CoverageAtLeast(Pattern::Root(3), 8, ctx));
 }
 
 TEST(CoverageAtLeast, ZeroMatchPatterns) {
@@ -67,8 +69,9 @@ TEST(CoverageAtLeast, ZeroMatchPatterns) {
   data.AppendRow(std::vector<Value>{0, 0, 0});
   const AggregatedData agg(data);
   const BitmapCoverage oracle(agg);
-  EXPECT_FALSE(oracle.CoverageAtLeast(*Pattern::Parse("1XX", schema), 1));
-  EXPECT_FALSE(oracle.CoverageAtLeast(*Pattern::Parse("111", schema), 1));
+  QueryContext ctx;
+  EXPECT_FALSE(oracle.CoverageAtLeast(*Pattern::Parse("1XX", schema), 1, ctx));
+  EXPECT_FALSE(oracle.CoverageAtLeast(*Pattern::Parse("111", schema), 1, ctx));
 }
 
 TEST(CoverageAtLeast, SingleCellFastPath) {
@@ -77,11 +80,12 @@ TEST(CoverageAtLeast, SingleCellFastPath) {
   const AggregatedData agg(data);
   const BitmapCoverage oracle(agg);
   ScanCoverage scan(data);
+  QueryContext ctx;
   for (Value v = 0; v < 4; ++v) {
     const Pattern p = Pattern::Root(2).WithCell(0, v);
-    const std::uint64_t exact = scan.Coverage(p);
-    EXPECT_TRUE(oracle.CoverageAtLeast(p, exact == 0 ? 0 : exact));
-    EXPECT_FALSE(oracle.CoverageAtLeast(p, exact + 1));
+    const std::uint64_t exact = scan.Coverage(p, ctx);
+    EXPECT_TRUE(oracle.CoverageAtLeast(p, exact == 0 ? 0 : exact, ctx));
+    EXPECT_FALSE(oracle.CoverageAtLeast(p, exact + 1, ctx));
   }
 }
 
@@ -91,6 +95,7 @@ TEST(CoverageAtLeast, HighCardinalitySchema) {
   const BitmapCoverage oracle(agg);
   ScanCoverage scan(data);
   Rng rng(3);
+  QueryContext ctx;
   const Schema& schema = data.schema();
   for (int trial = 0; trial < 200; ++trial) {
     std::vector<Value> cells(7, kWildcard);
@@ -101,9 +106,9 @@ TEST(CoverageAtLeast, HighCardinalitySchema) {
       }
     }
     const Pattern p(std::move(cells));
-    const std::uint64_t exact = scan.Coverage(p);
+    const std::uint64_t exact = scan.Coverage(p, ctx);
     const std::uint64_t tau = 1 + rng.NextUint64(100);
-    EXPECT_EQ(oracle.CoverageAtLeast(p, tau), exact >= tau) << p.ToString();
+    EXPECT_EQ(oracle.CoverageAtLeast(p, tau, ctx), exact >= tau) << p.ToString();
   }
 }
 
@@ -114,9 +119,10 @@ TEST(CoverageAtLeast, ScanOracleDefaultImplementation) {
   data.AppendRow(std::vector<Value>{1, 1});
   data.AppendRow(std::vector<Value>{1, 0});
   ScanCoverage scan(data);
-  EXPECT_TRUE(scan.CoverageAtLeast(*Pattern::Parse("1X", schema), 2));
-  EXPECT_FALSE(scan.CoverageAtLeast(*Pattern::Parse("1X", schema), 3));
-  EXPECT_TRUE(scan.IsCovered(*Pattern::Parse("11", schema), 1));
+  QueryContext ctx;
+  EXPECT_TRUE(scan.CoverageAtLeast(*Pattern::Parse("1X", schema), 2, ctx));
+  EXPECT_FALSE(scan.CoverageAtLeast(*Pattern::Parse("1X", schema), 3, ctx));
+  EXPECT_TRUE(scan.IsCovered(*Pattern::Parse("11", schema), 1, ctx));
 }
 
 TEST(CoverageAtLeast, QueryCounterAdvances) {
@@ -125,10 +131,13 @@ TEST(CoverageAtLeast, QueryCounterAdvances) {
   data.AppendRow(std::vector<Value>{0, 0});
   const AggregatedData agg(data);
   BitmapCoverage oracle(agg);
+  // The default context still backs num_queries() for serial callers; the
+  // deprecated context-free overloads were the only other way to reach it.
   oracle.ResetQueryCounter();
-  oracle.CoverageAtLeast(Pattern::Root(2), 1);
-  oracle.CoverageAtLeast(*Pattern::Parse("0X", schema), 1);
-  oracle.Coverage(*Pattern::Parse("00", schema));
+  QueryContext& ctx = oracle.default_context();
+  oracle.CoverageAtLeast(Pattern::Root(2), 1, ctx);
+  oracle.CoverageAtLeast(*Pattern::Parse("0X", schema), 1, ctx);
+  oracle.Coverage(*Pattern::Parse("00", schema), ctx);
   EXPECT_EQ(oracle.num_queries(), 3u);
 }
 

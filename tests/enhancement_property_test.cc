@@ -110,8 +110,9 @@ TEST_P(EnhancementSweep, EveryLevelLambdaPatternCoveredAfterApply) {
   PatternGraph graph(data.schema());
   auto at_level = graph.EnumerateLevel(c.lambda, 1 << 20);
   ASSERT_TRUE(at_level.ok());
+  QueryContext ctx;
   for (const Pattern& p : *at_level) {
-    EXPECT_GE(scan.Coverage(p), c.tau) << p.ToString();
+    EXPECT_GE(scan.Coverage(p, ctx), c.tau) << p.ToString();
   }
 }
 

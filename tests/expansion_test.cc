@@ -109,8 +109,9 @@ TEST(Expansion, AgainstBruteForceOnRandomData) {
     auto at_level = graph.EnumerateLevel(lambda, 100000);
     ASSERT_TRUE(at_level.ok());
     std::set<Pattern> expected;
+    QueryContext ctx;
     for (const Pattern& p : *at_level) {
-      if (scan.Coverage(p) < tau) expected.insert(p);
+      if (scan.Coverage(p, ctx) < tau) expected.insert(p);
     }
     EXPECT_EQ(std::set<Pattern>(m->begin(), m->end()), expected)
         << "lambda=" << lambda;

@@ -114,10 +114,11 @@ TEST_P(MupEquivalenceSweep, BitmapOracleMatchesScanOnMups) {
   const BitmapCoverage oracle(agg);
   ScanCoverage scan(data);
   const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = c.tau});
+  QueryContext bctx, sctx;
   for (const Pattern& p : mups) {
-    EXPECT_EQ(oracle.Coverage(p), scan.Coverage(p));
+    EXPECT_EQ(oracle.Coverage(p, bctx), scan.Coverage(p, sctx));
     for (const Pattern& parent : p.Parents()) {
-      EXPECT_EQ(oracle.Coverage(parent), scan.Coverage(parent));
+      EXPECT_EQ(oracle.Coverage(parent, bctx), scan.Coverage(parent, sctx));
     }
   }
 }

@@ -75,8 +75,9 @@ TEST(PaperExamples, Example1NineUncoveredOneMaximal) {
   auto all = graph.EnumerateAll(1000);
   ASSERT_TRUE(all.ok());
   std::set<std::string> uncovered;
+  QueryContext ctx;
   for (const Pattern& p : *all) {
-    if (oracle.Coverage(p) < 1) uncovered.insert(p.ToString());
+    if (oracle.Coverage(p, ctx) < 1) uncovered.insert(p.ToString());
   }
   EXPECT_EQ(uncovered,
             (std::set<std::string>{"1XX", "1X0", "1X1", "10X", "11X", "100",
@@ -98,7 +99,8 @@ TEST(PaperExamples, AppendixABitVectorsAndCoverage) {
                                       agg.counts().end());
   EXPECT_EQ(counts, (std::multiset<std::uint64_t>{1, 1, 1, 2}));
   const BitmapCoverage oracle(agg);
-  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema())), 3u);
+  QueryContext qctx;
+  EXPECT_EQ(oracle.Coverage(P("0X1", data.schema()), qctx), 3u);
 }
 
 // ------------------------------------------------ §III worked examples --
@@ -135,10 +137,11 @@ TEST(PaperExamples, DeepDiverClimbScenario) {
   const AggregatedData agg(data);
   const BitmapCoverage oracle(agg);
   const Schema& schema = data.schema();
-  EXPECT_GE(oracle.Coverage(Pattern::Root(3)), 1u);
-  EXPECT_GE(oracle.Coverage(P("X0X", schema)), 1u);
-  EXPECT_EQ(oracle.Coverage(P("10X", schema)), 0u);
-  EXPECT_EQ(oracle.Coverage(P("1XX", schema)), 0u);
+  QueryContext ctx;
+  EXPECT_GE(oracle.Coverage(Pattern::Root(3), ctx), 1u);
+  EXPECT_GE(oracle.Coverage(P("X0X", schema), ctx), 1u);
+  EXPECT_EQ(oracle.Coverage(P("10X", schema), ctx), 0u);
+  EXPECT_EQ(oracle.Coverage(P("1XX", schema), ctx), 0u);
   const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 1});
   ASSERT_EQ(mups.size(), 1u);
   EXPECT_EQ(mups[0].ToString(), "1XX");
@@ -270,11 +273,12 @@ TEST(PaperExamples, Theorem2Figure1Reduction) {
   const BitmapCoverage oracle(agg);
   const auto mups = FindMupsDeepDiver(oracle, MupSearchOptions{.tau = 3});
   ASSERT_EQ(mups.size(), 5u);
+  QueryContext ctx;
   for (const Pattern& p : mups) {
     EXPECT_EQ(p.level(), 1);
     EXPECT_EQ(p.cell(p.RightmostDeterministic()), 1);
     // Coverage of an edge pattern = its two endpoints.
-    EXPECT_EQ(oracle.Coverage(p), 2u);
+    EXPECT_EQ(oracle.Coverage(p, ctx), 2u);
   }
 }
 

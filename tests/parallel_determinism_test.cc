@@ -86,6 +86,64 @@ TEST_P(ParallelDeterminismTest, BothAlgorithmsMatchOnDiagonalData) {
   }
 }
 
+TEST_P(ParallelDeterminismTest, PatternCombinerMatchesSerialOnCompas) {
+  // The sharded level-d pass: identical uncovered-combination map contents
+  // for any worker count, so the MUP set and every stat are bit-identical.
+  const Dataset data = datagen::MakeCompas(2000, 3).data;
+  const AggregatedData agg(data);
+  const BitmapCoverage oracle(agg);
+  MupSearchOptions options;
+  options.tau = 10;
+  MupSearchStats serial_stats;
+  const auto serial = FindMupsPatternCombiner(oracle, options, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_FALSE(serial->empty());
+
+  options.num_threads = GetParam();
+  MupSearchStats stats;
+  const auto parallel = FindMupsPatternCombiner(oracle, options, &stats);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(Render(*parallel), Render(*serial));
+  EXPECT_EQ(stats.coverage_queries, serial_stats.coverage_queries);
+  EXPECT_EQ(stats.nodes_generated, serial_stats.nodes_generated);
+  EXPECT_EQ(stats.num_mups, serial_stats.num_mups);
+}
+
+TEST_P(ParallelDeterminismTest, PatternCombinerMatchesSerialOnRandomSchemas) {
+  // Property sweep: mixed cardinalities (block sharding cuts across several
+  // attribute prefixes) and a tau high enough to leave many uncovered
+  // combinations. Parallel output must equal DEEPDIVER's too.
+  for (std::uint64_t seed : {3u, 7u, 11u}) {
+    Rng rng(seed);
+    const Schema schema = Schema::Uniform({3, 2, 4, 2, 3});
+    Dataset data(schema);
+    std::vector<Value> row(5);
+    for (int i = 0; i < 400; ++i) {
+      for (int a = 0; a < 5; ++a) {
+        row[static_cast<std::size_t>(a)] = static_cast<Value>(std::min(
+            rng.NextUint64(static_cast<std::uint64_t>(schema.cardinality(a))),
+            rng.NextUint64(
+                static_cast<std::uint64_t>(schema.cardinality(a)))));
+      }
+      data.AppendRow(row);
+    }
+    const AggregatedData agg(data);
+    const BitmapCoverage oracle(agg);
+    MupSearchOptions options;
+    options.tau = 5;
+    const auto serial = FindMupsPatternCombiner(oracle, options);
+    ASSERT_TRUE(serial.ok());
+
+    options.num_threads = GetParam();
+    const auto parallel = FindMupsPatternCombiner(oracle, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(Render(*parallel), Render(*serial)) << "seed=" << seed;
+    options.num_threads = 1;
+    EXPECT_EQ(Render(*parallel), Render(FindMupsDeepDiver(oracle, options)))
+        << "seed=" << seed;
+  }
+}
+
 TEST_P(ParallelDeterminismTest, LevelLimitedSearchMatchesSerial) {
   const Dataset data = datagen::MakeAirbnb(20000, 10);
   const AggregatedData agg(data);

@@ -34,6 +34,7 @@ std::string Usage() {
       "commands:\n"
       "  audit    identify maximal uncovered patterns (MUPs)\n"
       "  enhance  compute the minimal acquisition plan for a target level\n"
+      "  query    answer coverage probes for explicit patterns\n"
       "  stats    print the inferred schema and value histograms\n"
       "  help     show this message\n"
       "\n"
@@ -45,8 +46,12 @@ std::string Usage() {
       "  --max-level L           audit: limit MUP discovery to level <= L\n"
       "  --max-cardinality N     schema inference cap per column (default "
       "100)\n"
-      "  --threads N             worker threads for MUP discovery (default "
-      "1)\n"
+      "  --threads N             worker threads for MUP discovery and\n"
+      "                          batched queries (default 1)\n"
+      "  --algo NAME             audit: auto | deepdiver | breaker |\n"
+      "                          combiner | apriori | naive. auto (default)\n"
+      "                          lets the planner pick from the schema and\n"
+      "                          data shape and reports its choice\n"
       "  --rule \"A in {v1, v2}\"  enhance: validation rule (repeatable)\n"
       "  --list-mups             audit: print every MUP, not only the label\n"
       "  --engine                audit: stream the CSV through the\n"
@@ -58,8 +63,33 @@ std::string Usage() {
       "  --window-rows N         engine: sliding window — audit only the\n"
       "                          last N rows of the stream; each chunk\n"
       "                          evicts the oldest chunks past the cap\n"
-      "                          (requires --engine)\n";
+      "                          (requires --engine)\n"
+      "  --pattern P             query: a pattern in paper notation, e.g.\n"
+      "                          X1X0 (repeatable)\n"
+      "  --batch-file PATH       query: file of patterns, one per line\n"
+      "                          (blank lines and # comments skipped), all\n"
+      "                          answered concurrently over --threads\n";
 }
+
+namespace {
+
+StatusOr<MupAlgorithm> ParseAlgo(const std::string& name) {
+  if (name == "auto") return MupAlgorithm::kAuto;
+  if (name == "deepdiver") return MupAlgorithm::kDeepDiver;
+  if (name == "breaker" || name == "pattern-breaker") {
+    return MupAlgorithm::kPatternBreaker;
+  }
+  if (name == "combiner" || name == "pattern-combiner") {
+    return MupAlgorithm::kPatternCombiner;
+  }
+  if (name == "apriori") return MupAlgorithm::kApriori;
+  if (name == "naive") return MupAlgorithm::kNaive;
+  return Status::InvalidArgument(
+      "unknown --algo '" + name +
+      "' (expected auto | deepdiver | breaker | combiner | apriori | naive)");
+}
+
+}  // namespace
 
 StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
   CliOptions options;
@@ -73,7 +103,7 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     return options;
   }
   if (options.command != "audit" && options.command != "enhance" &&
-      options.command != "stats") {
+      options.command != "query" && options.command != "stats") {
     return Status::InvalidArgument("unknown command '" + options.command +
                                    "'\n" + Usage());
   }
@@ -134,10 +164,24 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
         return Status::InvalidArgument("--threads must be within [1, 1024]");
       }
       options.threads = static_cast<int>(*parsed);
+    } else if (flag == "--algo") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      auto algo = ParseAlgo(*v);
+      if (!algo.ok()) return algo.status();
+      options.algo = *v;
     } else if (flag == "--rule") {
       auto v = next();
       if (!v.ok()) return v.status();
       options.rules.push_back(*v);
+    } else if (flag == "--pattern") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.patterns.push_back(*v);
+    } else if (flag == "--batch-file") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      options.batch_file = *v;
     } else if (flag == "--list-mups") {
       options.list_mups = true;
     } else if (flag == "--engine") {
@@ -172,6 +216,11 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
     return Status::InvalidArgument(
         "--window-rows requires --engine (only the streaming engine "
         "maintains a sliding window)");
+  }
+  if (options.command == "query" && options.patterns.empty() &&
+      options.batch_file.empty()) {
+    return Status::InvalidArgument(
+        "query needs at least one --pattern or a --batch-file\n" + Usage());
   }
   return options;
 }
@@ -236,9 +285,17 @@ void PrintAuditReport(const Schema& schema, const std::vector<Pattern>& mups,
   }
 }
 
-/// The streaming audit: pass 1 discovers the schema (dictionaries only, no
-/// row ever materialised), pass 2 feeds the engine chunk by chunk so peak
-/// memory stays at one chunk plus the aggregated relation.
+ServiceOptions ToServiceOptions(const CliOptions& options) {
+  ServiceOptions sopts;
+  sopts.num_threads = options.threads;
+  sopts.max_cardinality = options.max_cardinality;
+  sopts.csv_chunk_rows = static_cast<std::size_t>(options.chunk_rows);
+  return sopts;
+}
+
+/// The streaming audit: a CoverageService::Session over the inferred schema
+/// (pass 1 builds dictionaries only, no row ever materialised), fed chunk by
+/// chunk so peak memory stays at one chunk plus the aggregated relation.
 int RunAuditEngine(const CliOptions& options, std::ostream& out,
                    std::ostream& err) {
   std::ifstream schema_pass(options.csv_path);
@@ -254,12 +311,16 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
     return 1;
   }
 
-  EngineOptions eopts;
-  eopts.tau = options.tau;
-  eopts.max_level = options.max_level;
-  eopts.num_threads = options.threads;
-  eopts.window_max_rows = options.window_rows;
-  CoverageEngine engine(*schema, eopts);
+  CoverageService::SessionOptions sopts;
+  sopts.tau = options.tau;
+  sopts.max_level = options.max_level;
+  sopts.num_threads = options.threads;
+  sopts.window_max_rows = static_cast<std::size_t>(options.window_rows);
+  auto session = CoverageService::OpenSession(*schema, sopts);
+  if (!session.ok()) {
+    err << session.status().ToString() << "\n";
+    return 1;
+  }
 
   std::ifstream ingest_pass(options.csv_path);
   if (!ingest_pass.good()) {
@@ -269,14 +330,14 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
         << "\n";
     return 1;
   }
-  auto stats = engine.IngestCsvChunked(
-      ingest_pass, static_cast<std::size_t>(options.chunk_rows));
+  auto stats = session->IngestCsv(ingest_pass,
+                                  static_cast<std::size_t>(options.chunk_rows));
   if (!stats.ok()) {
     err << stats.status().ToString() << "\n";
     return 1;
   }
 
-  const auto snapshot = engine.snapshot();
+  const AuditResult audit = session->Audit();
   std::string discovery_line =
       "ingest: " + FormatCount(stats->rows) + " rows in " +
       std::to_string(stats->chunks) + " chunks of <= " +
@@ -286,14 +347,12 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
       std::to_string(stats->coverage_queries) + " coverage queries\n";
   if (options.window_rows > 0) {
     discovery_line += "window: last " + FormatCount(options.window_rows) +
-                      " rows (" +
-                      FormatCount(static_cast<std::uint64_t>(
-                          snapshot->num_rows())) +
+                      " rows (" + FormatCount(audit.num_rows) +
                       " retained; the label describes the window, not the "
                       "full stream)\n";
   }
-  PrintAuditReport(*schema, snapshot->mups(),
-                   static_cast<std::size_t>(snapshot->num_rows()), options,
+  PrintAuditReport(session->schema(), audit.mups,
+                   static_cast<std::size_t>(audit.num_rows), options,
                    discovery_line, out);
   return 0;
 }
@@ -301,68 +360,126 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
 int RunAudit(const CliOptions& options, std::ostream& out,
              std::ostream& err) {
   if (options.engine) return RunAuditEngine(options, out, err);
-  auto data = LoadCsv(options);
-  if (!data.ok()) {
-    err << data.status().ToString() << "\n";
+  auto service =
+      CoverageService::FromCsvFile(options.csv_path, ToServiceOptions(options));
+  if (!service.ok()) {
+    err << service.status().ToString() << "\n";
     return 1;
   }
-  const AggregatedData agg(*data);
-  const BitmapCoverage oracle(agg);
-  MupSearchOptions search;
-  search.tau = options.tau;
-  search.max_level = options.max_level;
-  search.num_threads = options.threads;
-  MupSearchStats stats;
-  const auto mups = FindMupsDeepDiver(oracle, search, &stats);
-  const std::string discovery_line =
-      "discovery: " + FormatDouble(stats.seconds, 4) + " s, " +
-      std::to_string(stats.coverage_queries) + " coverage queries\n";
-  PrintAuditReport(data->schema(), mups, data->num_rows(), options,
+  // ParseArgs validated --algo, but CliOptions is also constructible
+  // programmatically, so re-check rather than assert.
+  auto algo = ParseAlgo(options.algo);
+  if (!algo.ok()) {
+    err << algo.status().ToString() << "\n";
+    return 1;
+  }
+  AuditRequest request;
+  request.tau = options.tau;
+  request.max_level = options.max_level;
+  request.algorithm = *algo;
+  auto result = service->Audit(request);
+  if (!result.ok()) {
+    err << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::string discovery_line =
+      "discovery: " + result->algorithm + ", " +
+      FormatDouble(result->stats.seconds, 4) + " s, " +
+      std::to_string(result->stats.coverage_queries) + " coverage queries\n";
+  if (!result->planner_rationale.empty()) {
+    discovery_line += "planner: " + result->planner_rationale + "\n";
+  }
+  PrintAuditReport(service->schema(), result->mups,
+                   static_cast<std::size_t>(result->num_rows), options,
                    discovery_line, out);
   return 0;
 }
 
 int RunEnhance(const CliOptions& options, std::ostream& out,
                std::ostream& err) {
-  auto data = LoadCsv(options);
-  if (!data.ok()) {
-    err << data.status().ToString() << "\n";
+  auto service =
+      CoverageService::FromCsvFile(options.csv_path, ToServiceOptions(options));
+  if (!service.ok()) {
+    err << service.status().ToString() << "\n";
     return 1;
   }
-  const Schema& schema = data->schema();
-  if (options.lambda < 0 || options.lambda > schema.num_attributes()) {
-    err << "--lambda must be within [0, " << schema.num_attributes()
-        << "]\n";
-    return 1;
-  }
+  // Parse rules here (rather than through EnhanceRequest::rules) so a typo
+  // is reported as the familiar "bad --rule" with the offending text.
   ValidationOracle validator;
   for (const std::string& text : options.rules) {
-    auto rule = ValidationRule::Parse(text, schema);
+    auto rule = ValidationRule::Parse(text, service->schema());
     if (!rule.ok()) {
       err << "bad --rule: " << rule.status().ToString() << "\n";
       return 1;
     }
     validator.AddRule(*rule);
   }
-
-  const AggregatedData agg(*data);
-  const BitmapCoverage oracle(agg);
-  MupSearchOptions search;
-  search.tau = options.tau;
-  search.max_level = options.lambda;
-  search.num_threads = options.threads;
-  const auto mups = FindMupsDeepDiver(oracle, search);
-
-  EnhancementOptions eopts;
-  eopts.tau = options.tau;
-  eopts.lambda = options.lambda;
-  eopts.oracle = validator.num_rules() > 0 ? &validator : nullptr;
-  auto plan = PlanCoverageEnhancement(oracle, mups, eopts);
+  EnhanceRequest request;
+  request.tau = options.tau;
+  request.lambda = options.lambda;
+  request.validator = validator.num_rules() > 0 ? &validator : nullptr;
+  auto plan = service->Enhance(request);
   if (!plan.ok()) {
     err << plan.status().ToString() << "\n";
     return 1;
   }
-  out << RenderAcquisitionPlan(*plan, schema);
+  out << RenderAcquisitionPlan(*plan, service->schema());
+  return 0;
+}
+
+int RunQuery(const CliOptions& options, std::ostream& out,
+             std::ostream& err) {
+  auto service =
+      CoverageService::FromCsvFile(options.csv_path, ToServiceOptions(options));
+  if (!service.ok()) {
+    err << service.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<std::string> texts = options.patterns;
+  if (!options.batch_file.empty()) {
+    std::ifstream batch(options.batch_file);
+    if (!batch.good()) {
+      err << Status::NotFound("cannot open batch file '" +
+                              options.batch_file + "'")
+                 .ToString()
+          << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(batch, line)) {
+      const std::string trimmed(Trim(line));
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      texts.push_back(trimmed);
+    }
+  }
+
+  QueryBatchRequest request;
+  for (const std::string& text : texts) {
+    auto pattern = Pattern::Parse(text, service->schema());
+    if (!pattern.ok()) {
+      err << "bad pattern '" << text
+          << "': " << pattern.status().ToString() << "\n";
+      return 1;
+    }
+    request.queries.push_back(QueryRequest{*pattern, 0});
+  }
+
+  auto result = service->QueryBatch(request);
+  if (!result.ok()) {
+    err << result.status().ToString() << "\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    const QueryOutcome& o = result->results[i];
+    out << texts[i] << "  cov = " << FormatCount(o.coverage) << "  "
+        << (o.coverage >= options.tau ? "covered" : "UNCOVERED")
+        << " at tau=" << options.tau << "\n";
+  }
+  out << "batch: " << texts.size() << " queries, "
+      << result->coverage_queries << " oracle calls, "
+      << FormatDouble(result->seconds, 4) << " s over " << options.threads
+      << " thread(s)\n";
   return 0;
 }
 
@@ -377,6 +494,7 @@ int RunParsed(const CliOptions& options, std::ostream& out,
   if (options.command == "stats") return RunStats(options, out, err);
   if (options.command == "audit") return RunAudit(options, out, err);
   if (options.command == "enhance") return RunEnhance(options, out, err);
+  if (options.command == "query") return RunQuery(options, out, err);
   err << "unknown command '" << options.command << "'\n" << Usage();
   return 1;
 }

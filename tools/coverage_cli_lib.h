@@ -14,18 +14,21 @@ namespace cli {
 /// Parsed command line of coverage_cli. Kept in a library so the argument
 /// grammar is unit-testable without spawning processes.
 struct CliOptions {
-  std::string command;            // "audit" | "enhance" | "stats" | "help"
+  std::string command;  // "audit" | "enhance" | "query" | "stats" | "help"
   std::string csv_path;
   std::uint64_t tau = 30;         // the §II rule-of-thumb default
   int lambda = 1;
   int max_level = -1;
   int max_cardinality = 100;
   int threads = 1;                // MUP-search worker count
+  std::string algo = "auto";      // audit: MUP algorithm ("auto" = planner)
   std::vector<std::string> rules; // validation-rule strings
   bool list_mups = false;         // audit: print every MUP, not just the label
   bool engine = false;            // audit: stream through CoverageEngine
   std::uint64_t chunk_rows = 65536;  // engine: rows per ingest chunk
   std::uint64_t window_rows = 0;  // engine: sliding-window row cap (0 = off)
+  std::vector<std::string> patterns;  // query: inline pattern strings
+  std::string batch_file;             // query: file of patterns, one per line
 };
 
 /// Parses argv (without the program name). Returns InvalidArgument with a
