@@ -5,6 +5,10 @@
 namespace coverage {
 
 ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers <= 0) {
+    num_workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_workers < 1) num_workers = 1;
+  }
   const int extra = num_workers > 1 ? num_workers - 1 : 0;
   threads_.reserve(static_cast<std::size_t>(extra));
   for (int i = 0; i < extra; ++i) {

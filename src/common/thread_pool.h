@@ -16,6 +16,12 @@ namespace coverage {
 /// `num_workers - 1` threads; the calling thread always participates as
 /// worker 0, so `ThreadPool(1)` costs nothing and runs everything inline.
 ///
+/// `num_workers <= 0` means "use the hardware": it is clamped to
+/// `std::thread::hardware_concurrency()` (at least 1) in the constructor.
+/// This is the single place that defaulting happens — call sites pass
+/// their thread-count option through untouched instead of each inventing
+/// its own zero handling.
+///
 /// The pool exposes exactly the two primitives the searches need:
 ///
 ///   RunOnAll(fn)        — run `fn(worker)` once on every worker concurrently

@@ -25,6 +25,11 @@
 /// CoverageService::OpenSession, which wraps the incremental CoverageEngine
 /// behind the same request/response types.
 ///
+/// To serve over the network, wrap the service in a CoverageServer
+/// (server/coverage_server.h): an embedded HTTP/1.1 front-end speaking the
+/// JSON wire protocol of server/wire.h — the same serializer behind
+/// `coverage_cli --json`.
+///
 /// The lower layers stay public for hand-wiring (every header below is
 /// self-contained — include exactly what you need):
 ///
@@ -65,6 +70,13 @@
 #include "pattern/pattern.h"            // IWYU pragma: export
 #include "pattern/pattern_graph.h"      // IWYU pragma: export
 #include "pattern/pattern_ops.h"        // IWYU pragma: export
+#include "server/coverage_server.h"     // IWYU pragma: export
+#include "server/http.h"                // IWYU pragma: export
+#include "server/http_client.h"         // IWYU pragma: export
+#include "server/http_server.h"         // IWYU pragma: export
+#include "server/json.h"                // IWYU pragma: export
+#include "server/wire.h"                // IWYU pragma: export
 #include "service/coverage_service.h"   // IWYU pragma: export
+#include "service/pool_arena.h"         // IWYU pragma: export
 
 #endif  // COVERAGE_COVERAGE_LIB_H_

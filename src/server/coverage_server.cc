@@ -1,0 +1,469 @@
+#include "server/coverage_server.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "server/json.h"
+#include "server/wire.h"
+#include "service/pool_arena.h"
+
+namespace coverage {
+
+using http::Request;
+using http::Response;
+using json::JsonValue;
+
+// ------------------------------------------------------------- RouteMetrics
+
+void RouteMetrics::Record(double seconds, bool error) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+  const double us = seconds * 1e6;
+  const std::uint64_t whole_us =
+      us <= 0 ? 0 : static_cast<std::uint64_t>(us);
+  total_us_.fetch_add(whole_us, std::memory_order_relaxed);
+  int bucket = 0;
+  while (bucket < kBuckets - 1 && (1ull << bucket) <= whole_us) ++bucket;
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double RouteMetrics::QuantileSeconds(double q) const {
+  std::array<std::uint64_t, kBuckets> snapshot;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snapshot[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snapshot[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snapshot[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= rank) {
+      return static_cast<double>(1ull << i) / 1e6;  // bucket upper edge
+    }
+  }
+  return static_cast<double>(1ull << (kBuckets - 1)) / 1e6;
+}
+
+// ------------------------------------------------------------------ helpers
+
+namespace {
+
+int StatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+Response ErrorResponse(const Status& status) {
+  JsonValue::Object error;
+  error["code"] = StatusCodeName(status.code());
+  error["message"] = status.message();
+  JsonValue::Object body;
+  body["error"] = std::move(error);
+  return Response::Json(StatusToHttp(status),
+                        json::Serialize(JsonValue(std::move(body))));
+}
+
+Response OkJson(JsonValue value) {
+  return Response::Json(200, json::Serialize(value));
+}
+
+/// Parses a request body that must be a JSON object; an empty body stands
+/// for {} so bodyless POSTs (session audit) stay ergonomic.
+StatusOr<JsonValue> ParseBody(const std::string& body) {
+  if (body.empty()) return JsonValue(JsonValue::Object{});
+  auto parsed = json::Parse(body);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Status CoverageServerOptions::Validate() const {
+  COVERAGE_RETURN_IF_ERROR(http.Validate());
+  COVERAGE_RETURN_IF_ERROR(session_defaults.Validate());
+  if (max_sessions < 1) {
+    return Status::InvalidArgument("max_sessions must be positive");
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- CoverageServer
+
+CoverageServer::CoverageServer(CoverageService service,
+                               CoverageServerOptions options)
+    : service_(std::move(service)),
+      options_(std::move(options)),
+      http_(options_.http,
+            [this](const Request& request) { return Handle(request); }) {
+  if (options_.session_defaults.thread_budget == nullptr) {
+    // One budget across every session the server opens: the registry-wide
+    // (in practice process-wide) cap of ServiceOptions::max_total_threads.
+    options_.session_defaults.thread_budget = std::make_shared<ThreadBudget>(
+        options_.session_defaults.max_total_threads);
+  }
+  // Fixed key set: Dispatch only ever looks up, so Record is data-race-free
+  // without a map lock.
+  metrics_["GET /healthz"];
+  metrics_["GET /v1/stats"];
+  metrics_["GET /v1/schema"];
+  metrics_["POST /v1/audit"];
+  metrics_["POST /v1/enhance"];
+  metrics_["POST /v1/query"];
+  metrics_["GET /v1/sessions"];
+  metrics_["POST /v1/sessions"];
+  metrics_["DELETE /v1/sessions/{id}"];
+  metrics_["POST /v1/sessions/{id}/append"];
+  metrics_["POST /v1/sessions/{id}/retract"];
+  metrics_["POST /v1/sessions/{id}/audit"];
+  metrics_["POST /v1/sessions/{id}/query"];
+}
+
+CoverageServer::~CoverageServer() { Stop(); }
+
+Status CoverageServer::Start() {
+  COVERAGE_RETURN_IF_ERROR(options_.Validate());
+  return http_.Start();
+}
+
+void CoverageServer::Stop() { http_.Stop(); }
+void CoverageServer::Wait() { http_.Wait(); }
+void CoverageServer::StopOnSignal() { http_.StopOnSignal(); }
+
+std::size_t CoverageServer::num_sessions() const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<CoverageServer::SessionEntry> CoverageServer::FindSession(
+    const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Response CoverageServer::Handle(const Request& request) {
+  Stopwatch timer;
+  std::string route_key;
+  Response response = Dispatch(request, &route_key);
+  const bool error = response.status >= 400;
+  auto it = metrics_.find(route_key);
+  (it != metrics_.end() ? it->second : unrouted_)
+      .Record(timer.ElapsedSeconds(), error);
+  return response;
+}
+
+Response CoverageServer::Dispatch(const Request& request,
+                                  std::string* route_key) {
+  // Strip any query string; the wire protocol carries everything in JSON
+  // bodies.
+  std::string path = request.target;
+  const std::size_t question = path.find('?');
+  if (question != std::string::npos) path.resize(question);
+
+  const auto route = [&](const char* key) {
+    *route_key = key;
+    return true;
+  };
+
+  if (request.method == "GET") {
+    if (path == "/healthz" && route("GET /healthz")) return HandleHealth();
+    if (path == "/v1/stats" && route("GET /v1/stats")) return HandleStats();
+    if (path == "/v1/schema" && route("GET /v1/schema")) {
+      return HandleSchema();
+    }
+    if (path == "/v1/sessions" && route("GET /v1/sessions")) {
+      return HandleSessionsList();
+    }
+  }
+  if (request.method == "POST") {
+    if (path == "/v1/audit" && route("POST /v1/audit")) {
+      return HandleAudit(request.body);
+    }
+    if (path == "/v1/enhance" && route("POST /v1/enhance")) {
+      return HandleEnhance(request.body);
+    }
+    if (path == "/v1/query" && route("POST /v1/query")) {
+      return HandleQuery(request.body);
+    }
+    if (path == "/v1/sessions" && route("POST /v1/sessions")) {
+      return HandleSessionCreate(request.body);
+    }
+  }
+
+  // /v1/sessions/{id} and /v1/sessions/{id}/{verb}
+  const std::string prefix = "/v1/sessions/";
+  if (path.compare(0, prefix.size(), prefix) == 0) {
+    const std::string rest = path.substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    const std::string id = rest.substr(0, slash);
+    if (!id.empty()) {
+      if (slash == std::string::npos) {
+        if (request.method == "DELETE" && route("DELETE /v1/sessions/{id}")) {
+          return HandleSessionDelete(id);
+        }
+      } else {
+        const std::string verb = rest.substr(slash + 1);
+        if (request.method == "POST" &&
+            (verb == "append" || verb == "retract" || verb == "audit" ||
+             verb == "query")) {
+          *route_key = "POST /v1/sessions/{id}/" + verb;
+          return HandleSessionVerb(id, verb, request.body);
+        }
+      }
+    }
+  }
+
+  // Distinguish a known path with the wrong method from an unknown path.
+  static const char* const kPaths[] = {"/healthz", "/v1/stats", "/v1/schema",
+                                       "/v1/audit", "/v1/enhance",
+                                       "/v1/query", "/v1/sessions"};
+  for (const char* known : kPaths) {
+    if (path == known) {
+      Response r = ErrorResponse(Status::InvalidArgument(
+          "method " + request.method + " is not supported on " + path));
+      r.status = 405;
+      return r;
+    }
+  }
+  return ErrorResponse(Status::NotFound("no route for " + request.method +
+                                        " " + path));
+}
+
+Response CoverageServer::HandleHealth() const {
+  JsonValue::Object o;
+  o["status"] = "serving";
+  o["num_rows"] = service_.num_rows();
+  return OkJson(JsonValue(std::move(o)));
+}
+
+Response CoverageServer::HandleSchema() const {
+  return OkJson(wire::ToJson(service_.schema()));
+}
+
+Response CoverageServer::HandleStats() const {
+  JsonValue::Object routes;
+  for (const auto& [key, m] : metrics_) {
+    if (m.count() == 0) continue;
+    JsonValue::Object r;
+    r["count"] = m.count();
+    r["errors"] = m.errors();
+    r["p50_seconds"] = m.QuantileSeconds(0.50);
+    r["p99_seconds"] = m.QuantileSeconds(0.99);
+    r["total_seconds"] = m.total_seconds();
+    routes[key] = std::move(r);
+  }
+  const http::ServerStats hs = http_.stats();
+  JsonValue::Object server;
+  server["connections_accepted"] = hs.connections_accepted;
+  server["requests_handled"] = hs.requests_handled;
+  server["protocol_errors"] = hs.protocol_errors;
+  JsonValue::Object o;
+  o["routes"] = std::move(routes);
+  o["server"] = std::move(server);
+  o["open_sessions"] = num_sessions();
+  o["unrouted_requests"] = unrouted_.count();
+  return OkJson(JsonValue(std::move(o)));
+}
+
+Response CoverageServer::HandleAudit(const std::string& body) {
+  auto parsed = ParseBody(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  auto request = wire::AuditRequestFromJson(*parsed);
+  if (!request.ok()) return ErrorResponse(request.status());
+  auto result = service_.Audit(*request);
+  if (!result.ok()) return ErrorResponse(result.status());
+  return OkJson(wire::ToJson(*result, service_.schema()));
+}
+
+Response CoverageServer::HandleEnhance(const std::string& body) {
+  auto parsed = ParseBody(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  auto request = wire::EnhanceRequestFromJson(*parsed, service_.schema());
+  if (!request.ok()) return ErrorResponse(request.status());
+  auto plan = service_.Enhance(*request);
+  if (!plan.ok()) return ErrorResponse(plan.status());
+  return OkJson(wire::ToJson(*plan, service_.schema()));
+}
+
+Response CoverageServer::HandleQuery(const std::string& body) {
+  auto parsed = ParseBody(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  auto request = wire::QueryBatchRequestFromJson(*parsed, service_.schema());
+  if (!request.ok()) return ErrorResponse(request.status());
+  auto result = service_.QueryBatch(*request);
+  if (!result.ok()) return ErrorResponse(result.status());
+  return OkJson(wire::ToJson(*result));
+}
+
+Response CoverageServer::HandleSessionsList() const {
+  JsonValue::Array list;
+  {
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    for (const auto& [id, entry] : sessions_) {
+      JsonValue::Object s;
+      s["session_id"] = id;
+      s["epoch"] = entry->session.epoch();
+      s["num_rows"] = entry->session.num_rows();
+      s["num_mups"] = entry->session.Audit().mups.size();
+      list.push_back(std::move(s));
+    }
+  }
+  JsonValue::Object o;
+  o["sessions"] = std::move(list);
+  return OkJson(JsonValue(std::move(o)));
+}
+
+Response CoverageServer::HandleSessionCreate(const std::string& body) {
+  auto parsed = ParseBody(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+
+  const JsonValue* schema_json = parsed->Find("schema");
+  Schema schema;
+  if (schema_json != nullptr) {
+    auto decoded = wire::SchemaFromJson(*schema_json);
+    if (!decoded.ok()) return ErrorResponse(decoded.status());
+    schema = std::move(*decoded);
+  } else {
+    // Default: a session over the served dataset's schema (the common
+    // "stream more of the same data" case).
+    schema = service_.schema();
+  }
+
+  CoverageService::SessionOptions options = options_.session_defaults;
+  const JsonValue& v = *parsed;
+  for (const auto& [key, value] : v.AsObject()) {
+    if (key == "schema") continue;
+    if (key == "tau") {
+      auto tau = v.GetUint("tau");
+      if (!tau.ok()) return ErrorResponse(tau.status());
+      options.tau = *tau;
+    } else if (key == "max_level") {
+      auto level = v.GetInt("max_level");
+      if (!level.ok()) return ErrorResponse(level.status());
+      options.max_level = static_cast<int>(*level);
+    } else if (key == "window_max_rows") {
+      auto rows = v.GetUint("window_max_rows");
+      if (!rows.ok()) return ErrorResponse(rows.status());
+      options.window_max_rows = static_cast<std::size_t>(*rows);
+    } else if (key == "window_max_epochs") {
+      auto epochs = v.GetUint("window_max_epochs");
+      if (!epochs.ok()) return ErrorResponse(epochs.status());
+      options.window_max_epochs = static_cast<std::size_t>(*epochs);
+    } else {
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown request member '" + key + "'"));
+    }
+  }
+
+  auto session = CoverageService::OpenSession(schema, options);
+  if (!session.ok()) return ErrorResponse(session.status());
+
+  std::string id;
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    if (sessions_.size() >= static_cast<std::size_t>(options_.max_sessions)) {
+      return ErrorResponse(Status::ResourceExhausted(
+          "session registry is full (" +
+          std::to_string(options_.max_sessions) + " open sessions)"));
+    }
+    id = "s" + std::to_string(
+                   next_session_id_.fetch_add(1, std::memory_order_relaxed));
+    sessions_.emplace(
+        id, std::make_shared<SessionEntry>(std::move(*session)));
+  }
+  JsonValue::Object o;
+  o["session_id"] = id;
+  o["tau"] = options.tau;
+  o["num_attributes"] = schema.num_attributes();
+  Response r = OkJson(JsonValue(std::move(o)));
+  r.status = 201;
+  return r;
+}
+
+Response CoverageServer::HandleSessionDelete(const std::string& id) {
+  std::shared_ptr<SessionEntry> entry;
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return ErrorResponse(Status::NotFound("no session '" + id + "'"));
+    }
+    entry = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // In-flight handlers on this session finish on their shared_ptr; the
+  // engine is destroyed when the last one drops.
+  JsonValue::Object o;
+  o["closed"] = id;
+  return OkJson(JsonValue(std::move(o)));
+}
+
+Response CoverageServer::HandleSessionVerb(const std::string& id,
+                                           const std::string& verb,
+                                           const std::string& body) {
+  std::shared_ptr<SessionEntry> entry = FindSession(id);
+  if (entry == nullptr) {
+    return ErrorResponse(Status::NotFound("no session '" + id + "'"));
+  }
+  auto parsed = ParseBody(body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+
+  if (verb == "append" || verb == "retract") {
+    auto rows = wire::RowsFromJson(*parsed, entry->session.schema());
+    if (!rows.ok()) return ErrorResponse(rows.status());
+    std::lock_guard<std::mutex> write_lock(entry->write_mu);
+    auto stats = verb == "append" ? entry->session.Append(*rows)
+                                  : entry->session.Retract(*rows);
+    if (!stats.ok()) return ErrorResponse(stats.status());
+    JsonValue update = wire::ToJson(*stats);
+    update.AsObject()["epoch"] = entry->session.epoch();
+    update.AsObject()["num_mups"] = entry->session.Audit().mups.size();
+    return OkJson(update);
+  }
+  if (verb == "audit") {
+    if (!parsed->AsObject().empty()) {
+      return ErrorResponse(Status::InvalidArgument(
+          "session audit takes no request members (the MUP set is "
+          "maintained incrementally; send an empty body)"));
+    }
+    return OkJson(
+        wire::ToJson(entry->session.Audit(), entry->session.schema()));
+  }
+  // verb == "query"
+  auto request =
+      wire::QueryBatchRequestFromJson(*parsed, entry->session.schema());
+  if (!request.ok()) return ErrorResponse(request.status());
+  auto result = entry->session.QueryBatch(*request);
+  if (!result.ok()) return ErrorResponse(result.status());
+  return OkJson(wire::ToJson(*result));
+}
+
+}  // namespace coverage

@@ -1,0 +1,165 @@
+#ifndef COVERAGE_SERVER_COVERAGE_SERVER_H_
+#define COVERAGE_SERVER_COVERAGE_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "common/status.h"
+#include "server/http.h"
+#include "server/http_server.h"
+#include "service/coverage_service.h"
+
+namespace coverage {
+
+/// Per-route request metrics: count, errors, and a log-scale latency
+/// histogram (54 power-of-two microsecond buckets) good enough for the
+/// p50/p99 surfaced by /v1/stats without storing samples. Thread-safe,
+/// lock-free on the record path.
+class RouteMetrics {
+ public:
+  void Record(double seconds, bool error);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return total_us_.load(std::memory_order_relaxed) / 1e6;
+  }
+
+  /// Latency quantile estimate in seconds (upper edge of the histogram
+  /// bucket holding the q-quantile); 0 when nothing was recorded.
+  double QuantileSeconds(double q) const;
+
+ private:
+  static constexpr int kBuckets = 54;  // bucket i: latency < 2^i µs
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Configuration of the coverage server process.
+struct CoverageServerOptions {
+  http::ServerOptions http;
+
+  /// Defaults for sessions created via POST /v1/sessions; the request may
+  /// override tau / max_level / window limits. thread_budget should be the
+  /// same budget the service options carry, making max_total_threads a
+  /// process-wide cap (see ServiceOptions); when unset, one budget is
+  /// created from session_defaults.max_total_threads and shared by every
+  /// session the server opens.
+  CoverageService::SessionOptions session_defaults;
+
+  /// Registry cap: POST /v1/sessions answers 429 beyond this.
+  int max_sessions = 1024;
+
+  Status Validate() const;
+};
+
+/// The network front-end: binds the JSON wire protocol (server/wire.h) and
+/// a route table onto one immutable CoverageService plus a registry of
+/// mutable Sessions, served over the embedded HttpServer.
+///
+///   method  route                             maps to
+///   ------  --------------------------------  --------------------------
+///   GET     /healthz                          liveness probe
+///   GET     /v1/stats                         per-route counters + p50/p99
+///   GET     /v1/schema                        the indexed dataset's schema
+///   POST    /v1/audit                         CoverageService::Audit
+///   POST    /v1/enhance                       CoverageService::Enhance
+///   POST    /v1/query                         CoverageService::QueryBatch
+///   GET     /v1/sessions                      list open sessions
+///   POST    /v1/sessions                      OpenSession (body: schema +
+///                                             options) → {"session_id"}
+///   POST    /v1/sessions/{id}/append          Session::Append
+///   POST    /v1/sessions/{id}/retract         Session::Retract
+///   POST    /v1/sessions/{id}/audit           Session::Audit
+///   POST    /v1/sessions/{id}/query           Session::QueryBatch
+///   DELETE  /v1/sessions/{id}                 close the session
+///
+/// Status codes map 1:1 onto the library's Status: InvalidArgument → 400,
+/// NotFound → 404, ResourceExhausted → 429, OutOfRange → 400, Internal →
+/// 500; protocol-level violations (oversized body, bad framing) are
+/// answered by the HttpServer itself (413/431/400). Error bodies are
+/// {"error": {"code": ..., "message": ...}}.
+///
+/// Handle() is public so tests (and the byte-equivalence suite) can drive
+/// the exact route logic in-process, with the HTTP transport exercised
+/// separately over loopback.
+class CoverageServer {
+ public:
+  CoverageServer(CoverageService service, CoverageServerOptions options);
+  ~CoverageServer();
+
+  CoverageServer(const CoverageServer&) = delete;
+  CoverageServer& operator=(const CoverageServer&) = delete;
+
+  Status Start();
+  void Stop();
+  void Wait();
+  /// Stop on SIGINT/SIGTERM (see HttpServer::StopOnSignal).
+  void StopOnSignal();
+
+  int port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  /// The full request → response mapping (transport-free).
+  http::Response Handle(const http::Request& request);
+
+  const CoverageService& service() const { return service_; }
+  std::size_t num_sessions() const;
+
+ private:
+  struct SessionEntry {
+    explicit SessionEntry(CoverageService::Session session)
+        : session(std::move(session)) {}
+    CoverageService::Session session;
+    /// Append/retract mutate the engine: one writer at a time per session
+    /// (audits and queries read epoch snapshots and stay lock-free).
+    std::mutex write_mu;
+  };
+
+  http::Response Dispatch(const http::Request& request,
+                          std::string* route_key);
+  http::Response HandleAudit(const std::string& body);
+  http::Response HandleEnhance(const std::string& body);
+  http::Response HandleQuery(const std::string& body);
+  http::Response HandleSchema() const;
+  http::Response HandleHealth() const;
+  http::Response HandleStats() const;
+  http::Response HandleSessionsList() const;
+  http::Response HandleSessionCreate(const std::string& body);
+  http::Response HandleSessionDelete(const std::string& id);
+  http::Response HandleSessionVerb(const std::string& id,
+                                   const std::string& verb,
+                                   const std::string& body);
+
+  std::shared_ptr<SessionEntry> FindSession(const std::string& id) const;
+
+  CoverageService service_;
+  CoverageServerOptions options_;
+  http::HttpServer http_;
+
+  mutable std::shared_mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  std::atomic<std::uint64_t> next_session_id_{1};
+
+  /// Route-key → metrics; the key set is fixed at construction so the
+  /// record path never mutates the map.
+  std::map<std::string, RouteMetrics> metrics_;
+  RouteMetrics unrouted_;  ///< 404s and other unmatched targets
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVER_COVERAGE_SERVER_H_

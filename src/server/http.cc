@@ -1,0 +1,296 @@
+#include "server/http.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace coverage {
+namespace http {
+
+bool HeaderNameEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+const std::string* FindIn(const std::vector<Header>& headers,
+                          const std::string& name) {
+  for (const Header& h : headers) {
+    if (HeaderNameEquals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::string* Request::FindHeader(const std::string& name) const {
+  return FindIn(headers, name);
+}
+
+const std::string* Response::FindHeader(const std::string& name) const {
+  return FindIn(headers, name);
+}
+
+bool Request::KeepAlive() const {
+  const std::string* connection = FindHeader("Connection");
+  if (connection != nullptr) {
+    if (HeaderNameEquals(*connection, "close")) return false;
+    if (HeaderNameEquals(*connection, "keep-alive")) return true;
+  }
+  return version == "HTTP/1.1";
+}
+
+Response Response::Json(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.headers.push_back({"Content-Type", "application/json"});
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::Text(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.headers.push_back({"Content-Type", "text/plain"});
+  r.body = std::move(body);
+  return r;
+}
+
+std::string ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  for (const Header& h : response.headers) {
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!keep_alive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string out = request.method + " " + request.target + " " +
+                    (request.version.empty() ? "HTTP/1.1" : request.version) +
+                    "\r\n";
+  for (const Header& h : request.headers) {
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+// ------------------------------------------------------------ MessageReader
+
+Status MessageReader::Feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  return Pump();
+}
+
+Status MessageReader::Pump() {
+  if (state_ == State::kHead) {
+    // Find the head terminator; tolerate bare-LF line endings.
+    std::size_t head_end = std::string::npos;
+    std::size_t body_start = 0;
+    const std::size_t crlf = buffer_.find("\r\n\r\n");
+    const std::size_t lf = buffer_.find("\n\n");
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf <= lf)) {
+      head_end = crlf;
+      body_start = crlf + 4;
+    } else if (lf != std::string::npos) {
+      head_end = lf;
+      body_start = lf + 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        limit_violation_ = LimitViolation::kHead;
+        return Status::ResourceExhausted(
+            "message head exceeds " + std::to_string(limits_.max_head_bytes) +
+            " bytes");
+      }
+      return Status::OK();  // need more bytes
+    }
+    if (head_end > limits_.max_head_bytes) {
+      limit_violation_ = LimitViolation::kHead;
+      return Status::ResourceExhausted(
+          "message head exceeds " + std::to_string(limits_.max_head_bytes) +
+          " bytes");
+    }
+    head_ = buffer_.substr(0, head_end);
+    buffer_.erase(0, body_start);
+    COVERAGE_RETURN_IF_ERROR(ParseHead());
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody && buffer_.size() >= body_expected_) {
+    body_ = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kDone;
+  }
+  return Status::OK();
+}
+
+Status MessageReader::ParseHead() {
+  // Split into lines; the start line is examined by TakeRequest/TakeResponse,
+  // but Content-Length must be known now to frame the body.
+  headers_.clear();
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= head_.size()) {
+    std::size_t eol = head_.find('\n', pos);
+    std::string line = eol == std::string::npos ? head_.substr(pos)
+                                                : head_.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    return Status::InvalidArgument("empty start line");
+  }
+  start_line_ = lines[0];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line '" + line + "'");
+    }
+    Header h;
+    h.name = line.substr(0, colon);
+    if (h.name.find(' ') != std::string::npos ||
+        h.name.find('\t') != std::string::npos) {
+      // RFC 9112 §5.1: no whitespace between field name and colon.
+      return Status::InvalidArgument("whitespace in header name '" + h.name +
+                                     "'");
+    }
+    h.value = std::string(Trim(line.substr(colon + 1)));
+    headers_.push_back(std::move(h));
+  }
+
+  if (FindIn(headers_, "Transfer-Encoding") != nullptr) {
+    return Status::InvalidArgument(
+        "Transfer-Encoding is not supported (bodies are framed by "
+        "Content-Length)");
+  }
+  body_expected_ = 0;
+  if (const std::string* cl = FindIn(headers_, "Content-Length")) {
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("malformed Content-Length '" + *cl + "'");
+    }
+    errno = 0;
+    const unsigned long long v = std::strtoull(cl->c_str(), nullptr, 10);
+    if (errno != 0) {
+      return Status::InvalidArgument("malformed Content-Length '" + *cl + "'");
+    }
+    if (v > limits_.max_body_bytes) {
+      limit_violation_ = LimitViolation::kBody;
+      return Status::ResourceExhausted(
+          "body of " + std::to_string(v) + " bytes exceeds the " +
+          std::to_string(limits_.max_body_bytes) + "-byte limit");
+    }
+    body_expected_ = static_cast<std::size_t>(v);
+  }
+  return Status::OK();
+}
+
+void MessageReader::Reset() {
+  state_ = State::kHead;
+  head_.clear();
+  start_line_.clear();
+  headers_.clear();
+  body_.clear();
+  body_expected_ = 0;
+  // buffer_ keeps any pipelined bytes of the next message.
+}
+
+StatusOr<Request> MessageReader::TakeRequest() {
+  if (state_ != State::kDone) {
+    return Status::Internal("TakeRequest called before a full message arrived");
+  }
+  // request-line = method SP request-target SP HTTP-version
+  const std::size_t sp1 = start_line_.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : start_line_.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      start_line_.find(' ', sp2 + 1) != std::string::npos) {
+    return Status::InvalidArgument("malformed request line '" + start_line_ +
+                                   "'");
+  }
+  Request r;
+  r.method = start_line_.substr(0, sp1);
+  r.target = start_line_.substr(sp1 + 1, sp2 - sp1 - 1);
+  r.version = start_line_.substr(sp2 + 1);
+  if (r.method.empty() || r.target.empty() || r.target[0] != '/') {
+    return Status::InvalidArgument("malformed request line '" + start_line_ +
+                                   "'");
+  }
+  if (r.version != "HTTP/1.1" && r.version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported version '" + r.version + "'");
+  }
+  r.headers = std::move(headers_);
+  r.body = std::move(body_);
+  Reset();
+  return r;
+}
+
+StatusOr<Response> MessageReader::TakeResponse() {
+  if (state_ != State::kDone) {
+    return Status::Internal(
+        "TakeResponse called before a full message arrived");
+  }
+  // status-line = HTTP-version SP status-code SP reason-phrase
+  const std::size_t sp1 = start_line_.find(' ');
+  if (sp1 == std::string::npos || start_line_.compare(0, 5, "HTTP/") != 0) {
+    return Status::InvalidArgument("malformed status line '" + start_line_ +
+                                   "'");
+  }
+  const std::size_t sp2 = start_line_.find(' ', sp1 + 1);
+  const std::string code = start_line_.substr(
+      sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  if (code.size() != 3 ||
+      code.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("malformed status code '" + code + "'");
+  }
+  Response r;
+  r.status = std::stoi(code);
+  r.headers = std::move(headers_);
+  r.body = std::move(body_);
+  Reset();
+  return r;
+}
+
+}  // namespace http
+}  // namespace coverage

@@ -1,0 +1,132 @@
+#ifndef COVERAGE_SERVER_HTTP_H_
+#define COVERAGE_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coverage {
+namespace http {
+
+/// One header line. Names compare case-insensitively (RFC 9110 §5.1);
+/// values are kept verbatim.
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive ASCII comparison for header names.
+bool HeaderNameEquals(const std::string& a, const std::string& b);
+
+/// A parsed request. `target` is the raw request-target (path + optional
+/// query); the server's router splits it.
+struct Request {
+  std::string method;            // "GET", "POST", ...
+  std::string target;            // "/v1/audit"
+  std::string version;           // "HTTP/1.1"
+  std::vector<Header> headers;
+  std::string body;
+
+  const std::string* FindHeader(const std::string& name) const;
+
+  /// Connection semantics: HTTP/1.1 defaults to keep-alive unless the
+  /// client sent `Connection: close`; HTTP/1.0 defaults to close.
+  bool KeepAlive() const;
+};
+
+struct Response {
+  int status = 200;
+  std::vector<Header> headers;   // Content-Length is added by the writer
+  std::string body;
+
+  const std::string* FindHeader(const std::string& name) const;
+
+  static Response Json(int status, std::string body);
+  static Response Text(int status, std::string body);
+};
+
+/// The reason phrase for the status codes the server emits ("Unknown" for
+/// anything unmapped — the code still goes on the wire).
+std::string ReasonPhrase(int status);
+
+/// Serialises a response with Content-Length and the standard framing. When
+/// `keep_alive` is false a `Connection: close` header is added.
+std::string SerializeResponse(const Response& response, bool keep_alive);
+
+/// Serialises a request (always with Content-Length, even when empty, so
+/// POST bodies are unambiguous).
+std::string SerializeRequest(const Request& request);
+
+/// Incremental HTTP/1.1 message reader shared by the server (requests) and
+/// the client (responses). Feed it raw bytes as they arrive; it buffers
+/// until one full message (head + Content-Length body) is available.
+///
+/// The grammar is the strict subset the wire protocol needs: a request line
+/// or status line, CRLF-separated header lines (LF alone is tolerated),
+/// no obs-fold continuation lines, and bodies framed by Content-Length only
+/// (a message with `Transfer-Encoding` is rejected — the wire protocol
+/// never chunks). Bounds are enforced *while buffering*, so an oversized
+/// or runaway message fails fast instead of exhausting memory.
+class MessageReader {
+ public:
+  struct Limits {
+    std::size_t max_head_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  /// Which bound a ResourceExhausted rejection violated — structured so
+  /// the server can answer 431 vs 413 without parsing the error message.
+  enum class LimitViolation { kNone, kHead, kBody };
+
+  explicit MessageReader(Limits limits) : limits_(limits) {}
+
+  /// Appends newly received bytes. Returns InvalidArgument /
+  /// ResourceExhausted as soon as the data cannot become a valid message.
+  Status Feed(const char* data, std::size_t n);
+
+  /// Set iff the last Feed/Pump returned ResourceExhausted.
+  LimitViolation limit_violation() const { return limit_violation_; }
+
+  /// Re-runs the parse over already-buffered bytes without feeding new
+  /// ones. Call after TakeRequest/TakeResponse so a pipelined next message
+  /// that is already fully buffered becomes visible via HasMessage().
+  Status Pump();
+
+  /// True once one complete message is buffered.
+  bool HasMessage() const { return state_ == State::kDone; }
+
+  /// True when no bytes of a next message have arrived (clean point for a
+  /// keep-alive connection to close).
+  bool Empty() const { return state_ == State::kHead && buffer_.empty(); }
+
+  /// Extracts the buffered message as a request (server side). Resets the
+  /// reader so leftover pipelined bytes start the next message.
+  StatusOr<Request> TakeRequest();
+
+  /// Extracts the buffered message as a response (client side).
+  StatusOr<Response> TakeResponse();
+
+ private:
+  enum class State { kHead, kBody, kDone };
+
+  Status ParseHead();
+  void Reset();
+
+  Limits limits_;
+  State state_ = State::kHead;
+  std::string buffer_;           // unparsed bytes
+  std::string head_;             // start line + headers once split
+  std::string start_line_;
+  std::vector<Header> headers_;
+  std::size_t body_expected_ = 0;
+  std::string body_;
+  LimitViolation limit_violation_ = LimitViolation::kNone;
+};
+
+}  // namespace http
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVER_HTTP_H_

@@ -1,0 +1,209 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace coverage {
+namespace http {
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      fd_(other.fd_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+StatusOr<HttpClient> HttpClient::Connect(const std::string& host, int port,
+                                         int timeout_ms) {
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("port must be within [1, 65535]");
+  }
+  HttpClient client(host, port, timeout_ms);
+  COVERAGE_RETURN_IF_ERROR(client.EnsureConnected());
+  return client;
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("'" + host_ +
+                                   "' is not a numeric IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::Internal("connect to " + host_ + ":" +
+                                       std::to_string(port_) + ": " +
+                                       std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  MessageReader::Limits limits;
+  limits.max_body_bytes = 1ull << 30;  // trust the server we asked
+  reader_ = std::make_unique<MessageReader>(limits);
+  return Status::OK();
+}
+
+Status HttpClient::SendAll(const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st =
+          Status::Internal(std::string("send: ") + std::strerror(errno));
+      Close();
+      return st;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Response> HttpClient::ReadResponse() {
+  MessageReader& reader = *reader_;
+  response_bytes_seen_ = !reader.Empty();
+  // A previously recv'd pipelined response may already be buffered.
+  COVERAGE_RETURN_IF_ERROR(reader.Pump());
+  char buf[16384];
+  while (!reader.HasMessage()) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) {
+      Close();
+      return Status::Internal("timed out waiting for the response");
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::Internal("connection closed before a full response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    response_bytes_seen_ = true;
+    const Status fed = reader.Feed(buf, static_cast<std::size_t>(n));
+    if (!fed.ok()) {
+      Close();
+      return fed;
+    }
+  }
+  auto response = reader.TakeResponse();
+  if (!response.ok()) {
+    Close();
+    return response.status();
+  }
+  // Honour the server's connection semantics for the next call.
+  const std::string* connection = response->FindHeader("Connection");
+  if (connection != nullptr && HeaderNameEquals(*connection, "close")) {
+    Close();
+  }
+  return response;
+}
+
+StatusOr<Response> HttpClient::Roundtrip(Request request) {
+  const bool reused_connection = fd_ >= 0;
+  COVERAGE_RETURN_IF_ERROR(EnsureConnected());
+  if (request.version.empty()) request.version = "HTTP/1.1";
+  const std::string bytes = SerializeRequest(request);
+  const Status sent = SendAll(bytes);
+  if (sent.ok()) {
+    auto response = ReadResponse();
+    if (response.ok() || !reused_connection || response_bytes_seen_) {
+      return response;
+    }
+    // Fall through: the reused keep-alive socket died before a single
+    // response byte — the server closed it between calls (idle timeout,
+    // restart). The send can "succeed" into the socket buffer in that
+    // state, so the read side must trigger the retry too.
+  } else if (!reused_connection) {
+    return sent;
+  }
+  // One transparent retry on a fresh connection.
+  COVERAGE_RETURN_IF_ERROR(EnsureConnected());
+  COVERAGE_RETURN_IF_ERROR(SendAll(bytes));
+  return ReadResponse();
+}
+
+StatusOr<Response> HttpClient::RoundtripRaw(const std::string& bytes) {
+  COVERAGE_RETURN_IF_ERROR(EnsureConnected());
+  COVERAGE_RETURN_IF_ERROR(SendAll(bytes));
+  return ReadResponse();
+}
+
+StatusOr<Response> HttpClient::Get(const std::string& target) {
+  Request r;
+  r.method = "GET";
+  r.target = target;
+  return Roundtrip(std::move(r));
+}
+
+StatusOr<Response> HttpClient::Post(const std::string& target,
+                                    std::string body,
+                                    const std::string& content_type) {
+  Request r;
+  r.method = "POST";
+  r.target = target;
+  r.headers.push_back({"Content-Type", content_type});
+  r.body = std::move(body);
+  return Roundtrip(std::move(r));
+}
+
+}  // namespace http
+}  // namespace coverage

@@ -1,0 +1,78 @@
+#ifndef COVERAGE_SERVER_HTTP_CLIENT_H_
+#define COVERAGE_SERVER_HTTP_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "server/http.h"
+
+namespace coverage {
+namespace http {
+
+/// A tiny blocking HTTP/1.1 client for one keep-alive connection — just
+/// enough wire protocol for the loopback tests, the load generator, and
+/// scripting against coverage_server. Not thread-safe: one connection, one
+/// in-flight request, owned by one thread (the load generator opens one
+/// HttpClient per client thread).
+///
+///   auto client = HttpClient::Connect("127.0.0.1", port);
+///   auto resp = client->Post("/v1/audit", R"({"tau": 30})");
+///
+/// Requests go out with Content-Length and default keep-alive; if the
+/// server answers `Connection: close` (or the transport drops), the next
+/// call reconnects transparently.
+class HttpClient {
+ public:
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// Opens a TCP connection. `host` is a numeric IPv4 address (the client
+  /// deliberately skips DNS — it talks to loopback and explicit addresses).
+  static StatusOr<HttpClient> Connect(const std::string& host, int port,
+                                      int timeout_ms = 5000);
+
+  StatusOr<Response> Get(const std::string& target);
+  StatusOr<Response> Post(const std::string& target, std::string body,
+                          const std::string& content_type =
+                              "application/json");
+
+  /// Full control over the request line and headers.
+  StatusOr<Response> Roundtrip(Request request);
+
+  /// Sends raw bytes and reads one response — the malformed-request tests
+  /// use this to speak broken HTTP on purpose.
+  StatusOr<Response> RoundtripRaw(const std::string& bytes);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  HttpClient(std::string host, int port, int timeout_ms)
+      : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+  Status EnsureConnected();
+  void Close();
+  Status SendAll(const std::string& data);
+  StatusOr<Response> ReadResponse();
+
+  std::string host_;
+  int port_ = 0;
+  int timeout_ms_ = 5000;
+  int fd_ = -1;
+  /// Persists across responses on one connection so bytes recv'd past the
+  /// current response (pipelined replies) stay buffered for the next read.
+  std::unique_ptr<MessageReader> reader_;
+  /// Whether the last ReadResponse saw any bytes before failing — a reused
+  /// connection that died byte-less was a stale keep-alive socket, which
+  /// Roundtrip retries once on a fresh connection.
+  bool response_bytes_seen_ = false;
+};
+
+}  // namespace http
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVER_HTTP_CLIENT_H_

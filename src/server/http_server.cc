@@ -1,0 +1,397 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace coverage {
+namespace http {
+
+namespace {
+
+/// The one server wired to SIGINT/SIGTERM, and the flag its handler sets.
+/// Signal handlers may only touch lock-free atomics, so the handler records
+/// the request and the accept loop (which polls anyway) acts on it.
+std::atomic<HttpServer*> g_signal_server{nullptr};
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void OnStopSignal(int) { g_signal_stop = 1; }
+
+/// send(2) the whole buffer, riding out partial writes and EINTR.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort error reply for protocol violations; the connection closes
+/// right after, so failures to send are ignored.
+void SendProtocolError(int fd, int status, const std::string& detail) {
+  Response r = Response::Text(status, detail + "\n");
+  SendAll(fd, SerializeResponse(r, /*keep_alive=*/false));
+}
+
+int StatusToHttpParseError(const Status& status,
+                           const MessageReader& reader) {
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return reader.limit_violation() == MessageReader::LimitViolation::kHead
+               ? 431
+               : 413;
+  }
+  return 400;
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be within [0, 65535]");
+  }
+  if (num_threads < 0 || num_threads > 1024) {
+    return Status::InvalidArgument(
+        "num_threads must be within [0, 1024] (0 = hardware concurrency)");
+  }
+  if (max_body_bytes == 0 || max_head_bytes == 0) {
+    return Status::InvalidArgument("size limits must be positive");
+  }
+  if (backlog < 1) {
+    return Status::InvalidArgument("backlog must be positive");
+  }
+  if (idle_timeout_ms < 1 || poll_interval_ms < 1) {
+    return Status::InvalidArgument("timeouts must be positive");
+  }
+  return Status::OK();
+}
+
+HttpServer::HttpServer(ServerOptions options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() {
+  Stop();
+  if (g_signal_server.load(std::memory_order_acquire) == this) {
+    g_signal_server.store(nullptr, std::memory_order_release);
+  }
+}
+
+Status HttpServer::Start() {
+  COVERAGE_RETURN_IF_ERROR(options_.Validate());
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return st;
+  }
+  if (::listen(listen_fd, options_.backlog) < 0) {
+    const Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+  listen_fd_.store(listen_fd, std::memory_order_release);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_joined_ = false;
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  // RunOnAll blocks its caller as worker 0, so a driver thread donates
+  // itself: all options_.num_threads workers run WorkerLoop concurrently.
+  pool_driver_ = std::thread([this] {
+    pool_->RunOnAll([this](int) { WorkerLoop(); });
+  });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  pollfd pfd{};
+  pfd.events = POLLIN;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (g_signal_stop != 0 &&
+        g_signal_server.load(std::memory_order_acquire) == this) {
+      // ^C: stop accepting. Wait() (which polls the same flag) runs the
+      // graceful Stop() — it cannot run here, as Stop() joins this thread.
+      break;
+    }
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // Stop() retired the listener
+    pfd.fd = listen_fd;
+    const int ready = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed (Stop) or unrecoverable
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else if (stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+    }
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Accepted but never served: close without a response (the client
+      // sees a clean connection close, the normal "server going away").
+      ::close(fd);
+      continue;
+    }
+    HandleConnection(fd);
+  }
+}
+
+int HttpServer::WaitReadable(int fd, int* idle_budget_ms) const {
+  while (*idle_budget_ms > 0) {
+    if (stopping_.load(std::memory_order_acquire)) return 0;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int wait_ms = options_.poll_interval_ms < *idle_budget_ms
+                            ? options_.poll_interval_ms
+                            : *idle_budget_ms;
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (ready > 0) return 1;
+    *idle_budget_ms -= wait_ms;
+  }
+  return -1;  // idle timeout
+}
+
+void HttpServer::HandleConnection(int fd) {
+  MessageReader::Limits limits;
+  limits.max_head_bytes = options_.max_head_bytes;
+  limits.max_body_bytes = options_.max_body_bytes;
+  MessageReader reader(limits);
+
+  char buf[16384];
+  bool keep_alive = true;
+  while (keep_alive) {
+    int idle_budget_ms = options_.idle_timeout_ms;
+    // Read until one full request is buffered (or the connection dies).
+    while (!reader.HasMessage()) {
+      const int readable = WaitReadable(fd, &idle_budget_ms);
+      if (readable == 0) {
+        // Server stopping. Mid-request bytes are abandoned (the client
+        // never got a response promise); between requests this is the
+        // clean close point of a keep-alive connection.
+        keep_alive = false;
+        break;
+      }
+      if (readable < 0) {
+        if (!reader.Empty()) {
+          SendProtocolError(fd, 408, "request timed out");
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        keep_alive = false;
+        break;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) {  // peer closed
+        if (!reader.Empty()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        keep_alive = false;
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        keep_alive = false;
+        break;
+      }
+      const Status fed = reader.Feed(buf, static_cast<std::size_t>(n));
+      if (!fed.ok()) {
+        SendProtocolError(fd, StatusToHttpParseError(fed, reader),
+                          fed.message());
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        keep_alive = false;
+        break;
+      }
+    }
+    if (!keep_alive && !reader.HasMessage()) break;
+
+    // Serve every fully buffered request (pipelining) before reading more.
+    while (reader.HasMessage()) {
+      auto request = reader.TakeRequest();
+      if (!request.ok()) {
+        SendProtocolError(fd, 400, request.status().message());
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        keep_alive = false;
+        break;
+      }
+      keep_alive = keep_alive && request->KeepAlive() &&
+                   !stopping_.load(std::memory_order_acquire);
+      const Response response = handler_(*request);
+      requests_handled_.fetch_add(1, std::memory_order_relaxed);
+      if (!SendAll(fd, SerializeResponse(response, keep_alive))) {
+        keep_alive = false;
+        break;
+      }
+      // Once a response promised Connection: close, no further pipelined
+      // request may be processed (RFC 9112 §9.6).
+      if (!keep_alive) break;
+      // Surface the next pipelined request if it is already buffered.
+      const Status pumped = reader.Pump();
+      if (!pumped.ok()) {
+        SendProtocolError(fd, StatusToHttpParseError(pumped, reader),
+                          pumped.message());
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        keep_alive = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void HttpServer::Stop() {
+  bool expected = false;
+  const bool i_stop = stopping_.compare_exchange_strong(
+      expected, true, std::memory_order_acq_rel);
+  if (i_stop) {
+    // Closing the listener wakes the accept loop's poll immediately.
+    const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+    }
+    {
+      // Serialise with WorkerLoop's predicate check: a worker that read
+      // stopping_ == false under mu_ must reach its wait before this
+      // notify, or it would sleep through shutdown (lost wakeup).
+      std::lock_guard<std::mutex> lock(mu_);
+    }
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (pool_driver_.joinable()) pool_driver_.join();
+    pool_.reset();
+    // Workers have exited; anything still queued gets a clean close.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const int fd : pending_) ::close(fd);
+      pending_.clear();
+      threads_joined_ = true;
+    }
+    running_.store(false, std::memory_order_release);
+    stopped_cv_.notify_all();
+  } else {
+    Wait();
+  }
+}
+
+void HttpServer::Wait() {
+  const auto tick = std::chrono::milliseconds(options_.poll_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopped_cv_.wait_for(lock, tick, [&] { return threads_joined_; })) {
+        return;
+      }
+    }
+    // A signal-requested stop runs here, on the waiter's thread — never on
+    // a thread Stop() would have to join.
+    if (g_signal_stop != 0 &&
+        g_signal_server.load(std::memory_order_acquire) == this &&
+        !stopping_.load(std::memory_order_acquire)) {
+      Stop();
+      return;
+    }
+  }
+}
+
+void HttpServer::StopOnSignal() {
+  g_signal_server.store(this, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = OnStopSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+#ifdef SIGPIPE
+  ::signal(SIGPIPE, SIG_IGN);  // broken clients must not kill the process
+#endif
+}
+
+ServerStats HttpServer::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.requests_handled = requests_handled_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace http
+}  // namespace coverage

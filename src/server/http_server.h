@@ -1,0 +1,151 @@
+#ifndef COVERAGE_SERVER_HTTP_SERVER_H_
+#define COVERAGE_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "server/http.h"
+
+namespace coverage {
+
+class ThreadPool;
+
+namespace http {
+
+/// Knobs of the embedded server. Everything is fixed at Start().
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port() — the
+  /// pattern every loopback test uses).
+  int port = 0;
+
+  /// Connection-handler workers. 0 clamps to hardware_concurrency() (the
+  /// ThreadPool contract). Each worker owns one connection at a time and
+  /// serves its keep-alive request sequence to completion.
+  int num_threads = 4;
+
+  /// Hard bounds enforced while buffering, before any parsing work.
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  std::size_t max_head_bytes = 16 * 1024;
+
+  /// listen(2) backlog: accepted-but-unhandled connections queue here and
+  /// in the internal handoff queue.
+  int backlog = 128;
+
+  /// A keep-alive connection with no traffic for this long is closed
+  /// (slowloris guard; also bounds how long a worker can be pinned by a
+  /// silent client).
+  int idle_timeout_ms = 30000;
+
+  /// How often blocked loops re-check the stop flag; shutdown latency is
+  /// bounded by this.
+  int poll_interval_ms = 50;
+
+  Status Validate() const;
+};
+
+/// Counters surfaced by /v1/stats (monotonic since Start()).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_handled = 0;
+  std::uint64_t protocol_errors = 0;  ///< connections dropped on bad HTTP
+};
+
+/// A dependency-free blocking HTTP/1.1 server: one accept thread feeding a
+/// ThreadPool of connection handlers through a small handoff queue.
+///
+///   HttpServer server(options, [](const Request& r) { ... return resp; });
+///   server.Start();          // binds, spawns accept loop + workers
+///   ...
+///   server.Stop();           // graceful: drain, close, join
+///
+/// The handler runs on a worker thread, one call at a time per connection
+/// but many connections concurrently — it must be thread-safe. Keep-alive
+/// (HTTP/1.1 default) and pipelined requests are honoured; bodies are
+/// framed by Content-Length (no chunked encoding, no TLS — put a real
+/// proxy in front for the open internet; this server is for trusted
+/// networks and loopback).
+///
+/// Stop() (and therefore the destructor) is graceful: the listener closes
+/// first, in-flight requests finish and get their response, idle keep-alive
+/// connections and the handoff queue are closed, then all threads join.
+/// StopOnSignal() arranges the same for SIGINT/SIGTERM, so ^C on the
+/// coverage_server binary never truncates a response mid-write.
+class HttpServer {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  HttpServer(ServerOptions options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts serving. InvalidArgument on bad options, Internal on
+  /// socket failures (port in use, ...).
+  Status Start();
+
+  /// Graceful shutdown; idempotent, safe from any thread (and from the
+  /// signal watcher). Blocks until every thread joined.
+  void Stop();
+
+  /// Blocks until Stop() completes (from any caller).
+  void Wait();
+
+  /// Installs a process-wide SIGINT/SIGTERM handler that stops this server.
+  /// Call after Start(); one server per process may use it.
+  void StopOnSignal();
+
+  /// The bound port (after Start(); ephemeral requests resolve here).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  /// Blocks until `fd` is readable, the server stops, or the idle deadline
+  /// passes. Returns +1 readable, 0 stop/timeout-tick (caller re-checks),
+  /// -1 idle-expired or error.
+  int WaitReadable(int fd, int* idle_budget_ms) const;
+
+  ServerOptions options_;
+  Handler handler_;
+
+  /// Written by Start()/Stop(), read by the accept loop: atomic because
+  /// Stop() retires it from another thread to wake the loop.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread pool_driver_;  // runs pool_->RunOnAll(WorkerLoop)
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable stopped_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  bool threads_joined_ = true;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_handled_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace http
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,492 @@
+#include "server/json.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace coverage {
+namespace json {
+
+JsonValue::JsonValue(std::uint64_t u) {
+  if (u <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    value_ = static_cast<std::int64_t>(u);
+  } else {
+    // Counters beyond 2^63-1 do not occur in practice; degrade to double
+    // rather than wrap around.
+    value_ = static_cast<double>(u);
+  }
+}
+
+double JsonValue::AsDouble() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  return std::get<double>(value_);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = AsObject();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Status MemberError(const std::string& key, const char* want,
+                   const JsonValue* found) {
+  if (found == nullptr) {
+    return Status::NotFound("missing member '" + key + "'");
+  }
+  return Status::InvalidArgument("member '" + key + "' must be " + want);
+}
+
+}  // namespace
+
+StatusOr<std::int64_t> JsonValue::GetInt(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_int()) return MemberError(key, "an integer", v);
+  return v->AsInt();
+}
+
+StatusOr<std::uint64_t> JsonValue::GetUint(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_int() || v->AsInt() < 0) {
+    return MemberError(key, "a non-negative integer", v);
+  }
+  return static_cast<std::uint64_t>(v->AsInt());
+}
+
+StatusOr<bool> JsonValue::GetBool(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_bool()) return MemberError(key, "a boolean", v);
+  return v->AsBool();
+}
+
+StatusOr<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) return MemberError(key, "a string", v);
+  return v->AsString();
+}
+
+// ------------------------------------------------------------------- writer
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;  // UTF-8 bytes >= 0x80 pass through verbatim
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void WriteDouble(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  std::array<char, 40> buf;
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf.data(), buf.size(), "%.*g", prec, d);
+    if (std::strtod(buf.data(), nullptr) == d) break;
+  }
+  std::string text(buf.data());
+  // "%g" may emit "1e+05" style with no decimal point; that is valid JSON.
+  out += text;
+}
+
+void SerializeTo(const JsonValue& v, int indent, int depth, std::string& out) {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kInt:
+      out += std::to_string(v.AsInt());
+      break;
+    case JsonValue::Type::kDouble:
+      WriteDouble(v.AsDouble(), out);
+      break;
+    case JsonValue::Type::kString:
+      out += EscapeString(v.AsString());
+      break;
+    case JsonValue::Type::kArray: {
+      const JsonValue::Array& a = v.AsArray();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out += indent > 0 ? "," : ", ";
+        newline(depth + 1);
+        SerializeTo(a[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      const JsonValue::Object& o = v.AsObject();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline(depth + 1);
+        out += EscapeString(key);
+        out += ": ";
+        SerializeTo(value, indent, depth + 1, out);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const JsonValue& value) {
+  std::string out;
+  SerializeTo(value, /*indent=*/0, /*depth=*/0, out);
+  return out;
+}
+
+std::string SerializePretty(const JsonValue& value) {
+  std::string out;
+  SerializeTo(value, /*indent=*/2, /*depth=*/0, out);
+  out += '\n';
+  return out;
+}
+
+// ------------------------------------------------------------------- parser
+
+namespace {
+
+/// Recursive-descent over a byte buffer. Every rejection carries the byte
+/// offset so a malformed request body is debuggable from the error alone.
+class Parser {
+ public:
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  StatusOr<JsonValue> Run() {
+    SkipWs();
+    auto v = ParseValue(0);
+    if (!v.ok()) return v.status();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(char c, const char* context) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "' " + context);
+    }
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(const char* kw) {
+    const std::size_t len = std::char_traits<char>::length(kw);
+    if (text_.compare(pos_, len, kw) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > max_depth_) {
+      return Fail("nesting deeper than " + std::to_string(max_depth_));
+    }
+    if (AtEnd()) return Fail("unexpected end of input");
+    const char c = Peek();
+    switch (c) {
+      case 'n':
+        if (ConsumeKeyword("null")) return JsonValue(nullptr);
+        return Fail("invalid literal (expected null)");
+      case 't':
+        if (ConsumeKeyword("true")) return JsonValue(true);
+        return Fail("invalid literal (expected true)");
+      case 'f':
+        if (ConsumeKeyword("false")) return JsonValue(false);
+        return Fail("invalid literal (expected false)");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue::Array out;
+    SkipWs();
+    if (Consume(']')) return JsonValue(std::move(out));
+    for (;;) {
+      SkipWs();
+      auto v = ParseValue(depth + 1);
+      if (!v.ok()) return v.status();
+      out.push_back(std::move(*v));
+      SkipWs();
+      if (Consume(']')) return JsonValue(std::move(out));
+      COVERAGE_RETURN_IF_ERROR(Expect(',', "between array elements"));
+      SkipWs();
+      if (!AtEnd() && Peek() == ']') return Fail("trailing comma in array");
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object out;
+    SkipWs();
+    if (Consume('}')) return JsonValue(std::move(out));
+    for (;;) {
+      SkipWs();
+      if (AtEnd() || Peek() != '"') return Fail("object keys must be strings");
+      auto key = ParseRawString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      COVERAGE_RETURN_IF_ERROR(Expect(':', "after object key"));
+      SkipWs();
+      auto v = ParseValue(depth + 1);
+      if (!v.ok()) return v.status();
+      out[std::move(*key)] = std::move(*v);  // last duplicate wins
+      SkipWs();
+      if (Consume('}')) return JsonValue(std::move(out));
+      COVERAGE_RETURN_IF_ERROR(Expect(',', "between object members"));
+      SkipWs();
+      if (!AtEnd() && Peek() == '}') return Fail("trailing comma in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    auto s = ParseRawString();
+    if (!s.ok()) return s.status();
+    return JsonValue(std::move(*s));
+  }
+
+  static void AppendUtf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  StatusOr<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<std::string> ParseRawString() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated string");
+      const char c = Peek();
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character inside string (escape it)");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (AtEnd()) return Fail("truncated escape sequence");
+      const char e = Peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          auto cp = ParseHex4();
+          if (!cp.ok()) return cp.status();
+          std::uint32_t code = *cp;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (!(Consume('\\') && Consume('u'))) {
+              return Fail("lone high surrogate (expected \\uDC00-\\uDFFF)");
+            }
+            auto lo = ParseHex4();
+            if (!lo.ok()) return lo.status();
+            if (*lo < 0xdc00 || *lo > 0xdfff) {
+              return Fail("invalid low surrogate in \\u pair");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (*lo - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (Consume('-')) {
+      // fallthrough to digits
+    }
+    if (AtEnd()) return Fail("truncated number");
+    if (Consume('0')) {
+      if (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        return Fail("numbers may not have leading zeros");
+      }
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    } else {
+      return Fail("invalid number");
+    }
+    if (!AtEnd() && Peek() == '.') {
+      is_double = true;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits must follow the decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digits must follow the exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<std::int64_t>(v));
+      }
+      // Out of int64 range: fall through to double like every JSON parser.
+    }
+    const double d = std::strtod(token.c_str(), nullptr);
+    return JsonValue(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  const int max_depth_;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> Parse(const std::string& text, int max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+}  // namespace json
+}  // namespace coverage

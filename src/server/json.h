@@ -1,0 +1,112 @@
+#ifndef COVERAGE_SERVER_JSON_H_
+#define COVERAGE_SERVER_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coverage {
+namespace json {
+
+/// A parsed JSON document (RFC 8259). One variant value per node; objects
+/// keep their members sorted by key (std::map) so serialisation is
+/// deterministic — the wire format, the CLI's --json mode, and golden-file
+/// tests all see byte-identical output for equal values.
+///
+/// Numbers distinguish integers from doubles so that 64-bit counters
+/// (row counts, query counters) round-trip exactly instead of losing
+/// precision through a double. A number token parses as kInt when it has no
+/// fraction/exponent and fits std::int64_t, else as kDouble.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}                        // null
+  JsonValue(std::nullptr_t) : value_(nullptr) {}         // NOLINT
+  JsonValue(bool b) : value_(b) {}                       // NOLINT
+  JsonValue(std::int64_t i) : value_(i) {}               // NOLINT
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(std::uint64_t u);                            // NOLINT
+  JsonValue(double d) : value_(d) {}                     // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}     // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}   // NOLINT
+  JsonValue(Array a) : value_(std::move(a)) {}           // NOLINT
+  JsonValue(Object o) : value_(std::move(o)) {}          // NOLINT
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  std::int64_t AsInt() const { return std::get<std::int64_t>(value_); }
+  /// Any number as double (ints convert).
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  Array& AsArray() { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+  Object& AsObject() { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member accessors for request decoding: NotFound when the key is
+  /// absent, InvalidArgument when the type doesn't match. GetInt accepts
+  /// only kInt (a client sending 3.5 for a count is a bug worth rejecting).
+  StatusOr<std::int64_t> GetInt(const std::string& key) const;
+  StatusOr<std::uint64_t> GetUint(const std::string& key) const;
+  StatusOr<bool> GetBool(const std::string& key) const;
+  StatusOr<std::string> GetString(const std::string& key) const;
+
+  bool operator==(const JsonValue& other) const { return value_ == other.value_; }
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+/// Serialises a value on one line with no insignificant whitespace beyond
+/// ", " and ": " separators. Strings are escaped per RFC 8259: `"` `\`
+/// and all control characters (as \uNNNN, with the \n \t \r \b \f short
+/// forms); all other bytes — including multi-byte UTF-8 sequences — pass
+/// through verbatim. Doubles render with up to 17 significant digits
+/// (round-trip exact); non-finite doubles render as null (JSON has no NaN).
+std::string Serialize(const JsonValue& value);
+
+/// Serialize with a trailing newline and 2-space indentation — the
+/// human-facing mode used by `coverage_cli --json`.
+std::string SerializePretty(const JsonValue& value);
+
+/// Escapes and quotes one string (the building block Serialize uses).
+std::string EscapeString(const std::string& s);
+
+/// Strict recursive-descent parser. Rejects, with a byte offset in the
+/// message: trailing garbage, trailing commas, unquoted keys, comments,
+/// control characters inside strings, invalid \u escapes (lone surrogates
+/// included), numbers JSON forbids (leading +, bare '.', hex), and nesting
+/// deeper than `max_depth`. \uXXXX escapes decode to UTF-8; surrogate pairs
+/// are combined. Duplicate object keys resolve to the last occurrence.
+StatusOr<JsonValue> Parse(const std::string& text, int max_depth = 64);
+
+}  // namespace json
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVER_JSON_H_

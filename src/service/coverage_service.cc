@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "service/pool_arena.h"
 #include "datagen/adversarial.h"
 #include "datagen/airbnb.h"
 #include "datagen/bluenile.h"
@@ -48,24 +49,25 @@ QueryOutcome AnswerOne(const CoverageOracle& oracle, const QueryRequest& q,
 }
 
 /// The shared fan-out of both query surfaces: N probes distributed over the
-/// pool in dynamically balanced chunks, one QueryContext per worker, results
-/// written to their request slot (so the output order is the request order
-/// no matter how workers interleave). Caller holds the pool's guard.
+/// leased pool in dynamically balanced chunks, one QueryContext per worker,
+/// results written to their request slot (so the output order is the request
+/// order no matter how workers interleave). A null pool — the arena's
+/// over-budget inline lease — answers serially on the caller's thread.
 QueryBatchResult RunQueryBatch(const CoverageOracle& oracle,
                                const std::vector<QueryRequest>& queries,
-                               ThreadPool& pool) {
+                               ThreadPool* pool) {
   Stopwatch timer;
   QueryBatchResult out;
   out.results.resize(queries.size());
-  std::vector<QueryContext> contexts(
-      static_cast<std::size_t>(pool.num_workers()));
-  if (pool.num_workers() > 1 && queries.size() > 1) {
-    pool.ParallelFor(queries.size(), /*chunk=*/8,
-                     [&](int worker, std::size_t i) {
-                       out.results[i] = AnswerOne(
-                           oracle, queries[i],
-                           contexts[static_cast<std::size_t>(worker)]);
-                     });
+  const int workers = pool != nullptr ? pool->num_workers() : 1;
+  std::vector<QueryContext> contexts(static_cast<std::size_t>(workers));
+  if (workers > 1 && queries.size() > 1) {
+    pool->ParallelFor(queries.size(), /*chunk=*/8,
+                      [&](int worker, std::size_t i) {
+                        out.results[i] = AnswerOne(
+                            oracle, queries[i],
+                            contexts[static_cast<std::size_t>(worker)]);
+                      });
   } else {
     for (std::size_t i = 0; i < queries.size(); ++i) {
       out.results[i] = AnswerOne(oracle, queries[i], contexts[0]);
@@ -78,9 +80,13 @@ QueryBatchResult RunQueryBatch(const CoverageOracle& oracle,
   return out;
 }
 
-ThreadPool& EnsurePool(std::unique_ptr<ThreadPool>& slot, int num_threads) {
-  if (slot == nullptr) slot = std::make_unique<ThreadPool>(num_threads);
-  return *slot;
+std::unique_ptr<PoolArena> MakeArena(
+    int num_threads, int max_total_threads,
+    const std::shared_ptr<ThreadBudget>& shared_budget) {
+  return std::make_unique<PoolArena>(
+      num_threads, shared_budget != nullptr
+                       ? shared_budget
+                       : std::make_shared<ThreadBudget>(max_total_threads));
 }
 
 }  // namespace
@@ -89,6 +95,10 @@ ThreadPool& EnsurePool(std::unique_ptr<ThreadPool>& slot, int num_threads) {
 
 Status ServiceOptions::Validate() const {
   COVERAGE_RETURN_IF_ERROR(CheckThreads(num_threads));
+  if (max_total_threads < 0) {
+    return Status::InvalidArgument(
+        "max_total_threads must be >= 0 (0 = unlimited)");
+  }
   if (max_cardinality < 1) {
     return Status::InvalidArgument("max_cardinality must be positive");
   }
@@ -172,6 +182,10 @@ Status CoverageService::SessionOptions::Validate() const {
     return Status::InvalidArgument(
         "max_level must be -1 (unlimited) or >= 0");
   }
+  if (max_total_threads < 0) {
+    return Status::InvalidArgument(
+        "max_total_threads must be >= 0 (0 = unlimited)");
+  }
   return Status::OK();
 }
 
@@ -192,7 +206,8 @@ CoverageService::CoverageService(std::unique_ptr<AggregatedData> agg,
     : options_(options),
       agg_(std::move(agg)),
       oracle_(std::make_unique<BitmapCoverage>(*agg_)),
-      pool_mu_(std::make_unique<std::mutex>()) {}
+      arena_(MakeArena(options.num_threads, options.max_total_threads,
+                       options.thread_budget)) {}
 
 StatusOr<CoverageService> CoverageService::FromDataset(
     const Dataset& data, ServiceOptions options) {
@@ -355,9 +370,8 @@ StatusOr<QueryOutcome> CoverageService::Query(
 StatusOr<QueryBatchResult> CoverageService::QueryBatch(
     const QueryBatchRequest& request) const {
   COVERAGE_RETURN_IF_ERROR(request.Validate(schema()));
-  std::lock_guard<std::mutex> lock(*pool_mu_);
-  return RunQueryBatch(*oracle_, request.queries,
-                       EnsurePool(pool_, options_.num_threads));
+  const PoolArena::Lease lease = arena_->Acquire();
+  return RunQueryBatch(*oracle_, request.queries, lease.pool());
 }
 
 // ----------------------------------------------------------------- Session
@@ -373,7 +387,9 @@ StatusOr<CoverageService::Session> CoverageService::OpenSession(
 }
 
 CoverageService::Session::Session(Schema schema, const SessionOptions& options)
-    : options_(options), pool_mu_(std::make_unique<std::mutex>()) {
+    : options_(options),
+      arena_(MakeArena(options.num_threads, options.max_total_threads,
+                       options.thread_budget)) {
   EngineOptions eopts;
   eopts.tau = options.tau;
   eopts.max_level = options.max_level;
@@ -437,9 +453,8 @@ StatusOr<QueryBatchResult> CoverageService::Session::QueryBatch(
   // One snapshot for the whole batch: every probe answers for the same
   // epoch even if a writer advances the engine mid-batch.
   const auto snap = engine_->snapshot();
-  std::lock_guard<std::mutex> lock(*pool_mu_);
-  return RunQueryBatch(snap->oracle(), request.queries,
-                       EnsurePool(pool_, options_.num_threads));
+  const PoolArena::Lease lease = arena_->Acquire();
+  return RunQueryBatch(snap->oracle(), request.queries, lease.pool());
 }
 
 std::uint64_t CoverageService::Session::epoch() const {

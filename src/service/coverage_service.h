@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,7 +24,8 @@
 
 namespace coverage {
 
-class ThreadPool;
+class PoolArena;
+class ThreadBudget;
 
 /// The serving façade over the paper's pipeline. A CoverageService owns one
 /// immutable indexed dataset — ingestion (in-memory Dataset, streamed CSV,
@@ -52,8 +52,21 @@ class ThreadPool;
 
 /// Service-wide configuration, fixed at construction.
 struct ServiceOptions {
-  /// Worker count shared by the MUP searches and the batched query path.
+  /// Worker count of the MUP searches and of each leased query pool.
   int num_threads = 1;
+
+  /// Cap on *spawned* worker threads across every query pool drawing from
+  /// this service's budget (a pool of num_threads spawns num_threads - 1;
+  /// the caller is worker 0). 0 = unlimited. Concurrent QueryBatch calls
+  /// each lease their own pool from a PoolArena until the cap is reached,
+  /// then degrade to inline execution — they never serialise on a shared
+  /// pool and never block each other. Ignored when `thread_budget` is set.
+  int max_total_threads = 0;
+
+  /// Share one budget across services and sessions (the coverage_server
+  /// threads a single budget through its whole session registry, making
+  /// `max_total_threads` genuinely process-wide). Null = private budget.
+  std::shared_ptr<ThreadBudget> thread_budget;
 
   /// Schema-inference cap per CSV column (§II preprocessing: bucketize
   /// continuous attributes first).
@@ -217,6 +230,13 @@ class CoverageService {
     std::size_t window_max_rows = 0;
     std::size_t window_max_epochs = 0;
 
+    /// Query-pool budgeting, exactly as in ServiceOptions: each session
+    /// owns a PoolArena so concurrent QueryBatch calls fan out instead of
+    /// serialising; `thread_budget` (when set) shares one process-wide cap
+    /// across sessions.
+    int max_total_threads = 0;
+    std::shared_ptr<ThreadBudget> thread_budget;
+
     Status Validate() const;
   };
 
@@ -265,11 +285,9 @@ class CoverageService {
 
     SessionOptions options_;
     std::unique_ptr<CoverageEngine> engine_;
-    /// Lazily built batched-query pool (one per session, reused across
-    /// batches; guarded by pool_mu_ — concurrent QueryBatch calls
-    /// serialise on it).
-    mutable std::unique_ptr<std::mutex> pool_mu_;
-    mutable std::unique_ptr<ThreadPool> pool_;
+    /// Per-session query-pool arena: concurrent QueryBatch calls each
+    /// lease their own pool (bounded by the session's ThreadBudget).
+    mutable std::unique_ptr<PoolArena> arena_;
   };
 
   // --- ingestion ----------------------------------------------------------
@@ -323,11 +341,10 @@ class CoverageService {
   ServiceOptions options_;
   std::unique_ptr<AggregatedData> agg_;
   std::unique_ptr<BitmapCoverage> oracle_;  // references *agg_
-  /// Lazily built batched-query pool (guarded by pool_mu_; concurrent
-  /// QueryBatch calls serialise on it — the read-only oracle itself is
-  /// freely shared). unique_ptr-wrapped so the service stays movable.
-  mutable std::unique_ptr<std::mutex> pool_mu_;
-  mutable std::unique_ptr<ThreadPool> pool_;
+  /// Query-pool arena: concurrent QueryBatch calls lease separate pools
+  /// over the freely-shared read-only oracle, so N clients fan out N ways
+  /// (bounded by options_.max_total_threads / options_.thread_budget).
+  mutable std::unique_ptr<PoolArena> arena_;
 };
 
 }  // namespace coverage

@@ -1,0 +1,66 @@
+#include "service/pool_arena.h"
+
+#include <thread>
+
+namespace coverage {
+
+namespace {
+
+int ResolveThreadsPerPool(int threads_per_pool) {
+  if (threads_per_pool > 0) return threads_per_pool;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw < 1 ? 1 : hw;
+}
+
+}  // namespace
+
+PoolArena::PoolArena(int threads_per_pool,
+                     std::shared_ptr<ThreadBudget> budget)
+    : threads_per_pool_(ResolveThreadsPerPool(threads_per_pool)),
+      budget_(budget != nullptr ? std::move(budget)
+                                : std::make_shared<ThreadBudget>(0)) {}
+
+PoolArena::~PoolArena() {
+  // Leases must not outlive the arena; by then every pool is back in free_.
+  pools_.clear();
+  budget_->Release(spawned_reserved_);
+}
+
+PoolArena::Lease PoolArena::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    ThreadPool* pool = free_.back();
+    free_.pop_back();
+    return Lease(this, pool);
+  }
+  // No cached pool is idle: materialise a new one if the budget still has
+  // spawned threads to grant. A partial grant yields a narrower pool —
+  // right-sized to what the process has left.
+  const int granted = budget_->TryReserve(threads_per_pool_ - 1);
+  if (granted == 0 && threads_per_pool_ > 1) {
+    return Lease(this, nullptr);  // inline: serial on the caller's thread
+  }
+  spawned_reserved_ += granted;
+  pools_.push_back(std::make_unique<ThreadPool>(granted + 1));
+  return Lease(this, pools_.back().get());
+}
+
+void PoolArena::ReturnPool(ThreadPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(pool);
+}
+
+void PoolArena::Lease::Release() {
+  if (arena_ != nullptr && pool_ != nullptr) {
+    arena_->ReturnPool(pool_);
+  }
+  arena_ = nullptr;
+  pool_ = nullptr;
+}
+
+int PoolArena::pools_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(pools_.size());
+}
+
+}  // namespace coverage

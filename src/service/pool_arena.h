@@ -1,0 +1,144 @@
+#ifndef COVERAGE_SERVICE_POOL_ARENA_H_
+#define COVERAGE_SERVICE_POOL_ARENA_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace coverage {
+
+/// Accounting of *spawned* worker threads across every pool a budget is
+/// shared with. A ThreadPool of n workers spawns n-1 threads (the caller is
+/// worker 0), so a serial pool costs nothing and is always grantable — a
+/// process over its cap degrades to inline execution instead of failing or
+/// deadlocking.
+///
+/// One budget is typically shared by a CoverageService and every Session in
+/// the process (the coverage_server wires a single budget through its whole
+/// session registry), making the cap process-wide. Thread-safe.
+class ThreadBudget {
+ public:
+  /// `max_spawned_threads <= 0` means unlimited.
+  explicit ThreadBudget(int max_spawned_threads)
+      : max_(max_spawned_threads) {}
+
+  /// Reserves up to `want` spawned threads; returns the number granted
+  /// (possibly 0). Never blocks.
+  int TryReserve(int want) {
+    if (want <= 0) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_ <= 0) {
+      reserved_ += want;
+      return want;
+    }
+    const int granted = want < max_ - reserved_ ? want : max_ - reserved_;
+    if (granted <= 0) return 0;
+    reserved_ += granted;
+    return granted;
+  }
+
+  void Release(int n) {
+    if (n <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    reserved_ -= n;
+  }
+
+  int max_spawned_threads() const { return max_; }
+  int reserved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reserved_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  const int max_;
+  int reserved_ = 0;
+};
+
+/// Leases right-sized ThreadPools to concurrent callers so batched queries
+/// from many clients run genuinely in parallel instead of serialising on
+/// one shared pool (the pre-PR-5 design). Pools are created on demand —
+/// one per *concurrent* caller, not one per caller — cached on release,
+/// and bounded by the shared ThreadBudget:
+///
+///   caller 1:  Acquire() ── new pool A ──┐ released → cached
+///   caller 2:  Acquire() ── new pool B ──┤ (concurrently)
+///   caller 3:  Acquire() ── reuses A or B once one is free
+///
+/// When the budget is exhausted and no cached pool is free, Acquire()
+/// returns an *inline* lease (pool() == nullptr): the caller runs serially
+/// on its own thread rather than blocking on a peer — under a full house
+/// every request still makes progress, just without fan-out.
+///
+/// Thread-safe; leases are movable and return their pool on destruction.
+class PoolArena {
+ public:
+  /// Each leased pool gets `threads_per_pool` workers (<= 0 clamps to the
+  /// hardware, see ThreadPool) unless the budget grants fewer.
+  PoolArena(int threads_per_pool, std::shared_ptr<ThreadBudget> budget);
+  ~PoolArena();
+
+  PoolArena(const PoolArena&) = delete;
+  PoolArena& operator=(const PoolArena&) = delete;
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(PoolArena* arena, ThreadPool* pool) : arena_(arena), pool_(pool) {}
+    ~Lease() { Release(); }
+
+    Lease(Lease&& other) noexcept
+        : arena_(other.arena_), pool_(other.pool_) {
+      other.arena_ = nullptr;
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        arena_ = other.arena_;
+        pool_ = other.pool_;
+        other.arena_ = nullptr;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    /// The leased pool; nullptr = inline lease, run serially.
+    ThreadPool* pool() const { return pool_; }
+
+   private:
+    void Release();
+
+    PoolArena* arena_ = nullptr;
+    ThreadPool* pool_ = nullptr;
+  };
+
+  /// Never blocks and never fails; see class comment for the fallback.
+  Lease Acquire();
+
+  /// Pools materialised so far (tests assert concurrency actually fanned
+  /// out, and /v1/stats reports it).
+  int pools_created() const;
+
+  int threads_per_pool() const { return threads_per_pool_; }
+  const std::shared_ptr<ThreadBudget>& budget() const { return budget_; }
+
+ private:
+  friend class Lease;
+  void ReturnPool(ThreadPool* pool);
+
+  const int threads_per_pool_;
+  std::shared_ptr<ThreadBudget> budget_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadPool>> pools_;  // all ever created
+  std::vector<ThreadPool*> free_;                   // subset not leased
+  int spawned_reserved_ = 0;  // total spawned threads charged to budget_
+};
+
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVICE_POOL_ARENA_H_

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "coverage_lib.h"
@@ -323,6 +324,121 @@ TEST_F(CliRunTest, QueryBatchFileMatchesInline) {
   // trailing summary line carries wall-clock time, so compare up to it.
   EXPECT_EQ(batch_out.str().substr(0, batch_out.str().find("batch:")),
             inline_out.str().substr(0, inline_out.str().find("batch:")));
+}
+
+// ------------------------------------------------------------- --json --
+
+TEST(CliParseJson, JsonFlagOnAuditAndQueryOnly) {
+  EXPECT_TRUE(ParseArgs({"audit", "--csv", "d.csv", "--json"})->json);
+  EXPECT_TRUE(ParseArgs({"query", "--csv", "d.csv", "--pattern", "X",
+                         "--json"})
+                  ->json);
+  EXPECT_FALSE(ParseArgs({"audit", "--csv", "d.csv"})->json);
+  EXPECT_FALSE(ParseArgs({"enhance", "--csv", "d.csv", "--json"}).ok());
+  EXPECT_FALSE(ParseArgs({"stats", "--csv", "d.csv", "--json"}).ok());
+}
+
+/// Normalises the one nondeterministic part of the wire format (wall-clock
+/// timings) so JSON outputs compare exactly.
+std::string NormalizeJsonOutput(const std::string& text) {
+  auto parsed = json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  if (!parsed.ok()) return "<unparseable>";
+  std::function<void(json::JsonValue&)> zero = [&](json::JsonValue& v) {
+    if (v.is_array()) {
+      for (auto& item : v.AsArray()) zero(item);
+    } else if (v.is_object()) {
+      for (auto& [key, value] : v.AsObject()) {
+        if (key == "seconds") {
+          value = json::JsonValue(0);
+        } else {
+          zero(value);
+        }
+      }
+    }
+  };
+  zero(*parsed);
+  return json::SerializePretty(*parsed);
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(COVERAGE_REPO_DIR) + "/tests/golden/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate per tests/golden/README.md)";
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST_F(CliRunTest, AuditJsonMatchesGoldenFile) {
+  std::ostringstream out, err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--json"},
+                                 out, err),
+            0)
+      << err.str();
+  EXPECT_EQ(NormalizeJsonOutput(out.str()),
+            ReadFileOrDie(GoldenPath("cli_audit_compas_tau10.json")));
+}
+
+TEST_F(CliRunTest, QueryJsonMatchesGoldenFile) {
+  std::ostringstream out, err;
+  ASSERT_EQ(::coverage::cli::Run({"query", "--csv", csv_path_, "--pattern",
+                                  "XXXX", "--pattern", "X0XX", "--json"},
+                                 out, err),
+            0)
+      << err.str();
+  EXPECT_EQ(NormalizeJsonOutput(out.str()),
+            ReadFileOrDie(GoldenPath("cli_query_compas.json")));
+}
+
+TEST_F(CliRunTest, AuditJsonIsTheWireEncoding) {
+  // One serializer: the CLI's --json output must be exactly
+  // wire::ToJson(AuditResult) for the same request against the same data —
+  // the content coverage_server would send for POST /v1/audit.
+  std::ostringstream out, err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--json"},
+                                 out, err),
+            0)
+      << err.str();
+  auto service = CoverageService::FromCsvFile(csv_path_);
+  ASSERT_TRUE(service.ok());
+  AuditRequest request;
+  request.tau = 10;
+  auto result = service->Audit(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(NormalizeJsonOutput(out.str()),
+            NormalizeJsonOutput(json::SerializePretty(
+                wire::ToJson(*result, service->schema()))));
+}
+
+TEST_F(CliRunTest, EngineAuditJsonMatchesWholeFileJson) {
+  std::ostringstream whole, streamed, err;
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--json"},
+                                 whole, err),
+            0)
+      << err.str();
+  ASSERT_EQ(::coverage::cli::Run({"audit", "--csv", csv_path_, "--tau", "10",
+                                  "--json", "--engine", "--chunk-rows",
+                                  "311"},
+                                 streamed, err),
+            0)
+      << err.str();
+  // Identical MUPs; only discovery metadata (algorithm name, stats,
+  // planner line) differs between the search and the incremental engine.
+  auto whole_json = json::Parse(whole.str());
+  auto streamed_json = json::Parse(streamed.str());
+  ASSERT_TRUE(whole_json.ok());
+  ASSERT_TRUE(streamed_json.ok());
+  EXPECT_EQ(*whole_json->Find("mups"), *streamed_json->Find("mups"));
+  EXPECT_EQ(*whole_json->Find("num_rows"), *streamed_json->Find("num_rows"));
+  EXPECT_EQ(*streamed_json->GetString("algorithm"), "ENGINE-INCREMENTAL");
 }
 
 TEST_F(CliRunTest, QueryRejectsBadPattern) {

@@ -1,0 +1,336 @@
+#include "server/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http_client.h"
+
+namespace coverage {
+namespace http {
+namespace {
+
+/// A server echoing method, target, and body — enough to verify framing,
+/// keep-alive, and concurrency without the coverage stack in the way.
+class EchoServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.num_threads = 4;
+    options.max_body_bytes = 64 * 1024;
+    options.max_head_bytes = 4 * 1024;
+    server_ = std::make_unique<HttpServer>(
+        options, [this](const Request& request) {
+          handled_.fetch_add(1);
+          Response r = Response::Text(
+              200, request.method + " " + request.target + "\n" +
+                       request.body);
+          return r;
+        });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  StatusOr<HttpClient> Client() {
+    return HttpClient::Connect("127.0.0.1", server_->port());
+  }
+
+  std::unique_ptr<HttpServer> server_;
+  std::atomic<int> handled_{0};
+};
+
+TEST_F(EchoServerTest, BasicRoundtrip) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  auto response = client->Post("/echo", "hello");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "POST /echo\nhello");
+  const std::string* type = response->FindHeader("content-type");
+  ASSERT_NE(type, nullptr);  // case-insensitive lookup
+  EXPECT_EQ(*type, "text/plain");
+}
+
+TEST_F(EchoServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 50; ++i) {
+    auto response = client->Post("/r" + std::to_string(i),
+                                 std::string(i * 7, 'x'));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->body,
+              "POST /r" + std::to_string(i) + "\n" + std::string(i * 7, 'x'));
+  }
+  // One TCP connection carried all 50 requests.
+  EXPECT_EQ(server_->stats().connections_accepted, 1u);
+  EXPECT_EQ(server_->stats().requests_handled, 50u);
+}
+
+TEST_F(EchoServerTest, EmptyBodyPostAndGet) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  auto get = client->Get("/g");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->body, "GET /g\n");
+  auto post = client->Post("/p", "");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->body, "POST /p\n");
+}
+
+TEST_F(EchoServerTest, ConnectionCloseIsHonoured) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  Request request;
+  request.method = "GET";
+  request.target = "/bye";
+  request.headers.push_back({"Connection", "close"});
+  auto response = client->Roundtrip(std::move(request));
+  ASSERT_TRUE(response.ok());
+  const std::string* connection = response->FindHeader("Connection");
+  ASSERT_NE(connection, nullptr);
+  EXPECT_TRUE(HeaderNameEquals(*connection, "close"));
+  EXPECT_FALSE(client->connected());  // client saw the close and dropped
+  // The next call reconnects transparently.
+  auto again = client->Get("/again");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->body, "GET /again\n");
+}
+
+TEST_F(EchoServerTest, PipelinedRequestsAllAnswered) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  // Two complete requests in one write; responses come back in order.
+  const std::string two =
+      "GET /first HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+      "GET /second HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  auto first = client->RoundtripRaw(two);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->body, "GET /first\n");
+  auto second = client->RoundtripRaw("");  // just read the second response
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->body, "GET /second\n");
+}
+
+TEST_F(EchoServerTest, NoPipelinedServiceAfterConnectionClose) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  // Two pipelined requests, the first demanding close: only the first may
+  // be served (RFC 9112 §9.6), then the connection must drop.
+  const std::string two =
+      "GET /first HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+      "GET /second HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+  auto first = client->RoundtripRaw(two);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->body, "GET /first\n");
+  EXPECT_FALSE(client->connected());  // server closed after the first
+  EXPECT_EQ(handled_.load(), 1);      // /second never reached the handler
+}
+
+TEST_F(EchoServerTest, StaleKeepAliveConnectionRetriesTransparently) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 2;
+  options.idle_timeout_ms = 150;  // server drops idle connections fast
+  HttpServer server(options, [](const Request& request) {
+    return Response::Text(200, request.target);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  auto client = HttpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Get("/warm").ok());
+  // Outlive the server's idle timeout: the kept-alive socket is now dead
+  // on the server side, but the next call must reconnect and succeed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto response = client->Get("/after-idle");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "/after-idle");
+  server.Stop();
+}
+
+// ------------------------------------------------------- malformed HTTP --
+
+TEST_F(EchoServerTest, MalformedRequestSuite) {
+  struct Case {
+    const char* name;
+    std::string bytes;
+    int want_status;
+  };
+  const Case cases[] = {
+      {"bad request line", "NONSENSE\r\n\r\n", 400},
+      {"too many words", "GET / HTTP/1.1 extra\r\n\r\n", 400},
+      {"bad version", "GET / HTTP/9.9\r\n\r\n", 400},
+      {"target without slash", "GET nope HTTP/1.1\r\n\r\n", 400},
+      {"whitespace in header name", "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+       400},
+      {"colonless header", "GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+      {"unparseable content length",
+       "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400},
+      {"negative content length",
+       "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400},
+      {"transfer encoding rejected",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n", 400},
+      {"oversized declared body",
+       "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n", 413},
+  };
+  for (const Case& c : cases) {
+    auto client = Client();
+    ASSERT_TRUE(client.ok());
+    auto response = client->RoundtripRaw(c.bytes);
+    ASSERT_TRUE(response.ok()) << c.name << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response->status, c.want_status) << c.name;
+  }
+  EXPECT_GE(server_->stats().protocol_errors, 9u);
+}
+
+TEST_F(EchoServerTest, OversizedHeadersGet431) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  const std::string huge(8 * 1024, 'h');  // > max_head_bytes, no terminator
+  auto response =
+      client->RoundtripRaw("GET / HTTP/1.1\r\nX-Huge: " + huge + "\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 431);
+}
+
+TEST_F(EchoServerTest, OversizedBodyBytesNeverReachTheHandler) {
+  auto client = Client();
+  ASSERT_TRUE(client.ok());
+  const std::string body(128 * 1024, 'b');  // 2x the 64 KiB limit
+  auto response = client->Post("/big", body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 413);
+  EXPECT_EQ(handled_.load(), 0);  // rejected while buffering, pre-handler
+}
+
+TEST_F(EchoServerTest, SlowClientSeesRequestTimeout) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 1;
+  options.idle_timeout_ms = 200;
+  HttpServer slow(options,
+                  [](const Request&) { return Response::Text(200, "ok"); });
+  ASSERT_TRUE(slow.Start().ok());
+  auto client = HttpClient::Connect("127.0.0.1", slow.port());
+  ASSERT_TRUE(client.ok());
+  // Half a request, then silence: the server answers 408 and closes.
+  auto response = client->RoundtripRaw("GET /half HTTP/1.1\r\nX-Wait");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 408);
+  slow.Stop();
+}
+
+// ----------------------------------------------------------- lifecycle --
+
+TEST(HttpServerLifecycle, StopIsIdempotentAndRestartIsRejected) {
+  ServerOptions options;
+  options.port = 0;
+  HttpServer server(options,
+                    [](const Request&) { return Response::Text(200, "x"); });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_FALSE(server.Start().ok());  // already started
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerLifecycle, GracefulStopFinishesInFlightRequest) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 2;
+  std::atomic<bool> in_handler{false};
+  HttpServer server(options, [&](const Request&) {
+    in_handler.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return Response::Text(200, "finished");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::thread client_thread([&] {
+    auto client = HttpClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    auto response = client->Get("/slow");
+    // The in-flight request gets its full response despite the Stop().
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->body, "finished");
+  });
+  while (!in_handler.load()) std::this_thread::yield();
+  server.Stop();  // issued mid-request
+  client_thread.join();
+  EXPECT_EQ(server.stats().requests_handled, 1u);
+}
+
+TEST(HttpServerLifecycle, PortInUseFailsCleanly) {
+  ServerOptions options;
+  options.port = 0;
+  HttpServer first(options,
+                   [](const Request&) { return Response::Text(200, "1"); });
+  ASSERT_TRUE(first.Start().ok());
+  ServerOptions clash = options;
+  clash.port = first.port();
+  HttpServer second(clash,
+                    [](const Request&) { return Response::Text(200, "2"); });
+  const Status status = second.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bind"), std::string::npos);
+  first.Stop();
+}
+
+// ---------------------------------------------------- concurrency canary --
+
+/// TSan canary: many client threads hammer one server with keep-alive
+/// traffic while the main thread polls stats, then a graceful stop races
+/// the tail of the traffic. Run under -DCOVERAGE_ENABLE_TSAN=ON in CI.
+TEST(HttpServerConcurrency, ConcurrentClientsCanary) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_threads = 4;
+  std::atomic<std::uint64_t> sum{0};
+  HttpServer server(options, [&](const Request& request) {
+    sum.fetch_add(request.body.size(), std::memory_order_relaxed);
+    return Response::Text(200, request.body);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = HttpClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string body(static_cast<std::size_t>((c + 1) * (i % 7)),
+                               'p');
+        auto response = client->Post("/hit", body);
+        if (!response.ok() || response->status != 200 ||
+            response->body != body) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().requests_handled,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace http
+}  // namespace coverage

@@ -1,0 +1,273 @@
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/rng.h"
+
+namespace coverage {
+namespace json {
+namespace {
+
+StatusOr<JsonValue> ParseOk(const std::string& text) {
+  auto parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << " -> " << parsed.status().ToString();
+  return parsed;
+}
+
+// ---------------------------------------------------------------- writer --
+
+TEST(JsonWriter, Scalars) {
+  EXPECT_EQ(Serialize(JsonValue(nullptr)), "null");
+  EXPECT_EQ(Serialize(JsonValue(true)), "true");
+  EXPECT_EQ(Serialize(JsonValue(false)), "false");
+  EXPECT_EQ(Serialize(JsonValue(std::int64_t{-42})), "-42");
+  EXPECT_EQ(Serialize(JsonValue(1.5)), "1.5");
+  EXPECT_EQ(Serialize(JsonValue("hi")), "\"hi\"");
+}
+
+TEST(JsonWriter, Int64Exact) {
+  const std::int64_t big = 9007199254740993;  // 2^53 + 1: breaks doubles
+  EXPECT_EQ(Serialize(JsonValue(big)), "9007199254740993");
+  const std::uint64_t max_int64 =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Serialize(JsonValue(max_int64)), "9223372036854775807");
+}
+
+TEST(JsonWriter, ObjectsAreKeySortedAndCanonical) {
+  JsonValue::Object o;
+  o["b"] = 2;
+  o["a"] = 1;
+  EXPECT_EQ(Serialize(JsonValue(o)), "{\"a\": 1, \"b\": 2}");
+  // std::map ordering makes equal values serialise identically no matter
+  // the insertion order — the property the byte-equivalence tests rely on.
+  JsonValue::Object reversed;
+  reversed["a"] = 1;
+  reversed["b"] = 2;
+  EXPECT_EQ(Serialize(JsonValue(o)), Serialize(JsonValue(reversed)));
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(EscapeString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(EscapeString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(EscapeString("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(EscapeString(std::string("a\x01z")), "\"a\\u0001z\"");
+  EXPECT_EQ(EscapeString("caf\xc3\xa9"), "\"caf\xc3\xa9\"");  // UTF-8 verbatim
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Serialize(JsonValue(std::nan(""))), "null");
+  EXPECT_EQ(Serialize(JsonValue(std::numeric_limits<double>::infinity())),
+            "null");
+}
+
+TEST(JsonWriter, PrettyPrintIndents) {
+  JsonValue::Object o;
+  o["xs"] = JsonValue::Array{1, 2};
+  EXPECT_EQ(SerializePretty(JsonValue(o)),
+            "{\n  \"xs\": [\n    1,\n    2\n  ]\n}\n");
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(JsonParser, ParsesScalars) {
+  EXPECT_TRUE(ParseOk("null")->is_null());
+  EXPECT_EQ(ParseOk("true")->AsBool(), true);
+  EXPECT_EQ(ParseOk("-17")->AsInt(), -17);
+  EXPECT_TRUE(ParseOk("17.5")->is_double());
+  EXPECT_DOUBLE_EQ(ParseOk("17.5")->AsDouble(), 17.5);
+  EXPECT_TRUE(ParseOk("1e3")->is_double());
+  EXPECT_EQ(ParseOk("\"x\"")->AsString(), "x");
+}
+
+TEST(JsonParser, IntegerVsDoubleClassification) {
+  EXPECT_TRUE(ParseOk("9007199254740993")->is_int());
+  EXPECT_EQ(ParseOk("9007199254740993")->AsInt(), 9007199254740993);
+  // Beyond int64 range integers degrade to double instead of failing.
+  EXPECT_TRUE(ParseOk("99999999999999999999")->is_double());
+}
+
+TEST(JsonParser, NestedStructures) {
+  auto v = ParseOk(R"({"a": [1, {"b": null}], "c": "d"})");
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray()[0].AsInt(), 1);
+  EXPECT_TRUE(a->AsArray()[1].Find("b")->is_null());
+}
+
+TEST(JsonParser, DuplicateKeysLastWins) {
+  EXPECT_EQ(ParseOk(R"({"k": 1, "k": 2})")->Find("k")->AsInt(), 2);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            // empty
+      "  ",          // whitespace only
+      "{",           // truncated object
+      "[1, 2",       // truncated array
+      "\"abc",       // unterminated string
+      "{\"a\" 1}",   // missing colon
+      "{a: 1}",      // unquoted key
+      "[1,]",        // trailing comma (array)
+      "{\"a\": 1,}", // trailing comma (object)
+      "1 2",         // trailing garbage
+      "nul",         // truncated literal
+      "truex",       // garbage after literal
+      "+1",          // leading plus
+      "01",          // leading zero
+      ".5",          // bare fraction
+      "1.",          // digits must follow the point
+      "1e",          // digits must follow the exponent
+      "0x10",        // hex
+      "'x'",         // single quotes
+      "// c",        // comments
+      "{\"a\": }",   // missing value
+      "[",           // lone bracket
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParser, ErrorsCarryByteOffsets) {
+  const auto status = Parse("{\"a\": 1, \"b\": tru}").status();
+  EXPECT_NE(status.message().find("byte 14"), std::string::npos)
+      << status.message();
+}
+
+TEST(JsonParser, RejectsRawControlCharactersInStrings) {
+  EXPECT_FALSE(Parse("\"a\nb\"").ok());
+  EXPECT_FALSE(Parse(std::string("\"a\x01z\"")).ok());
+}
+
+TEST(JsonParser, Utf8EscapeDecoding) {
+  EXPECT_EQ(ParseOk(R"("A")")->AsString(), "A");
+  EXPECT_EQ(ParseOk(R"("é")")->AsString(), "\xc3\xa9");        // é
+  EXPECT_EQ(ParseOk(R"("€")")->AsString(), "\xe2\x82\xac");    // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(ParseOk(R"("😀")")->AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(Parse(R"("\u12")").ok());         // truncated hex
+  EXPECT_FALSE(Parse(R"("\uZZZZ")").ok());       // not hex
+  EXPECT_FALSE(Parse(R"("\ud83d")").ok());       // lone high surrogate
+  EXPECT_FALSE(Parse(R"("\ude00")").ok());       // lone low surrogate
+  EXPECT_FALSE(Parse(R"("\ud83dA")").ok()); // high + non-low
+  EXPECT_FALSE(Parse(R"("\q")").ok());           // unknown escape
+}
+
+TEST(JsonParser, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 70; ++i) deep += '[';
+  for (int i = 0; i < 70; ++i) deep += ']';
+  EXPECT_FALSE(Parse(deep).ok());
+  EXPECT_TRUE(Parse(deep, /*max_depth=*/128).ok());
+  std::string shallow = "[[[[42]]]]";
+  EXPECT_TRUE(Parse(shallow).ok());
+}
+
+TEST(JsonParser, MemberAccessors) {
+  auto v = ParseOk(R"({"n": 3, "neg": -1, "s": "x", "b": true})");
+  EXPECT_EQ(*v->GetInt("n"), 3);
+  EXPECT_EQ(*v->GetUint("n"), 3u);
+  EXPECT_FALSE(v->GetUint("neg").ok());
+  EXPECT_EQ(*v->GetString("s"), "x");
+  EXPECT_EQ(*v->GetBool("b"), true);
+  EXPECT_EQ(v->GetInt("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v->GetInt("s").status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- round trips --
+
+/// Random JSON value with controlled depth, exercising every node type and
+/// nasty strings (escapes, UTF-8, control characters).
+JsonValue RandomValue(Rng& rng, int depth) {
+  const int kind = static_cast<int>(
+      rng.NextUint64(depth > 0 ? 7 : 5));  // leaves only at depth 0
+  switch (kind) {
+    case 0: return JsonValue(nullptr);
+    case 1: return JsonValue(rng.NextBool());
+    case 2: return JsonValue(rng.NextInt(-1'000'000'000'000, 1'000'000'000'000));
+    case 3: {
+      // Round-trip-exact doubles: the writer guarantees re-parsing equality.
+      return JsonValue(rng.NextDouble() * 1e6 - 5e5);
+    }
+    case 4: {
+      std::string s;
+      const std::uint64_t len = rng.NextUint64(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        switch (rng.NextUint64(6)) {
+          case 0: s += static_cast<char>('a' + rng.NextUint64(26)); break;
+          case 1: s += '"'; break;
+          case 2: s += '\\'; break;
+          case 3: s += '\n'; break;
+          case 4: s += static_cast<char>(rng.NextUint64(0x20)); break;
+          default: s += "\xc3\xa9"; break;  // é
+        }
+      }
+      return JsonValue(std::move(s));
+    }
+    case 5: {
+      JsonValue::Array a;
+      const std::uint64_t n = rng.NextUint64(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        a.push_back(RandomValue(rng, depth - 1));
+      }
+      return JsonValue(std::move(a));
+    }
+    default: {
+      JsonValue::Object o;
+      const std::uint64_t n = rng.NextUint64(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        o["k" + std::to_string(rng.NextUint64(100))] =
+            RandomValue(rng, depth - 1);
+      }
+      return JsonValue(std::move(o));
+    }
+  }
+}
+
+TEST(JsonRoundTrip, RandomValuesSurviveWriteParseWrite) {
+  Rng rng(20260726);
+  for (int trial = 0; trial < 500; ++trial) {
+    const JsonValue original = RandomValue(rng, 4);
+    const std::string text = Serialize(original);
+    auto reparsed = Parse(text);
+    ASSERT_TRUE(reparsed.ok())
+        << text << " -> " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, original) << text;
+    // Serialisation is canonical: write(parse(write(v))) == write(v).
+    EXPECT_EQ(Serialize(*reparsed), text);
+    // Pretty output parses back to the same value too.
+    auto pretty = Parse(SerializePretty(original));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(*pretty, original);
+  }
+}
+
+TEST(JsonRoundTrip, TruncationsOfValidDocumentsAreRejected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    JsonValue v = RandomValue(rng, 3);
+    // Guarantee a structural document (truncating "7" at every prefix can
+    // still be valid, e.g. "" -> invalid but "7" itself never shrinks).
+    JsonValue::Object wrapper;
+    wrapper["v"] = std::move(v);
+    const std::string text = Serialize(JsonValue(std::move(wrapper)));
+    for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+      EXPECT_FALSE(Parse(text.substr(0, cut)).ok())
+          << "accepted prefix of " << text << " at " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace coverage

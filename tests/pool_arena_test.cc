@@ -1,0 +1,215 @@
+#include "service/pool_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/coverage_service.h"
+
+namespace coverage {
+namespace {
+
+// ----------------------------------------------------------- ThreadBudget --
+
+TEST(ThreadBudget, UnlimitedGrantsEverything) {
+  ThreadBudget budget(0);
+  EXPECT_EQ(budget.TryReserve(1000), 1000);
+  EXPECT_EQ(budget.reserved(), 1000);
+  budget.Release(1000);
+  EXPECT_EQ(budget.reserved(), 0);
+}
+
+TEST(ThreadBudget, CapsAndGrantsPartially) {
+  ThreadBudget budget(5);
+  EXPECT_EQ(budget.TryReserve(3), 3);
+  EXPECT_EQ(budget.TryReserve(3), 2);  // partial: only 2 left
+  EXPECT_EQ(budget.TryReserve(3), 0);  // exhausted
+  budget.Release(2);
+  EXPECT_EQ(budget.TryReserve(3), 2);
+  EXPECT_EQ(budget.TryReserve(0), 0);  // degenerate want
+}
+
+// -------------------------------------------------------------- PoolArena --
+
+TEST(PoolArena, SequentialCallersReuseOnePool) {
+  PoolArena arena(4, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    PoolArena::Lease lease = arena.Acquire();
+    ASSERT_NE(lease.pool(), nullptr);
+    EXPECT_EQ(lease.pool()->num_workers(), 4);
+  }
+  EXPECT_EQ(arena.pools_created(), 1);
+}
+
+TEST(PoolArena, ConcurrentLeasesGetDistinctPools) {
+  PoolArena arena(2, nullptr);
+  PoolArena::Lease a = arena.Acquire();
+  PoolArena::Lease b = arena.Acquire();
+  ASSERT_NE(a.pool(), nullptr);
+  ASSERT_NE(b.pool(), nullptr);
+  EXPECT_NE(a.pool(), b.pool());
+  EXPECT_EQ(arena.pools_created(), 2);
+}
+
+TEST(PoolArena, BudgetExhaustionFallsBackToInline) {
+  // 2 spawned threads of budget; pools of 3 workers spawn 2 each.
+  auto budget = std::make_shared<ThreadBudget>(2);
+  PoolArena arena(3, budget);
+  PoolArena::Lease first = arena.Acquire();
+  ASSERT_NE(first.pool(), nullptr);
+  EXPECT_EQ(first.pool()->num_workers(), 3);
+  // Budget is spent and the only pool is leased: inline lease, no blocking.
+  PoolArena::Lease second = arena.Acquire();
+  EXPECT_EQ(second.pool(), nullptr);
+  // A partial grant right-sizes the pool to what is left.
+  budget->Release(0);  // no-op; just documenting the accounting stays at 2
+  PoolArena::Lease third = arena.Acquire();
+  EXPECT_EQ(third.pool(), nullptr);
+}
+
+TEST(PoolArena, PartialGrantRightSizesThePool) {
+  auto budget = std::make_shared<ThreadBudget>(3);
+  PoolArena arena(3, budget);
+  PoolArena::Lease first = arena.Acquire();   // takes 2 of 3
+  ASSERT_NE(first.pool(), nullptr);
+  EXPECT_EQ(first.pool()->num_workers(), 3);
+  PoolArena::Lease second = arena.Acquire();  // only 1 left -> 2 workers
+  ASSERT_NE(second.pool(), nullptr);
+  EXPECT_EQ(second.pool()->num_workers(), 2);
+}
+
+TEST(PoolArena, SerialPoolsAreFreeUnderAnyBudget) {
+  auto budget = std::make_shared<ThreadBudget>(0);
+  PoolArena arena(1, budget);
+  PoolArena::Lease a = arena.Acquire();
+  PoolArena::Lease b = arena.Acquire();
+  ASSERT_NE(a.pool(), nullptr);
+  ASSERT_NE(b.pool(), nullptr);
+  EXPECT_EQ(a.pool()->num_workers(), 1);
+  EXPECT_EQ(budget->reserved(), 0);  // spawn nothing, cost nothing
+}
+
+TEST(PoolArena, SharedBudgetSpansArenas) {
+  auto budget = std::make_shared<ThreadBudget>(4);
+  PoolArena first(5, budget);   // wants 4 spawned
+  PoolArena second(5, budget);
+  PoolArena::Lease a = first.Acquire();
+  ASSERT_NE(a.pool(), nullptr);
+  EXPECT_EQ(a.pool()->num_workers(), 5);
+  PoolArena::Lease b = second.Acquire();  // other arena: budget is gone
+  EXPECT_EQ(b.pool(), nullptr);
+  a = PoolArena::Lease();  // release into first's cache (budget stays held)
+  EXPECT_EQ(budget->reserved(), 4);
+}
+
+TEST(PoolArena, DestructionReturnsBudget) {
+  auto budget = std::make_shared<ThreadBudget>(8);
+  {
+    PoolArena arena(5, budget);
+    PoolArena::Lease lease = arena.Acquire();
+    EXPECT_EQ(budget->reserved(), 4);
+  }
+  EXPECT_EQ(budget->reserved(), 0);
+}
+
+// ------------------------------------- concurrent QueryBatch (the point) --
+
+/// The ROADMAP item this PR closes: concurrent QueryBatch callers must not
+/// serialise on one shared pool. N threads batch-query one service at once;
+/// everyone gets correct results and the arena fans out to multiple pools.
+TEST(ConcurrentQueryBatch, CallersFanOutAndAgreeWithSerial) {
+  ServiceOptions options;
+  options.num_threads = 2;
+  auto service = CoverageService::FromSpec(DatagenSpec{"compas", 0, 13, 1},
+                                           options);
+  ASSERT_TRUE(service.ok());
+
+  QueryBatchRequest request;
+  const Schema& schema = service->schema();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    for (Value v = 0; v < static_cast<Value>(schema.cardinality(a)); ++v) {
+      request.queries.push_back(
+          QueryRequest{Pattern::Root(schema.num_attributes()).WithCell(a, v),
+                       0});
+    }
+  }
+  auto expected = service->QueryBatch(request);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        auto result = service->QueryBatch(request);
+        if (!result.ok() ||
+            result->results.size() != expected->results.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < result->results.size(); ++i) {
+          if (result->results[i].coverage != expected->results[i].coverage ||
+              result->results[i].covered != expected->results[i].covered) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentQueryBatch, SessionsWithSharedBudgetStayCorrect) {
+  auto budget = std::make_shared<ThreadBudget>(2);
+  CoverageService::SessionOptions options;
+  options.tau = 2;
+  options.num_threads = 4;  // wants more than the shared budget allows
+  options.thread_budget = budget;
+  const Schema schema = Schema::Uniform({2, 2, 2});
+  auto first = CoverageService::OpenSession(schema, options);
+  auto second = CoverageService::OpenSession(schema, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  Dataset rows(schema);
+  for (std::size_t r = 0; r < 500; ++r) {
+    rows.AppendRow(std::vector<Value>{static_cast<Value>(r % 2),
+                                      static_cast<Value>((r / 2) % 2),
+                                      static_cast<Value>((r / 4) % 2)});
+  }
+  ASSERT_TRUE(first->Append(rows).ok());
+  ASSERT_TRUE(second->Append(rows).ok());
+
+  QueryBatchRequest request;
+  for (const char* text : {"XXX", "0XX", "X1X", "011", "111"}) {
+    auto pattern = Pattern::Parse(text, schema);
+    ASSERT_TRUE(pattern.ok());
+    request.queries.push_back(QueryRequest{*pattern, 0});
+  }
+  // Both sessions answer concurrently; one of them may run inline when the
+  // budget is spent — results must be identical either way.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const auto& session = (t % 2 == 0) ? *first : *second;
+      for (int round = 0; round < 10; ++round) {
+        auto result = session.QueryBatch(request);
+        if (!result.ok() || result->results[0].coverage != 500u) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(budget->reserved(), 2);
+}
+
+}  // namespace
+}  // namespace coverage

@@ -10,6 +10,20 @@
 namespace coverage {
 namespace {
 
+TEST(ThreadPool, ZeroAndNegativeClampToHardwareConcurrency) {
+  // The documented contract: <= 0 means "use the hardware", clamped in the
+  // constructor so every call site shares one defaulting rule.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int want = hw < 1 ? 1 : hw;
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_workers(), want);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_workers(), want);
+  std::atomic<int> calls{0};
+  zero.RunOnAll([&](int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), want);
+}
+
 TEST(ThreadPool, SingleWorkerRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.num_workers(), 1);

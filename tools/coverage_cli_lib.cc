@@ -54,6 +54,9 @@ std::string Usage() {
       "                          data shape and reports its choice\n"
       "  --rule \"A in {v1, v2}\"  enhance: validation rule (repeatable)\n"
       "  --list-mups             audit: print every MUP, not only the label\n"
+      "  --json                  audit/query: emit the JSON wire format\n"
+      "                          (byte-identical content to what\n"
+      "                          coverage_server sends for the same request)\n"
       "  --engine                audit: stream the CSV through the\n"
       "                          incremental CoverageEngine instead of\n"
       "                          loading it whole (two passes over the file:\n"
@@ -73,20 +76,15 @@ std::string Usage() {
 
 namespace {
 
+/// One vocabulary for algorithm names everywhere: --algo shares the wire
+/// format's decoder, so the CLI and the server accept identical spellings.
 StatusOr<MupAlgorithm> ParseAlgo(const std::string& name) {
-  if (name == "auto") return MupAlgorithm::kAuto;
-  if (name == "deepdiver") return MupAlgorithm::kDeepDiver;
-  if (name == "breaker" || name == "pattern-breaker") {
-    return MupAlgorithm::kPatternBreaker;
+  auto algorithm = wire::AlgorithmFromName(name);
+  if (!algorithm.ok()) {
+    return Status::InvalidArgument("bad --algo: " +
+                                   algorithm.status().message());
   }
-  if (name == "combiner" || name == "pattern-combiner") {
-    return MupAlgorithm::kPatternCombiner;
-  }
-  if (name == "apriori") return MupAlgorithm::kApriori;
-  if (name == "naive") return MupAlgorithm::kNaive;
-  return Status::InvalidArgument(
-      "unknown --algo '" + name +
-      "' (expected auto | deepdiver | breaker | combiner | apriori | naive)");
+  return algorithm;
 }
 
 }  // namespace
@@ -184,6 +182,8 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.batch_file = *v;
     } else if (flag == "--list-mups") {
       options.list_mups = true;
+    } else if (flag == "--json") {
+      options.json = true;
     } else if (flag == "--engine") {
       options.engine = true;
     } else if (flag == "--chunk-rows") {
@@ -221,6 +221,11 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       options.batch_file.empty()) {
     return Status::InvalidArgument(
         "query needs at least one --pattern or a --batch-file\n" + Usage());
+  }
+  if (options.json && options.command != "audit" &&
+      options.command != "query") {
+    return Status::InvalidArgument(
+        "--json applies to audit and query only");
   }
   return options;
 }
@@ -338,6 +343,10 @@ int RunAuditEngine(const CliOptions& options, std::ostream& out,
   }
 
   const AuditResult audit = session->Audit();
+  if (options.json) {
+    out << json::SerializePretty(wire::ToJson(audit, session->schema()));
+    return 0;
+  }
   std::string discovery_line =
       "ingest: " + FormatCount(stats->rows) + " rows in " +
       std::to_string(stats->chunks) + " chunks of <= " +
@@ -381,6 +390,12 @@ int RunAudit(const CliOptions& options, std::ostream& out,
   if (!result.ok()) {
     err << result.status().ToString() << "\n";
     return 1;
+  }
+  if (options.json) {
+    // The exact wire encoding coverage_server sends for POST /v1/audit,
+    // pretty-printed (same serializer, same key order, same escaping).
+    out << json::SerializePretty(wire::ToJson(*result, service->schema()));
+    return 0;
   }
   std::string discovery_line =
       "discovery: " + result->algorithm + ", " +
@@ -469,6 +484,10 @@ int RunQuery(const CliOptions& options, std::ostream& out,
   if (!result.ok()) {
     err << result.status().ToString() << "\n";
     return 1;
+  }
+  if (options.json) {
+    out << json::SerializePretty(wire::ToJson(*result));
+    return 0;
   }
   for (std::size_t i = 0; i < texts.size(); ++i) {
     const QueryOutcome& o = result->results[i];

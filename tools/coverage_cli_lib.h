@@ -24,6 +24,7 @@ struct CliOptions {
   std::string algo = "auto";      // audit: MUP algorithm ("auto" = planner)
   std::vector<std::string> rules; // validation-rule strings
   bool list_mups = false;         // audit: print every MUP, not just the label
+  bool json = false;              // audit/query: emit the JSON wire format
   bool engine = false;            // audit: stream through CoverageEngine
   std::uint64_t chunk_rows = 65536;  // engine: rows per ingest chunk
   std::uint64_t window_rows = 0;  // engine: sliding-window row cap (0 = off)

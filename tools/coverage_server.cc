@@ -1,0 +1,180 @@
+// The deployable coverage server: index one dataset (CSV file or datagen
+// spec), then serve the JSON wire protocol until SIGINT/SIGTERM.
+//
+//   coverage_server --data lending.csv --port 8080 --threads 8
+//   coverage_server --spec compas --port 8080
+//   curl -s localhost:8080/healthz
+//   curl -s localhost:8080/v1/audit -d '{"tau": 30}'
+//
+// See docs/SERVER_API.md for every route.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/coverage_server.h"
+#include "service/pool_arena.h"
+
+namespace {
+
+struct ServerCliOptions {
+  std::string data_path;      // --data CSV
+  std::string spec_name;      // --spec compas | airbnb | bluenile | diagonal
+  std::size_t spec_rows = 0;  // --rows (0 = dataset default)
+  int spec_d = 13;            // --d (airbnb/diagonal width)
+  int port = 8080;
+  int threads = 0;            // 0 = hardware concurrency
+  int max_total_threads = 0;  // 0 = unlimited (process-wide query-pool cap)
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  std::uint64_t tau = 30;     // default tau for sessions
+  int max_cardinality = 100;
+};
+
+void Usage(std::ostream& out) {
+  out << "usage: coverage_server (--data PATH | --spec NAME) [flags]\n"
+         "\n"
+         "  --data PATH            CSV to index and serve (streamed in two\n"
+         "                         passes; peak memory is one chunk)\n"
+         "  --spec NAME            serve a synthetic dataset instead:\n"
+         "                         compas | airbnb | bluenile | diagonal\n"
+         "  --rows N               --spec row count (0 = dataset default)\n"
+         "  --d N                  --spec width for airbnb/diagonal\n"
+         "  --port N               TCP port (default 8080; 0 = ephemeral,\n"
+         "                         printed on stdout)\n"
+         "  --threads N            HTTP workers and per-query-pool width\n"
+         "                         (default 0 = hardware concurrency)\n"
+         "  --max-total-threads N  process-wide cap on spawned query-pool\n"
+         "                         threads (default 0 = unlimited)\n"
+         "  --max-body-bytes N     reject request bodies above N bytes\n"
+         "                         (default 8388608)\n"
+         "  --tau N                default coverage threshold for sessions\n"
+         "                         (default 30)\n"
+         "  --max-cardinality N    CSV schema-inference cap (default 100)\n";
+}
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using coverage::CoverageServer;
+  using coverage::CoverageServerOptions;
+  using coverage::CoverageService;
+  using coverage::DatagenSpec;
+  using coverage::ServiceOptions;
+  using coverage::ThreadBudget;
+
+  ServerCliOptions cli;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&](std::uint64_t* out) {
+      if (i + 1 >= args.size() || !ParseUint(args[++i].c_str(), out)) {
+        std::cerr << "flag " << flag << " expects a non-negative integer\n";
+        std::exit(2);
+      }
+    };
+    std::uint64_t v = 0;
+    if (flag == "--help" || flag == "-h") {
+      Usage(std::cout);
+      return 0;
+    } else if (flag == "--data" && i + 1 < args.size()) {
+      cli.data_path = args[++i];
+    } else if (flag == "--spec" && i + 1 < args.size()) {
+      cli.spec_name = args[++i];
+    } else if (flag == "--rows") {
+      next(&v);
+      cli.spec_rows = static_cast<std::size_t>(v);
+    } else if (flag == "--d") {
+      next(&v);
+      cli.spec_d = static_cast<int>(v);
+    } else if (flag == "--port") {
+      next(&v);
+      cli.port = static_cast<int>(v);
+    } else if (flag == "--threads") {
+      next(&v);
+      cli.threads = static_cast<int>(v);
+    } else if (flag == "--max-total-threads") {
+      next(&v);
+      cli.max_total_threads = static_cast<int>(v);
+    } else if (flag == "--max-body-bytes") {
+      next(&v);
+      cli.max_body_bytes = static_cast<std::size_t>(v);
+    } else if (flag == "--tau") {
+      next(&v);
+      cli.tau = v;
+    } else if (flag == "--max-cardinality") {
+      next(&v);
+      cli.max_cardinality = static_cast<int>(v);
+    } else {
+      std::cerr << "unknown flag '" << flag << "'\n";
+      Usage(std::cerr);
+      return 2;
+    }
+  }
+  if (cli.data_path.empty() == cli.spec_name.empty()) {
+    std::cerr << "pass exactly one of --data or --spec\n";
+    Usage(std::cerr);
+    return 2;
+  }
+
+  // One budget shared by the immutable service and every session the
+  // server opens: --max-total-threads is genuinely process-wide.
+  auto budget = std::make_shared<ThreadBudget>(cli.max_total_threads);
+
+  // ServiceOptions::Validate rejects 0, so resolve "use the hardware" here
+  // the same way ThreadPool would.
+  int service_threads = cli.threads;
+  if (service_threads <= 0) {
+    service_threads =
+        static_cast<int>(std::thread::hardware_concurrency());
+    if (service_threads < 1) service_threads = 1;
+  }
+  ServiceOptions sopts;
+  sopts.num_threads = service_threads;
+  sopts.max_cardinality = cli.max_cardinality;
+  sopts.thread_budget = budget;
+
+  auto service =
+      cli.data_path.empty()
+          ? CoverageService::FromSpec(
+                DatagenSpec{cli.spec_name, cli.spec_rows, cli.spec_d, 42},
+                sopts)
+          : CoverageService::FromCsvFile(cli.data_path, sopts);
+  if (!service.ok()) {
+    std::cerr << service.status().ToString() << "\n";
+    return 1;
+  }
+
+  CoverageServerOptions options;
+  options.http.port = cli.port;
+  options.http.num_threads = cli.threads;  // 0 = hardware concurrency
+  options.http.max_body_bytes = cli.max_body_bytes;
+  options.session_defaults.tau = cli.tau;
+  options.session_defaults.num_threads = service_threads;
+  options.session_defaults.thread_budget = budget;
+
+  CoverageServer server(std::move(*service), options);
+  const coverage::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  server.StopOnSignal();
+  std::cout << "coverage_server listening on port " << server.port() << " ("
+            << server.service().num_rows() << " rows, "
+            << server.service().schema().num_attributes()
+            << " attributes; tau default " << cli.tau << ")\n"
+            << std::flush;
+  server.Wait();
+  std::cout << "coverage_server: graceful shutdown complete\n";
+  return 0;
+}
