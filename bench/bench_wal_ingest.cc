@@ -1,0 +1,136 @@
+// Durability-tax benchmark: streaming ingest throughput of the persistence
+// stack at each WAL policy against the in-memory CoverageEngine baseline.
+//
+//   memory  — CoverageEngine::AppendRows, no persistence at all
+//   none    — DurableEngine with durability=none (snapshots only, no WAL)
+//   async   — WAL records written per mutation, never fsynced
+//   fsync   — group-commit fdatasync before every acknowledgement
+//
+// All four variants apply the identical batch sequence and finish with the
+// identical MUP set; the rows/s spread is the price of each guarantee.
+// REPRO_FULL=1 runs the paper-scale row count.
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace coverage;
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t rows = 0;
+  persist::PersistStats persist;
+};
+
+double RowsPerSecond(const RunResult& r) {
+  return r.seconds > 0 ? static_cast<double>(r.rows) / r.seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::FullScale() ? 500000u : 100000u;
+  const int d = 13;
+  const std::size_t batch_rows = 2000;
+  EngineOptions eopts;
+  eopts.tau = std::max<std::uint64_t>(1, n / 1000);
+
+  bench::Banner("WAL ingest: durability tax vs in-memory baseline",
+                "AirBnB n = " + FormatCount(n) + ", d = " + std::to_string(d) +
+                    ", batches of " + std::to_string(batch_rows) + ", tau = " +
+                    std::to_string(eopts.tau));
+  bench::BenchJson json("wal_ingest");
+
+  // Pre-generate the batch sequence once so every variant pays identical
+  // generation cost (none: it is excluded from the timed region).
+  std::vector<Dataset> batches;
+  for (std::size_t produced = 0; produced < n; produced += batch_rows) {
+    const std::size_t take = std::min(batch_rows, n - produced);
+    batches.push_back(datagen::MakeAirbnb(take, d, 7 + produced));
+  }
+  const Schema schema = batches.front().schema();
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "bench_wal_ingest").string();
+  std::filesystem::remove_all(root);
+
+  TablePrinter table({"variant", "seconds", "rows/s", "wal MiB",
+                      "fsyncs", "fsync avg (ms)"});
+
+  auto report = [&](const std::string& variant, const RunResult& r) {
+    const persist::PersistStats& ps = r.persist;
+    const double fsync_avg_ms =
+        ps.sync_calls > 0
+            ? ps.sync_seconds * 1e3 / static_cast<double>(ps.sync_calls)
+            : 0.0;
+    table.Row()
+        .Cell(variant)
+        .Cell(r.seconds, 3)
+        .Cell(static_cast<std::uint64_t>(RowsPerSecond(r)))
+        .Cell(static_cast<double>(ps.wal_bytes) / (1024.0 * 1024.0), 2)
+        .Cell(ps.sync_calls)
+        .Cell(fsync_avg_ms, 3)
+        .Done();
+    json.Row()
+        .Field("variant", variant)
+        .Field("rows", static_cast<std::uint64_t>(r.rows))
+        .Field("batch_rows", static_cast<std::uint64_t>(batch_rows))
+        .Field("seconds", r.seconds)
+        .Field("rows_per_s", RowsPerSecond(r))
+        .Field("wal_bytes", ps.wal_bytes)
+        .Field("fsync_calls", ps.sync_calls)
+        .Field("fsync_avg_ms", fsync_avg_ms)
+        .Field("checkpoints", ps.checkpoints_written)
+        .Done();
+  };
+
+  // ---- in-memory baseline -------------------------------------------------
+  {
+    CoverageEngine engine(schema, eopts);
+    RunResult r;
+    Stopwatch timer;
+    for (const Dataset& batch : batches) {
+      if (!engine.AppendRows(batch).ok()) return 1;
+      r.rows += batch.num_rows();
+    }
+    r.seconds = timer.ElapsedSeconds();
+    report("memory", r);
+  }
+
+  // ---- the three durability policies -------------------------------------
+  const struct {
+    const char* name;
+    DurabilityMode mode;
+  } kPolicies[] = {{"none", DurabilityMode::kNone},
+                   {"async", DurabilityMode::kAsync},
+                   {"fsync", DurabilityMode::kFsync}};
+  for (const auto& policy : kPolicies) {
+    EngineOptions opts = eopts;
+    opts.durability = policy.mode;
+    const std::string dir = root + "/" + policy.name;
+    auto durable = persist::DurableEngine::Create(dir, schema, opts);
+    if (!durable.ok()) {
+      std::cerr << durable.status().ToString() << "\n";
+      return 1;
+    }
+    RunResult r;
+    Stopwatch timer;
+    for (const Dataset& batch : batches) {
+      if (!(*durable)->Append(batch).ok()) return 1;
+      r.rows += batch.num_rows();
+    }
+    r.seconds = timer.ElapsedSeconds();
+    r.persist = (*durable)->persist_stats();
+    report(policy.name, r);
+  }
+
+  table.Print(std::cout);
+  std::filesystem::remove_all(root);
+  return 0;
+}

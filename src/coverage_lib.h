@@ -68,6 +68,10 @@
 #include "mups/mup_index.h"             // IWYU pragma: export
 #include "mups/mups.h"                  // IWYU pragma: export
 #include "pattern/pattern.h"            // IWYU pragma: export
+#include "persist/durable_engine.h"     // IWYU pragma: export
+#include "persist/fault_fs.h"           // IWYU pragma: export
+#include "persist/snapshot.h"           // IWYU pragma: export
+#include "persist/wal.h"                // IWYU pragma: export
 #include "pattern/pattern_graph.h"      // IWYU pragma: export
 #include "pattern/pattern_ops.h"        // IWYU pragma: export
 #include "server/coverage_server.h"     // IWYU pragma: export

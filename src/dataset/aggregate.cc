@@ -17,6 +17,47 @@ AggregatedData::AggregatedData(const Dataset& dataset)
   AppendRows(dataset);
 }
 
+StatusOr<AggregatedData> AggregatedData::Restore(
+    Schema schema, std::vector<Value> cells,
+    std::vector<std::uint64_t> counts) {
+  AggregatedData agg(std::move(schema));
+  const std::size_t d = static_cast<std::size_t>(agg.num_attributes());
+  if (d == 0) {
+    return Status::InvalidArgument("restore: schema has no attributes");
+  }
+  if (cells.size() != counts.size() * d) {
+    return Status::InvalidArgument(
+        "restore: cells/counts shape mismatch (" +
+        std::to_string(cells.size()) + " cells for " +
+        std::to_string(counts.size()) + " combinations of width " +
+        std::to_string(d) + ")");
+  }
+  agg.index_.reserve(counts.size());
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    const std::span<const Value> combo(cells.data() + k * d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+      if (combo[i] < 0 ||
+          combo[i] >= agg.schema_.cardinality(static_cast<int>(i))) {
+        return Status::InvalidArgument(
+            "restore: combination " + std::to_string(k) + " attribute " +
+            std::to_string(i) + " value " + std::to_string(combo[i]) +
+            " out of range");
+      }
+    }
+    const auto [it, inserted] = agg.index_.try_emplace(agg.KeyOf(combo), k);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("restore: duplicate combination at id " +
+                                     std::to_string(k));
+    }
+    agg.total_count_ += counts[k];
+    if (counts[k] == 0) ++agg.tombstones_;
+  }
+  agg.cells_ = std::move(cells);
+  agg.counts_ = std::move(counts);
+  return agg;
+}
+
 void AggregatedData::AppendRow(std::span<const Value> row) {
   assert(static_cast<int>(row.size()) == num_attributes());
   const std::uint64_t key = KeyOf(row);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "dataset/dataset.h"
 #include "dataset/schema.h"
 
@@ -40,6 +41,16 @@ class AggregatedData {
 
   /// Groups the rows of `dataset` by full value combination.
   explicit AggregatedData(const Dataset& dataset);
+
+  /// Rebuilds a relation from its serialized image: `cells` holds the
+  /// distinct combinations row-major in combination-id order, `counts` the
+  /// parallel multiplicities (zeros restore as tombstones). The key index,
+  /// total count, and tombstone count are derived; shape, value ranges,
+  /// and combination uniqueness are validated (a corrupt-but-checksummed
+  /// snapshot must not crash recovery).
+  static StatusOr<AggregatedData> Restore(Schema schema,
+                                          std::vector<Value> cells,
+                                          std::vector<std::uint64_t> counts);
 
   /// Folds in one row (must match the schema in width and value ranges).
   /// Amortised O(d) (one hash probe + possible tail append).

@@ -94,6 +94,62 @@ void CoverageEngine::Publish(std::shared_ptr<const Snapshot> next) {
   current_ = std::move(next);
 }
 
+EngineImage CoverageEngine::CaptureImage() const {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  const AggregatedData& agg = snap->data();
+
+  EngineImage image;
+  image.schema = schema_;
+  image.options = options_;
+  image.epoch = snap->epoch();
+  image.agg_cells.reserve(agg.num_combinations() *
+                          static_cast<std::size_t>(agg.num_attributes()));
+  for (std::size_t k = 0; k < agg.num_combinations(); ++k) {
+    const auto combo = agg.combination(k);
+    image.agg_cells.insert(image.agg_cells.end(), combo.begin(), combo.end());
+  }
+  image.agg_counts = agg.counts();
+  image.mups = snap->mups();
+  image.window_batches.assign(window_batches_.begin(), window_batches_.end());
+  return image;
+}
+
+StatusOr<std::unique_ptr<CoverageEngine>> CoverageEngine::Restore(
+    EngineImage image) {
+  auto agg = AggregatedData::Restore(image.schema, std::move(image.agg_cells),
+                                     std::move(image.agg_counts));
+  if (!agg.ok()) return agg.status();
+  const int d = image.schema.num_attributes();
+  for (const Pattern& mup : image.mups) {
+    if (mup.num_attributes() != d) {
+      return Status::InvalidArgument(
+          "restore: MUP width does not match the schema");
+    }
+  }
+  std::size_t window_rows = 0;
+  for (const Dataset& batch : image.window_batches) {
+    if (!(batch.schema() == image.schema)) {
+      return Status::InvalidArgument(
+          "restore: window batch schema does not match the engine schema");
+    }
+    window_rows += batch.num_rows();
+  }
+  if (image.options.num_threads < 1) image.options.num_threads = 1;
+
+  auto engine =
+      std::make_unique<CoverageEngine>(image.schema, image.options);
+  auto snap = std::shared_ptr<Snapshot>(
+      new Snapshot(std::move(*agg), nullptr, image.epoch));
+  snap->mups_ = std::move(image.mups);
+  engine->window_batches_.assign(
+      std::make_move_iterator(image.window_batches.begin()),
+      std::make_move_iterator(image.window_batches.end()));
+  engine->window_rows_ = window_rows;
+  engine->Publish(std::move(snap));
+  return engine;
+}
+
 Status CoverageEngine::AppendRows(std::span<const Row> rows,
                                   EngineUpdateStats* stats) {
   Dataset chunk(schema_);

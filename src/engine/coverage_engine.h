@@ -22,6 +22,15 @@ namespace coverage {
 
 class ThreadPool;
 
+/// Write-ahead-log durability policy. Consumed by persist::DurableEngine —
+/// the engine itself performs no IO; the knob lives here so one options
+/// struct configures a session end to end.
+enum class DurabilityMode {
+  kNone,   ///< no WAL; persistence only through explicit checkpoints
+  kAsync,  ///< WAL written per commit, no fsync (crash may lose a tail)
+  kFsync,  ///< group-commit fdatasync before acknowledging each mutation
+};
+
 /// Configuration of a CoverageEngine; fixed for the engine's lifetime so
 /// every epoch answers the same Problem-1 instance.
 struct EngineOptions {
@@ -51,6 +60,24 @@ struct EngineOptions {
   /// Either limit alone or both together may be set.
   std::size_t window_max_rows = 0;
   std::size_t window_max_epochs = 0;
+
+  /// Durability policy when the engine is wrapped by persist::DurableEngine;
+  /// ignored by the in-memory engine itself.
+  DurabilityMode durability = DurabilityMode::kNone;
+};
+
+/// A serializable full-state image of an engine: everything needed to
+/// reconstruct the published epoch bit-identically (same MUP set, same
+/// query answers) without re-running any MUP search. Captured as a
+/// consistent cut under the engine's writer lock.
+struct EngineImage {
+  Schema schema;
+  EngineOptions options;  ///< problem knobs; runtime knobs reset by caller
+  std::uint64_t epoch = 0;
+  std::vector<Value> agg_cells;           ///< combos row-major, id order
+  std::vector<std::uint64_t> agg_counts;  ///< parallel counts (0 = tombstone)
+  std::vector<Pattern> mups;              ///< sorted, as published
+  std::vector<Dataset> window_batches;    ///< retained batches, oldest first
 };
 
 /// Instrumentation of one epoch advance (one AppendRows / RetractRows call;
@@ -209,6 +236,19 @@ class CoverageEngine {
   /// As above, for a whole Dataset (whose schema must equal ours).
   Status RetractRows(const Dataset& rows, EngineUpdateStats* stats = nullptr);
 
+  /// Captures the current epoch plus the sliding-window bookkeeping as one
+  /// consistent cut (serialises with writers on the writer lock). The image
+  /// round-trips through Restore.
+  EngineImage CaptureImage() const;
+
+  /// Reconstructs an engine from a captured image. The restored engine
+  /// publishes the image's epoch with a from-scratch oracle over the
+  /// restored relation and the image's MUP set verbatim — no MUP search
+  /// runs, and query answers are bit-identical to the captured engine's
+  /// (tombstoned combinations contribute 0 either way). The image is
+  /// validated; a corrupted one yields InvalidArgument, never UB.
+  static StatusOr<std::unique_ptr<CoverageEngine>> Restore(EngineImage image);
+
   /// The current MUP set (Problem 1 on the accumulated data), sorted.
   std::vector<Pattern> Mups() const { return snapshot()->mups(); }
 
@@ -271,7 +311,9 @@ class CoverageEngine {
   Schema schema_;
   EngineOptions options_;
   mutable std::mutex snapshot_mu_;  // guards current_ (pointer swap only)
-  std::mutex writer_mu_;            // serialises epoch builds
+  /// Serialises epoch builds; mutable so const CaptureImage can take a
+  /// consistent cut of snapshot + window state.
+  mutable std::mutex writer_mu_;
   std::shared_ptr<const Snapshot> current_;
   /// Lazily built recheck pool, reused across epochs (guarded by writer_mu_)
   /// so a long chunked ingest pays thread spawn once, not per chunk.

@@ -1,0 +1,264 @@
+#include "persist/codec.h"
+
+#include <array>
+#include <utility>
+
+namespace coverage {
+namespace persist {
+namespace {
+
+// CRC32C lookup table (reflected polynomial 0x82f63b78), built once.
+const std::array<std::uint32_t, 256>& Crc32cTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr int kMaxDecodedAttributes = 1 << 16;
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view data) {
+  const auto& table = Crc32cTable();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void ByteWriter::PutU16(std::uint16_t v) {
+  PutU8(static_cast<std::uint8_t>(v & 0xff));
+  PutU8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(std::uint32_t v) {
+  PutU16(static_cast<std::uint16_t>(v & 0xffff));
+  PutU16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::PutU64(std::uint64_t v) {
+  PutU32(static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+void ByteWriter::PutValues(const std::vector<Value>& values) {
+  PutU64(values.size());
+  for (const Value v : values) PutU16(static_cast<std::uint16_t>(v));
+}
+
+Status ByteReader::Need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return Status::InvalidArgument(
+        "decode: truncated payload (need " + std::to_string(n) +
+        " bytes at offset " + std::to_string(pos_) + " of " +
+        std::to_string(data_.size()) + ")");
+  }
+  return Status::OK();
+}
+
+Status ByteReader::GetU8(std::uint8_t* v) {
+  COVERAGE_RETURN_IF_ERROR(Need(1));
+  *v = static_cast<std::uint8_t>(data_[pos_++]);
+  return Status::OK();
+}
+
+Status ByteReader::GetU16(std::uint16_t* v) {
+  COVERAGE_RETURN_IF_ERROR(Need(2));
+  const auto lo = static_cast<std::uint8_t>(data_[pos_]);
+  const auto hi = static_cast<std::uint8_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  *v = static_cast<std::uint16_t>(lo | (hi << 8));
+  return Status::OK();
+}
+
+Status ByteReader::GetU32(std::uint32_t* v) {
+  std::uint16_t lo = 0, hi = 0;
+  COVERAGE_RETURN_IF_ERROR(GetU16(&lo));
+  COVERAGE_RETURN_IF_ERROR(GetU16(&hi));
+  *v = static_cast<std::uint32_t>(lo) |
+       (static_cast<std::uint32_t>(hi) << 16);
+  return Status::OK();
+}
+
+Status ByteReader::GetU64(std::uint64_t* v) {
+  std::uint32_t lo = 0, hi = 0;
+  COVERAGE_RETURN_IF_ERROR(GetU32(&lo));
+  COVERAGE_RETURN_IF_ERROR(GetU32(&hi));
+  *v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  return Status::OK();
+}
+
+Status ByteReader::GetI64(std::int64_t* v) {
+  std::uint64_t raw = 0;
+  COVERAGE_RETURN_IF_ERROR(GetU64(&raw));
+  *v = static_cast<std::int64_t>(raw);
+  return Status::OK();
+}
+
+Status ByteReader::GetString(std::string* s) {
+  std::uint64_t size = 0;
+  COVERAGE_RETURN_IF_ERROR(GetU64(&size));
+  COVERAGE_RETURN_IF_ERROR(Need(size));
+  s->assign(data_.data() + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+Status ByteReader::GetValues(std::vector<Value>* values) {
+  std::uint64_t count = 0;
+  COVERAGE_RETURN_IF_ERROR(GetU64(&count));
+  if (count > remaining()) {
+    return Status::InvalidArgument("decode: implausible value count " +
+                                   std::to_string(count));
+  }
+  COVERAGE_RETURN_IF_ERROR(Need(static_cast<std::size_t>(count) * 2));
+  values->clear();
+  values->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint16_t raw = 0;
+    COVERAGE_RETURN_IF_ERROR(GetU16(&raw));
+    values->push_back(static_cast<Value>(raw));
+  }
+  return Status::OK();
+}
+
+Status ByteReader::ExpectDone() const {
+  if (!Done()) {
+    return Status::InvalidArgument("decode: " + std::to_string(remaining()) +
+                                   " trailing bytes after payload");
+  }
+  return Status::OK();
+}
+
+void EncodeSchema(const Schema& schema, ByteWriter* out) {
+  out->PutU64(static_cast<std::uint64_t>(schema.num_attributes()));
+  for (const Attribute& attr : schema.attributes()) {
+    out->PutString(attr.name);
+    out->PutU64(attr.value_names.size());
+    for (const std::string& value : attr.value_names) out->PutString(value);
+  }
+}
+
+StatusOr<Schema> DecodeSchema(ByteReader* in) {
+  std::uint64_t num_attributes = 0;
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&num_attributes));
+  if (num_attributes == 0 || num_attributes > kMaxDecodedAttributes) {
+    return Status::InvalidArgument("decode: implausible attribute count " +
+                                   std::to_string(num_attributes));
+  }
+  std::vector<Attribute> attributes;
+  attributes.reserve(num_attributes);
+  for (std::uint64_t a = 0; a < num_attributes; ++a) {
+    Attribute attr;
+    COVERAGE_RETURN_IF_ERROR(in->GetString(&attr.name));
+    std::uint64_t num_values = 0;
+    COVERAGE_RETURN_IF_ERROR(in->GetU64(&num_values));
+    if (num_values == 0 || num_values > kMaxDecodedAttributes) {
+      return Status::InvalidArgument("decode: implausible cardinality " +
+                                     std::to_string(num_values) +
+                                     " for attribute '" + attr.name + "'");
+    }
+    attr.value_names.resize(num_values);
+    for (std::uint64_t v = 0; v < num_values; ++v) {
+      COVERAGE_RETURN_IF_ERROR(in->GetString(&attr.value_names[v]));
+    }
+    attributes.push_back(std::move(attr));
+  }
+  return Schema(std::move(attributes));
+}
+
+void EncodeRows(const Dataset& dataset, ByteWriter* out) {
+  out->PutU64(dataset.num_rows());
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    const auto row = dataset.row(r);
+    for (const Value v : row) out->PutU16(static_cast<std::uint16_t>(v));
+  }
+}
+
+StatusOr<Dataset> DecodeRows(const Schema& schema, ByteReader* in) {
+  std::uint64_t num_rows = 0;
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&num_rows));
+  const int d = schema.num_attributes();
+  // Cheap plausibility bound before Need: an adversarial count must not
+  // overflow the size computation or drive a giant reserve.
+  if (num_rows > in->remaining()) {
+    return Status::InvalidArgument("decode: implausible row count " +
+                                   std::to_string(num_rows));
+  }
+  COVERAGE_RETURN_IF_ERROR(
+      in->Need(static_cast<std::size_t>(num_rows) *
+               static_cast<std::size_t>(d) * 2));
+  Dataset dataset(schema);
+  std::vector<Value> row(static_cast<std::size_t>(d));
+  for (std::uint64_t r = 0; r < num_rows; ++r) {
+    for (int i = 0; i < d; ++i) {
+      std::uint16_t raw = 0;
+      COVERAGE_RETURN_IF_ERROR(in->GetU16(&raw));
+      const Value v = static_cast<Value>(raw);
+      if (v < 0 || v >= schema.cardinality(i)) {
+        return Status::InvalidArgument(
+            "decode: row " + std::to_string(r) + " attribute " +
+            std::to_string(i) + " value " + std::to_string(v) +
+            " out of range");
+      }
+      row[static_cast<std::size_t>(i)] = v;
+    }
+    dataset.AppendRow(row);
+  }
+  return dataset;
+}
+
+void EncodePatterns(const std::vector<Pattern>& patterns, ByteWriter* out) {
+  out->PutU64(patterns.size());
+  for (const Pattern& p : patterns) out->PutValues(p.cells());
+}
+
+Status DecodePatterns(const Schema& schema, ByteReader* in,
+                      std::vector<Pattern>* patterns) {
+  std::uint64_t count = 0;
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&count));
+  if (count > in->remaining()) {
+    return Status::InvalidArgument("decode: implausible pattern count " +
+                                   std::to_string(count));
+  }
+  patterns->clear();
+  patterns->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<Value> cells;
+    COVERAGE_RETURN_IF_ERROR(in->GetValues(&cells));
+    if (static_cast<int>(cells.size()) != schema.num_attributes()) {
+      return Status::InvalidArgument("decode: pattern width " +
+                                     std::to_string(cells.size()) +
+                                     " does not match schema");
+    }
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c] != kWildcard &&
+          (cells[c] < 0 ||
+           cells[c] >= schema.cardinality(static_cast<int>(c)))) {
+        return Status::InvalidArgument("decode: pattern cell " +
+                                       std::to_string(cells[c]) +
+                                       " out of range");
+      }
+    }
+    patterns->push_back(Pattern(std::move(cells)));
+  }
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace coverage

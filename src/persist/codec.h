@@ -1,0 +1,96 @@
+#ifndef COVERAGE_PERSIST_CODEC_H_
+#define COVERAGE_PERSIST_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+namespace persist {
+
+/// CRC32C (Castagnoli) over `data`, the checksum guarding every WAL record
+/// and snapshot body. Software table implementation — plenty for the record
+/// sizes involved; the polynomial matches iSCSI/ext4 so external tooling
+/// can verify files.
+std::uint32_t Crc32c(std::string_view data);
+
+/// Little-endian binary encoder for WAL record payloads and snapshot
+/// bodies. Fixed-width integers only: the durability formats favour
+/// trivially seekable layouts over minimal size (snapshots are compacted
+/// aggregates, not raw rows).
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  /// int64 as two's-complement u64 (max_level is -1 when unbounded).
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  /// u64 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// u64 count + each Value as u16 (two's complement; kWildcard = -1
+  /// round-trips).
+  void PutValues(const std::vector<Value>& values);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Matching decoder. Every getter bounds-checks and returns InvalidArgument
+/// on truncation — decode errors are recovery-path input, never assertions.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status GetU8(std::uint8_t* v);
+  Status GetU16(std::uint16_t* v);
+  Status GetU32(std::uint32_t* v);
+  Status GetU64(std::uint64_t* v);
+  Status GetI64(std::int64_t* v);
+  Status GetString(std::string* s);
+  Status GetValues(std::vector<Value>* values);
+
+  bool Done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// InvalidArgument unless every byte was consumed — trailing garbage in a
+  /// checksummed payload means a format bug, not corruption; reject it.
+  Status ExpectDone() const;
+
+  /// InvalidArgument unless `n` more bytes remain. Exposed so decoders can
+  /// reject an implausible element count before reserving for it.
+  Status Need(std::size_t n) const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Schema <-> bytes: attribute names and value-name dictionaries, so a
+/// restored session re-serves the exact labels it was created with.
+void EncodeSchema(const Schema& schema, ByteWriter* out);
+StatusOr<Schema> DecodeSchema(ByteReader* in);
+
+/// Rows of `dataset` (count + flat cells); the schema travels separately.
+void EncodeRows(const Dataset& dataset, ByteWriter* out);
+StatusOr<Dataset> DecodeRows(const Schema& schema, ByteReader* in);
+
+/// Sorted pattern list (the MUP set of a snapshot image). Decoded cells are
+/// validated against `schema` (wildcard or in-range value).
+void EncodePatterns(const std::vector<Pattern>& patterns, ByteWriter* out);
+Status DecodePatterns(const Schema& schema, ByteReader* in,
+                      std::vector<Pattern>* patterns);
+
+}  // namespace persist
+}  // namespace coverage
+
+#endif  // COVERAGE_PERSIST_CODEC_H_

@@ -1,0 +1,379 @@
+#include "persist/fault_fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace coverage {
+namespace persist {
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::Internal(std::string(op) + " '" + path +
+                          "': " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+#if defined(__APPLE__)
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+#else
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_, errno);
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT)
+        return Status::NotFound("no such file: '" + path + "'");
+      return ErrnoStatus("open", path, errno);
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      dirent* entry = ::readdir(dir);
+      if (entry == nullptr) {
+        const int err = errno;
+        ::closedir(dir);
+        if (err != 0) return ErrnoStatus("readdir", path, err);
+        break;
+      }
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    if (path.empty()) return Status::InvalidArgument("empty directory path");
+    std::string partial;
+    std::size_t i = 0;
+    while (i < path.size()) {
+      std::size_t next = path.find('/', i);
+      if (next == std::string::npos) next = path.size();
+      partial = path.substr(0, next);
+      i = next + 1;
+      if (partial.empty()) continue;  // leading '/'
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return ErrnoStatus("mkdir", partial, errno);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + "' -> '" + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    Status status = Status::OK();
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync", path, errno);
+    ::close(fd);
+    return status;
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem* fs = new PosixFileSystem();
+  return fs;
+}
+
+// A file opened through FaultFs: charges every append against the owning
+// wrapper's crash budget before letting bytes through to the base file.
+class FaultFile : public WritableFile {
+ public:
+  FaultFile(FaultFs* fs, std::unique_ptr<WritableFile> base, std::string path)
+      : fs_(fs), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    fs_->Observe("append", path_);
+    COVERAGE_RETURN_IF_ERROR(fs_->CheckAlive("append"));
+    COVERAGE_RETURN_IF_ERROR(fs_->TakeAppendError());
+    bool crossed = false;
+    const std::uint64_t admitted = fs_->AdmitAppend(data.size(), &crossed);
+    if (admitted > 0) {
+      COVERAGE_RETURN_IF_ERROR(base_->Append(data.substr(0, admitted)));
+    }
+    if (crossed) {
+      return Status::Internal("injected crash: torn write in '" + path_ +
+                              "' after " + std::to_string(admitted) +
+                              " of " + std::to_string(data.size()) + " bytes");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    fs_->Observe("sync", path_);
+    COVERAGE_RETURN_IF_ERROR(fs_->CheckAlive("sync"));
+    COVERAGE_RETURN_IF_ERROR(fs_->TakeSyncError());
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    fs_->Observe("close", path_);
+    // Closing is allowed after a crash (destructors run); the underlying
+    // descriptor must be released either way.
+    return base_->Close();
+  }
+
+ private:
+  FaultFs* fs_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+StatusOr<std::unique_ptr<WritableFile>> FaultFs::NewWritableFile(
+    const std::string& path, bool truncate) {
+  Observe("open", path);
+  COVERAGE_RETURN_IF_ERROR(CheckAlive("open"));
+  auto base = base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultFile>(this, std::move(*base), path));
+}
+
+StatusOr<std::string> FaultFs::ReadFileToString(const std::string& path) {
+  // Reads survive the crash: recovery reads the same "disk".
+  return base_->ReadFileToString(path);
+}
+
+StatusOr<std::vector<std::string>> FaultFs::ListDir(const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Status FaultFs::CreateDirs(const std::string& path) {
+  COVERAGE_RETURN_IF_ERROR(CheckAlive("mkdir"));
+  return base_->CreateDirs(path);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  Observe("rename", to);
+  COVERAGE_RETURN_IF_ERROR(CheckAlive("rename"));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_rename_error_.has_value()) {
+      Status error = *next_rename_error_;
+      next_rename_error_.reset();
+      return error;
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  Observe("remove", path);
+  COVERAGE_RETURN_IF_ERROR(CheckAlive("remove"));
+  return base_->Remove(path);
+}
+
+Status FaultFs::SyncDir(const std::string& path) {
+  Observe("syncdir", path);
+  COVERAGE_RETURN_IF_ERROR(CheckAlive("syncdir"));
+  COVERAGE_RETURN_IF_ERROR(TakeSyncError());
+  return base_->SyncDir(path);
+}
+
+bool FaultFs::Exists(const std::string& path) { return base_->Exists(path); }
+
+void FaultFs::CrashAfterBytes(std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crash_budget_ = n;
+  if (n == 0) crashed_ = true;
+}
+
+bool FaultFs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultFs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  crash_armed_ = false;
+  crash_budget_ = 0;
+  next_append_error_.reset();
+  next_sync_error_.reset();
+  next_rename_error_.reset();
+}
+
+void FaultFs::FailNextAppend(Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_append_error_ = std::move(error);
+}
+
+void FaultFs::FailNextSync(Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_sync_error_ = std::move(error);
+}
+
+void FaultFs::FailNextRename(Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_rename_error_ = std::move(error);
+}
+
+void FaultFs::set_op_observer(
+    std::function<void(std::string_view, const std::string&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(fn);
+}
+
+std::uint64_t FaultFs::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+std::uint64_t FaultFs::AdmitAppend(std::uint64_t want, bool* crossed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *crossed = false;
+  std::uint64_t admitted = want;
+  if (crash_armed_ && want >= crash_budget_) {
+    admitted = crash_budget_;
+    crash_budget_ = 0;
+    crashed_ = true;
+    *crossed = true;
+  } else if (crash_armed_) {
+    crash_budget_ -= want;
+  }
+  bytes_written_ += admitted;
+  return admitted;
+}
+
+Status FaultFs::TakeAppendError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_append_error_.has_value()) {
+    Status error = *next_append_error_;
+    next_append_error_.reset();
+    return error;
+  }
+  return Status::OK();
+}
+
+Status FaultFs::TakeSyncError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_sync_error_.has_value()) {
+    Status error = *next_sync_error_;
+    next_sync_error_.reset();
+    return error;
+  }
+  return Status::OK();
+}
+
+void FaultFs::Observe(std::string_view op, const std::string& path) {
+  std::function<void(std::string_view, const std::string&)> fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn = observer_;
+  }
+  if (fn) fn(op, path);
+}
+
+Status FaultFs::CheckAlive(const char* op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    return Status::Internal(std::string("injected crash: ") + op +
+                            " after simulated kill");
+  }
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace coverage

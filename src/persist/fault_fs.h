@@ -1,0 +1,158 @@
+#ifndef COVERAGE_PERSIST_FAULT_FS_H_
+#define COVERAGE_PERSIST_FAULT_FS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coverage {
+namespace persist {
+
+/// Append-only file handle. Implementations either write the whole buffer
+/// or return an error (callers never see short writes — FaultFs converts an
+/// injected short write into "partial bytes landed, then the call failed",
+/// which is exactly what a crash mid-write looks like on disk).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Durability barrier (fdatasync). On return every previously appended
+  /// byte survives a crash of the process and the machine's page cache.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// The filesystem seam every persistence component writes through. One
+/// production implementation (posix, Default()) and one fault-injecting
+/// wrapper (FaultFs) used by the crash-recovery property tests. The
+/// interface is deliberately minimal: append-only files, whole-file reads,
+/// atomic rename, directory listing/creation/sync.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending; `truncate` starts it empty.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Entry names (not paths) of `path`, excluding "." and "..", sorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Atomic replace (rename(2)); the commit point of every snapshot.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Durability barrier for directory metadata (the rename itself).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// The process-wide posix filesystem.
+  static FileSystem* Default();
+};
+
+/// Fault-injection wrapper: passes everything through to `base` until a
+/// configured fault triggers.
+///
+///   - CrashAfterBytes(k): the k-th appended byte (counted across every
+///     file opened through this wrapper) is the last one to reach `base`;
+///     the append that crosses the threshold lands only its prefix (a torn
+///     write) and fails, and every subsequent mutation fails too. Together
+///     with a fresh recovery pass over the same directory this simulates
+///     kill -9 at an arbitrary write point.
+///   - FailNextAppend/FailNextSync/FailNextRename: one-shot errors (ENOSPC,
+///     EIO, a failed fsync) without entering the crashed state. A failed
+///     Sync makes no durability promise for buffered bytes — callers are
+///     expected to poison themselves, which the tests assert.
+///   - set_op_observer: called before every operation with (op, path) —
+///     the crash-point callback hook for tests that script exact sequences.
+///
+/// Thread-safe. Reads are served from `base` even after a crash (the
+/// "disk" survives; the process does not).
+class FaultFs : public FileSystem {
+ public:
+  explicit FaultFs(FileSystem* base) : base_(base) {}
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  /// Arms the crash: after `n` more appended bytes reach `base`, every
+  /// mutation fails (see class comment). n == 0 crashes immediately.
+  void CrashAfterBytes(std::uint64_t n);
+
+  bool crashed() const;
+
+  /// Disarms every fault and leaves pass-through mode (the "reboot").
+  void Reset();
+
+  void FailNextAppend(Status error);
+  void FailNextSync(Status error);
+  void FailNextRename(Status error);
+
+  /// Observer for every operation: ("append" | "sync" | "close" | "open" |
+  /// "rename" | "remove" | "syncdir", path). Runs outside the internal
+  /// lock; keep it cheap and thread-safe.
+  void set_op_observer(
+      std::function<void(std::string_view op, const std::string& path)> fn);
+
+  /// Total bytes appended through this wrapper since construction (torn
+  /// prefixes included) — the domain CrashAfterBytes samples from.
+  std::uint64_t bytes_written() const;
+
+ private:
+  friend class FaultFile;
+
+  /// Charges `want` appended bytes against the crash budget. Returns how
+  /// many may still reach `base` (== want when no crash triggers) and
+  /// whether this append crosses the crash threshold.
+  std::uint64_t AdmitAppend(std::uint64_t want, bool* crossed);
+
+  /// One-shot error takeout; OK when none armed.
+  Status TakeAppendError();
+  Status TakeSyncError();
+
+  void Observe(std::string_view op, const std::string& path);
+
+  /// InternalError("injected crash: ...") when crashed, else OK.
+  Status CheckAlive(const char* op) const;
+
+  FileSystem* base_;
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  bool crash_armed_ = false;
+  std::uint64_t crash_budget_ = 0;   // appended bytes until the crash
+  std::uint64_t bytes_written_ = 0;
+  std::optional<Status> next_append_error_;
+  std::optional<Status> next_sync_error_;
+  std::optional<Status> next_rename_error_;
+  std::function<void(std::string_view, const std::string&)> observer_;
+};
+
+}  // namespace persist
+}  // namespace coverage
+
+#endif  // COVERAGE_PERSIST_FAULT_FS_H_

@@ -1,0 +1,128 @@
+#ifndef COVERAGE_PERSIST_WAL_H_
+#define COVERAGE_PERSIST_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/fault_fs.h"
+
+namespace coverage {
+namespace persist {
+
+/// Write-ahead-log record types, one per CoverageEngine mutation kind.
+enum class WalRecordType : std::uint8_t {
+  kHeader = 1,   ///< segment prologue: schema + engine options
+  kAppend = 2,   ///< one AppendRows batch (rows inline)
+  kRetract = 3,  ///< one RetractRows batch (rows inline)
+  kEvict = 4,    ///< sliding-window eviction fold-in (row count only —
+                 ///< eviction is deterministic within the append's replay,
+                 ///< so the count is a consistency check, not data)
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kHeader;
+  /// The epoch the mutation produced. Replay skips records at or below the
+  /// snapshot's epoch and asserts the rest arrive in +1 steps.
+  std::uint64_t epoch = 0;
+  /// Type-specific payload (codec.h encodings).
+  std::string body;
+};
+
+/// On-disk format of a WAL segment:
+///
+///   [8-byte magic "covwal01"]
+///   repeated records: [u32 len][u32 crc32c(payload)][payload]
+///   payload:          [u8 type][u64 epoch][body...]
+///
+/// `len` counts payload bytes. All integers little-endian. A record is
+/// valid iff it is complete and its checksum matches; the first invalid
+/// record ends the readable prefix (torn tail).
+inline constexpr char kWalMagic[8] = {'c', 'o', 'v', 'w', 'a', 'l', '0', '1'};
+inline constexpr std::size_t kWalRecordOverhead = 8;  // len + crc
+/// Records bigger than this are rejected as corruption rather than decoded
+/// (a flipped length byte must not drive a 4 GiB allocation).
+inline constexpr std::uint32_t kWalMaxRecordBytes = 1u << 30;
+
+/// Appends checksummed records to one segment file with a group-commit
+/// sync: Append returns the record's end offset (its LSN); Sync(lsn)
+/// returns once a single fdatasync — possibly issued by another thread —
+/// covers that offset. Thread-safe.
+class WalWriter {
+ public:
+  /// Opens `path` (created/truncated when `truncate`) and writes the magic
+  /// if the file starts empty.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(FileSystem* fs,
+                                                   const std::string& path,
+                                                   bool truncate);
+
+  /// Appends one record (buffered write(2); durable only after Sync). On
+  /// success `*lsn` is the end offset of the record. A failed append
+  /// poisons the writer: the segment may hold a torn record, so every
+  /// later Append/Sync fails with the original error.
+  Status Append(WalRecordType type, std::uint64_t epoch,
+                const std::string& body, std::uint64_t* lsn);
+
+  /// Group commit: blocks until some fdatasync covers `lsn`. Concurrent
+  /// callers coalesce — one syncer flushes for everyone who queued behind
+  /// it. Failure poisons the writer (durability can no longer be promised).
+  /// A writer retired by Close returns OK: rotation only closes a segment
+  /// after a durable snapshot has superseded its records.
+  Status Sync(std::uint64_t lsn);
+
+  /// Bytes appended so far (== the next record's start offset).
+  std::uint64_t end_offset() const;
+
+  /// Cumulative fdatasync calls and their total latency, for /v1/stats.
+  std::uint64_t sync_calls() const;
+  double sync_seconds() const;
+
+  Status Close();
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::uint64_t offset)
+      : file_(std::move(file)), end_offset_(offset), synced_offset_(offset) {}
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  std::unique_ptr<WritableFile> file_;
+  std::uint64_t end_offset_;     // bytes appended
+  std::uint64_t synced_offset_;  // bytes known durable
+  bool sync_in_flight_ = false;
+  Status poisoned_ = Status::OK();
+  std::uint64_t sync_calls_ = 0;
+  double sync_seconds_ = 0.0;
+};
+
+/// Result of scanning one segment file.
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< the valid prefix, in order
+  /// True when the file ends in an incomplete or checksum-failing record
+  /// (the expected state after a crash mid-append). Recovery keeps the
+  /// prefix and warns; it is not an error.
+  bool torn_tail = false;
+  /// Byte offset of the end of the valid prefix.
+  std::uint64_t valid_bytes = 0;
+  /// Human-readable description of the tail damage, empty when clean.
+  std::string tail_warning;
+};
+
+/// Reads every valid record of the segment at `path`. Only a missing file
+/// or a bad magic is an error; tail damage is reported in the result.
+StatusOr<WalReadResult> ReadWalSegment(FileSystem* fs,
+                                       const std::string& path);
+
+/// Serializes one record exactly as WalWriter appends it (exposed for the
+/// torn-tail tests, which need record boundaries to truncate at).
+std::string EncodeWalRecord(WalRecordType type, std::uint64_t epoch,
+                            const std::string& body);
+
+}  // namespace persist
+}  // namespace coverage
+
+#endif  // COVERAGE_PERSIST_WAL_H_

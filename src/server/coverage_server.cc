@@ -1,10 +1,14 @@
 #include "server/coverage_server.h"
 
 #include <cmath>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "persist/durable_engine.h"
+#include "persist/fault_fs.h"
 #include "server/json.h"
 #include "server/wire.h"
 #include "service/pool_arena.h"
@@ -104,6 +108,37 @@ StatusOr<JsonValue> ParseBody(const std::string& body) {
   return parsed;
 }
 
+const char* DurabilityName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kNone: return "none";
+    case DurabilityMode::kAsync: return "async";
+    case DurabilityMode::kFsync: return "fsync";
+  }
+  return "fsync";
+}
+
+StatusOr<DurabilityMode> DurabilityFromString(const std::string& name) {
+  if (name == "none") return DurabilityMode::kNone;
+  if (name == "async") return DurabilityMode::kAsync;
+  if (name == "fsync") return DurabilityMode::kFsync;
+  return Status::InvalidArgument(
+      "durability must be one of \"none\", \"async\", \"fsync\" (got \"" +
+      name + "\")");
+}
+
+/// Session ids are "s<n>"; recovery parses them back so fresh ids never
+/// collide with recovered ones.
+bool ParseSessionId(const std::string& id, std::uint64_t* n) {
+  if (id.size() < 2 || id[0] != 's') return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = 1; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(id[i] - '0');
+  }
+  *n = value;
+  return true;
+}
+
 }  // namespace
 
 Status CoverageServerOptions::Validate() const {
@@ -111,6 +146,9 @@ Status CoverageServerOptions::Validate() const {
   COVERAGE_RETURN_IF_ERROR(session_defaults.Validate());
   if (max_sessions < 1) {
     return Status::InvalidArgument("max_sessions must be positive");
+  }
+  if (reaper_interval_ms < 1) {
+    return Status::InvalidArgument("reaper_interval_ms must be positive");
   }
   return Status::OK();
 }
@@ -150,10 +188,38 @@ CoverageServer::~CoverageServer() { Stop(); }
 
 Status CoverageServer::Start() {
   COVERAGE_RETURN_IF_ERROR(options_.Validate());
-  return http_.Start();
+  // Recover before accepting traffic: clients that knew a session id from
+  // before the crash must find it live on their first retry.
+  COVERAGE_RETURN_IF_ERROR(RecoverSessions());
+  COVERAGE_RETURN_IF_ERROR(http_.Start());
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_stop_ = false;
+  }
+  reaper_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(reaper_mu_);
+    while (!reaper_stop_) {
+      reaper_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.reaper_interval_ms));
+      if (reaper_stop_) break;
+      lock.unlock();
+      ReapIdleSessions();
+      lock.lock();
+    }
+  });
+  return Status::OK();
 }
 
-void CoverageServer::Stop() { http_.Stop(); }
+void CoverageServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  http_.Stop();
+}
+
 void CoverageServer::Wait() { http_.Wait(); }
 void CoverageServer::StopOnSignal() { http_.StopOnSignal(); }
 
@@ -167,6 +233,99 @@ std::shared_ptr<CoverageServer::SessionEntry> CoverageServer::FindSession(
   std::shared_lock<std::shared_mutex> lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::chrono::steady_clock::time_point CoverageServer::Now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
+void CoverageServer::TouchSession(SessionEntry& entry) const {
+  entry.last_used_ns.store(Now().time_since_epoch().count(),
+                           std::memory_order_relaxed);
+}
+
+Status CoverageServer::RecoverSessions() {
+  if (options_.data_dir.empty()) return Status::OK();
+  persist::FileSystem* fs = persist::FileSystem::Default();
+  COVERAGE_RETURN_IF_ERROR(fs->CreateDirs(options_.data_dir));
+  auto names = fs->ListDir(options_.data_dir);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    {
+      std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+      if (sessions_.count(name) != 0) continue;
+    }
+    const std::string dir = options_.data_dir + "/" + name;
+    auto session =
+        CoverageService::ReopenDurableSession(dir, options_.session_defaults);
+    if (!session.ok()) {
+      // An empty subdirectory (or stray file) is not a session; anything
+      // else is real damage worth surfacing — but one bad session must not
+      // keep the rest of the fleet down.
+      if (session.status().code() != StatusCode::kNotFound) {
+        recovery_warnings_.push_back(name + ": " +
+                                     session.status().message());
+      }
+      continue;
+    }
+    const persist::DurableEngine* durable = session->durable();
+    boot_records_replayed_.fetch_add(
+        durable->recovery_stats().records_replayed,
+        std::memory_order_relaxed);
+    boot_rows_replayed_.fetch_add(durable->recovery_stats().rows_replayed,
+                                  std::memory_order_relaxed);
+    for (const std::string& warning : durable->recovery_stats().warnings) {
+      recovery_warnings_.push_back(name + ": " + warning);
+    }
+    auto entry = std::make_shared<SessionEntry>(std::move(*session));
+    TouchSession(*entry);
+    std::uint64_t numeric = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+      sessions_.emplace(name, std::move(entry));
+    }
+    sessions_recovered_.fetch_add(1, std::memory_order_relaxed);
+    // Fresh ids must never collide with recovered ones.
+    if (ParseSessionId(name, &numeric)) {
+      std::uint64_t next = next_session_id_.load(std::memory_order_relaxed);
+      while (next <= numeric && !next_session_id_.compare_exchange_weak(
+                                    next, numeric + 1,
+                                    std::memory_order_relaxed)) {
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t CoverageServer::ReapIdleSessions() {
+  const auto now = Now();
+  std::vector<std::shared_ptr<SessionEntry>> expired;
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const std::uint64_t ttl =
+          it->second->session.options().idle_ttl_seconds;
+      const auto last = std::chrono::steady_clock::time_point(
+          std::chrono::steady_clock::duration(
+              it->second->last_used_ns.load(std::memory_order_relaxed)));
+      if (ttl > 0 && now - last >= std::chrono::seconds(ttl)) {
+        expired.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& entry : expired) {
+    // Snapshot-then-close: a durable session's next reopen (or the next
+    // boot) recovers instantly from the fresh snapshot. The directory
+    // stays — reaping reclaims memory, DELETE destroys state.
+    if (entry->session.durable() != nullptr) {
+      (void)entry->session.Checkpoint();
+    }
+    sessions_reaped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return expired.size();
 }
 
 Response CoverageServer::Handle(const Request& request) {
@@ -285,9 +444,61 @@ Response CoverageServer::HandleStats() const {
   server["connections_accepted"] = hs.connections_accepted;
   server["requests_handled"] = hs.requests_handled;
   server["protocol_errors"] = hs.protocol_errors;
+  server["connections_shed"] = hs.connections_shed;
+  server["accept_retries"] = hs.accept_retries;
+
+  // Persistence counters, aggregated over the live durable sessions plus
+  // what boot recovery replayed (reaped/deleted sessions keep their boot
+  // contribution).
+  JsonValue::Object persist;
+  {
+    std::uint64_t durable_sessions = 0;
+    std::uint64_t records_logged = 0;
+    std::uint64_t wal_bytes = 0;
+    std::uint64_t checkpoints_written = 0;
+    std::uint64_t fsync_calls = 0;
+    double fsync_seconds = 0.0;
+    {
+      std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+      for (const auto& [id, entry] : sessions_) {
+        const persist::DurableEngine* durable = entry->session.durable();
+        if (durable == nullptr) continue;
+        ++durable_sessions;
+        const persist::PersistStats ps = durable->persist_stats();
+        records_logged += ps.records_logged;
+        wal_bytes += ps.wal_bytes;
+        checkpoints_written += ps.checkpoints_written;
+        fsync_calls += ps.sync_calls;
+        fsync_seconds += ps.sync_seconds;
+      }
+    }
+    persist["durable_sessions"] = durable_sessions;
+    persist["sessions_recovered"] =
+        sessions_recovered_.load(std::memory_order_relaxed);
+    persist["sessions_reaped"] =
+        sessions_reaped_.load(std::memory_order_relaxed);
+    persist["records_logged"] = records_logged;
+    persist["records_replayed"] =
+        boot_records_replayed_.load(std::memory_order_relaxed);
+    persist["rows_replayed"] =
+        boot_rows_replayed_.load(std::memory_order_relaxed);
+    persist["wal_bytes"] = wal_bytes;
+    persist["checkpoints_written"] = checkpoints_written;
+    persist["fsync_calls"] = fsync_calls;
+    persist["fsync_seconds"] = fsync_seconds;
+    persist["fsync_avg_ms"] =
+        fsync_calls == 0 ? 0.0
+                         : fsync_seconds * 1e3 /
+                               static_cast<double>(fsync_calls);
+    JsonValue::Array warnings;
+    for (const std::string& w : recovery_warnings_) warnings.push_back(w);
+    persist["recovery_warnings"] = std::move(warnings);
+  }
+
   JsonValue::Object o;
   o["routes"] = std::move(routes);
   o["server"] = std::move(server);
+  o["persist"] = std::move(persist);
   o["open_sessions"] = num_sessions();
   o["unrouted_requests"] = unrouted_.count();
   return OkJson(JsonValue(std::move(o)));
@@ -333,6 +544,8 @@ Response CoverageServer::HandleSessionsList() const {
       s["epoch"] = entry->session.epoch();
       s["num_rows"] = entry->session.num_rows();
       s["num_mups"] = entry->session.Audit().mups.size();
+      s["durable"] = entry->session.durable() != nullptr;
+      s["idle_ttl_seconds"] = entry->session.options().idle_ttl_seconds;
       list.push_back(std::move(s));
     }
   }
@@ -357,6 +570,7 @@ Response CoverageServer::HandleSessionCreate(const std::string& body) {
     schema = service_.schema();
   }
 
+  const bool durable = !options_.data_dir.empty();
   CoverageService::SessionOptions options = options_.session_defaults;
   const JsonValue& v = *parsed;
   for (const auto& [key, value] : v.AsObject()) {
@@ -377,32 +591,62 @@ Response CoverageServer::HandleSessionCreate(const std::string& body) {
       auto epochs = v.GetUint("window_max_epochs");
       if (!epochs.ok()) return ErrorResponse(epochs.status());
       options.window_max_epochs = static_cast<std::size_t>(*epochs);
+    } else if (key == "durability") {
+      if (!durable) {
+        return ErrorResponse(Status::InvalidArgument(
+            "this server runs without --data-dir; durable sessions are "
+            "unavailable"));
+      }
+      auto name = v.GetString("durability");
+      if (!name.ok()) return ErrorResponse(name.status());
+      auto mode = DurabilityFromString(*name);
+      if (!mode.ok()) return ErrorResponse(mode.status());
+      options.durability = *mode;
+    } else if (key == "idle_ttl_seconds") {
+      auto ttl = v.GetUint("idle_ttl_seconds");
+      if (!ttl.ok()) return ErrorResponse(ttl.status());
+      options.idle_ttl_seconds = *ttl;
     } else {
       return ErrorResponse(Status::InvalidArgument(
           "unknown request member '" + key + "'"));
     }
   }
 
-  auto session = CoverageService::OpenSession(schema, options);
+  // Durable sessions need their id up front — it names the directory.
+  const std::string id = "s" + std::to_string(next_session_id_.fetch_add(
+                                   1, std::memory_order_relaxed));
+  const std::string dir = options_.data_dir + "/" + id;
+  auto session = durable
+                     ? CoverageService::OpenDurableSession(dir, schema,
+                                                           options)
+                     : CoverageService::OpenSession(schema, options);
   if (!session.ok()) return ErrorResponse(session.status());
 
-  std::string id;
+  auto entry = std::make_shared<SessionEntry>(std::move(*session));
+  TouchSession(*entry);
   {
     std::unique_lock<std::shared_mutex> lock(sessions_mu_);
     if (sessions_.size() >= static_cast<std::size_t>(options_.max_sessions)) {
+      lock.unlock();
+      if (durable) {
+        // Undo the partially created on-disk state of the rejected session.
+        entry.reset();
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+      }
       return ErrorResponse(Status::ResourceExhausted(
           "session registry is full (" +
           std::to_string(options_.max_sessions) + " open sessions)"));
     }
-    id = "s" + std::to_string(
-                   next_session_id_.fetch_add(1, std::memory_order_relaxed));
-    sessions_.emplace(
-        id, std::make_shared<SessionEntry>(std::move(*session)));
+    sessions_.emplace(id, std::move(entry));
   }
   JsonValue::Object o;
   o["session_id"] = id;
   o["tau"] = options.tau;
   o["num_attributes"] = schema.num_attributes();
+  o["durable"] = durable;
+  if (durable) o["durability"] = DurabilityName(options.durability);
+  o["idle_ttl_seconds"] = options.idle_ttl_seconds;
   Response r = OkJson(JsonValue(std::move(o)));
   r.status = 201;
   return r;
@@ -421,8 +665,22 @@ Response CoverageServer::HandleSessionDelete(const std::string& id) {
   }
   // In-flight handlers on this session finish on their shared_ptr; the
   // engine is destroyed when the last one drops.
+  const bool durable = entry->session.durable() != nullptr;
+  if (durable) {
+    // DELETE is the explicit destroy: unlike the idle reaper, it removes
+    // the on-disk state too — the session must not resurrect at next boot.
+    const std::string dir = entry->session.durable()->dir();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    if (ec) {
+      return ErrorResponse(Status::Internal(
+          "session closed but removing '" + dir + "' failed: " +
+          ec.message()));
+    }
+  }
   JsonValue::Object o;
   o["closed"] = id;
+  o["data_removed"] = durable;
   return OkJson(JsonValue(std::move(o)));
 }
 
@@ -433,6 +691,7 @@ Response CoverageServer::HandleSessionVerb(const std::string& id,
   if (entry == nullptr) {
     return ErrorResponse(Status::NotFound("no session '" + id + "'"));
   }
+  TouchSession(*entry);
   auto parsed = ParseBody(body);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
 

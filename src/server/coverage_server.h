@@ -3,12 +3,17 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "server/http.h"
@@ -62,6 +67,22 @@ struct CoverageServerOptions {
 
   /// Registry cap: POST /v1/sessions answers 429 beyond this.
   int max_sessions = 1024;
+
+  /// Root of durable session state. When set, POST /v1/sessions creates
+  /// crash-safe sessions persisted under <data_dir>/<session_id>/ (WAL +
+  /// snapshots, see persist/durable_engine.h) and Start() recovers every
+  /// session found there. Empty = in-memory sessions only.
+  std::string data_dir;
+
+  /// Idle-session reaper tick (= TTL resolution). The reaper closes
+  /// sessions idle past their SessionOptions::idle_ttl_seconds; durable
+  /// ones are checkpointed first and stay recoverable on disk — DELETE
+  /// remains the only way to destroy durable state.
+  int reaper_interval_ms = 1000;
+
+  /// Monotonic-clock seam so tests drive the TTL reaper deterministically;
+  /// nullptr = std::chrono::steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 
   Status Validate() const;
 };
@@ -119,6 +140,18 @@ class CoverageServer {
   const CoverageService& service() const { return service_; }
   std::size_t num_sessions() const;
 
+  /// Recovers every session directory under data_dir into the registry
+  /// (no-op when data_dir is unset or the id is already live). Start()
+  /// calls this; public so transport-free tests can exercise boot
+  /// recovery directly. Per-session damage becomes a warning (surfaced by
+  /// /v1/stats), not a boot failure.
+  Status RecoverSessions();
+
+  /// One reaper sweep at the configured clock's now(); returns the number
+  /// of sessions closed. Runs periodically once Start()ed; public for
+  /// deterministic fake-clock tests.
+  std::size_t ReapIdleSessions();
+
  private:
   struct SessionEntry {
     explicit SessionEntry(CoverageService::Session session)
@@ -127,6 +160,9 @@ class CoverageServer {
     /// Append/retract mutate the engine: one writer at a time per session
     /// (audits and queries read epoch snapshots and stay lock-free).
     std::mutex write_mu;
+    /// Last request touching this session, as the configured clock's
+    /// time_since_epoch count; drives the idle TTL.
+    std::atomic<std::int64_t> last_used_ns{0};
   };
 
   http::Response Dispatch(const http::Request& request,
@@ -146,6 +182,9 @@ class CoverageServer {
 
   std::shared_ptr<SessionEntry> FindSession(const std::string& id) const;
 
+  std::chrono::steady_clock::time_point Now() const;
+  void TouchSession(SessionEntry& entry) const;
+
   CoverageService service_;
   CoverageServerOptions options_;
   http::HttpServer http_;
@@ -153,6 +192,19 @@ class CoverageServer {
   mutable std::shared_mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<SessionEntry>> sessions_;
   std::atomic<std::uint64_t> next_session_id_{1};
+
+  std::thread reaper_thread_;
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+
+  std::atomic<std::uint64_t> sessions_recovered_{0};
+  std::atomic<std::uint64_t> sessions_reaped_{0};
+  std::atomic<std::uint64_t> boot_records_replayed_{0};
+  std::atomic<std::uint64_t> boot_rows_replayed_{0};
+  /// Per-session recovery damage (torn tails, discarded snapshots,
+  /// unrecoverable dirs); written at boot, surfaced by /v1/stats.
+  std::vector<std::string> recovery_warnings_;
 
   /// Route-key → metrics; the key set is fixed at construction so the
   /// record path never mutates the map.

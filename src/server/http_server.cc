@@ -12,6 +12,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 
 #include "common/thread_pool.h"
 
@@ -83,6 +84,10 @@ Status ServerOptions::Validate() const {
   if (idle_timeout_ms < 1 || poll_interval_ms < 1) {
     return Status::InvalidArgument("timeouts must be positive");
   }
+  if (max_queue_wait_ms < 0 || retry_after_seconds < 1) {
+    return Status::InvalidArgument(
+        "max_queue_wait_ms must be >= 0 and retry_after_seconds positive");
+  }
   return Status::OK();
 }
 
@@ -133,6 +138,14 @@ Status HttpServer::Start() {
   }
   listen_fd_.store(listen_fd, std::memory_order_release);
 
+  {
+    Response shed = Response::Text(
+        503, "server overloaded, retry shortly\n");
+    shed.headers.push_back(
+        {"Retry-After", std::to_string(options_.retry_after_seconds)});
+    shed_response_ = SerializeResponse(shed, /*keep_alive=*/false);
+  }
+
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   {
@@ -169,32 +182,67 @@ void HttpServer::AcceptLoop() {
       break;
     }
     if (ready == 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd = options_.accept_fn ? options_.accept_fn(listen_fd)
+                                      : ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listener closed (Stop) or unrecoverable
+      // The connection died between poll and accept: nothing wrong with us.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO ||
+          errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      // Stop() retired the listener out from under the accept call.
+      if (listen_fd_.load(std::memory_order_acquire) < 0) break;
+      // Anything else — fd exhaustion (EMFILE/ENFILE), transient kernel
+      // memory pressure (ENOBUFS/ENOMEM), or an errno this code never
+      // anticipated — must NOT kill the accept thread: existing
+      // connections will finish and free resources, so back off one tick
+      // and keep serving. A dead accept loop turns a burst into an outage.
+      accept_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_interval_ms));
+      continue;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool queued = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      pending_.push_back(fd);
+      if (options_.max_pending == 0 ||
+          pending_.size() < options_.max_pending) {
+        pending_.push_back({fd, std::chrono::steady_clock::now()});
+        queued = true;
+      }
+    }
+    if (!queued) {
+      // Handoff queue full: every worker is busy and a backlog is already
+      // waiting. Shed now, from the accept thread, so the client learns
+      // immediately instead of timing out in a queue we can't drain.
+      ShedConnection(fd);
+      continue;
     }
     queue_cv_.notify_one();
   }
 }
 
+void HttpServer::ShedConnection(int fd) {
+  connections_shed_.fetch_add(1, std::memory_order_relaxed);
+  SendAll(fd, shed_response_);
+  ::close(fd);
+}
+
 void HttpServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
+    std::chrono::steady_clock::time_point enqueued;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [&] {
         return stopping_.load(std::memory_order_acquire) || !pending_.empty();
       });
       if (!pending_.empty()) {
-        fd = pending_.front();
+        fd = pending_.front().fd;
+        enqueued = pending_.front().enqueued;
         pending_.pop_front();
       } else if (stopping_.load(std::memory_order_acquire)) {
         return;
@@ -205,6 +253,15 @@ void HttpServer::WorkerLoop() {
       // Accepted but never served: close without a response (the client
       // sees a clean connection close, the normal "server going away").
       ::close(fd);
+      continue;
+    }
+    if (options_.max_queue_wait_ms > 0 &&
+        std::chrono::steady_clock::now() - enqueued >
+            std::chrono::milliseconds(options_.max_queue_wait_ms)) {
+      // The connection outwaited its deadline in the handoff queue; its
+      // client has likely given up, so tell it to retry rather than spend
+      // a worker on a stale request.
+      ShedConnection(fd);
       continue;
     }
     HandleConnection(fd);
@@ -341,7 +398,7 @@ void HttpServer::Stop() {
     // Workers have exited; anything still queued gets a clean close.
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const int fd : pending_) ::close(fd);
+      for (const PendingConn& conn : pending_) ::close(conn.fd);
       pending_.clear();
       threads_joined_ = true;
     }
@@ -390,6 +447,8 @@ ServerStats HttpServer::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   s.requests_handled = requests_handled_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.accept_retries = accept_retries_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -2,6 +2,7 @@
 #define COVERAGE_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -9,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/status.h"
@@ -48,6 +50,25 @@ struct ServerOptions {
   /// bounded by this.
   int poll_interval_ms = 50;
 
+  /// Overload protection: accepted connections beyond this many waiting in
+  /// the handoff queue are shed immediately with `503 Service Unavailable`
+  /// + `Retry-After` instead of queueing unboundedly behind slow work.
+  /// 0 = unbounded (the pre-hardening behaviour).
+  std::size_t max_pending = 256;
+
+  /// A connection that sat in the handoff queue longer than this is shed
+  /// with 503 when a worker finally picks it up — its client has likely
+  /// given up, and serving it would only delay fresher requests. 0
+  /// disables the deadline.
+  int max_queue_wait_ms = 0;
+
+  /// Retry-After value (seconds) attached to shed responses.
+  int retry_after_seconds = 1;
+
+  /// Test seam: when set, called instead of accept(2); must behave like
+  /// accept(listen_fd, nullptr, nullptr) including errno on failure.
+  std::function<int(int)> accept_fn;
+
   Status Validate() const;
 };
 
@@ -56,6 +77,8 @@ struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t requests_handled = 0;
   std::uint64_t protocol_errors = 0;  ///< connections dropped on bad HTTP
+  std::uint64_t connections_shed = 0;  ///< 503s from overload protection
+  std::uint64_t accept_retries = 0;    ///< transient accept(2) failures
 };
 
 /// A dependency-free blocking HTTP/1.1 server: one accept thread feeding a
@@ -111,9 +134,18 @@ class HttpServer {
   ServerStats stats() const;
 
  private:
+  /// An accepted connection waiting for a worker; the timestamp drives the
+  /// max_queue_wait_ms deadline.
+  struct PendingConn {
+    int fd;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void AcceptLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
+  /// Answers `fd` with the canned 503 + Retry-After and closes it.
+  void ShedConnection(int fd);
   /// Blocks until `fd` is readable, the server stops, or the idle deadline
   /// passes. Returns +1 readable, 0 stop/timeout-tick (caller re-checks),
   /// -1 idle-expired or error.
@@ -137,12 +169,16 @@ class HttpServer {
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
   std::condition_variable stopped_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
+  std::deque<PendingConn> pending_;  // accepted fds awaiting a worker
   bool threads_joined_ = true;
+
+  std::string shed_response_;  // serialized once at Start()
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> requests_handled_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
 };
 
 }  // namespace http

@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "persist/durable_engine.h"
 #include "service/pool_arena.h"
 #include "datagen/adversarial.h"
 #include "datagen/airbnb.h"
@@ -376,6 +377,22 @@ StatusOr<QueryBatchResult> CoverageService::QueryBatch(
 
 // ----------------------------------------------------------------- Session
 
+namespace {
+
+EngineOptions EngineOptionsFrom(const CoverageService::SessionOptions& o) {
+  EngineOptions eopts;
+  eopts.tau = o.tau;
+  eopts.max_level = o.max_level;
+  eopts.num_threads = o.num_threads;
+  eopts.dominance_mode = o.dominance_mode;
+  eopts.window_max_rows = o.window_max_rows;
+  eopts.window_max_epochs = o.window_max_epochs;
+  eopts.durability = o.durability;
+  return eopts;
+}
+
+}  // namespace
+
 StatusOr<CoverageService::Session> CoverageService::OpenSession(
     const Schema& schema, const SessionOptions& options) {
   COVERAGE_RETURN_IF_ERROR(options.Validate());
@@ -386,22 +403,65 @@ StatusOr<CoverageService::Session> CoverageService::OpenSession(
   return Session(schema, options);
 }
 
+StatusOr<CoverageService::Session> CoverageService::OpenDurableSession(
+    const std::string& dir, const Schema& schema,
+    const SessionOptions& options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument(
+        "a session needs a schema with at least one attribute");
+  }
+  auto durable =
+      persist::DurableEngine::Create(dir, schema, EngineOptionsFrom(options));
+  if (!durable.ok()) return durable.status();
+  return Session(std::move(*durable), options);
+}
+
+StatusOr<CoverageService::Session> CoverageService::ReopenDurableSession(
+    const std::string& dir, const SessionOptions& options) {
+  COVERAGE_RETURN_IF_ERROR(options.Validate());
+  auto durable =
+      persist::DurableEngine::Recover(dir, EngineOptionsFrom(options));
+  if (!durable.ok()) return durable.status();
+
+  // The stored problem knobs define the session; reflect them back so
+  // Audit() reports the tau the engine actually maintains.
+  SessionOptions effective = options;
+  const EngineOptions& stored = (*durable)->engine().options();
+  effective.tau = stored.tau;
+  effective.max_level = stored.max_level;
+  effective.dominance_mode = stored.dominance_mode;
+  effective.window_max_rows = stored.window_max_rows;
+  effective.window_max_epochs = stored.window_max_epochs;
+  return Session(std::move(*durable), effective);
+}
+
 CoverageService::Session::Session(Schema schema, const SessionOptions& options)
     : options_(options),
       arena_(MakeArena(options.num_threads, options.max_total_threads,
                        options.thread_budget)) {
-  EngineOptions eopts;
-  eopts.tau = options.tau;
-  eopts.max_level = options.max_level;
-  eopts.num_threads = options.num_threads;
-  eopts.dominance_mode = options.dominance_mode;
-  eopts.window_max_rows = options.window_max_rows;
-  eopts.window_max_epochs = options.window_max_epochs;
-  engine_ = std::make_unique<CoverageEngine>(std::move(schema), eopts);
+  engine_ = std::make_unique<CoverageEngine>(std::move(schema),
+                                             EngineOptionsFrom(options));
+}
+
+CoverageService::Session::Session(
+    std::unique_ptr<persist::DurableEngine> durable,
+    const SessionOptions& options)
+    : options_(options),
+      durable_(std::move(durable)),
+      arena_(MakeArena(options.num_threads, options.max_total_threads,
+                       options.thread_budget)) {}
+
+CoverageEngine& CoverageService::Session::engine() {
+  return durable_ != nullptr ? durable_->engine() : *engine_;
+}
+
+const CoverageEngine& CoverageService::Session::engine() const {
+  return durable_ != nullptr ? durable_->engine() : *engine_;
 }
 
 const Schema& CoverageService::Session::schema() const {
-  return engine_->schema();
+  return engine().schema();
 }
 
 const CoverageService::SessionOptions& CoverageService::Session::options()
@@ -414,25 +474,64 @@ StatusOr<IngestStats> CoverageService::Session::IngestCsv(
   if (chunk_rows == 0) {
     return Status::InvalidArgument("chunk_rows must be positive");
   }
-  return engine_->IngestCsvChunked(is, chunk_rows);
+  if (durable_ == nullptr) {
+    return engine_->IngestCsvChunked(is, chunk_rows);
+  }
+  // Durable path: each chunk goes through the WAL, so a crash mid-ingest
+  // loses at most the in-flight chunk (none under durability=fsync).
+  auto reader = CsvChunkReader::Open(is, schema());
+  if (!reader.ok()) return reader.status();
+  IngestStats stats;
+  for (;;) {
+    Dataset chunk(schema());
+    Stopwatch read_timer;
+    auto got = reader->ReadChunk(chunk, chunk_rows);
+    if (!got.ok()) return got.status();
+    stats.read_seconds += read_timer.ElapsedSeconds();
+    if (*got == 0) break;
+    EngineUpdateStats us;
+    COVERAGE_RETURN_IF_ERROR(durable_->Append(chunk, &us));
+    ++stats.chunks;
+    stats.rows += *got;
+    stats.peak_chunk_rows = std::max(stats.peak_chunk_rows, *got);
+    stats.update_seconds += us.seconds;
+    stats.coverage_queries += us.coverage_queries;
+  }
+  return stats;
 }
 
 StatusOr<EngineUpdateStats> CoverageService::Session::Append(
     const Dataset& rows) {
   EngineUpdateStats stats;
-  COVERAGE_RETURN_IF_ERROR(engine_->AppendRows(rows, &stats));
+  if (durable_ != nullptr) {
+    COVERAGE_RETURN_IF_ERROR(durable_->Append(rows, &stats));
+  } else {
+    COVERAGE_RETURN_IF_ERROR(engine_->AppendRows(rows, &stats));
+  }
   return stats;
 }
 
 StatusOr<EngineUpdateStats> CoverageService::Session::Retract(
     const Dataset& rows) {
   EngineUpdateStats stats;
-  COVERAGE_RETURN_IF_ERROR(engine_->RetractRows(rows, &stats));
+  if (durable_ != nullptr) {
+    COVERAGE_RETURN_IF_ERROR(durable_->Retract(rows, &stats));
+  } else {
+    COVERAGE_RETURN_IF_ERROR(engine_->RetractRows(rows, &stats));
+  }
   return stats;
 }
 
+Status CoverageService::Session::Checkpoint() {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument(
+        "Checkpoint() requires a durable session (OpenDurableSession)");
+  }
+  return durable_->Checkpoint();
+}
+
 AuditResult CoverageService::Session::Audit() const {
-  const auto snap = engine_->snapshot();
+  const auto snap = engine().snapshot();
   AuditResult result;
   result.mups = snap->mups();
   result.stats.num_mups = result.mups.size();
@@ -452,17 +551,17 @@ StatusOr<QueryBatchResult> CoverageService::Session::QueryBatch(
   COVERAGE_RETURN_IF_ERROR(request.Validate(schema()));
   // One snapshot for the whole batch: every probe answers for the same
   // epoch even if a writer advances the engine mid-batch.
-  const auto snap = engine_->snapshot();
+  const auto snap = engine().snapshot();
   const PoolArena::Lease lease = arena_->Acquire();
   return RunQueryBatch(snap->oracle(), request.queries, lease.pool());
 }
 
 std::uint64_t CoverageService::Session::epoch() const {
-  return engine_->epoch();
+  return engine().epoch();
 }
 
 std::uint64_t CoverageService::Session::num_rows() const {
-  return engine_->num_rows();
+  return engine().num_rows();
 }
 
 }  // namespace coverage

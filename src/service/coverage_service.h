@@ -27,6 +27,10 @@ namespace coverage {
 class PoolArena;
 class ThreadBudget;
 
+namespace persist {
+class DurableEngine;
+}  // namespace persist
+
 /// The serving façade over the paper's pipeline. A CoverageService owns one
 /// immutable indexed dataset — ingestion (in-memory Dataset, streamed CSV,
 /// or a datagen spec), aggregation, the Appendix-A oracle, and the worker
@@ -237,6 +241,18 @@ class CoverageService {
     int max_total_threads = 0;
     std::shared_ptr<ThreadBudget> thread_budget;
 
+    /// WAL policy for durable sessions (OpenDurableSession /
+    /// ReopenDurableSession); in-memory sessions ignore it. fsync is the
+    /// default because a session that bothered to be durable should
+    /// survive kill -9, not just clean exits.
+    DurabilityMode durability = DurabilityMode::kFsync;
+
+    /// Evict the session after this many seconds without a request (the
+    /// coverage_server reaper; 0 = never). Durable sessions checkpoint
+    /// before closing and reopen lazily on next touch; in-memory sessions
+    /// are simply dropped.
+    std::uint64_t idle_ttl_seconds = 0;
+
     Status Validate() const;
   };
 
@@ -274,17 +290,30 @@ class CoverageService {
     std::uint64_t epoch() const;
     std::uint64_t num_rows() const;
 
+    /// Forces a snapshot + WAL rotation now (durable sessions only;
+    /// InvalidArgument otherwise). The server calls this before closing a
+    /// session so reopening replays nothing.
+    Status Checkpoint();
+
     /// Escape hatch for power users (retaining full engine access does not
-    /// invalidate the session).
-    CoverageEngine& engine() { return *engine_; }
-    const CoverageEngine& engine() const { return *engine_; }
+    /// invalidate the session). For durable sessions, mutate through the
+    /// session — writing via the raw engine bypasses the WAL.
+    CoverageEngine& engine();
+    const CoverageEngine& engine() const;
+
+    /// The persistence wrapper, or nullptr for in-memory sessions.
+    persist::DurableEngine* durable() { return durable_.get(); }
+    const persist::DurableEngine* durable() const { return durable_.get(); }
 
    private:
     friend class CoverageService;
     Session(Schema schema, const SessionOptions& options);
+    Session(std::unique_ptr<persist::DurableEngine> durable,
+            const SessionOptions& options);
 
     SessionOptions options_;
-    std::unique_ptr<CoverageEngine> engine_;
+    std::unique_ptr<CoverageEngine> engine_;  ///< null when durable_ owns it
+    std::unique_ptr<persist::DurableEngine> durable_;
     /// Per-session query-pool arena: concurrent QueryBatch calls each
     /// lease their own pool (bounded by the session's ThreadBudget).
     mutable std::unique_ptr<PoolArena> arena_;
@@ -319,6 +348,23 @@ class CoverageService {
   static StatusOr<Session> OpenSession(const Schema& schema) {
     return OpenSession(schema, SessionOptions());
   }
+
+  /// Opens a *durable* session rooted at `dir`: every mutation is WAL-
+  /// logged per options.durability and snapshots are written on rotation /
+  /// Checkpoint(), so the session survives kill -9 (see
+  /// docs/PERSISTENCE.md). `dir` must not already hold a session.
+  static StatusOr<Session> OpenDurableSession(const std::string& dir,
+                                              const Schema& schema,
+                                              const SessionOptions& options);
+
+  /// Reopens the durable session persisted at `dir` (NotFound when none),
+  /// recovering snapshot + WAL tail. The stored problem knobs (tau,
+  /// max_level, window, dominance) win over `options`; only runtime knobs
+  /// (num_threads, durability, thread budgeting, idle TTL) are taken from
+  /// the caller. The returned session's options() reflects the stored
+  /// values.
+  static StatusOr<Session> ReopenDurableSession(const std::string& dir,
+                                                const SessionOptions& options);
 
   // --- request/response entry points --------------------------------------
 

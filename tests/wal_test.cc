@@ -1,0 +1,247 @@
+#include "persist/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+#include "persist/fault_fs.h"
+
+namespace coverage {
+namespace persist {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("wal_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(FileSystem::Default()->CreateDirs(dir_).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  /// Raw file contents via the production read path.
+  std::string Slurp(const std::string& path) {
+    auto data = FileSystem::Default()->ReadFileToString(path);
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    return data.ok() ? *data : std::string();
+  }
+
+  void Overwrite(const std::string& path, const std::string& contents) {
+    std::filesystem::remove(path);
+    auto file = FileSystem::Default()->NewWritableFile(path, true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(contents).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, RoundtripsRecordsInOrder) {
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecordType::kHeader, 0, "schema", &lsn).ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecordType::kAppend, 1, "rows-1", &lsn).ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecordType::kRetract, 2, "rows-2", &lsn).ok());
+  ASSERT_TRUE((*writer)->Sync(lsn).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto read = ReadWalSegment(FileSystem::Default(), path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kHeader);
+  EXPECT_EQ(read->records[0].epoch, 0u);
+  EXPECT_EQ(read->records[0].body, "schema");
+  EXPECT_EQ(read->records[1].type, WalRecordType::kAppend);
+  EXPECT_EQ(read->records[1].epoch, 1u);
+  EXPECT_EQ(read->records[1].body, "rows-1");
+  EXPECT_EQ(read->records[2].type, WalRecordType::kRetract);
+  EXPECT_EQ(read->records[2].epoch, 2u);
+  EXPECT_EQ(read->records[2].body, "rows-2");
+}
+
+TEST_F(WalTest, SyncCoalescesAndReportsStats) {
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kAppend, 1, "a", &lsn).ok());
+  ASSERT_TRUE((*writer)->Sync(lsn).ok());
+  // Syncing an already-durable LSN is free: no second fdatasync.
+  const std::uint64_t calls = (*writer)->sync_calls();
+  ASSERT_TRUE((*writer)->Sync(lsn).ok());
+  EXPECT_EQ((*writer)->sync_calls(), calls);
+  // Beyond-end LSNs are caller bugs, not silent truncated promises.
+  EXPECT_FALSE((*writer)->Sync((*writer)->end_offset() + 1).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST_F(WalTest, SyncAfterCloseIsOkAppendIsNot) {
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kAppend, 1, "a", &lsn).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  // A retired segment was superseded by a durable snapshot: Sync keeps its
+  // (now trivial) promise, Append must refuse.
+  EXPECT_TRUE((*writer)->Sync(lsn).ok());
+  EXPECT_FALSE(
+      (*writer)->Append(WalRecordType::kAppend, 2, "b", &lsn).ok());
+}
+
+TEST_F(WalTest, RejectsWrongMagic) {
+  const std::string path = Path("wal-0.log");
+  Overwrite(path, "notawal01-and-some-bytes");
+  EXPECT_FALSE(ReadWalSegment(FileSystem::Default(), path).ok());
+}
+
+TEST_F(WalTest, ChecksumFailureEndsThePrefix) {
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kAppend, 1, "aaaa", &lsn).ok());
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kAppend, 2, "bbbb", &lsn).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Flip one byte inside the second record's payload.
+  std::string raw = Slurp(path);
+  raw[raw.size() - 1] = static_cast<char>(raw[raw.size() - 1] ^ 0x40);
+  Overwrite(path, raw);
+
+  auto read = ReadWalSegment(FileSystem::Default(), path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].epoch, 1u);
+  EXPECT_FALSE(read->tail_warning.empty());
+}
+
+/// Satellite: truncate the segment at EVERY byte offset of the last record
+/// and assert recovery always keeps exactly the earlier records, flags the
+/// tail, and never errors. This is the complete space of single-record
+/// crash damage.
+TEST_F(WalTest, TornTailAtEveryByteOffsetOfLastRecord) {
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecordType::kHeader, 0, "header-body", &lsn).ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalRecordType::kAppend, 1, "first-batch", &lsn).ok());
+  const std::uint64_t keep_bytes = (*writer)->end_offset();
+  ASSERT_TRUE(
+      (*writer)
+          ->Append(WalRecordType::kAppend, 2, "the-final-batch", &lsn)
+          .ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  const std::string full = Slurp(path);
+  ASSERT_GT(full.size(), sizeof(kWalMagic) + keep_bytes);
+  const std::size_t last_start = sizeof(kWalMagic) + keep_bytes;
+
+  for (std::size_t cut = last_start + 1; cut < full.size(); ++cut) {
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " of " +
+                 std::to_string(full.size()) + " bytes");
+    const std::string trunc_path = Path("trunc.log");
+    Overwrite(trunc_path, full.substr(0, cut));
+    auto read = ReadWalSegment(FileSystem::Default(), trunc_path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_TRUE(read->torn_tail);
+    ASSERT_EQ(read->records.size(), 2u);
+    EXPECT_EQ(read->records[0].body, "header-body");
+    EXPECT_EQ(read->records[1].body, "first-batch");
+    // valid_bytes counts record-stream bytes (the magic is not part of it).
+    EXPECT_EQ(read->valid_bytes, keep_bytes);
+    EXPECT_FALSE(read->tail_warning.empty());
+  }
+
+  // The exact cut at the record boundary is a clean file.
+  const std::string clean_path = Path("clean.log");
+  Overwrite(clean_path, full.substr(0, last_start));
+  auto read = ReadWalSegment(FileSystem::Default(), clean_path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->torn_tail);
+  EXPECT_EQ(read->records.size(), 2u);
+}
+
+TEST_F(WalTest, RefusesToAppendToTornSegment) {
+  const std::string path = Path("wal-0.log");
+  {
+    auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+    ASSERT_TRUE(writer.ok());
+    std::uint64_t lsn = 0;
+    ASSERT_TRUE(
+        (*writer)->Append(WalRecordType::kAppend, 1, "aaaa", &lsn).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  const std::string full = Slurp(path);
+  Overwrite(path, full.substr(0, full.size() - 3));
+  // Appending after a torn record would hide the damage behind new valid
+  // records; Open must refuse (recovery rotates to a fresh segment instead).
+  EXPECT_FALSE(WalWriter::Open(FileSystem::Default(), path, false).ok());
+}
+
+TEST_F(WalTest, EncodeWalRecordMatchesWriterBytes) {
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(FileSystem::Default(), path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kEvict, 7, "xyz", &lsn).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  const std::string raw = Slurp(path);
+  EXPECT_EQ(raw.substr(sizeof(kWalMagic)),
+            EncodeWalRecord(WalRecordType::kEvict, 7, "xyz"));
+}
+
+TEST_F(WalTest, FaultFsInjectedAppendFailurePoisonsWriter) {
+  FaultFs fs(FileSystem::Default());
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(&fs, path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kAppend, 1, "ok", &lsn).ok());
+  fs.FailNextAppend(Status::Internal("injected ENOSPC"));
+  EXPECT_FALSE((*writer)->Append(WalRecordType::kAppend, 2, "no", &lsn).ok());
+  // Poisoned for good: the segment may hold a torn record.
+  EXPECT_FALSE((*writer)->Append(WalRecordType::kAppend, 3, "no", &lsn).ok());
+  EXPECT_FALSE((*writer)->Sync(lsn).ok());
+}
+
+TEST_F(WalTest, FaultFsInjectedSyncFailurePoisonsWriter) {
+  FaultFs fs(FileSystem::Default());
+  const std::string path = Path("wal-0.log");
+  auto writer = WalWriter::Open(&fs, path, true);
+  ASSERT_TRUE(writer.ok());
+  std::uint64_t lsn = 0;
+  ASSERT_TRUE((*writer)->Append(WalRecordType::kAppend, 1, "ok", &lsn).ok());
+  fs.FailNextSync(Status::Internal("injected EIO on fsync"));
+  EXPECT_FALSE((*writer)->Sync(lsn).ok());
+  // A failed fsync makes no durability promise — later calls must not
+  // pretend otherwise.
+  EXPECT_FALSE((*writer)->Sync(lsn).ok());
+  EXPECT_FALSE((*writer)->Append(WalRecordType::kAppend, 2, "no", &lsn).ok());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace coverage

@@ -30,6 +30,11 @@ struct ServerCliOptions {
   std::size_t max_body_bytes = 8 * 1024 * 1024;
   std::uint64_t tau = 30;     // default tau for sessions
   int max_cardinality = 100;
+  std::string data_dir;       // --data-dir (durable sessions root)
+  std::string durability = "fsync";  // --durability none|async|fsync
+  std::uint64_t idle_ttl = 0;        // --idle-ttl seconds (0 = never reap)
+  std::uint64_t max_pending = 256;   // --max-pending (0 = unbounded)
+  std::uint64_t max_queue_wait_ms = 0;  // --max-queue-wait-ms (0 = off)
 };
 
 void Usage(std::ostream& out) {
@@ -51,7 +56,21 @@ void Usage(std::ostream& out) {
          "                         (default 8388608)\n"
          "  --tau N                default coverage threshold for sessions\n"
          "                         (default 30)\n"
-         "  --max-cardinality N    CSV schema-inference cap (default 100)\n";
+         "  --max-cardinality N    CSV schema-inference cap (default 100)\n"
+         "  --data-dir PATH        persist sessions under PATH (WAL +\n"
+         "                         snapshots); on boot every session found\n"
+         "                         there is recovered. Without it sessions\n"
+         "                         are in-memory only\n"
+         "  --durability MODE      default WAL policy for durable sessions:\n"
+         "                         none | async | fsync (default fsync)\n"
+         "  --idle-ttl N           reap sessions idle for N seconds; durable\n"
+         "                         ones are checkpointed and stay on disk\n"
+         "                         (default 0 = never)\n"
+         "  --max-pending N        shed connections with 503 + Retry-After\n"
+         "                         once N are queued for a worker (default\n"
+         "                         256; 0 = unbounded)\n"
+         "  --max-queue-wait-ms N  also shed connections that waited longer\n"
+         "                         than N ms in that queue (default 0 = off)\n";
 }
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -114,6 +133,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--max-cardinality") {
       next(&v);
       cli.max_cardinality = static_cast<int>(v);
+    } else if (flag == "--data-dir" && i + 1 < args.size()) {
+      cli.data_dir = args[++i];
+    } else if (flag == "--durability" && i + 1 < args.size()) {
+      cli.durability = args[++i];
+    } else if (flag == "--idle-ttl") {
+      next(&cli.idle_ttl);
+    } else if (flag == "--max-pending") {
+      next(&cli.max_pending);
+    } else if (flag == "--max-queue-wait-ms") {
+      next(&cli.max_queue_wait_ms);
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       Usage(std::cerr);
@@ -158,9 +187,23 @@ int main(int argc, char** argv) {
   options.http.port = cli.port;
   options.http.num_threads = cli.threads;  // 0 = hardware concurrency
   options.http.max_body_bytes = cli.max_body_bytes;
+  options.http.max_pending = static_cast<std::size_t>(cli.max_pending);
+  options.http.max_queue_wait_ms = static_cast<int>(cli.max_queue_wait_ms);
   options.session_defaults.tau = cli.tau;
   options.session_defaults.num_threads = service_threads;
   options.session_defaults.thread_budget = budget;
+  options.session_defaults.idle_ttl_seconds = cli.idle_ttl;
+  options.data_dir = cli.data_dir;
+  if (cli.durability == "none") {
+    options.session_defaults.durability = coverage::DurabilityMode::kNone;
+  } else if (cli.durability == "async") {
+    options.session_defaults.durability = coverage::DurabilityMode::kAsync;
+  } else if (cli.durability == "fsync") {
+    options.session_defaults.durability = coverage::DurabilityMode::kFsync;
+  } else {
+    std::cerr << "--durability must be none, async or fsync\n";
+    return 2;
+  }
 
   CoverageServer server(std::move(*service), options);
   const coverage::Status started = server.Start();
@@ -174,6 +217,12 @@ int main(int argc, char** argv) {
             << server.service().schema().num_attributes()
             << " attributes; tau default " << cli.tau << ")\n"
             << std::flush;
+  if (!cli.data_dir.empty()) {
+    std::cout << "durable sessions under " << cli.data_dir << " (default "
+              << cli.durability << "); " << server.num_sessions()
+              << " session(s) recovered\n"
+              << std::flush;
+  }
   server.Wait();
   std::cout << "coverage_server: graceful shutdown complete\n";
   return 0;
