@@ -1,0 +1,191 @@
+// Measures what the observability layer costs on the server's hottest
+// path. Three closed-loop cells over loopback, same harness as
+// bench_server_load:
+//
+//   baseline       POST /v1/query, observability exactly as shipped
+//                  (metrics + tracing always on — this IS the product path)
+//   timing         the same request with ?timing=1 (per-stage breakdown
+//                  serialised into every response: the opt-in extra)
+//   logging-off    baseline with the log level at `off` (isolates the
+//                  logging layer's enabled-check cost)
+//
+// The headline number is timing-vs-baseline overhead; the gate is that
+// always-on observability keeps baseline throughput within a few percent
+// of the pre-observability PR 5 figures recorded in
+// docs/BENCH_TRAJECTORY.md. Emits BENCH_obs_overhead.json.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/log.h"
+#include "server/coverage_server.h"
+#include "server/http_client.h"
+
+namespace {
+
+using coverage::CoverageServer;
+using coverage::CoverageServerOptions;
+using coverage::CoverageService;
+using coverage::DatagenSpec;
+using coverage::ServiceOptions;
+using coverage::Stopwatch;
+using coverage::http::HttpClient;
+
+struct LoadResult {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double throughput() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+double Quantile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+LoadResult RunClosedLoop(int port, int num_clients, const std::string& target,
+                         const std::string& body, double seconds) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(num_clients));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(num_clients), 0);
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = HttpClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(1 << 16);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_acquire)) {
+        Stopwatch timer;
+        auto response = client->Post(target, body);
+        const double us = timer.ElapsedSeconds() * 1e6;
+        if (!response.ok() || response->status != 200) {
+          failures.fetch_add(1);
+        } else {
+          mine.push_back(us);
+          ++counts[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+
+  Stopwatch wall;
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+
+  LoadResult result;
+  result.seconds = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (int c = 0; c < num_clients; ++c) {
+    result.requests += counts[static_cast<std::size_t>(c)];
+    all.insert(all.end(), latencies[static_cast<std::size_t>(c)].begin(),
+               latencies[static_cast<std::size_t>(c)].end());
+  }
+  result.failures = failures.load();
+  std::sort(all.begin(), all.end());
+  result.p50_us = Quantile(all, 0.50);
+  result.p99_us = Quantile(all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using coverage::bench::Banner;
+  using coverage::bench::BenchJson;
+  using coverage::bench::FullScale;
+
+  Banner("observability overhead",
+         "closed-loop POST /v1/query over loopback, instrumented vs bare");
+
+  ServiceOptions sopts;
+  sopts.num_threads = 1;
+  auto service = CoverageService::FromSpec(DatagenSpec{"compas", 0, 13, 42},
+                                           sopts);
+  if (!service.ok()) {
+    std::cerr << service.status().ToString() << "\n";
+    return 1;
+  }
+  CoverageServerOptions options;
+  options.http.port = 0;
+  options.http.num_threads = 8;
+  CoverageServer server(std::move(*service), options);
+  const coverage::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+
+  const std::string body = R"({"patterns": ["XXXX"]})";
+  struct Cell {
+    const char* name;
+    const char* target;
+    coverage::obs::LogLevel level;
+  };
+  const Cell cells[] = {
+      {"baseline", "/v1/query", coverage::obs::LogLevel::kInfo},
+      {"timing", "/v1/query?timing=1", coverage::obs::LogLevel::kInfo},
+      {"logging-off", "/v1/query", coverage::obs::LogLevel::kOff},
+  };
+  const int clients = 4;
+  const double seconds = FullScale() ? 5.0 : 1.5;
+
+  BenchJson report("obs_overhead");
+  std::printf("%-12s %8s %12s %12s %10s %10s %9s\n", "cell", "clients",
+              "requests", "req/s", "p50 (us)", "p99 (us)", "failures");
+  double baseline_rps = 0.0;
+  for (const Cell& cell : cells) {
+    coverage::obs::SetLogLevel(cell.level);
+    // Warm up sockets and caches, then measure.
+    RunClosedLoop(server.port(), clients, cell.target, body, 0.2);
+    const LoadResult r =
+        RunClosedLoop(server.port(), clients, cell.target, body, seconds);
+    if (std::string(cell.name) == "baseline") baseline_rps = r.throughput();
+    const double overhead_pct =
+        baseline_rps > 0
+            ? (baseline_rps - r.throughput()) / baseline_rps * 100.0
+            : 0.0;
+    std::printf("%-12s %8d %12llu %12.0f %10.1f %10.1f %9llu\n", cell.name,
+                clients, static_cast<unsigned long long>(r.requests),
+                r.throughput(), r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.failures));
+    report.Row()
+        .Field("cell", cell.name)
+        .Field("clients", clients)
+        .Field("requests", r.requests)
+        .Field("seconds", r.seconds)
+        .Field("requests_per_second", r.throughput())
+        .Field("p50_us", r.p50_us)
+        .Field("p99_us", r.p99_us)
+        .Field("failures", r.failures)
+        .Field("overhead_vs_baseline_pct", overhead_pct)
+        .Done();
+  }
+  coverage::obs::SetLogLevel(coverage::obs::LogLevel::kInfo);
+  server.Stop();
+  return 0;
+}

@@ -61,6 +61,10 @@ curl -sf "localhost:$PORT2/v1/stats" | grep -q '"sessions_recovered": 1'
 # The recovered session is live, not a read-only fossil.
 curl -sf "localhost:$PORT2/v1/sessions/$SID/append" \
   -d '{"rows": [[0, 2]]}' > /dev/null
+# The durable append above fsynced through the instrumented WAL: the
+# persistence histograms must be live on the rebooted process too.
+curl -sf "localhost:$PORT2/metrics" |
+  grep -q '^coverage_persist_fsync_seconds_count [1-9]'
 
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID"

@@ -63,7 +63,7 @@
 #include "enhancement/report.h"         // IWYU pragma: export
 #include "enhancement/validation.h"     // IWYU pragma: export
 #include "ml/decision_tree.h"           // IWYU pragma: export
-#include "ml/metrics.h"                 // IWYU pragma: export
+#include "ml/model_metrics.h"           // IWYU pragma: export
 #include "ml/split.h"                   // IWYU pragma: export
 #include "mups/mup_index.h"             // IWYU pragma: export
 #include "mups/mups.h"                  // IWYU pragma: export

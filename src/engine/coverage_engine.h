@@ -270,6 +270,14 @@ class CoverageEngine {
   std::uint64_t epoch() const { return snapshot()->epoch(); }
   std::uint64_t num_rows() const { return snapshot()->num_rows(); }
 
+  /// Rows currently retained by the sliding window (0 when windowing is
+  /// off). Takes the writer mutex briefly — a monitoring read, not a
+  /// hot-path one.
+  std::size_t window_rows() const {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return window_rows_;
+  }
+
  private:
   /// Incremental Problem-1 maintenance for an append epoch (insert
   /// monotonicity, downward re-expansion); returns the new MUP set, sorted.

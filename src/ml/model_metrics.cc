@@ -1,4 +1,4 @@
-#include "ml/metrics.h"
+#include "ml/model_metrics.h"
 
 #include <cassert>
 

@@ -1,5 +1,5 @@
-#ifndef COVERAGE_ML_METRICS_H_
-#define COVERAGE_ML_METRICS_H_
+#ifndef COVERAGE_ML_MODEL_METRICS_H_
+#define COVERAGE_ML_MODEL_METRICS_H_
 
 #include <vector>
 
@@ -21,4 +21,4 @@ ClassificationMetrics EvaluateBinary(const std::vector<int>& actual,
 
 }  // namespace coverage
 
-#endif  // COVERAGE_ML_METRICS_H_
+#endif  // COVERAGE_ML_MODEL_METRICS_H_

@@ -9,6 +9,7 @@
 #include "coverage/bitmap_coverage.h"
 #include "coverage/coverage_oracle.h"
 #include "dataset/schema.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 
 namespace coverage {
@@ -44,6 +45,13 @@ struct MupSearchOptions {
   /// identical output).
   enum class DominanceMode { kBitmapIndex, kLinearScan, kNoPruning };
   DominanceMode dominance_mode = DominanceMode::kBitmapIndex;
+
+  /// Optional request trace. When set, PATTERN-BREAKER records one
+  /// `search_level_<k>` stage per BFS level (the per-level breakdown that
+  /// shows where a deep search spends its time). The trace is not
+  /// synchronised — it must belong to the calling thread. Other algorithms
+  /// ignore it.
+  obs::Trace* trace = nullptr;
 };
 
 /// Instrumentation filled in by each search; the paper's efficiency argument

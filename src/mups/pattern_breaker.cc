@@ -62,6 +62,10 @@ std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
   std::vector<NodeOutcome> outcomes;
 
   for (int level = 0; level <= max_level && !queue.empty(); ++level) {
+    // The level loop runs on the calling thread (ParallelFor blocks), so
+    // recording into the caller's trace is safe.
+    obs::ScopedStage level_stage(options.trace,
+                                 "search_level_" + std::to_string(level));
     // Evaluate the frontier: reads only level-start state, so the pool can
     // chew through it in dynamically balanced chunks.
     outcomes.assign(queue.size(), NodeOutcome::kSkipped);

@@ -1,0 +1,289 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+namespace coverage {
+namespace obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_json{false};
+
+// Sink + rate-limit state share one mutex; emission is rare enough that a
+// single lock is fine, and it keeps lines from interleaving.
+std::mutex& SinkMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* const sink = new LogSink();
+  return *sink;
+}
+
+struct RateLimitState {
+  double per_second = 50.0;
+  double burst = 100.0;
+  std::map<std::string, internal::TokenBucket> buckets;
+};
+
+RateLimitState& RateLimit() {
+  static RateLimitState* const state = new RateLimitState();
+  return *state;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string IsoTimestampUtc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+// Minimal JSON string escaping, self-contained so obs/ does not depend on
+// the server's JSON library.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void EmitLine(const std::string& line) {
+  // Called with SinkMutex() held.
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  if (text == "debug") { *out = LogLevel::kDebug; return true; }
+  if (text == "info") { *out = LogLevel::kInfo; return true; }
+  if (text == "warn") { *out = LogLevel::kWarn; return true; }
+  if (text == "error") { *out = LogLevel::kError; return true; }
+  if (text == "off") { *out = LogLevel::kOff; return true; }
+  return false;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogJson(bool json) { g_json.store(json, std::memory_order_relaxed); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+void SetLogRateLimit(double per_second, double burst) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  RateLimitState& state = RateLimit();
+  state.per_second = per_second;
+  state.burst = burst;
+  state.buckets.clear();
+}
+
+namespace internal {
+
+bool TokenBucket::Allow(double now_seconds, std::uint64_t* suppressed) {
+  if (per_second_ <= 0) {
+    *suppressed = dropped_;
+    dropped_ = 0;
+    return true;
+  }
+  if (!primed_) {
+    primed_ = true;
+    last_seconds_ = now_seconds;
+  }
+  const double elapsed = now_seconds - last_seconds_;
+  if (elapsed > 0) {
+    tokens_ = tokens_ + elapsed * per_second_;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_seconds_ = now_seconds;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    *suppressed = dropped_;
+    dropped_ = 0;
+    return true;
+  }
+  ++dropped_;
+  return false;
+}
+
+}  // namespace internal
+
+LogEvent::LogEvent(LogLevel level, std::string event)
+    : level_(level),
+      event_(std::move(event)),
+      enabled_(level != LogLevel::kOff &&
+               static_cast<int>(level) >=
+                   g_level.load(std::memory_order_relaxed)) {}
+
+LogEvent::LogEvent(LogEvent&& other) noexcept
+    : level_(other.level_),
+      event_(std::move(other.event_)),
+      fields_(std::move(other.fields_)),
+      enabled_(other.enabled_) {
+  other.enabled_ = false;
+}
+
+LogEvent& LogEvent::Str(const std::string& key, const std::string& value) {
+  if (enabled_) fields_.push_back(Field{key, value, true});
+  return *this;
+}
+
+LogEvent& LogEvent::Int(const std::string& key, std::int64_t value) {
+  if (enabled_) {
+    fields_.push_back(Field{key, std::to_string(value), false});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Uint(const std::string& key, std::uint64_t value) {
+  if (enabled_) {
+    fields_.push_back(Field{key, std::to_string(value), false});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Double(const std::string& key, double value) {
+  if (enabled_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back(Field{key, buf, false});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(const std::string& key, bool value) {
+  if (enabled_) {
+    fields_.push_back(Field{key, value ? "true" : "false", false});
+  }
+  return *this;
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+
+  std::uint64_t suppressed = 0;
+  RateLimitState& rate = RateLimit();
+  if (rate.per_second > 0) {
+    auto it = rate.buckets.find(event_);
+    if (it == rate.buckets.end()) {
+      it = rate.buckets
+               .emplace(event_,
+                        internal::TokenBucket(rate.per_second, rate.burst))
+               .first;
+    }
+    if (!it->second.Allow(NowSeconds(), &suppressed)) return;
+  }
+  if (suppressed > 0) {
+    fields_.push_back(Field{"suppressed", std::to_string(suppressed), false});
+  }
+
+  std::string line;
+  if (g_json.load(std::memory_order_relaxed)) {
+    line = "{\"ts\":\"" + IsoTimestampUtc() + "\",\"level\":\"" +
+           LogLevelName(level_) + "\",\"event\":\"" + JsonEscape(event_) +
+           "\"";
+    for (const Field& field : fields_) {
+      line += ",\"" + JsonEscape(field.key) + "\":";
+      if (field.quoted) {
+        line += "\"" + JsonEscape(field.value) + "\"";
+      } else {
+        line += field.value;
+      }
+    }
+    line += "}";
+  } else {
+    line = IsoTimestampUtc();
+    line += " ";
+    line += LogLevelName(level_);
+    line += " ";
+    line += event_;
+    for (const Field& field : fields_) {
+      line += " " + field.key + "=";
+      if (field.quoted) {
+        line += "\"" + JsonEscape(field.value) + "\"";
+      } else {
+        line += field.value;
+      }
+    }
+  }
+  EmitLine(line);
+}
+
+LogEvent LogDebug(std::string event) {
+  return LogEvent(LogLevel::kDebug, std::move(event));
+}
+LogEvent LogInfo(std::string event) {
+  return LogEvent(LogLevel::kInfo, std::move(event));
+}
+LogEvent LogWarn(std::string event) {
+  return LogEvent(LogLevel::kWarn, std::move(event));
+}
+LogEvent LogError(std::string event) {
+  return LogEvent(LogLevel::kError, std::move(event));
+}
+
+}  // namespace obs
+}  // namespace coverage

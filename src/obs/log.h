@@ -1,0 +1,107 @@
+#ifndef COVERAGE_OBS_LOG_H_
+#define COVERAGE_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coverage {
+namespace obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive).
+/// Returns false and leaves *out untouched on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+const char* LogLevelName(LogLevel level);
+
+/// Minimum level that gets emitted; defaults to kInfo. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// JSON-lines output instead of `ts LEVEL event key=value`; default off.
+void SetLogJson(bool json);
+
+/// Where finished lines go (without trailing newline). Null restores the
+/// default stderr sink. Tests inject a sink to capture events.
+using LogSink = std::function<void(const std::string& line)>;
+void SetLogSink(LogSink sink);
+
+/// Per-event-name token bucket: at most `per_second` sustained events with
+/// bursts up to `burst`; excess events are dropped and counted, and the
+/// count is folded into the next emitted event of that name as a
+/// `suppressed=N` field. `per_second <= 0` disables limiting. Default:
+/// 50/s, burst 100.
+void SetLogRateLimit(double per_second, double burst);
+
+/// One structured event, built with chained field setters and emitted when
+/// the object is destroyed (so `LogWarn("shed").Int("queue", n);` is one
+/// statement). Fields keep insertion order. Not thread-safe per instance —
+/// build and drop on one thread; emission itself is thread-safe.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string event);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+  LogEvent(LogEvent&& other) noexcept;
+  LogEvent& operator=(LogEvent&&) = delete;
+
+  LogEvent& Str(const std::string& key, const std::string& value);
+  LogEvent& Int(const std::string& key, std::int64_t value);
+  LogEvent& Uint(const std::string& key, std::uint64_t value);
+  LogEvent& Double(const std::string& key, double value);
+  LogEvent& Bool(const std::string& key, bool value);
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;  ///< pre-rendered scalar
+    bool quoted = false;  ///< string (needs quoting/escaping) vs literal
+  };
+
+  LogLevel level_;
+  std::string event_;
+  std::vector<Field> fields_;
+  bool enabled_;
+};
+
+/// Convenience constructors; use as `LogInfo("startup").Int("port", p);`.
+LogEvent LogDebug(std::string event);
+LogEvent LogInfo(std::string event);
+LogEvent LogWarn(std::string event);
+LogEvent LogError(std::string event);
+
+namespace internal {
+
+/// Standard token bucket, exposed with an explicit clock so the rate-limit
+/// unit tests are deterministic. Not thread-safe (the log layer locks).
+class TokenBucket {
+ public:
+  TokenBucket(double per_second, double burst)
+      : per_second_(per_second), burst_(burst), tokens_(burst) {}
+
+  /// True if an event may pass at `now_seconds`. When it passes,
+  /// *suppressed receives how many were dropped since the last pass (and
+  /// the internal drop count resets); when it is dropped, *suppressed is
+  /// untouched.
+  bool Allow(double now_seconds, std::uint64_t* suppressed);
+
+ private:
+  double per_second_;
+  double burst_;
+  double tokens_;
+  double last_seconds_ = 0.0;
+  bool primed_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace coverage
+
+#endif  // COVERAGE_OBS_LOG_H_

@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+namespace coverage {
+namespace obs {
+
+// ---------------------------------------------------------------- Histogram
+
+void Histogram::Observe(double seconds) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double us = seconds * 1e6;
+  const std::uint64_t whole_us = us <= 0 ? 0 : static_cast<std::uint64_t>(us);
+  total_us_.fetch_add(whole_us, std::memory_order_relaxed);
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 && (1ull << bucket) <= whole_us) ++bucket;
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::QuantileSeconds(double q) const {
+  const Snapshot snap = TakeSnapshot();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snap.buckets) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += snap.buckets[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= rank) return BucketUpperEdgeSeconds(i);
+  }
+  return BucketUpperEdgeSeconds(kNumBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  snap.count = count();
+  snap.sum_seconds = sum_seconds();
+  return snap;
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return instance;
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindOrAddSeries(
+    const std::string& name, const std::string& help, MetricType type,
+    const Labels& labels, bool* detached) {
+  *detached = false;
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.help = help;
+    family.type = type;
+  } else if (family.type != type) {
+    // A name cannot be two types; hand out a working-but-unregistered
+    // instrument instead of corrupting the existing family.
+    *detached = true;
+    return nullptr;
+  }
+  for (Series& series : family.series) {
+    if (series.labels == labels) return &series;
+  }
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr, nullptr});
+  return &family.series.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool detached = false;
+  Series* series = FindOrAddSeries(name, help, MetricType::kCounter, labels,
+                                   &detached);
+  if (detached) return &counters_.emplace_back();
+  if (series->counter == nullptr) series->counter = &counters_.emplace_back();
+  return series->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool detached = false;
+  Series* series =
+      FindOrAddSeries(name, help, MetricType::kGauge, labels, &detached);
+  if (detached) return &gauges_.emplace_back();
+  if (series->gauge == nullptr) series->gauge = &gauges_.emplace_back();
+  return series->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool detached = false;
+  Series* series = FindOrAddSeries(name, help, MetricType::kHistogram, labels,
+                                   &detached);
+  if (detached) return &histograms_.emplace_back();
+  if (series->histogram == nullptr) {
+    series->histogram = &histograms_.emplace_back();
+  }
+  return series->histogram;
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const std::string& help,
+                                       MetricType type, const Labels& labels,
+                                       ValueFn fn) {
+  if (type == MetricType::kHistogram) return;  // unsupported by design
+  std::lock_guard<std::mutex> lock(mu_);
+  bool detached = false;
+  Series* series = FindOrAddSeries(name, help, type, labels, &detached);
+  if (detached || series == nullptr) return;
+  series->fn = std::move(fn);
+}
+
+std::vector<MetricsRegistry::CollectedFamily> MetricsRegistry::Collect()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CollectedFamily> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    CollectedFamily cf;
+    cf.name = name;
+    cf.help = family.help;
+    cf.type = family.type;
+    for (const Series& series : family.series) {
+      CollectedSeries cs;
+      cs.labels = series.labels;
+      if (series.histogram != nullptr) {
+        cs.histogram = series.histogram->TakeSnapshot();
+      } else if (series.fn) {
+        cs.value = series.fn();
+      } else if (series.counter != nullptr) {
+        cs.value = static_cast<double>(series.counter->value());
+      } else if (series.gauge != nullptr) {
+        cs.value = static_cast<double>(series.gauge->value());
+      }
+      cf.series.push_back(std::move(cs));
+    }
+    out.push_back(std::move(cf));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace coverage

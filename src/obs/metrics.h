@@ -1,0 +1,184 @@
+#ifndef COVERAGE_OBS_METRICS_H_
+#define COVERAGE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coverage {
+namespace obs {
+
+/// A label set ({"route", "POST /v1/audit"}, ...). Order is significant for
+/// identity (register with a consistent order) and preserved in exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter; lock-free on the update path.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value; lock-free.
+class Gauge {
+ public:
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-scale latency histogram: 54 power-of-two microsecond buckets
+/// (bucket i counts observations < 2^i µs), good enough for p50/p99
+/// without storing samples and cheap enough for every request path.
+/// Thread-safe, lock-free on the record path. This generalises the
+/// RouteMetrics histogram the coverage_server grew in PR 5 — one
+/// implementation now serves routes, trace stages, and persistence.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 54;
+
+  void Observe(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum_seconds() const {
+    return static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+
+  /// Latency quantile estimate in seconds (upper edge of the bucket holding
+  /// the q-quantile); 0 when nothing was recorded.
+  double QuantileSeconds(double q) const;
+
+  /// Upper edge of bucket `i` in seconds (2^i µs).
+  static double BucketUpperEdgeSeconds(int i) {
+    return static_cast<double>(1ull << i) / 1e6;
+  }
+
+  /// A consistent-enough copy for exposition (buckets are read relaxed;
+  /// concurrent updates may straddle the reads, which is fine for
+  /// monitoring).
+  struct Snapshot {
+    std::array<std::uint64_t, kNumBuckets> buckets{};  ///< per-bucket counts
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// A registry of named metric families, each holding one series per label
+/// set. Registration (Get*) takes a mutex and returns a stable pointer —
+/// hold it and update lock-free forever after; instruments live as long as
+/// the registry. Families are collected in name order, series in
+/// registration order, so exposition is deterministic.
+///
+/// Callback series (RegisterCallback) are evaluated at collection time —
+/// the seam for gauges derived from live state (open sessions, engine rows,
+/// thread-budget occupancy) that nobody wants to maintain incrementally.
+///
+/// Instantiable (each CoverageServer owns one, so tests never see another
+/// test's counts); Default() offers a process-wide instance for tools.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry for code without a better home.
+  static MetricsRegistry* Default();
+
+  /// Get-or-create: the same (name, labels) always returns the same
+  /// instrument; `help` is taken from the first registration. A name
+  /// re-registered as a different type gets a detached instrument (updates
+  /// work, collection skips it) rather than corrupting the family.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const Labels& labels = {});
+
+  /// Registers a series whose value is computed at collection time. `type`
+  /// must be kCounter or kGauge. Re-registering the same (name, labels)
+  /// replaces the function. The callback runs under the registry mutex —
+  /// it must not call back into this registry.
+  using ValueFn = std::function<double()>;
+  void RegisterCallback(const std::string& name, const std::string& help,
+                        MetricType type, const Labels& labels, ValueFn fn);
+
+  struct CollectedSeries {
+    Labels labels;
+    double value = 0.0;             ///< counter / gauge / callback value
+    Histogram::Snapshot histogram;  ///< kHistogram families only
+  };
+  struct CollectedFamily {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<CollectedSeries> series;
+  };
+
+  /// Snapshot of every family, sorted by name.
+  std::vector<CollectedFamily> Collect() const;
+
+ private:
+  struct Series {
+    Labels labels;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+    ValueFn fn;
+  };
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Series> series;
+  };
+
+  Series* FindOrAddSeries(const std::string& name, const std::string& help,
+                          MetricType type, const Labels& labels,
+                          bool* detached);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  // deques: stable addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace coverage
+
+#endif  // COVERAGE_OBS_METRICS_H_

@@ -1,0 +1,127 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace coverage {
+namespace obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Numbers print as integers when they are one (the common counter case)
+/// and otherwise with enough digits to round-trip a monitoring float.
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+/// `{a="x",b="y"}`, empty string for no labels. `extra` appends one more
+/// pair (the histogram `le`).
+std::string RenderLabels(const Labels& labels, const std::string& extra_key,
+                         const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& family : registry.Collect()) {
+    out += "# HELP " + family.name + " " + EscapeHelp(family.help) + "\n";
+    out += "# TYPE " + family.name + " " + TypeName(family.type) + "\n";
+    for (const auto& series : family.series) {
+      if (family.type != MetricType::kHistogram) {
+        out += family.name + RenderLabels(series.labels, "", "") + " " +
+               FormatValue(series.value) + "\n";
+        continue;
+      }
+      // Cumulative buckets; our bucket i counts observations < 2^i µs, so
+      // the le upper edges are exactly the bucket edges in seconds.
+      std::uint64_t cumulative = 0;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        cumulative += series.histogram.buckets[static_cast<std::size_t>(i)];
+        // 54 buckets × every series would dwarf the payload; skip the empty
+        // tail above the last observation, keeping at least one bucket so
+        // the series parses.
+        if (cumulative == series.histogram.count && i > 0 &&
+            series.histogram.buckets[static_cast<std::size_t>(i)] == 0) {
+          continue;
+        }
+        out += family.name + "_bucket" +
+               RenderLabels(series.labels, "le",
+                            FormatValue(
+                                Histogram::BucketUpperEdgeSeconds(i))) +
+               " " + FormatValue(static_cast<double>(cumulative)) + "\n";
+      }
+      out += family.name + "_bucket" +
+             RenderLabels(series.labels, "le", "+Inf") + " " +
+             FormatValue(static_cast<double>(series.histogram.count)) + "\n";
+      out += family.name + "_sum" + RenderLabels(series.labels, "", "") +
+             " " + FormatValue(series.histogram.sum_seconds) + "\n";
+      out += family.name + "_count" + RenderLabels(series.labels, "", "") +
+             " " + FormatValue(static_cast<double>(series.histogram.count)) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace coverage

@@ -1,0 +1,32 @@
+#ifndef COVERAGE_OBS_PROMETHEUS_H_
+#define COVERAGE_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace coverage {
+namespace obs {
+
+/// Renders the registry in the Prometheus text exposition format (version
+/// 0.0.4): one `# HELP` + `# TYPE` pair per family, families in name order,
+/// series in registration order, histogram series as cumulative
+/// `_bucket{le="..."}` lines plus `_sum` and `_count`. Dependency-free and
+/// deterministic, so tests can assert on exact output.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline become \\ , \" and \n. Exposed for the format tests.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Escapes a HELP text: backslash and newline (quotes are legal there).
+std::string EscapeHelp(const std::string& text);
+
+/// The Content-Type a /metrics response should carry.
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace obs
+}  // namespace coverage
+
+#endif  // COVERAGE_OBS_PROMETHEUS_H_

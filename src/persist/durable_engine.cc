@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "persist/codec.h"
 #include "persist/snapshot.h"
 
@@ -237,16 +238,18 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Recover(
   return durable;
 }
 
-Status DurableEngine::Append(const Dataset& rows, EngineUpdateStats* stats) {
-  return Mutate(WalRecordType::kAppend, rows, stats);
+Status DurableEngine::Append(const Dataset& rows, EngineUpdateStats* stats,
+                             obs::Trace* trace) {
+  return Mutate(WalRecordType::kAppend, rows, stats, trace);
 }
 
-Status DurableEngine::Retract(const Dataset& rows, EngineUpdateStats* stats) {
-  return Mutate(WalRecordType::kRetract, rows, stats);
+Status DurableEngine::Retract(const Dataset& rows, EngineUpdateStats* stats,
+                              obs::Trace* trace) {
+  return Mutate(WalRecordType::kRetract, rows, stats, trace);
 }
 
 Status DurableEngine::Mutate(WalRecordType type, const Dataset& rows,
-                             EngineUpdateStats* stats) {
+                             EngineUpdateStats* stats, obs::Trace* trace) {
   std::shared_ptr<WalWriter> wal;
   std::uint64_t lsn = 0;
   {
@@ -255,13 +258,17 @@ Status DurableEngine::Mutate(WalRecordType type, const Dataset& rows,
 
     EngineUpdateStats local;
     EngineUpdateStats* s = stats != nullptr ? stats : &local;
-    const Status applied = type == WalRecordType::kAppend
-                               ? engine_->AppendRows(rows, s)
-                               : engine_->RetractRows(rows, s);
+    Status applied;
+    {
+      obs::ScopedStage stage(trace, "engine_update");
+      applied = type == WalRecordType::kAppend ? engine_->AppendRows(rows, s)
+                                               : engine_->RetractRows(rows, s);
+    }
     // Validation failures leave the engine unchanged; nothing to log.
     COVERAGE_RETURN_IF_ERROR(applied);
 
     if (durability() != DurabilityMode::kNone) {
+      obs::ScopedStage stage(trace, "wal_append");
       const std::uint64_t epoch = engine_->epoch();
       Status logged = wal_->Append(type, epoch, RowsBody(rows), &lsn);
       if (logged.ok()) ++records_logged_;
@@ -289,6 +296,7 @@ Status DurableEngine::Mutate(WalRecordType type, const Dataset& rows,
       // Best effort: a failed checkpoint leaves the WAL as the source of
       // truth, which is exactly what it is for. (A rotation failure inside
       // poisons separately.)
+      obs::ScopedStage stage(trace, "checkpoint");
       (void)CheckpointLocked();
     }
   }
@@ -296,6 +304,7 @@ Status DurableEngine::Mutate(WalRecordType type, const Dataset& rows,
   if (wal != nullptr && durability() == DurabilityMode::kFsync) {
     // Group commit outside the mutation lock: concurrent writers coalesce
     // onto one fdatasync.
+    obs::ScopedStage stage(trace, "wal_fsync");
     const Status synced = wal->Sync(lsn);
     if (!synced.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -315,6 +324,16 @@ Status DurableEngine::Checkpoint() {
 }
 
 Status DurableEngine::CheckpointLocked() {
+  const Stopwatch timer;
+  // Observe the snapshot+rotate cycle whether it succeeds or fails — a
+  // failing checkpoint still costs the latency it is charged with.
+  struct Observer {
+    const Stopwatch& timer;
+    obs::Histogram* histogram;
+    ~Observer() {
+      if (histogram != nullptr) histogram->Observe(timer.ElapsedSeconds());
+    }
+  } observer{timer, opts_.checkpoint_histogram};
   const EngineImage image = engine_->CaptureImage();
   const std::uint64_t epoch = image.epoch;
   COVERAGE_RETURN_IF_ERROR(WriteSnapshotFile(fs_, dir_, image));
@@ -355,6 +374,7 @@ Status DurableEngine::RotateWalLocked() {
   Status rotated = writer.ok() ? Status::OK() : writer.status();
   if (rotated.ok()) {
     wal_ = std::shared_ptr<WalWriter>(std::move(*writer));
+    wal_->set_sync_histogram(opts_.fsync_histogram);
     std::uint64_t lsn = 0;
     rotated = wal_->Append(WalRecordType::kHeader, engine_->epoch(),
                            HeaderBody(engine_->schema(), engine_->options()),

@@ -11,6 +11,8 @@
 #include "dataset/dataset.h"
 #include "dataset/schema.h"
 #include "engine/coverage_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/fault_fs.h"
 #include "persist/wal.h"
 
@@ -32,6 +34,12 @@ struct DurableEngineOptions {
 
   /// Filesystem seam; nullptr = the posix default. Tests pass a FaultFs.
   FileSystem* fs = nullptr;
+
+  /// Optional latency histograms (must outlive the engine; null disables).
+  /// fsync_histogram sees one observation per fdatasync on the live WAL
+  /// segment; checkpoint_histogram one per snapshot+rotate cycle.
+  obs::Histogram* fsync_histogram = nullptr;
+  obs::Histogram* checkpoint_histogram = nullptr;
 
   Status Validate() const;
 };
@@ -108,11 +116,15 @@ class DurableEngine {
 
   /// Appends `rows` as one epoch: engine first, then WAL (+ eviction
   /// marker in window mode), then fdatasync under durability=fsync. On
-  /// return under fsync the mutation is crash-durable.
-  Status Append(const Dataset& rows, EngineUpdateStats* stats = nullptr);
+  /// return under fsync the mutation is crash-durable. A non-null `trace`
+  /// (owned by the calling thread) receives `engine_update`, `wal_append`,
+  /// `wal_fsync`, and — when one triggers — `checkpoint` stages.
+  Status Append(const Dataset& rows, EngineUpdateStats* stats = nullptr,
+                obs::Trace* trace = nullptr);
 
   /// Retracts one occurrence per row, same logging pipeline.
-  Status Retract(const Dataset& rows, EngineUpdateStats* stats = nullptr);
+  Status Retract(const Dataset& rows, EngineUpdateStats* stats = nullptr,
+                 obs::Trace* trace = nullptr);
 
   /// Writes a snapshot at the current epoch, rotates to a fresh WAL
   /// segment, and prunes generations past keep_snapshots (plus the WAL
@@ -140,7 +152,7 @@ class DurableEngine {
 
   /// Shared mutation pipeline for Append/Retract.
   Status Mutate(WalRecordType type, const Dataset& rows,
-                EngineUpdateStats* stats);
+                EngineUpdateStats* stats, obs::Trace* trace);
 
   /// Checkpoint body; requires mu_.
   Status CheckpointLocked();

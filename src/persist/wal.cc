@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "persist/codec.h"
 
 namespace coverage {
@@ -106,6 +107,7 @@ Status WalWriter::Sync(std::uint64_t lsn) {
   sync_in_flight_ = false;
   ++sync_calls_;
   sync_seconds_ += seconds;
+  if (sync_histogram_ != nullptr) sync_histogram_->Observe(seconds);
   if (!synced.ok()) {
     poisoned_ = synced;
     sync_cv_.notify_all();
@@ -131,6 +133,11 @@ std::uint64_t WalWriter::sync_calls() const {
 double WalWriter::sync_seconds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sync_seconds_;
+}
+
+void WalWriter::set_sync_histogram(obs::Histogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_histogram_ = histogram;
 }
 
 Status WalWriter::Close() {

@@ -12,6 +12,9 @@
 #include "persist/fault_fs.h"
 
 namespace coverage {
+namespace obs {
+class Histogram;
+}  // namespace obs
 namespace persist {
 
 /// Write-ahead-log record types, one per CoverageEngine mutation kind.
@@ -82,6 +85,10 @@ class WalWriter {
   std::uint64_t sync_calls() const;
   double sync_seconds() const;
 
+  /// Optional latency histogram observed once per fdatasync (not per Sync
+  /// call — group commit coalesces). Must outlive the writer; null disables.
+  void set_sync_histogram(obs::Histogram* histogram);
+
   Status Close();
 
  private:
@@ -97,6 +104,7 @@ class WalWriter {
   Status poisoned_ = Status::OK();
   std::uint64_t sync_calls_ = 0;
   double sync_seconds_ = 0.0;
+  obs::Histogram* sync_histogram_ = nullptr;
 };
 
 /// Result of scanning one segment file.

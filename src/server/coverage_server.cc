@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/log.h"
+#include "obs/prometheus.h"
 #include "persist/durable_engine.h"
 #include "persist/fault_fs.h"
 #include "server/json.h"
@@ -18,41 +20,6 @@ namespace coverage {
 using http::Request;
 using http::Response;
 using json::JsonValue;
-
-// ------------------------------------------------------------- RouteMetrics
-
-void RouteMetrics::Record(double seconds, bool error) {
-  count_.fetch_add(1, std::memory_order_relaxed);
-  if (error) errors_.fetch_add(1, std::memory_order_relaxed);
-  const double us = seconds * 1e6;
-  const std::uint64_t whole_us =
-      us <= 0 ? 0 : static_cast<std::uint64_t>(us);
-  total_us_.fetch_add(whole_us, std::memory_order_relaxed);
-  int bucket = 0;
-  while (bucket < kBuckets - 1 && (1ull << bucket) <= whole_us) ++bucket;
-  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
-      1, std::memory_order_relaxed);
-}
-
-double RouteMetrics::QuantileSeconds(double q) const {
-  std::array<std::uint64_t, kBuckets> snapshot;
-  std::uint64_t total = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    snapshot[static_cast<std::size_t>(i)] =
-        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
-    total += snapshot[static_cast<std::size_t>(i)];
-  }
-  if (total == 0) return 0.0;
-  const double rank = q * static_cast<double>(total);
-  std::uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += snapshot[static_cast<std::size_t>(i)];
-    if (static_cast<double>(seen) >= rank) {
-      return static_cast<double>(1ull << i) / 1e6;  // bucket upper edge
-    }
-  }
-  return static_cast<double>(1ull << (kBuckets - 1)) / 1e6;
-}
 
 // ------------------------------------------------------------------ helpers
 
@@ -139,6 +106,20 @@ bool ParseSessionId(const std::string& id, std::uint64_t* n) {
   return true;
 }
 
+/// True when the target's query string carries `timing=1`.
+bool WantsTiming(const std::string& target) {
+  const std::size_t question = target.find('?');
+  if (question == std::string::npos) return false;
+  std::size_t pos = question + 1;
+  while (pos < target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    if (target.compare(pos, amp - pos, "timing=1") == 0) return true;
+    pos = amp + 1;
+  }
+  return false;
+}
+
 }  // namespace
 
 Status CoverageServerOptions::Validate() const {
@@ -167,21 +148,209 @@ CoverageServer::CoverageServer(CoverageService service,
     options_.session_defaults.thread_budget = std::make_shared<ThreadBudget>(
         options_.session_defaults.max_total_threads);
   }
-  // Fixed key set: Dispatch only ever looks up, so Record is data-race-free
-  // without a map lock.
-  metrics_["GET /healthz"];
-  metrics_["GET /v1/stats"];
-  metrics_["GET /v1/schema"];
-  metrics_["POST /v1/audit"];
-  metrics_["POST /v1/enhance"];
-  metrics_["POST /v1/query"];
-  metrics_["GET /v1/sessions"];
-  metrics_["POST /v1/sessions"];
-  metrics_["DELETE /v1/sessions/{id}"];
-  metrics_["POST /v1/sessions/{id}/append"];
-  metrics_["POST /v1/sessions/{id}/retract"];
-  metrics_["POST /v1/sessions/{id}/audit"];
-  metrics_["POST /v1/sessions/{id}/query"];
+  if (options_.metrics_registry != nullptr) {
+    metrics_ = options_.metrics_registry;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  // Persistence histograms flow session_defaults → DurableEngineOptions →
+  // WalWriter, so every durable session (created or recovered) reports into
+  // this server's registry.
+  if (options_.session_defaults.fsync_histogram == nullptr) {
+    options_.session_defaults.fsync_histogram = metrics_->GetHistogram(
+        "coverage_persist_fsync_seconds",
+        "WAL fdatasync latency, one observation per group-committed sync");
+  }
+  if (options_.session_defaults.checkpoint_histogram == nullptr) {
+    options_.session_defaults.checkpoint_histogram = metrics_->GetHistogram(
+        "coverage_persist_checkpoint_seconds",
+        "Snapshot + WAL-rotation latency per checkpoint");
+  }
+  // Fixed route-key set: Dispatch only ever looks up, so the record path
+  // never mutates the map and stays lock-free.
+  static const char* const kRouteKeys[] = {
+      "GET /healthz",
+      "GET /metrics",
+      "GET /v1/stats",
+      "GET /v1/schema",
+      "POST /v1/audit",
+      "POST /v1/enhance",
+      "POST /v1/query",
+      "GET /v1/sessions",
+      "POST /v1/sessions",
+      "DELETE /v1/sessions/{id}",
+      "POST /v1/sessions/{id}/append",
+      "POST /v1/sessions/{id}/retract",
+      "POST /v1/sessions/{id}/audit",
+      "POST /v1/sessions/{id}/query",
+  };
+  const char* const latency_help =
+      "HTTP request latency by route (transport excluded: measured around "
+      "the route handler)";
+  const char* const errors_help = "HTTP responses with status >= 400";
+  for (const char* key : kRouteKeys) {
+    routes_[key] = RouteSeries{
+        metrics_->GetHistogram("coverage_http_request_seconds", latency_help,
+                               {{"route", key}}),
+        metrics_->GetCounter("coverage_http_request_errors_total",
+                             errors_help, {{"route", key}})};
+  }
+  unrouted_ = RouteSeries{
+      metrics_->GetHistogram("coverage_http_request_seconds", latency_help,
+                             {{"route", "unrouted"}}),
+      metrics_->GetCounter("coverage_http_request_errors_total", errors_help,
+                           {{"route", "unrouted"}})};
+  RegisterMetrics();
+}
+
+CoverageServer::EngineGauges CoverageServer::CollectEngineGauges() const {
+  EngineGauges g;
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  for (const auto& [id, entry] : sessions_) {
+    ++g.sessions;
+    const auto snap = entry->session.engine().snapshot();
+    g.rows += snap->num_rows();
+    g.epochs += snap->epoch();
+    g.mups += snap->mups().size();
+    const AggregatedData& data = snap->data();
+    for (std::size_t k = 0; k < data.num_combinations(); ++k) {
+      if (data.count(k) == 0) ++g.tombstones;
+    }
+    g.window_rows += entry->session.engine().window_rows();
+  }
+  return g;
+}
+
+void CoverageServer::RegisterMetrics() {
+  using obs::MetricType;
+  // Callbacks run under the registry mutex at collection time and take
+  // sessions_mu_ inside; nothing takes the registry mutex while holding
+  // sessions_mu_, so the lock order stays registry → sessions.
+  metrics_->RegisterCallback(
+      "coverage_http_connections_accepted_total",
+      "TCP connections accepted by the embedded server", MetricType::kCounter,
+      {}, [this] {
+        return static_cast<double>(http_.stats().connections_accepted);
+      });
+  metrics_->RegisterCallback(
+      "coverage_http_requests_handled_total", "HTTP requests handled",
+      MetricType::kCounter, {},
+      [this] { return static_cast<double>(http_.stats().requests_handled); });
+  metrics_->RegisterCallback(
+      "coverage_http_protocol_errors_total",
+      "Requests rejected at the HTTP layer (framing, size caps)",
+      MetricType::kCounter, {},
+      [this] { return static_cast<double>(http_.stats().protocol_errors); });
+  metrics_->RegisterCallback(
+      "coverage_http_connections_shed_total",
+      "Connections answered 503 by overload shedding", MetricType::kCounter,
+      {},
+      [this] { return static_cast<double>(http_.stats().connections_shed); });
+  metrics_->RegisterCallback(
+      "coverage_http_accept_retries_total",
+      "accept() failures survived by backoff (EMFILE and friends)",
+      MetricType::kCounter, {},
+      [this] { return static_cast<double>(http_.stats().accept_retries); });
+
+  metrics_->RegisterCallback(
+      "coverage_sessions_open", "Live sessions in the registry",
+      MetricType::kGauge, {},
+      [this] { return static_cast<double>(num_sessions()); });
+  metrics_->RegisterCallback(
+      "coverage_sessions_recovered_total",
+      "Durable sessions recovered from disk at boot", MetricType::kCounter,
+      {}, [this] {
+        return static_cast<double>(
+            sessions_recovered_.load(std::memory_order_relaxed));
+      });
+  metrics_->RegisterCallback(
+      "coverage_sessions_reaped_total", "Sessions closed by the idle reaper",
+      MetricType::kCounter, {}, [this] {
+        return static_cast<double>(
+            sessions_reaped_.load(std::memory_order_relaxed));
+      });
+
+  metrics_->RegisterCallback(
+      "coverage_engine_rows", "Rows indexed across live sessions",
+      MetricType::kGauge, {},
+      [this] { return static_cast<double>(CollectEngineGauges().rows); });
+  metrics_->RegisterCallback(
+      "coverage_engine_epochs", "Sum of session epochs (mutations applied)",
+      MetricType::kGauge, {},
+      [this] { return static_cast<double>(CollectEngineGauges().epochs); });
+  metrics_->RegisterCallback(
+      "coverage_engine_mups",
+      "Maximal uncovered patterns maintained across live sessions",
+      MetricType::kGauge, {},
+      [this] { return static_cast<double>(CollectEngineGauges().mups); });
+  metrics_->RegisterCallback(
+      "coverage_engine_tombstones",
+      "Zero-count value combinations retained by retraction",
+      MetricType::kGauge, {}, [this] {
+        return static_cast<double>(CollectEngineGauges().tombstones);
+      });
+  metrics_->RegisterCallback(
+      "coverage_engine_window_rows",
+      "Rows currently inside sliding windows across live sessions",
+      MetricType::kGauge, {}, [this] {
+        return static_cast<double>(CollectEngineGauges().window_rows);
+      });
+
+  const std::shared_ptr<ThreadBudget> budget =
+      options_.session_defaults.thread_budget;
+  metrics_->RegisterCallback(
+      "coverage_threads_reserved",
+      "Worker threads currently leased from the shared budget",
+      MetricType::kGauge, {},
+      [budget] { return static_cast<double>(budget->reserved()); });
+  metrics_->RegisterCallback(
+      "coverage_threads_budget",
+      "Budget cap on spawned worker threads (0 = unlimited)",
+      MetricType::kGauge, {}, [budget] {
+        return static_cast<double>(budget->max_spawned_threads());
+      });
+
+  metrics_->RegisterCallback(
+      "coverage_persist_records_logged_total",
+      "WAL records appended across live durable sessions",
+      MetricType::kCounter, {}, [this] {
+        std::uint64_t total = 0;
+        std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+        for (const auto& [id, entry] : sessions_) {
+          const persist::DurableEngine* durable = entry->session.durable();
+          if (durable != nullptr) {
+            total += durable->persist_stats().records_logged;
+          }
+        }
+        return static_cast<double>(total);
+      });
+  metrics_->RegisterCallback(
+      "coverage_persist_wal_bytes",
+      "Live WAL segment bytes across durable sessions", MetricType::kGauge,
+      {}, [this] {
+        std::uint64_t total = 0;
+        std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+        for (const auto& [id, entry] : sessions_) {
+          const persist::DurableEngine* durable = entry->session.durable();
+          if (durable != nullptr) total += durable->persist_stats().wal_bytes;
+        }
+        return static_cast<double>(total);
+      });
+  metrics_->RegisterCallback(
+      "coverage_persist_checkpoints_total",
+      "Checkpoints written across live durable sessions",
+      MetricType::kCounter, {}, [this] {
+        std::uint64_t total = 0;
+        std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+        for (const auto& [id, entry] : sessions_) {
+          const persist::DurableEngine* durable = entry->session.durable();
+          if (durable != nullptr) {
+            total += durable->persist_stats().checkpoints_written;
+          }
+        }
+        return static_cast<double>(total);
+      });
 }
 
 CoverageServer::~CoverageServer() { Stop(); }
@@ -330,17 +499,66 @@ std::size_t CoverageServer::ReapIdleSessions() {
 
 Response CoverageServer::Handle(const Request& request) {
   Stopwatch timer;
+
+  // Request id: honor the client's X-Request-Id (so one id follows a call
+  // across services), otherwise mint one.
+  const std::string* incoming = request.FindHeader("X-Request-Id");
+  obs::Trace trace(incoming != nullptr && !incoming->empty()
+                       ? *incoming
+                       : obs::GenerateTraceId());
+
   std::string route_key;
-  Response response = Dispatch(request, &route_key);
+  Response response = Dispatch(request, &route_key, &trace);
+  const double seconds = timer.ElapsedSeconds();
   const bool error = response.status >= 400;
-  auto it = metrics_.find(route_key);
-  (it != metrics_.end() ? it->second : unrouted_)
-      .Record(timer.ElapsedSeconds(), error);
+
+  auto it = routes_.find(route_key);
+  const RouteSeries& series = it != routes_.end() ? it->second : unrouted_;
+  series.latency->Observe(seconds);
+  if (error) series.errors->Increment();
+  for (const auto& [stage, stage_seconds] : trace.stages()) {
+    metrics_
+        ->GetHistogram("coverage_stage_seconds",
+                       "Per-stage request latency from the trace spans",
+                       {{"stage", stage}})
+        ->Observe(stage_seconds);
+  }
+
+  // Opt-in timing section: ?timing=1 folds the trace into the JSON body.
+  if (WantsTiming(request.target) && response.status < 400 &&
+      !response.body.empty()) {
+    auto parsed = json::Parse(response.body);
+    if (parsed.ok() && parsed->is_object()) {
+      JsonValue::Object stages;
+      for (const auto& [stage, stage_seconds] : trace.stages()) {
+        stages[stage] = stage_seconds;
+      }
+      JsonValue::Object timing;
+      timing["request_id"] = trace.id();
+      timing["stages"] = std::move(stages);
+      timing["total_seconds"] = seconds;
+      parsed->AsObject()["timing"] = std::move(timing);
+      response.body = json::Serialize(*parsed);
+    }
+  }
+  response.headers.push_back({"X-Request-Id", trace.id()});
+
+  if (options_.slow_request_seconds > 0 &&
+      seconds >= options_.slow_request_seconds) {
+    obs::LogEvent event = obs::LogWarn("slow_request");
+    event.Str("route", route_key.empty() ? "unrouted" : route_key)
+        .Str("request_id", trace.id())
+        .Double("seconds", seconds)
+        .Int("status", response.status);
+    for (const auto& [stage, stage_seconds] : trace.stages()) {
+      event.Double(stage, stage_seconds);
+    }
+  }
   return response;
 }
 
 Response CoverageServer::Dispatch(const Request& request,
-                                  std::string* route_key) {
+                                  std::string* route_key, obs::Trace* trace) {
   // Strip any query string; the wire protocol carries everything in JSON
   // bodies.
   std::string path = request.target;
@@ -354,6 +572,7 @@ Response CoverageServer::Dispatch(const Request& request,
 
   if (request.method == "GET") {
     if (path == "/healthz" && route("GET /healthz")) return HandleHealth();
+    if (path == "/metrics" && route("GET /metrics")) return HandleMetrics();
     if (path == "/v1/stats" && route("GET /v1/stats")) return HandleStats();
     if (path == "/v1/schema" && route("GET /v1/schema")) {
       return HandleSchema();
@@ -364,13 +583,13 @@ Response CoverageServer::Dispatch(const Request& request,
   }
   if (request.method == "POST") {
     if (path == "/v1/audit" && route("POST /v1/audit")) {
-      return HandleAudit(request.body);
+      return HandleAudit(request.body, trace);
     }
     if (path == "/v1/enhance" && route("POST /v1/enhance")) {
       return HandleEnhance(request.body);
     }
     if (path == "/v1/query" && route("POST /v1/query")) {
-      return HandleQuery(request.body);
+      return HandleQuery(request.body, trace);
     }
     if (path == "/v1/sessions" && route("POST /v1/sessions")) {
       return HandleSessionCreate(request.body);
@@ -394,16 +613,17 @@ Response CoverageServer::Dispatch(const Request& request,
             (verb == "append" || verb == "retract" || verb == "audit" ||
              verb == "query")) {
           *route_key = "POST /v1/sessions/{id}/" + verb;
-          return HandleSessionVerb(id, verb, request.body);
+          return HandleSessionVerb(id, verb, request.body, trace);
         }
       }
     }
   }
 
   // Distinguish a known path with the wrong method from an unknown path.
-  static const char* const kPaths[] = {"/healthz", "/v1/stats", "/v1/schema",
-                                       "/v1/audit", "/v1/enhance",
-                                       "/v1/query", "/v1/sessions"};
+  static const char* const kPaths[] = {"/healthz", "/metrics", "/v1/stats",
+                                       "/v1/schema", "/v1/audit",
+                                       "/v1/enhance", "/v1/query",
+                                       "/v1/sessions"};
   for (const char* known : kPaths) {
     if (path == known) {
       Response r = ErrorResponse(Status::InvalidArgument(
@@ -427,16 +647,25 @@ Response CoverageServer::HandleSchema() const {
   return OkJson(wire::ToJson(service_.schema()));
 }
 
+Response CoverageServer::HandleMetrics() const {
+  Response response =
+      Response::Text(200, obs::RenderPrometheus(*metrics_));
+  for (auto& [name, value] : response.headers) {
+    if (name == "Content-Type") value = obs::kPrometheusContentType;
+  }
+  return response;
+}
+
 Response CoverageServer::HandleStats() const {
   JsonValue::Object routes;
-  for (const auto& [key, m] : metrics_) {
-    if (m.count() == 0) continue;
+  for (const auto& [key, series] : routes_) {
+    if (series.latency->count() == 0) continue;
     JsonValue::Object r;
-    r["count"] = m.count();
-    r["errors"] = m.errors();
-    r["p50_seconds"] = m.QuantileSeconds(0.50);
-    r["p99_seconds"] = m.QuantileSeconds(0.99);
-    r["total_seconds"] = m.total_seconds();
+    r["count"] = series.latency->count();
+    r["errors"] = series.errors->value();
+    r["p50_seconds"] = series.latency->QuantileSeconds(0.50);
+    r["p99_seconds"] = series.latency->QuantileSeconds(0.99);
+    r["total_seconds"] = series.latency->sum_seconds();
     routes[key] = std::move(r);
   }
   const http::ServerStats hs = http_.stats();
@@ -495,22 +724,43 @@ Response CoverageServer::HandleStats() const {
     persist["recovery_warnings"] = std::move(warnings);
   }
 
+  // Engine/session gauges: one sweep shared with the /metrics callbacks.
+  const EngineGauges gauges = CollectEngineGauges();
+  JsonValue::Object engine;
+  engine["sessions"] = gauges.sessions;
+  engine["rows"] = gauges.rows;
+  engine["epochs"] = gauges.epochs;
+  engine["mups"] = gauges.mups;
+  engine["tombstones"] = gauges.tombstones;
+  engine["window_rows"] = gauges.window_rows;
+  const std::shared_ptr<ThreadBudget>& budget =
+      options_.session_defaults.thread_budget;
+  engine["threads_reserved"] = static_cast<std::uint64_t>(budget->reserved());
+  engine["threads_budget"] =
+      static_cast<std::int64_t>(budget->max_spawned_threads());
+
   JsonValue::Object o;
+  o["engine"] = std::move(engine);
   o["routes"] = std::move(routes);
   o["server"] = std::move(server);
   o["persist"] = std::move(persist);
   o["open_sessions"] = num_sessions();
-  o["unrouted_requests"] = unrouted_.count();
+  o["unrouted_requests"] = unrouted_.latency->count();
   return OkJson(JsonValue(std::move(o)));
 }
 
-Response CoverageServer::HandleAudit(const std::string& body) {
-  auto parsed = ParseBody(body);
-  if (!parsed.ok()) return ErrorResponse(parsed.status());
-  auto request = wire::AuditRequestFromJson(*parsed);
+Response CoverageServer::HandleAudit(const std::string& body,
+                                     obs::Trace* trace) {
+  StatusOr<AuditRequest> request = [&]() -> StatusOr<AuditRequest> {
+    obs::ScopedStage stage(trace, "parse");
+    auto parsed = ParseBody(body);
+    if (!parsed.ok()) return parsed.status();
+    return wire::AuditRequestFromJson(*parsed);
+  }();
   if (!request.ok()) return ErrorResponse(request.status());
-  auto result = service_.Audit(*request);
+  auto result = service_.Audit(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
+  obs::ScopedStage stage(trace, "encode");
   return OkJson(wire::ToJson(*result, service_.schema()));
 }
 
@@ -524,13 +774,18 @@ Response CoverageServer::HandleEnhance(const std::string& body) {
   return OkJson(wire::ToJson(*plan, service_.schema()));
 }
 
-Response CoverageServer::HandleQuery(const std::string& body) {
-  auto parsed = ParseBody(body);
-  if (!parsed.ok()) return ErrorResponse(parsed.status());
-  auto request = wire::QueryBatchRequestFromJson(*parsed, service_.schema());
+Response CoverageServer::HandleQuery(const std::string& body,
+                                     obs::Trace* trace) {
+  StatusOr<QueryBatchRequest> request = [&]() -> StatusOr<QueryBatchRequest> {
+    obs::ScopedStage stage(trace, "parse");
+    auto parsed = ParseBody(body);
+    if (!parsed.ok()) return parsed.status();
+    return wire::QueryBatchRequestFromJson(*parsed, service_.schema());
+  }();
   if (!request.ok()) return ErrorResponse(request.status());
-  auto result = service_.QueryBatch(*request);
+  auto result = service_.QueryBatch(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
+  obs::ScopedStage stage(trace, "encode");
   return OkJson(wire::ToJson(*result));
 }
 
@@ -686,22 +941,30 @@ Response CoverageServer::HandleSessionDelete(const std::string& id) {
 
 Response CoverageServer::HandleSessionVerb(const std::string& id,
                                            const std::string& verb,
-                                           const std::string& body) {
+                                           const std::string& body,
+                                           obs::Trace* trace) {
   std::shared_ptr<SessionEntry> entry = FindSession(id);
   if (entry == nullptr) {
     return ErrorResponse(Status::NotFound("no session '" + id + "'"));
   }
   TouchSession(*entry);
-  auto parsed = ParseBody(body);
+  auto parsed = [&] {
+    obs::ScopedStage stage(trace, "parse");
+    return ParseBody(body);
+  }();
   if (!parsed.ok()) return ErrorResponse(parsed.status());
 
   if (verb == "append" || verb == "retract") {
-    auto rows = wire::RowsFromJson(*parsed, entry->session.schema());
+    auto rows = [&] {
+      obs::ScopedStage stage(trace, "parse");
+      return wire::RowsFromJson(*parsed, entry->session.schema());
+    }();
     if (!rows.ok()) return ErrorResponse(rows.status());
     std::lock_guard<std::mutex> write_lock(entry->write_mu);
-    auto stats = verb == "append" ? entry->session.Append(*rows)
-                                  : entry->session.Retract(*rows);
+    auto stats = verb == "append" ? entry->session.Append(*rows, trace)
+                                  : entry->session.Retract(*rows, trace);
     if (!stats.ok()) return ErrorResponse(stats.status());
+    obs::ScopedStage stage(trace, "encode");
     JsonValue update = wire::ToJson(*stats);
     update.AsObject()["epoch"] = entry->session.epoch();
     update.AsObject()["num_mups"] = entry->session.Audit().mups.size();
@@ -713,15 +976,19 @@ Response CoverageServer::HandleSessionVerb(const std::string& id,
           "session audit takes no request members (the MUP set is "
           "maintained incrementally; send an empty body)"));
     }
-    return OkJson(
-        wire::ToJson(entry->session.Audit(), entry->session.schema()));
+    const AuditResult result = entry->session.Audit(trace);
+    obs::ScopedStage stage(trace, "encode");
+    return OkJson(wire::ToJson(result, entry->session.schema()));
   }
   // verb == "query"
-  auto request =
-      wire::QueryBatchRequestFromJson(*parsed, entry->session.schema());
+  auto request = [&] {
+    obs::ScopedStage stage(trace, "parse");
+    return wire::QueryBatchRequestFromJson(*parsed, entry->session.schema());
+  }();
   if (!request.ok()) return ErrorResponse(request.status());
-  auto result = entry->session.QueryBatch(*request);
+  auto result = entry->session.QueryBatch(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
+  obs::ScopedStage stage(trace, "encode");
   return OkJson(wire::ToJson(*result));
 }
 

@@ -16,42 +16,13 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/http.h"
 #include "server/http_server.h"
 #include "service/coverage_service.h"
 
 namespace coverage {
-
-/// Per-route request metrics: count, errors, and a log-scale latency
-/// histogram (54 power-of-two microsecond buckets) good enough for the
-/// p50/p99 surfaced by /v1/stats without storing samples. Thread-safe,
-/// lock-free on the record path.
-class RouteMetrics {
- public:
-  void Record(double seconds, bool error);
-
-  std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t errors() const {
-    return errors_.load(std::memory_order_relaxed);
-  }
-  double total_seconds() const {
-    return total_us_.load(std::memory_order_relaxed) / 1e6;
-  }
-
-  /// Latency quantile estimate in seconds (upper edge of the histogram
-  /// bucket holding the q-quantile); 0 when nothing was recorded.
-  double QuantileSeconds(double q) const;
-
- private:
-  static constexpr int kBuckets = 54;  // bucket i: latency < 2^i µs
-
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> total_us_{0};
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
 
 /// Configuration of the coverage server process.
 struct CoverageServerOptions {
@@ -84,6 +55,17 @@ struct CoverageServerOptions {
   /// nullptr = std::chrono::steady_clock::now.
   std::function<std::chrono::steady_clock::time_point()> clock;
 
+  /// Metrics registry for route latencies, trace-stage histograms, engine
+  /// gauges, and persistence counters — exported by GET /metrics and (in
+  /// summary form) /v1/stats. Must outlive the server. Null = the server
+  /// owns a private registry (the normal case; inject one to share a
+  /// registry across servers or to inspect it from tests).
+  obs::MetricsRegistry* metrics_registry = nullptr;
+
+  /// Requests slower than this log a WARN `slow_request` event with the
+  /// route, request id, and latency; <= 0 disables.
+  double slow_request_seconds = 1.0;
+
   Status Validate() const;
 };
 
@@ -94,6 +76,7 @@ struct CoverageServerOptions {
 ///   method  route                             maps to
 ///   ------  --------------------------------  --------------------------
 ///   GET     /healthz                          liveness probe
+///   GET     /metrics                          Prometheus text exposition
 ///   GET     /v1/stats                         per-route counters + p50/p99
 ///   GET     /v1/schema                        the indexed dataset's schema
 ///   POST    /v1/audit                         CoverageService::Audit
@@ -117,6 +100,16 @@ struct CoverageServerOptions {
 /// Handle() is public so tests (and the byte-equivalence suite) can drive
 /// the exact route logic in-process, with the HTTP transport exercised
 /// separately over loopback.
+///
+/// Observability: every request gets a trace id — taken from an incoming
+/// `X-Request-Id` header or generated — and echoes it back in the response's
+/// `X-Request-Id`. Handlers thread an obs::Trace through service → engine →
+/// persist, so each request accumulates a per-stage latency breakdown
+/// (parse / plan / per-level search / engine update / WAL append / fsync /
+/// checkpoint / encode). Stage latencies feed `coverage_stage_seconds`
+/// histograms; appending `?timing=1` to any JSON endpoint adds a `timing`
+/// member {request_id, stages, total_seconds} to the response body. Requests
+/// slower than options.slow_request_seconds log a WARN `slow_request`.
 class CoverageServer {
  public:
   CoverageServer(CoverageService service, CoverageServerOptions options);
@@ -139,6 +132,10 @@ class CoverageServer {
 
   const CoverageService& service() const { return service_; }
   std::size_t num_sessions() const;
+
+  /// The registry this server reports into (the injected one, or the
+  /// server-owned default). Tests scrape it directly.
+  obs::MetricsRegistry& metrics_registry() { return *metrics_; }
 
   /// Recovers every session directory under data_dir into the registry
   /// (no-op when data_dir is unset or the id is already live). Start()
@@ -166,24 +163,42 @@ class CoverageServer {
   };
 
   http::Response Dispatch(const http::Request& request,
-                          std::string* route_key);
-  http::Response HandleAudit(const std::string& body);
+                          std::string* route_key, obs::Trace* trace);
+  http::Response HandleAudit(const std::string& body, obs::Trace* trace);
   http::Response HandleEnhance(const std::string& body);
-  http::Response HandleQuery(const std::string& body);
+  http::Response HandleQuery(const std::string& body, obs::Trace* trace);
   http::Response HandleSchema() const;
   http::Response HandleHealth() const;
   http::Response HandleStats() const;
+  http::Response HandleMetrics() const;
   http::Response HandleSessionsList() const;
   http::Response HandleSessionCreate(const std::string& body);
   http::Response HandleSessionDelete(const std::string& id);
   http::Response HandleSessionVerb(const std::string& id,
                                    const std::string& verb,
-                                   const std::string& body);
+                                   const std::string& body,
+                                   obs::Trace* trace);
 
   std::shared_ptr<SessionEntry> FindSession(const std::string& id) const;
 
   std::chrono::steady_clock::time_point Now() const;
   void TouchSession(SessionEntry& entry) const;
+
+  /// Point-in-time totals over the session registry, shared by the
+  /// /v1/stats "engine" section and the registry's gauge callbacks.
+  struct EngineGauges {
+    std::uint64_t sessions = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t epochs = 0;       ///< summed over sessions
+    std::uint64_t mups = 0;
+    std::uint64_t tombstones = 0;   ///< zero-count combinations
+    std::uint64_t window_rows = 0;  ///< rows retained by sliding windows
+  };
+  EngineGauges CollectEngineGauges() const;
+
+  /// Registers the route series, gauge callbacks, and persist counters
+  /// into metrics_; called once from the constructor.
+  void RegisterMetrics();
 
   CoverageService service_;
   CoverageServerOptions options_;
@@ -206,10 +221,20 @@ class CoverageServer {
   /// unrecoverable dirs); written at boot, surfaced by /v1/stats.
   std::vector<std::string> recovery_warnings_;
 
-  /// Route-key → metrics; the key set is fixed at construction so the
-  /// record path never mutates the map.
-  std::map<std::string, RouteMetrics> metrics_;
-  RouteMetrics unrouted_;  ///< 404s and other unmatched targets
+  /// Per-route instruments, resolved once at construction from the metrics
+  /// registry (latency histogram + error counter per route). The key set
+  /// is fixed, so the record path never mutates the map.
+  struct RouteSeries {
+    obs::Histogram* latency = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+  std::map<std::string, RouteSeries> routes_;
+  RouteSeries unrouted_;  ///< 404s and other unmatched targets
+
+  /// The reporting registry: options_.metrics_registry, or owned_metrics_
+  /// when none was injected.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace coverage

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/log.h"
 
 namespace coverage {
 namespace http {
@@ -197,7 +198,14 @@ void HttpServer::AcceptLoop() {
       // anticipated — must NOT kill the accept thread: existing
       // connections will finish and free resources, so back off one tick
       // and keep serving. A dead accept loop turns a burst into an outage.
+      const int saved_errno = errno;
       accept_retries_.fetch_add(1, std::memory_order_relaxed);
+      obs::LogWarn("accept_retry")
+          .Str("error", std::strerror(saved_errno))
+          .Int("errno", saved_errno)
+          .Int("backoff_ms", options_.poll_interval_ms)
+          .Uint("accept_retries",
+                accept_retries_.load(std::memory_order_relaxed));
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options_.poll_interval_ms));
       continue;
@@ -218,15 +226,29 @@ void HttpServer::AcceptLoop() {
       // Handoff queue full: every worker is busy and a backlog is already
       // waiting. Shed now, from the accept thread, so the client learns
       // immediately instead of timing out in a queue we can't drain.
-      ShedConnection(fd);
+      ShedConnection(fd, "queue_full", 0.0);
       continue;
     }
     queue_cv_.notify_one();
   }
 }
 
-void HttpServer::ShedConnection(int fd) {
+void HttpServer::ShedConnection(int fd, const char* reason,
+                                double waited_seconds) {
   connections_shed_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth = pending_.size();
+  }
+  obs::LogWarn("connection_shed")
+      .Str("reason", reason)
+      .Uint("queue_depth", queue_depth)
+      .Uint("max_pending", options_.max_pending)
+      .Int("retry_after_seconds", options_.retry_after_seconds)
+      .Double("waited_seconds", waited_seconds)
+      .Uint("connections_shed",
+            connections_shed_.load(std::memory_order_relaxed));
   SendAll(fd, shed_response_);
   ::close(fd);
 }
@@ -255,13 +277,17 @@ void HttpServer::WorkerLoop() {
       ::close(fd);
       continue;
     }
+    const double waited_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      enqueued)
+            .count();
     if (options_.max_queue_wait_ms > 0 &&
-        std::chrono::steady_clock::now() - enqueued >
-            std::chrono::milliseconds(options_.max_queue_wait_ms)) {
+        waited_seconds * 1e3 >
+            static_cast<double>(options_.max_queue_wait_ms)) {
       // The connection outwaited its deadline in the handoff queue; its
       // client has likely given up, so tell it to retry rather than spend
       // a worker on a stale request.
-      ShedConnection(fd);
+      ShedConnection(fd, "stale", waited_seconds);
       continue;
     }
     HandleConnection(fd);

@@ -144,8 +144,11 @@ class HttpServer {
   void AcceptLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
-  /// Answers `fd` with the canned 503 + Retry-After and closes it.
-  void ShedConnection(int fd);
+  /// Answers `fd` with the canned 503 + Retry-After and closes it, logging
+  /// a structured `connection_shed` event carrying `reason` ("queue_full"
+  /// from the accept thread, "stale" from a worker), the queue depth at
+  /// shed time, and how long the connection waited (0 for queue_full).
+  void ShedConnection(int fd, const char* reason, double waited_seconds);
   /// Blocks until `fd` is readable, the server stops, or the idle deadline
   /// passes. Returns +1 readable, 0 stop/timeout-tick (caller re-checks),
   /// -1 idle-expired or error.

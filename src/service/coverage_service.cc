@@ -280,8 +280,8 @@ StatusOr<CoverageService> CoverageService::FromSpec(const DatagenSpec& spec,
 
 // ------------------------------------------------------------ entry points
 
-StatusOr<AuditResult> CoverageService::Audit(
-    const AuditRequest& request) const {
+StatusOr<AuditResult> CoverageService::Audit(const AuditRequest& request,
+                                             obs::Trace* trace) const {
   COVERAGE_RETURN_IF_ERROR(request.Validate());
 
   MupSearchOptions search;
@@ -290,16 +290,21 @@ StatusOr<AuditResult> CoverageService::Audit(
   search.num_threads = options_.num_threads;
   search.enumeration_limit = request.enumeration_limit;
   search.dominance_mode = request.dominance_mode;
+  search.trace = trace;
 
   AuditResult result;
   MupAlgorithm algorithm = request.algorithm;
   if (algorithm == MupAlgorithm::kAuto) {
+    obs::ScopedStage stage(trace, "plan");
     const PlannerDecision decision = PlanMupSearch(*agg_, search);
     algorithm = decision.algorithm;
     search.max_level = decision.max_level;
     result.planner_rationale = decision.rationale;
   }
-  auto mups = FindMups(algorithm, *oracle_, search, &result.stats);
+  auto mups = [&] {
+    obs::ScopedStage stage(trace, "search");
+    return FindMups(algorithm, *oracle_, search, &result.stats);
+  }();
   if (!mups.ok()) return mups.status();
 
   result.mups = std::move(*mups);
@@ -369,9 +374,10 @@ StatusOr<QueryOutcome> CoverageService::Query(
 }
 
 StatusOr<QueryBatchResult> CoverageService::QueryBatch(
-    const QueryBatchRequest& request) const {
+    const QueryBatchRequest& request, obs::Trace* trace) const {
   COVERAGE_RETURN_IF_ERROR(request.Validate(schema()));
   const PoolArena::Lease lease = arena_->Acquire();
+  obs::ScopedStage stage(trace, "query");
   return RunQueryBatch(*oracle_, request.queries, lease.pool());
 }
 
@@ -389,6 +395,14 @@ EngineOptions EngineOptionsFrom(const CoverageService::SessionOptions& o) {
   eopts.window_max_epochs = o.window_max_epochs;
   eopts.durability = o.durability;
   return eopts;
+}
+
+persist::DurableEngineOptions DurableOptionsFrom(
+    const CoverageService::SessionOptions& o) {
+  persist::DurableEngineOptions dopts;
+  dopts.fsync_histogram = o.fsync_histogram;
+  dopts.checkpoint_histogram = o.checkpoint_histogram;
+  return dopts;
 }
 
 }  // namespace
@@ -411,8 +425,8 @@ StatusOr<CoverageService::Session> CoverageService::OpenDurableSession(
     return Status::InvalidArgument(
         "a session needs a schema with at least one attribute");
   }
-  auto durable =
-      persist::DurableEngine::Create(dir, schema, EngineOptionsFrom(options));
+  auto durable = persist::DurableEngine::Create(
+      dir, schema, EngineOptionsFrom(options), DurableOptionsFrom(options));
   if (!durable.ok()) return durable.status();
   return Session(std::move(*durable), options);
 }
@@ -420,8 +434,8 @@ StatusOr<CoverageService::Session> CoverageService::OpenDurableSession(
 StatusOr<CoverageService::Session> CoverageService::ReopenDurableSession(
     const std::string& dir, const SessionOptions& options) {
   COVERAGE_RETURN_IF_ERROR(options.Validate());
-  auto durable =
-      persist::DurableEngine::Recover(dir, EngineOptionsFrom(options));
+  auto durable = persist::DurableEngine::Recover(
+      dir, EngineOptionsFrom(options), DurableOptionsFrom(options));
   if (!durable.ok()) return durable.status();
 
   // The stored problem knobs define the session; reflect them back so
@@ -501,22 +515,24 @@ StatusOr<IngestStats> CoverageService::Session::IngestCsv(
 }
 
 StatusOr<EngineUpdateStats> CoverageService::Session::Append(
-    const Dataset& rows) {
+    const Dataset& rows, obs::Trace* trace) {
   EngineUpdateStats stats;
   if (durable_ != nullptr) {
-    COVERAGE_RETURN_IF_ERROR(durable_->Append(rows, &stats));
+    COVERAGE_RETURN_IF_ERROR(durable_->Append(rows, &stats, trace));
   } else {
+    obs::ScopedStage stage(trace, "engine_update");
     COVERAGE_RETURN_IF_ERROR(engine_->AppendRows(rows, &stats));
   }
   return stats;
 }
 
 StatusOr<EngineUpdateStats> CoverageService::Session::Retract(
-    const Dataset& rows) {
+    const Dataset& rows, obs::Trace* trace) {
   EngineUpdateStats stats;
   if (durable_ != nullptr) {
-    COVERAGE_RETURN_IF_ERROR(durable_->Retract(rows, &stats));
+    COVERAGE_RETURN_IF_ERROR(durable_->Retract(rows, &stats, trace));
   } else {
+    obs::ScopedStage stage(trace, "engine_update");
     COVERAGE_RETURN_IF_ERROR(engine_->RetractRows(rows, &stats));
   }
   return stats;
@@ -530,7 +546,8 @@ Status CoverageService::Session::Checkpoint() {
   return durable_->Checkpoint();
 }
 
-AuditResult CoverageService::Session::Audit() const {
+AuditResult CoverageService::Session::Audit(obs::Trace* trace) const {
+  obs::ScopedStage stage(trace, "audit");
   const auto snap = engine().snapshot();
   AuditResult result;
   result.mups = snap->mups();
@@ -547,12 +564,13 @@ AuditResult CoverageService::Session::Audit() const {
 }
 
 StatusOr<QueryBatchResult> CoverageService::Session::QueryBatch(
-    const QueryBatchRequest& request) const {
+    const QueryBatchRequest& request, obs::Trace* trace) const {
   COVERAGE_RETURN_IF_ERROR(request.Validate(schema()));
   // One snapshot for the whole batch: every probe answers for the same
   // epoch even if a writer advances the engine mid-batch.
   const auto snap = engine().snapshot();
   const PoolArena::Lease lease = arena_->Acquire();
+  obs::ScopedStage stage(trace, "query");
   return RunQueryBatch(snap->oracle(), request.queries, lease.pool());
 }
 

@@ -20,6 +20,8 @@
 #include "enhancement/report.h"
 #include "enhancement/validation.h"
 #include "mups/mups.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pattern/pattern.h"
 
 namespace coverage {
@@ -253,6 +255,13 @@ class CoverageService {
     /// are simply dropped.
     std::uint64_t idle_ttl_seconds = 0;
 
+    /// Optional persistence latency histograms, forwarded to
+    /// DurableEngineOptions (must outlive the session; null disables). The
+    /// coverage_server points these at its metrics registry so every
+    /// session's fsyncs and checkpoints land in one exposition.
+    obs::Histogram* fsync_histogram = nullptr;
+    obs::Histogram* checkpoint_histogram = nullptr;
+
     Status Validate() const;
   };
 
@@ -274,18 +283,22 @@ class CoverageService {
     StatusOr<IngestStats> IngestCsv(std::istream& is,
                                     std::size_t chunk_rows = 65536);
 
-    /// Appends / retracts one batch as one epoch.
-    StatusOr<EngineUpdateStats> Append(const Dataset& rows);
-    StatusOr<EngineUpdateStats> Retract(const Dataset& rows);
+    /// Appends / retracts one batch as one epoch. A non-null `trace`
+    /// (owned by the calling thread) receives the engine/WAL/fsync stage
+    /// breakdown of the mutation.
+    StatusOr<EngineUpdateStats> Append(const Dataset& rows,
+                                       obs::Trace* trace = nullptr);
+    StatusOr<EngineUpdateStats> Retract(const Dataset& rows,
+                                        obs::Trace* trace = nullptr);
 
     /// The current epoch's Problem-1 answer. No search runs here — the
     /// engine maintains the MUP set incrementally — so `stats` reports only
     /// the result size and `algorithm` records the maintenance strategy.
-    AuditResult Audit() const;
+    AuditResult Audit(obs::Trace* trace = nullptr) const;
 
     /// Batched probes against one consistent epoch snapshot.
-    StatusOr<QueryBatchResult> QueryBatch(
-        const QueryBatchRequest& request) const;
+    StatusOr<QueryBatchResult> QueryBatch(const QueryBatchRequest& request,
+                                          obs::Trace* trace = nullptr) const;
 
     std::uint64_t epoch() const;
     std::uint64_t num_rows() const;
@@ -368,10 +381,14 @@ class CoverageService {
 
   // --- request/response entry points --------------------------------------
 
-  StatusOr<AuditResult> Audit(const AuditRequest& request) const;
+  /// A non-null `trace` (owned by the calling thread) receives `plan` and
+  /// per-level `search_level_<k>` stages.
+  StatusOr<AuditResult> Audit(const AuditRequest& request,
+                              obs::Trace* trace = nullptr) const;
   StatusOr<CoveragePlan> Enhance(const EnhanceRequest& request) const;
   StatusOr<QueryOutcome> Query(const QueryRequest& request) const;
-  StatusOr<QueryBatchResult> QueryBatch(const QueryBatchRequest& request) const;
+  StatusOr<QueryBatchResult> QueryBatch(const QueryBatchRequest& request,
+                                        obs::Trace* trace = nullptr) const;
 
   // --- introspection ------------------------------------------------------
 

@@ -2,7 +2,7 @@
 
 #include "common/rng.h"
 #include "ml/decision_tree.h"
-#include "ml/metrics.h"
+#include "ml/model_metrics.h"
 #include "ml/split.h"
 
 namespace coverage {

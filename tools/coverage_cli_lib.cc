@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "coverage_lib.h"
+#include "obs/log.h"
 
 namespace coverage {
 namespace cli {
@@ -71,7 +72,11 @@ std::string Usage() {
       "                          X1X0 (repeatable)\n"
       "  --batch-file PATH       query: file of patterns, one per line\n"
       "                          (blank lines and # comments skipped), all\n"
-      "                          answered concurrently over --threads\n";
+      "                          answered concurrently over --threads\n"
+      "  --log-level LEVEL       structured-log threshold on stderr:\n"
+      "                          debug | info | warn | error | off\n"
+      "                          (default warn)\n"
+      "  --log-json              emit logs as JSON lines instead of text\n";
 }
 
 namespace {
@@ -180,6 +185,17 @@ StatusOr<CliOptions> ParseArgs(const std::vector<std::string>& args) {
       auto v = next();
       if (!v.ok()) return v.status();
       options.batch_file = *v;
+    } else if (flag == "--log-level") {
+      auto v = next();
+      if (!v.ok()) return v.status();
+      obs::LogLevel parsed;
+      if (!obs::ParseLogLevel(*v, &parsed)) {
+        return Status::InvalidArgument(
+            "--log-level must be debug, info, warn, error or off");
+      }
+      options.log_level = *v;
+    } else if (flag == "--log-json") {
+      options.log_json = true;
     } else if (flag == "--list-mups") {
       options.list_mups = true;
     } else if (flag == "--json") {
@@ -506,6 +522,13 @@ int RunQuery(const CliOptions& options, std::ostream& out,
 
 int RunParsed(const CliOptions& options, std::ostream& out,
               std::ostream& err) {
+  // CliOptions is also constructible programmatically, so tolerate an
+  // unparseable level here by keeping the current one.
+  obs::LogLevel log_level;
+  if (obs::ParseLogLevel(options.log_level, &log_level)) {
+    obs::SetLogLevel(log_level);
+  }
+  obs::SetLogJson(options.log_json);
   if (options.command == "help") {
     out << Usage();
     return 0;

@@ -30,6 +30,8 @@ struct CliOptions {
   std::uint64_t window_rows = 0;  // engine: sliding-window row cap (0 = off)
   std::vector<std::string> patterns;  // query: inline pattern strings
   std::string batch_file;             // query: file of patterns, one per line
+  std::string log_level = "warn";     // structured-log threshold on stderr
+  bool log_json = false;              // logs as JSON lines instead of text
 };
 
 /// Parses argv (without the program name). Returns InvalidArgument with a

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
 #include "server/coverage_server.h"
 #include "service/pool_arena.h"
 
@@ -35,6 +36,9 @@ struct ServerCliOptions {
   std::uint64_t idle_ttl = 0;        // --idle-ttl seconds (0 = never reap)
   std::uint64_t max_pending = 256;   // --max-pending (0 = unbounded)
   std::uint64_t max_queue_wait_ms = 0;  // --max-queue-wait-ms (0 = off)
+  std::string log_level = "info";    // --log-level debug|info|warn|error|off
+  bool log_json = false;             // --log-json (JSON lines on stderr)
+  std::uint64_t slow_request_ms = 1000;  // --slow-request-ms (0 = off)
 };
 
 void Usage(std::ostream& out) {
@@ -70,7 +74,13 @@ void Usage(std::ostream& out) {
          "                         once N are queued for a worker (default\n"
          "                         256; 0 = unbounded)\n"
          "  --max-queue-wait-ms N  also shed connections that waited longer\n"
-         "                         than N ms in that queue (default 0 = off)\n";
+         "                         than N ms in that queue (default 0 = off)\n"
+         "  --log-level LEVEL      structured-log threshold on stderr:\n"
+         "                         debug | info | warn | error | off\n"
+         "                         (default info)\n"
+         "  --log-json             emit logs as JSON lines instead of text\n"
+         "  --slow-request-ms N    WARN slow_request for requests above N ms\n"
+         "                         (default 1000; 0 = off)\n";
 }
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -143,6 +153,12 @@ int main(int argc, char** argv) {
       next(&cli.max_pending);
     } else if (flag == "--max-queue-wait-ms") {
       next(&cli.max_queue_wait_ms);
+    } else if (flag == "--log-level" && i + 1 < args.size()) {
+      cli.log_level = args[++i];
+    } else if (flag == "--log-json") {
+      cli.log_json = true;
+    } else if (flag == "--slow-request-ms") {
+      next(&cli.slow_request_ms);
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       Usage(std::cerr);
@@ -154,6 +170,14 @@ int main(int argc, char** argv) {
     Usage(std::cerr);
     return 2;
   }
+
+  coverage::obs::LogLevel log_level;
+  if (!coverage::obs::ParseLogLevel(cli.log_level, &log_level)) {
+    std::cerr << "--log-level must be debug, info, warn, error or off\n";
+    return 2;
+  }
+  coverage::obs::SetLogLevel(log_level);
+  coverage::obs::SetLogJson(cli.log_json);
 
   // One budget shared by the immutable service and every session the
   // server opens: --max-total-threads is genuinely process-wide.
@@ -194,6 +218,8 @@ int main(int argc, char** argv) {
   options.session_defaults.thread_budget = budget;
   options.session_defaults.idle_ttl_seconds = cli.idle_ttl;
   options.data_dir = cli.data_dir;
+  options.slow_request_seconds =
+      static_cast<double>(cli.slow_request_ms) / 1000.0;
   if (cli.durability == "none") {
     options.session_defaults.durability = coverage::DurabilityMode::kNone;
   } else if (cli.durability == "async") {
