@@ -166,6 +166,112 @@ void BM_MupDominanceCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_MupDominanceCheck)->Arg(100)->Arg(10000)->Arg(100000);
 
+// --- Packed pattern key vs the legacy vector<int> representation: the
+// hash / equality / dominance constants every frontier set and dominance
+// index pays once per node visit. The packed form must stay >= 2x ahead on
+// hash+equality or the frontier rewrite lost its reason to exist.
+
+std::vector<Pattern> RandomPatterns(const Schema& schema, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Pattern> out;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<Value> cells(
+        static_cast<std::size_t>(schema.num_attributes()), kWildcard);
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (rng.NextBool(0.4)) {
+        cells[static_cast<std::size_t>(a)] = static_cast<Value>(
+            rng.NextUint64(static_cast<std::uint64_t>(schema.cardinality(a))));
+      }
+    }
+    out.emplace_back(std::move(cells));
+  }
+  return out;
+}
+
+void BM_PatternHashLegacy(benchmark::State& state) {
+  const Schema schema = Schema::Binary(static_cast<int>(state.range(0)));
+  const std::vector<Pattern> probes = RandomPatterns(schema, 17);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probes[i++ & 255].Hash());
+  }
+}
+BENCHMARK(BM_PatternHashLegacy)->Arg(15)->Arg(60);
+
+void BM_PatternHashPacked(benchmark::State& state) {
+  const Schema schema = Schema::Binary(static_cast<int>(state.range(0)));
+  const PatternCodec codec = *PatternCodec::Build(schema);
+  std::vector<PackedPattern> probes;
+  for (const Pattern& p : RandomPatterns(schema, 17)) {
+    probes.push_back(codec.Encode(p));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probes[i++ & 255].Hash());
+  }
+}
+BENCHMARK(BM_PatternHashPacked)->Arg(15)->Arg(60);
+
+void BM_PatternEqualityLegacy(benchmark::State& state) {
+  const Schema schema = Schema::Binary(static_cast<int>(state.range(0)));
+  const std::vector<Pattern> probes = RandomPatterns(schema, 23);
+  // Half the compares are against self so the equal (full-scan) path is
+  // exercised, not just an early first-cell mismatch.
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Pattern& a = probes[i & 255];
+    const Pattern& b = probes[(i & 1) ? (i & 255) : ((i + 1) & 255)];
+    benchmark::DoNotOptimize(a == b);
+    ++i;
+  }
+}
+BENCHMARK(BM_PatternEqualityLegacy)->Arg(15)->Arg(60);
+
+void BM_PatternEqualityPacked(benchmark::State& state) {
+  const Schema schema = Schema::Binary(static_cast<int>(state.range(0)));
+  const PatternCodec codec = *PatternCodec::Build(schema);
+  std::vector<PackedPattern> probes;
+  for (const Pattern& p : RandomPatterns(schema, 23)) {
+    probes.push_back(codec.Encode(p));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const PackedPattern& a = probes[i & 255];
+    const PackedPattern& b = probes[(i & 1) ? (i & 255) : ((i + 1) & 255)];
+    benchmark::DoNotOptimize(a == b);
+    ++i;
+  }
+}
+BENCHMARK(BM_PatternEqualityPacked)->Arg(15)->Arg(60);
+
+void BM_PatternDominanceLegacy(benchmark::State& state) {
+  const Schema schema = Schema::Binary(static_cast<int>(state.range(0)));
+  const std::vector<Pattern> probes = RandomPatterns(schema, 31);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probes[i & 255].DominatesOrEquals(probes[(i + 7) & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PatternDominanceLegacy)->Arg(15)->Arg(60);
+
+void BM_PatternDominancePacked(benchmark::State& state) {
+  const Schema schema = Schema::Binary(static_cast<int>(state.range(0)));
+  const PatternCodec codec = *PatternCodec::Build(schema);
+  std::vector<PackedPattern> probes;
+  for (const Pattern& p : RandomPatterns(schema, 31)) {
+    probes.push_back(codec.Encode(p));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        probes[i & 255].DominatesOrEquals(probes[(i + 7) & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PatternDominancePacked)->Arg(15)->Arg(60);
+
 void BM_Rule1Children(benchmark::State& state) {
   const Schema schema = Schema::Binary(20);
   const Pattern p = *Pattern::Parse("1X0XXXXXXXXXXXXXXXXX", schema);

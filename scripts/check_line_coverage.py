@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over the gcov data a COVERAGE_ENABLE_GCOV build leaves
+behind.
+
+Usage:
+    check_line_coverage.py --build-dir build [--baseline scripts/coverage_baseline.json]
+        [--report coverage_report.json]
+
+Runs `gcov --json-format` over every .gcno with a matching .gcda under the
+build directory, merges line hit counts per source file across translation
+units, and compares the aggregate line coverage of each directory group in
+the baseline file against its floor. Exits non-zero when any group is below
+its floor, so CI fails when new code in src/pattern/ or src/mups/ lands
+untested. No gcovr/lcov dependency — plain gcov + this script.
+
+The baseline maps a path prefix (relative to the repo root) to the minimum
+percentage of executable lines that must be covered:
+
+    {"src/pattern/": 93.0, "src/mups/": 88.0}
+
+Refresh the floors after a coverage-improving PR by re-running with
+--print-only and rounding the measured numbers *down* a point (the gate
+should catch regressions, not flake on noise).
+"""
+
+import argparse
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcno_with_gcda(build_dir):
+    """Instrumented objects that actually ran (gcda present)."""
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcno"):
+                gcno = os.path.join(root, name)
+                if os.path.exists(gcno[: -len(".gcno")] + ".gcda"):
+                    out.append(gcno)
+    return out
+
+
+def run_gcov(gcno_files, workdir):
+    """Runs gcov in JSON mode; returns the parsed documents."""
+    docs = []
+    # Batch to keep command lines bounded.
+    for i in range(0, len(gcno_files), 50):
+        batch = gcno_files[i : i + 50]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--branch-probabilities"] + batch,
+            cwd=workdir,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr.decode(errors="replace"))
+            raise SystemExit(f"gcov failed on batch starting at {batch[0]}")
+    for name in os.listdir(workdir):
+        if name.endswith(".gcov.json.gz"):
+            with gzip.open(os.path.join(workdir, name), "rt") as f:
+                docs.append(json.load(f))
+    return docs
+
+
+def merge_line_hits(docs, repo_root):
+    """{relative source path: {line: max hit count across TUs}}."""
+    hits = {}
+    for doc in docs:
+        for f in doc.get("files", []):
+            path = os.path.normpath(
+                os.path.join(doc.get("current_working_directory", ""), f["file"])
+                if not os.path.isabs(f["file"])
+                else f["file"]
+            )
+            try:
+                rel = os.path.relpath(path, repo_root)
+            except ValueError:
+                continue
+            if rel.startswith(".."):
+                continue
+            per_file = hits.setdefault(rel, {})
+            for line in f.get("lines", []):
+                n = line["line_number"]
+                per_file[n] = max(per_file.get(n, 0), line["count"])
+    return hits
+
+
+def group_coverage(hits, prefix):
+    covered = total = 0
+    files = {}
+    for rel, lines in sorted(hits.items()):
+        if not rel.startswith(prefix):
+            continue
+        file_covered = sum(1 for c in lines.values() if c > 0)
+        file_total = len(lines)
+        covered += file_covered
+        total += file_total
+        if file_total:
+            files[rel] = round(100.0 * file_covered / file_total, 1)
+    pct = 100.0 * covered / total if total else 0.0
+    return pct, covered, total, files
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "coverage_baseline.json"),
+    )
+    ap.add_argument("--report", help="write the per-file breakdown as JSON here")
+    ap.add_argument(
+        "--print-only",
+        action="store_true",
+        help="report coverage without enforcing the baseline floors",
+    )
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.abspath(os.path.dirname(__file__)))
+    build_dir = os.path.abspath(args.build_dir)
+
+    gcno_files = find_gcno_with_gcda(build_dir)
+    if not gcno_files:
+        raise SystemExit(
+            "no .gcno/.gcda pairs under %s — configure with "
+            "-DCOVERAGE_ENABLE_GCOV=ON and run the tests first" % build_dir
+        )
+
+    workdir = tempfile.mkdtemp(prefix="gcov_json_")
+    try:
+        docs = run_gcov(gcno_files, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    hits = merge_line_hits(docs, repo_root)
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    report = {}
+    failed = []
+    for prefix, floor in sorted(baseline.items()):
+        pct, covered, total, files = group_coverage(hits, prefix)
+        report[prefix] = {
+            "percent": round(pct, 2),
+            "covered_lines": covered,
+            "total_lines": total,
+            "floor": floor,
+            "files": files,
+        }
+        status = "OK " if pct >= floor else "LOW"
+        print(
+            f"[{status}] {prefix:<16} {pct:6.2f}%  "
+            f"({covered}/{total} lines, floor {floor}%)"
+        )
+        if pct < floor:
+            failed.append(prefix)
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    if failed and not args.print_only:
+        print(
+            "coverage below baseline for: %s — add tests or consciously "
+            "lower scripts/coverage_baseline.json in the same PR"
+            % ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -148,6 +148,41 @@ bool BitmapCoverage::CoverageAtLeast(const Pattern& pattern, std::uint64_t tau,
                                     tau);
 }
 
+std::uint64_t BitmapCoverage::Coverage(const PackedPattern& pattern,
+                                       const PatternCodec& codec,
+                                       QueryContext& ctx) const {
+  ctx.CountQuery();
+  ctx.slots.clear();
+  codec.ForEachDeterministic(pattern, [&](int attr) {
+    ctx.slots.push_back(&index(attr, codec.cell(pattern, attr)));
+  });
+  if (ctx.slots.empty()) return data_.total_count();
+  return BitVector::AndChainDot(ctx.slots.data(),
+                                static_cast<int>(ctx.slots.size()),
+                                data_.counts());
+}
+
+bool BitmapCoverage::CoverageAtLeast(const PackedPattern& pattern,
+                                     const PatternCodec& codec,
+                                     std::uint64_t tau,
+                                     QueryContext& ctx) const {
+  ctx.CountQuery();
+  ctx.slots.clear();
+  codec.ForEachDeterministic(pattern, [&](int attr) {
+    ctx.slots.push_back(&index(attr, codec.cell(pattern, attr)));
+  });
+  if (ctx.slots.empty()) return data_.total_count() >= tau;
+  const BitVector* base = indices_.data();
+  std::sort(ctx.slots.begin(), ctx.slots.end(),
+            [&](const BitVector* a, const BitVector* b) {
+              return index_popcounts_[static_cast<std::size_t>(a - base)] <
+                     index_popcounts_[static_cast<std::size_t>(b - base)];
+            });
+  return BitVector::AndChainAtLeast(ctx.slots.data(),
+                                    static_cast<int>(ctx.slots.size()),
+                                    data_.counts(), tau);
+}
+
 BitVector BitmapCoverage::MatchVector(const Pattern& pattern) const {
   BitVector acc(data_.num_combinations(), true);
   for (int i = 0; i < pattern.num_attributes(); ++i) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "pattern/packed_pattern.h"
 #include "pattern/pattern.h"
 
 namespace coverage {
@@ -58,6 +59,23 @@ class CoverageOracle {
   virtual bool CoverageAtLeast(const Pattern& pattern, std::uint64_t tau,
                                QueryContext& ctx) const {
     return Coverage(pattern, ctx) >= tau;
+  }
+
+  /// Packed-key entry points used by the packed search loops. The defaults
+  /// decode and answer through the vector<int> path (one materialization per
+  /// query — only non-indexed oracles like ScanCoverage pay it); BitmapCoverage
+  /// overrides both to gather index slots straight from the codec's fields.
+  /// Either way exactly one query is counted, so the paper's cost metric is
+  /// representation-independent.
+  virtual std::uint64_t Coverage(const PackedPattern& pattern,
+                                 const PatternCodec& codec,
+                                 QueryContext& ctx) const {
+    return Coverage(codec.Decode(pattern), ctx);
+  }
+  virtual bool CoverageAtLeast(const PackedPattern& pattern,
+                               const PatternCodec& codec, std::uint64_t tau,
+                               QueryContext& ctx) const {
+    return CoverageAtLeast(codec.Decode(pattern), tau, ctx);
   }
 
   /// Single-threaded convenience overloads on the oracle's default context.

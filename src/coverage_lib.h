@@ -67,6 +67,8 @@
 #include "ml/split.h"                   // IWYU pragma: export
 #include "mups/mup_index.h"             // IWYU pragma: export
 #include "mups/mups.h"                  // IWYU pragma: export
+#include "pattern/packed_pattern.h"     // IWYU pragma: export
+#include "pattern/packed_set.h"         // IWYU pragma: export
 #include "pattern/pattern.h"            // IWYU pragma: export
 #include "persist/durable_engine.h"     // IWYU pragma: export
 #include "persist/fault_fs.h"           // IWYU pragma: export

@@ -7,10 +7,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "dataset/csv_stream.h"
 #include "mups/mup_index.h"
+#include "mups/packed_index.h"
+#include "pattern/packed_set.h"
 
 namespace coverage {
 
@@ -70,6 +73,13 @@ Status EncodeRows(const Schema& schema,
 CoverageEngine::CoverageEngine(Schema schema, EngineOptions options)
     : schema_(std::move(schema)), options_(options) {
   assert(options_.num_threads >= 1);
+  if (options_.use_packed_representation) {
+    auto codec = PatternCodec::Build(schema_);
+    if (codec.ok()) {
+      codec_ = std::move(*codec);
+      packed_ok_ = true;
+    }
+  }
   auto first = std::shared_ptr<Snapshot>(
       new Snapshot(AggregatedData(schema_), nullptr, 0));
   // cov(P) = 0 for every pattern of the empty dataset, so the root is the
@@ -366,9 +376,141 @@ StatusOr<IngestStats> CoverageEngine::IngestCsvChunked(std::istream& is,
   return stats;
 }
 
+std::vector<Pattern> CoverageEngine::UpdateMupsPacked(
+    const Snapshot& next, const std::vector<Pattern>& old_mups,
+    EngineUpdateStats* stats) {
+  const BitmapCoverage& oracle = next.oracle();
+  const PatternCodec& codec = codec_;
+  const std::uint64_t tau = options_.tau;
+  const int d = schema_.num_attributes();
+  const int max_level = options_.max_level < 0 ? d : options_.max_level;
+  const DominanceMode mode = options_.dominance_mode;
+
+  std::vector<PackedPattern> old_packed;
+  old_packed.reserve(old_mups.size());
+  for (const Pattern& m : old_mups) old_packed.push_back(codec.Encode(m));
+
+  // Phase 1 — recheck every previous MUP against the grown counts (same
+  // probe sequence as the legacy path: one CoverageAtLeast per MUP).
+  std::vector<char> covered(old_packed.size(), 0);
+  if (options_.num_threads > 1 && old_packed.size() >= 128) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    ThreadPool& pool = *pool_;
+    std::vector<QueryContext> ctxs(
+        static_cast<std::size_t>(pool.num_workers()));
+    pool.ParallelFor(old_packed.size(), 64, [&](int worker, std::size_t i) {
+      covered[i] = oracle.CoverageAtLeast(
+                       old_packed[i], codec, tau,
+                       ctxs[static_cast<std::size_t>(worker)])
+                       ? 1
+                       : 0;
+    });
+    for (const QueryContext& ctx : ctxs) {
+      stats->coverage_queries += ctx.num_queries();
+    }
+  } else {
+    QueryContext ctx;
+    for (std::size_t i = 0; i < old_packed.size(); ++i) {
+      covered[i] = oracle.CoverageAtLeast(old_packed[i], codec, tau, ctx)
+                       ? 1
+                       : 0;
+    }
+    stats->coverage_queries += ctx.num_queries();
+  }
+
+  std::vector<PackedPattern> mups;  // survivors, then fresh discoveries
+  std::vector<PackedPattern> frontier;  // newly covered → re-expansion roots
+  for (std::size_t i = 0; i < old_packed.size(); ++i) {
+    (covered[i] != 0 ? frontier : mups).push_back(old_packed[i]);
+  }
+  stats->mups_rechecked = old_mups.size();
+  stats->mups_newly_covered = frontier.size();
+  if (frontier.empty()) {
+    // Still sorted: a subsequence of the sorted old set.
+    std::vector<Pattern> out;
+    out.reserve(mups.size());
+    for (const PackedPattern& p : mups) out.push_back(codec.Decode(p));
+    return out;
+  }
+
+  // Phase 2 — re-seed the Appendix-B dominance index from the survivors.
+  PackedMupIndex index(schema_, codec);
+  if (mode == DominanceMode::kBitmapIndex) index.AddBatch(mups);
+  const auto dominated_by_mups = [&](const PackedPattern& p) -> bool {
+    switch (mode) {
+      case DominanceMode::kBitmapIndex:
+        return index.IsDominated(p);
+      case DominanceMode::kLinearScan:
+        for (const PackedPattern& m : mups) {
+          if (m.Dominates(p)) return true;
+        }
+        return false;
+      case DominanceMode::kNoPruning:
+        return false;
+    }
+    return false;
+  };
+
+  // Phase 3 — BFS over the covered region beneath the newly covered MUPs,
+  // frontier and dedup set both arena-backed (the FIFO is an ArenaVector
+  // with a head cursor; nothing is ever popped physically).
+  QueryContext ctx;
+  Arena arena;
+  PackedPatternSet seen(&arena);
+  ArenaVector<PackedPattern> queue(&arena);
+  for (const PackedPattern& f : frontier) {
+    seen.Insert(f);
+    queue.push_back(f);
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const PackedPattern p = queue[head++];
+    if (p.level() >= max_level) continue;  // children would exceed the cap
+    for (int attr = 0; attr < d; ++attr) {
+      if (codec.is_deterministic(p, attr)) continue;
+      for (Value v = 0; v < static_cast<Value>(schema_.cardinality(attr));
+           ++v) {
+        const PackedPattern child = codec.WithCell(p, attr, v);
+        if (!seen.Insert(child)) continue;
+        if (oracle.CoverageAtLeast(child, codec, tau, ctx)) {
+          queue.push_back(child);
+          continue;
+        }
+        // Uncovered. Beneath a maintained MUP → not maximal, whole subtree
+        // already accounted for.
+        if (dominated_by_mups(child)) continue;
+        // Maximal iff every parent is covered; `p` is one of them and is
+        // known covered. Parents visit ascending, like Pattern::Parents().
+        bool maximal = true;
+        for (int i = 0; i < d && maximal; ++i) {
+          if (!codec.is_deterministic(child, i)) continue;
+          const PackedPattern parent = codec.WithCell(child, i, kWildcard);
+          if (parent == p) continue;
+          if (!oracle.CoverageAtLeast(parent, codec, tau, ctx)) {
+            maximal = false;
+          }
+        }
+        if (!maximal) continue;
+        mups.push_back(child);
+        ++stats->mups_added;
+        if (mode == DominanceMode::kBitmapIndex) index.Add(child);
+      }
+    }
+  }
+  stats->coverage_queries += ctx.num_queries();
+  std::sort(mups.begin(), mups.end(), PackedLess{&codec});
+  std::vector<Pattern> out;
+  out.reserve(mups.size());
+  for (const PackedPattern& p : mups) out.push_back(codec.Decode(p));
+  return out;
+}
+
 std::vector<Pattern> CoverageEngine::UpdateMups(
     const Snapshot& next, const std::vector<Pattern>& old_mups,
     EngineUpdateStats* stats) {
+  if (packed_ok_) return UpdateMupsPacked(next, old_mups, stats);
   const BitmapCoverage& oracle = next.oracle();
   const Schema& schema = next.data().schema();
   const std::uint64_t tau = options_.tau;
@@ -466,9 +608,153 @@ std::vector<Pattern> CoverageEngine::UpdateMups(
   return mups;
 }
 
+std::vector<Pattern> CoverageEngine::RetractMupsPacked(
+    const Snapshot& next, const std::vector<Pattern>& old_mups,
+    const std::vector<Pattern>& seeds, EngineUpdateStats* stats) {
+  const BitmapCoverage& oracle = next.oracle();
+  const PatternCodec& codec = codec_;
+  const std::uint64_t tau = options_.tau;
+  const int d = schema_.num_attributes();
+  const int max_level = options_.max_level < 0 ? d : options_.max_level;
+  const DominanceMode mode = options_.dominance_mode;
+
+  std::vector<PackedPattern> old_packed;
+  old_packed.reserve(old_mups.size());
+  for (const Pattern& m : old_mups) old_packed.push_back(codec.Encode(m));
+
+  // Phase 1 — recheck each previous MUP's parents (see the legacy body for
+  // the monotonicity argument; probe sequence is identical).
+  std::vector<char> maximal(old_packed.size(), 1);
+  const auto recheck = [&](const PackedPattern& m, QueryContext& ctx) -> char {
+    for (int i = 0; i < d; ++i) {
+      if (!codec.is_deterministic(m, i)) continue;
+      const PackedPattern parent = codec.WithCell(m, i, kWildcard);
+      if (!oracle.CoverageAtLeast(parent, codec, tau, ctx)) return 0;
+    }
+    return 1;
+  };
+  if (options_.num_threads > 1 && old_packed.size() >= 128) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    ThreadPool& pool = *pool_;
+    std::vector<QueryContext> ctxs(
+        static_cast<std::size_t>(pool.num_workers()));
+    pool.ParallelFor(old_packed.size(), 64, [&](int worker, std::size_t i) {
+      maximal[i] =
+          recheck(old_packed[i], ctxs[static_cast<std::size_t>(worker)]);
+    });
+    for (const QueryContext& ctx : ctxs) {
+      stats->coverage_queries += ctx.num_queries();
+    }
+  } else {
+    QueryContext ctx;
+    for (std::size_t i = 0; i < old_packed.size(); ++i) {
+      maximal[i] = recheck(old_packed[i], ctx);
+    }
+    stats->coverage_queries += ctx.num_queries();
+  }
+  stats->mups_rechecked += old_mups.size();
+
+  // Phase 2 — seed the index with the whole previous set, then Remove the
+  // demoted MUPs.
+  Arena arena;
+  PackedMupIndex index(schema_, codec);
+  if (mode == DominanceMode::kBitmapIndex) index.AddBatch(old_packed);
+  std::vector<PackedPattern> mups;  // survivors, then fresh discoveries
+  PackedPatternSet member(&arena);
+  for (std::size_t i = 0; i < old_packed.size(); ++i) {
+    if (maximal[i] != 0) {
+      mups.push_back(old_packed[i]);
+      member.Insert(old_packed[i]);
+    } else {
+      if (mode == DominanceMode::kBitmapIndex) index.Remove(old_packed[i]);
+      ++stats->mups_demoted;
+    }
+  }
+
+  // Phase 3 — upward BFS from the retracted combinations now below τ (see
+  // the legacy body). The memo packs three states into one byte: -1 unknown
+  // slot just created, 0 uncovered, 1 covered.
+  QueryContext ctx;
+  PackedPatternMap<std::int8_t> covered(&arena);
+  ArenaVector<PackedPattern> queue(&arena);
+  for (const Pattern& s : seeds) {
+    const PackedPattern seed = codec.Encode(s);
+    std::int8_t& slot = covered.FindOrInsert(seed, std::int8_t{-1});
+    if (slot == -1) {
+      slot = 0;  // a seed is below τ by construction
+      queue.push_back(seed);
+    }
+  }
+  const auto is_covered = [&](const PackedPattern& q) -> bool {
+    {
+      const std::int8_t* hit = covered.Find(q);
+      if (hit != nullptr) return *hit == 1;
+    }
+    bool cov = false;
+    bool known = false;
+    switch (mode) {
+      case DominanceMode::kBitmapIndex:
+        if (index.Contains(q) || index.IsDominated(q)) {
+          known = true;  // a maintained MUP, or beneath one: uncovered
+        } else if (index.DominatesSome(q)) {
+          cov = true;  // generalises a covered parent of a maintained MUP
+          known = true;
+        }
+        break;
+      case DominanceMode::kLinearScan:
+        for (const PackedPattern& m : mups) {
+          if (m.DominatesOrEquals(q)) {
+            known = true;
+            break;
+          }
+          if (q.Dominates(m)) {
+            cov = true;
+            known = true;
+            break;
+          }
+        }
+        break;
+      case DominanceMode::kNoPruning:
+        break;
+    }
+    if (!known) cov = oracle.CoverageAtLeast(q, codec, tau, ctx);
+    covered.FindOrInsert(q, std::int8_t{-1}) = cov ? 1 : 0;
+    if (!cov) queue.push_back(q);
+    return cov;
+  };
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const PackedPattern p = queue[head++];
+    bool is_maximal = true;
+    for (int i = 0; i < d; ++i) {
+      if (!codec.is_deterministic(p, i)) continue;
+      const PackedPattern parent = codec.WithCell(p, i, kWildcard);
+      if (!is_covered(parent)) is_maximal = false;  // keep probing: routes
+    }
+    if (!is_maximal || p.level() > max_level) continue;
+    if (!member.Insert(p)) continue;  // already a survivor
+    mups.push_back(p);
+    if (mode == DominanceMode::kBitmapIndex) index.Add(p);
+    ++stats->mups_added;
+  }
+  stats->coverage_queries += ctx.num_queries();
+  std::sort(mups.begin(), mups.end(), PackedLess{&codec});
+  std::vector<Pattern> out;
+  out.reserve(mups.size());
+  for (const PackedPattern& p : mups) out.push_back(codec.Decode(p));
+  return out;
+}
+
 std::vector<Pattern> CoverageEngine::RetractMups(
     const Snapshot& next, const std::vector<Pattern>& old_mups,
     std::vector<Pattern> seeds, EngineUpdateStats* stats) {
+  // No retracted combination crossed below τ ⇒ the MUP set is unchanged
+  // (see the comment below); checked here so both representations share the
+  // early exit.
+  if (seeds.empty()) return old_mups;
+  if (packed_ok_) return RetractMupsPacked(next, old_mups, seeds, stats);
   const BitmapCoverage& oracle = next.oracle();
   const Schema& schema = next.data().schema();
   const std::uint64_t tau = options_.tau;

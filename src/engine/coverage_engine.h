@@ -64,6 +64,14 @@ struct EngineOptions {
   /// Durability policy when the engine is wrapped by persist::DurableEngine;
   /// ignored by the in-memory engine itself.
   DurabilityMode durability = DurabilityMode::kNone;
+
+  /// Run the incremental maintenance (MUP recheck + re-expansion / upward
+  /// climb) on the packed pattern representation. Identical results and
+  /// query counts either way — the flag exists for the differential suite
+  /// and as an escape hatch. Schemas too wide for a PatternCodec fall back
+  /// to the legacy representation automatically. Not persisted: a restored
+  /// engine picks its own representation.
+  bool use_packed_representation = true;
 };
 
 /// A serializable full-state image of an engine: everything needed to
@@ -281,18 +289,30 @@ class CoverageEngine {
  private:
   /// Incremental Problem-1 maintenance for an append epoch (insert
   /// monotonicity, downward re-expansion); returns the new MUP set, sorted.
-  /// Caller holds writer_mu_.
+  /// Dispatches to the packed core when the codec is available. Caller holds
+  /// writer_mu_.
   std::vector<Pattern> UpdateMups(const Snapshot& next,
                                   const std::vector<Pattern>& old_mups,
                                   EngineUpdateStats* stats);
 
   /// Incremental Problem-1 maintenance for a retraction epoch (deletion
   /// monotonicity, upward climb from `seeds` — the retracted combinations
-  /// now below τ); returns the new MUP set, sorted. Caller holds writer_mu_.
+  /// now below τ); returns the new MUP set, sorted. Dispatches to the packed
+  /// core when the codec is available. Caller holds writer_mu_.
   std::vector<Pattern> RetractMups(const Snapshot& next,
                                    const std::vector<Pattern>& old_mups,
                                    std::vector<Pattern> seeds,
                                    EngineUpdateStats* stats);
+
+  /// Packed cores of the two maintenance paths: same phases, same query
+  /// sequence, arena-backed frontiers instead of per-node vector<int>.
+  std::vector<Pattern> UpdateMupsPacked(const Snapshot& next,
+                                        const std::vector<Pattern>& old_mups,
+                                        EngineUpdateStats* stats);
+  std::vector<Pattern> RetractMupsPacked(const Snapshot& next,
+                                         const std::vector<Pattern>& old_mups,
+                                         const std::vector<Pattern>& seeds,
+                                         EngineUpdateStats* stats);
 
   /// Builds the retraction snapshot: copies `base`'s relation, decrements
   /// every row of `removed` (InvalidArgument if one is absent; nothing
@@ -318,6 +338,11 @@ class CoverageEngine {
 
   Schema schema_;
   EngineOptions options_;
+  /// Built once at construction when use_packed_representation is set and
+  /// the schema fits; packed_ok_ false routes maintenance to the legacy
+  /// representation.
+  PatternCodec codec_;
+  bool packed_ok_ = false;
   mutable std::mutex snapshot_mu_;  // guards current_ (pointer swap only)
   /// Serialises epoch builds; mutable so const CaptureImage can take a
   /// consistent cut of snapshot + window state.

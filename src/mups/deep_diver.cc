@@ -1,34 +1,33 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
-#include "mups/mup_index.h"
+#include "mups/legacy_mups.h"
 #include "mups/mups.h"
-#include "pattern/pattern_ops.h"
+#include "mups/packed_index.h"
+#include "pattern/packed_set.h"
 
 namespace coverage {
 
 namespace {
 
-/// Covered/uncovered answers with a memo; the climb phase re-examines
-/// parents that later dives may touch again, so a small cache keeps the
-/// query count near the number of distinct nodes actually inspected. Each
-/// worker owns one instance (cache + QueryContext), so the shared oracle is
-/// only ever touched through per-thread state.
+/// Covered/uncovered answers with a memo over packed keys; the memo table's
+/// storage comes from the worker's arena, so a dive session costs zero
+/// per-node allocations. See legacy_mups.cc for the role of the cache.
 class CachingCoverage {
  public:
-  CachingCoverage(const CoverageOracle& oracle, std::uint64_t tau)
-      : oracle_(oracle), tau_(tau) {}
+  CachingCoverage(const CoverageOracle& oracle, const PatternCodec& codec,
+                  std::uint64_t tau, Arena* arena)
+      : oracle_(oracle), codec_(codec), tau_(tau), cache_(arena) {}
 
-  bool Covered(const Pattern& p) {
-    const auto it = cache_.find(p);
-    if (it != cache_.end()) return it->second;
-    const bool covered = oracle_.CoverageAtLeast(p, tau_, ctx_);
-    cache_.emplace(p, covered);
+  bool Covered(const PackedPattern& p) {
+    if (const bool* hit = cache_.Find(p)) return *hit;
+    const bool covered = oracle_.CoverageAtLeast(p, codec_, tau_, ctx_);
+    cache_.FindOrInsert(p, covered);
     return covered;
   }
 
@@ -36,24 +35,22 @@ class CachingCoverage {
 
  private:
   const CoverageOracle& oracle_;
+  const PatternCodec& codec_;
   const std::uint64_t tau_;
   QueryContext ctx_;
-  std::unordered_map<Pattern, bool, PatternHash> cache_;
+  PackedPatternMap<bool> cache_;
 };
 
 using DominanceMode = MupSearchOptions::DominanceMode;
 
-/// The three dominance strategies of MupSearchOptions::DominanceMode over a
-/// discovered-MUP index. They differ in how — and whether — they answer the
-/// pruning queries; the single dispatch point keeps the serial and parallel
-/// searches semantically identical.
-bool ModeIsDominated(const MupDominanceIndex& index, DominanceMode mode,
-                     const Pattern& p) {
+/// DominanceMode dispatch over the packed index; mirrors legacy_mups.cc.
+bool ModeIsDominated(const PackedMupIndex& index, DominanceMode mode,
+                     const PackedPattern& p) {
   switch (mode) {
     case DominanceMode::kBitmapIndex:
       return index.IsDominated(p);
     case DominanceMode::kLinearScan: {
-      for (const Pattern& m : index.mups()) {
+      for (const PackedPattern& m : index.mups()) {
         if (m.Dominates(p)) return true;
       }
       return false;
@@ -64,13 +61,13 @@ bool ModeIsDominated(const MupDominanceIndex& index, DominanceMode mode,
   return false;
 }
 
-bool ModeDominatesSome(const MupDominanceIndex& index, DominanceMode mode,
-                       const Pattern& p) {
+bool ModeDominatesSome(const PackedMupIndex& index, DominanceMode mode,
+                       const PackedPattern& p) {
   switch (mode) {
     case DominanceMode::kBitmapIndex:
       return index.DominatesSome(p);
     case DominanceMode::kLinearScan: {
-      for (const Pattern& m : index.mups()) {
+      for (const PackedPattern& m : index.mups()) {
         if (p.Dominates(m)) return true;
       }
       return false;
@@ -85,64 +82,64 @@ bool ModeDominatesSome(const MupDominanceIndex& index, DominanceMode mode,
 /// mode (needed for termination).
 class DominanceChecker {
  public:
-  DominanceChecker(const Schema& schema, DominanceMode mode)
-      : mode_(mode), index_(schema) {}
+  DominanceChecker(const Schema& schema, const PatternCodec& codec,
+                   DominanceMode mode)
+      : mode_(mode), index_(schema, codec) {}
 
-  void Add(const Pattern& mup) { index_.Add(mup); }
-  bool Contains(const Pattern& p) const { return index_.Contains(p); }
-  bool IsDominated(const Pattern& p) const {
+  void Add(const PackedPattern& mup) { index_.Add(mup); }
+  bool Contains(const PackedPattern& p) const { return index_.Contains(p); }
+  bool IsDominated(const PackedPattern& p) const {
     return ModeIsDominated(index_, mode_, p);
   }
-  bool DominatesSome(const Pattern& p) const {
+  bool DominatesSome(const PackedPattern& p) const {
     return ModeDominatesSome(index_, mode_, p);
   }
-  const std::vector<Pattern>& mups() const { return index_.mups(); }
+  const std::vector<PackedPattern>& mups() const { return index_.mups(); }
 
  private:
   DominanceMode mode_;
-  MupDominanceIndex index_;
+  PackedMupIndex index_;
 };
 
 /// The same strategies against the reader/writer-locked shared index.
 class SharedDominanceChecker {
  public:
-  SharedDominanceChecker(const Schema& schema, DominanceMode mode)
-      : mode_(mode), index_(schema) {}
+  SharedDominanceChecker(const Schema& schema, const PatternCodec& codec,
+                         DominanceMode mode)
+      : mode_(mode), index_(schema, codec) {}
 
-  bool AddIfAbsent(const Pattern& mup) { return index_.AddIfAbsent(mup); }
-  bool Contains(const Pattern& p) const { return index_.Contains(p); }
-  bool IsDominated(const Pattern& p) const {
-    return index_.WithReadLock([&](const MupDominanceIndex& idx) {
+  bool AddIfAbsent(const PackedPattern& mup) {
+    return index_.AddIfAbsent(mup);
+  }
+  bool Contains(const PackedPattern& p) const { return index_.Contains(p); }
+  bool IsDominated(const PackedPattern& p) const {
+    return index_.WithReadLock([&](const PackedMupIndex& idx) {
       return ModeIsDominated(idx, mode_, p);
     });
   }
-  bool DominatesSome(const Pattern& p) const {
-    return index_.WithReadLock([&](const MupDominanceIndex& idx) {
+  bool DominatesSome(const PackedPattern& p) const {
+    return index_.WithReadLock([&](const PackedMupIndex& idx) {
       return ModeDominatesSome(idx, mode_, p);
     });
   }
-  std::vector<Pattern> Snapshot() const { return index_.Snapshot(); }
+  std::vector<PackedPattern> Snapshot() const { return index_.Snapshot(); }
 
  private:
   DominanceMode mode_;
-  SharedMupDominanceIndex index_;
+  SharedPackedMupIndex index_;
 };
 
-/// The shared dive frontier: a mutex-guarded LIFO plus the in-flight count
-/// that detects quiescence (empty stack alone is not termination — an active
-/// worker may still push children).
+/// The shared dive frontier (see legacy_mups.cc). PackedPattern is a small
+/// trivially copyable value, so the stack moves whole keys, not heap cells.
 class DiveQueue {
  public:
-  explicit DiveQueue(Pattern root) { stack_.push_back(std::move(root)); }
+  explicit DiveQueue(const PackedPattern& root) { stack_.push_back(root); }
 
-  /// Blocks until an item is available (returning true) or every worker is
-  /// idle with an empty stack (returning false — the search is complete).
-  /// A successful pop marks the caller active until it calls FinishItem().
-  bool Pop(Pattern& out) {
+  bool Pop(PackedPattern& out) {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
       if (!stack_.empty()) {
-        out = std::move(stack_.back());
+        out = stack_.back();
         stack_.pop_back();
         ++active_;
         return true;
@@ -155,11 +152,11 @@ class DiveQueue {
     }
   }
 
-  void Push(std::vector<Pattern>&& items) {
-    if (items.empty()) return;
+  void Push(const PackedPattern* items, std::size_t count) {
+    if (count == 0) return;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      for (Pattern& p : items) stack_.push_back(std::move(p));
+      stack_.insert(stack_.end(), items, items + count);
     }
     cv_.notify_all();
   }
@@ -169,9 +166,6 @@ class DiveQueue {
     if (--active_ == 0 && stack_.empty()) cv_.notify_all();
   }
 
-  /// Pairs every successful Pop with a FinishItem even if the dive body
-  /// throws; otherwise the active count never drains and the remaining
-  /// workers wait forever instead of seeing the exception propagate.
   class ItemGuard {
    public:
     explicit ItemGuard(DiveQueue& queue) : queue_(queue) {}
@@ -186,18 +180,23 @@ class DiveQueue {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<Pattern> stack_;
+  std::vector<PackedPattern> stack_;
   int active_ = 0;
 };
 
 /// Climbs from an uncovered node through uncovered parents until every
-/// parent is covered; that node is a MUP. The climb can only move up, so it
-/// terminates at the root at the latest.
-Pattern ClimbToMup(Pattern start, CachingCoverage& cov) {
-  Pattern current = std::move(start);
+/// parent is covered; that node is a MUP. Parents are tried in ascending
+/// attribute order (same as Pattern::Parents()), so the climb endpoint — and
+/// with it the query sequence — matches the legacy implementation exactly.
+PackedPattern ClimbToMup(const PackedPattern& start, const PatternCodec& codec,
+                         CachingCoverage& cov) {
+  PackedPattern current = start;
+  const int d = codec.num_attributes();
   for (;;) {
     bool moved = false;
-    for (const Pattern& parent : current.Parents()) {
+    for (int i = 0; i < d; ++i) {
+      if (!codec.is_deterministic(current, i)) continue;
+      const PackedPattern parent = codec.WithCell(current, i, kWildcard);
       if (!cov.Covered(parent)) {
         current = parent;
         moved = true;
@@ -208,15 +207,32 @@ Pattern ClimbToMup(Pattern start, CachingCoverage& cov) {
   }
 }
 
-std::vector<Pattern> FindMupsDeepDiverParallel(const CoverageOracle& oracle,
-                                               const Schema& schema,
-                                               const MupSearchOptions& options,
-                                               MupSearchStats* stats) {
+/// Appends p's Rule-1 children to `out`; returns how many were generated.
+template <typename Vec>
+std::size_t PushRule1Children(const PackedPattern& p, const PatternCodec& codec,
+                              const Schema& schema, Vec& out) {
+  std::size_t generated = 0;
+  const int d = codec.num_attributes();
+  const int start = codec.RightmostDeterministic(p) + 1;
+  for (int a = start; a < d; ++a) {
+    const Value c = static_cast<Value>(schema.cardinality(a));
+    for (Value v = 0; v < c; ++v) {
+      out.push_back(codec.WithCell(p, a, v));
+      ++generated;
+    }
+  }
+  return generated;
+}
+
+std::vector<PackedPattern> FindMupsDeepDiverParallelPacked(
+    const CoverageOracle& oracle, const Schema& schema,
+    const PatternCodec& codec, const MupSearchOptions& options,
+    MupSearchStats* stats) {
   const int d = schema.num_attributes();
   const int max_level = options.max_level < 0 ? d : options.max_level;
 
-  SharedDominanceChecker index(schema, options.dominance_mode);
-  DiveQueue queue(Pattern::Root(d));
+  SharedDominanceChecker index(schema, codec, options.dominance_mode);
+  DiveQueue queue(codec.Root());
 
   ThreadPool pool(options.num_threads);
   const int workers = pool.num_workers();
@@ -228,17 +244,14 @@ std::vector<Pattern> FindMupsDeepDiverParallel(const CoverageOracle& oracle,
       static_cast<std::size_t>(workers), 0);
 
   pool.RunOnAll([&](int worker) {
-    CachingCoverage cov(oracle, options.tau);
+    Arena arena;
+    CachingCoverage cov(oracle, codec, options.tau, &arena);
+    std::vector<PackedPattern> children;
     std::uint64_t generated = 0;
     std::uint64_t pruned = 0;
-    Pattern p;
+    PackedPattern p;
     while (queue.Pop(p)) {
       const DiveQueue::ItemGuard guard(queue);
-      // A node dominated by a discovered MUP is uncovered but not maximal;
-      // its entire subtree is pruned. A node that *is* a discovered MUP can
-      // be popped later if a climb reached it before its turn in the queue.
-      // The index only ever grows (with genuine MUPs), so a stale snapshot
-      // here costs at most a redundant dive, never a wrong answer.
       if (index.Contains(p) || index.IsDominated(p)) {
         ++pruned;
         continue;
@@ -246,7 +259,6 @@ std::vector<Pattern> FindMupsDeepDiverParallel(const CoverageOracle& oracle,
 
       bool covered;
       if (index.DominatesSome(p)) {
-        // Strict ancestor of a MUP: covered by monotonicity, no query needed.
         covered = true;
       } else {
         covered = cov.Covered(p);
@@ -254,23 +266,22 @@ std::vector<Pattern> FindMupsDeepDiverParallel(const CoverageOracle& oracle,
 
       if (covered) {
         if (p.level() < max_level) {
-          std::vector<Pattern> children = Rule1Children(p, schema);
-          generated += children.size();
-          queue.Push(std::move(children));
+          children.clear();
+          generated += PushRule1Children(p, codec, schema, children);
+          queue.Push(children.data(), children.size());
         }
         continue;
       }
 
-      // AddIfAbsent absorbs the race where two workers climb to one MUP.
-      index.AddIfAbsent(ClimbToMup(std::move(p), cov));
+      index.AddIfAbsent(ClimbToMup(p, codec, cov));
     }
     worker_queries[static_cast<std::size_t>(worker)] = cov.num_queries();
     worker_generated[static_cast<std::size_t>(worker)] = generated;
     worker_pruned[static_cast<std::size_t>(worker)] = pruned;
   });
 
-  std::vector<Pattern> mups = index.Snapshot();
-  std::sort(mups.begin(), mups.end());
+  std::vector<PackedPattern> mups = index.Snapshot();
+  std::sort(mups.begin(), mups.end(), PackedLess{&codec});
   if (stats != nullptr) {
     for (int w = 0; w < workers; ++w) {
       stats->coverage_queries += worker_queries[static_cast<std::size_t>(w)];
@@ -282,26 +293,25 @@ std::vector<Pattern> FindMupsDeepDiverParallel(const CoverageOracle& oracle,
   return mups;
 }
 
-std::vector<Pattern> FindMupsDeepDiverSerial(const CoverageOracle& oracle,
-                                             const Schema& schema,
-                                             const MupSearchOptions& options,
-                                             MupSearchStats* stats) {
+std::vector<PackedPattern> FindMupsDeepDiverSerialPacked(
+    const CoverageOracle& oracle, const Schema& schema,
+    const PatternCodec& codec, const MupSearchOptions& options,
+    MupSearchStats* stats) {
   const int d = schema.num_attributes();
   const int max_level = options.max_level < 0 ? d : options.max_level;
 
-  CachingCoverage cov(oracle, options.tau);
-  DominanceChecker index(schema, options.dominance_mode);
-  std::vector<Pattern> stack = {Pattern::Root(d)};
+  Arena arena;
+  CachingCoverage cov(oracle, codec, options.tau, &arena);
+  DominanceChecker index(schema, codec, options.dominance_mode);
+  ArenaVector<PackedPattern> stack(&arena);
+  stack.push_back(codec.Root());
   std::uint64_t nodes_generated = 1;
   std::uint64_t nodes_pruned = 0;
 
   while (!stack.empty()) {
-    Pattern p = std::move(stack.back());
+    const PackedPattern p = stack.back();
     stack.pop_back();
 
-    // A node dominated by a discovered MUP is uncovered but not maximal;
-    // its entire subtree is pruned. A node that *is* a discovered MUP can be
-    // popped later if a climb reached it before its turn in the stack.
     if (index.Contains(p) || index.IsDominated(p)) {
       ++nodes_pruned;
       continue;
@@ -309,7 +319,6 @@ std::vector<Pattern> FindMupsDeepDiverSerial(const CoverageOracle& oracle,
 
     bool covered;
     if (index.DominatesSome(p)) {
-      // Strict ancestor of a MUP: covered by monotonicity, no query needed.
       covered = true;
     } else {
       covered = cov.Covered(p);
@@ -317,23 +326,17 @@ std::vector<Pattern> FindMupsDeepDiverSerial(const CoverageOracle& oracle,
 
     if (covered) {
       if (p.level() < max_level) {
-        for (Pattern& child : Rule1Children(p, schema)) {
-          ++nodes_generated;
-          stack.push_back(std::move(child));
-        }
+        nodes_generated += PushRule1Children(p, codec, schema, stack);
       }
       continue;
     }
 
-    // With dominance pruning on, the climb endpoint is always new: it
-    // dominates-or-equals the dive point, which was checked against the
-    // index above. Without pruning (ablation) a dive can rediscover a MUP.
-    const Pattern mup = ClimbToMup(std::move(p), cov);
+    const PackedPattern mup = ClimbToMup(p, codec, cov);
     if (!index.Contains(mup)) index.Add(mup);
   }
 
-  std::vector<Pattern> mups = index.mups();
-  std::sort(mups.begin(), mups.end());
+  std::vector<PackedPattern> mups = index.mups();
+  std::sort(mups.begin(), mups.end(), PackedLess{&codec});
   if (stats != nullptr) {
     stats->coverage_queries = cov.num_queries();
     stats->nodes_generated = nodes_generated;
@@ -345,21 +348,41 @@ std::vector<Pattern> FindMupsDeepDiverSerial(const CoverageOracle& oracle,
 
 }  // namespace
 
-std::vector<Pattern> FindMupsDeepDiver(const CoverageOracle& oracle,
-                                       const Schema& schema,
-                                       const MupSearchOptions& options,
-                                       MupSearchStats* stats) {
+std::vector<PackedPattern> FindMupsDeepDiverPacked(
+    const CoverageOracle& oracle, const Schema& schema,
+    const PatternCodec& codec, const MupSearchOptions& options,
+    MupSearchStats* stats) {
   Stopwatch timer;
   if (stats != nullptr) stats->Reset();
-  std::vector<Pattern> mups =
+  std::vector<PackedPattern> mups =
       options.num_threads > 1
-          ? FindMupsDeepDiverParallel(oracle, schema, options, stats)
-          : FindMupsDeepDiverSerial(oracle, schema, options, stats);
+          ? FindMupsDeepDiverParallelPacked(oracle, schema, codec, options,
+                                            stats)
+          : FindMupsDeepDiverSerialPacked(oracle, schema, codec, options,
+                                          stats);
   if (stats != nullptr) {
     stats->seconds = timer.ElapsedSeconds();
     stats->num_mups = mups.size();
   }
   return mups;
+}
+
+std::vector<Pattern> FindMupsDeepDiver(const CoverageOracle& oracle,
+                                       const Schema& schema,
+                                       const MupSearchOptions& options,
+                                       MupSearchStats* stats) {
+  if (options.use_packed_representation) {
+    auto codec = PatternCodec::Build(schema);
+    if (codec.ok()) {
+      const std::vector<PackedPattern> packed =
+          FindMupsDeepDiverPacked(oracle, schema, *codec, options, stats);
+      std::vector<Pattern> mups;
+      mups.reserve(packed.size());
+      for (const PackedPattern& p : packed) mups.push_back(codec->Decode(p));
+      return mups;
+    }
+  }
+  return legacy::FindMupsDeepDiver(oracle, schema, options, stats);
 }
 
 }  // namespace coverage

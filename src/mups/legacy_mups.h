@@ -1,0 +1,53 @@
+#ifndef COVERAGE_MUPS_LEGACY_MUPS_H_
+#define COVERAGE_MUPS_LEGACY_MUPS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "coverage/bitmap_coverage.h"
+#include "coverage/coverage_oracle.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+
+namespace coverage {
+
+struct MupSearchOptions;
+struct MupSearchStats;
+
+/// The vector<int>-keyed search implementations, kept whole after the packed
+/// refactor for two jobs:
+///
+///  1. Differential shadow: the packed implementations must be bit-identical
+///     to these — same MUP sets, same per-algorithm query counts on the
+///     deterministic paths — and tests/differential_test.cc proves it by
+///     running both sides (MupSearchOptions::use_packed_representation picks
+///     the side).
+///  2. Fallback: schemas wider than PackedPattern's 256-bit capacity cannot
+///     build a PatternCodec; the public FindMups* entry points route them
+///     here automatically.
+///
+/// Nothing else should call these directly.
+namespace legacy {
+
+std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
+                                            const Schema& schema,
+                                            const MupSearchOptions& options,
+                                            MupSearchStats* stats);
+
+std::vector<Pattern> FindMupsDeepDiver(const CoverageOracle& oracle,
+                                       const Schema& schema,
+                                       const MupSearchOptions& options,
+                                       MupSearchStats* stats);
+
+StatusOr<std::vector<Pattern>> FindMupsPatternCombiner(
+    const BitmapCoverage& oracle, const MupSearchOptions& options,
+    MupSearchStats* stats);
+
+StatusOr<std::vector<Pattern>> FindMupsApriori(const BitmapCoverage& oracle,
+                                               const MupSearchOptions& options,
+                                               MupSearchStats* stats);
+
+}  // namespace legacy
+}  // namespace coverage
+
+#endif  // COVERAGE_MUPS_LEGACY_MUPS_H_

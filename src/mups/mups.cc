@@ -100,6 +100,57 @@ StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
   return Status::InvalidArgument("unknown MUP algorithm");
 }
 
+StatusOr<PackedMupSet> FindMupsPacked(MupAlgorithm algorithm,
+                                      const BitmapCoverage& oracle,
+                                      const MupSearchOptions& options,
+                                      MupSearchStats* stats) {
+  auto codec = PatternCodec::Build(oracle.data().schema());
+  COVERAGE_RETURN_IF_ERROR(codec.status());
+  PackedMupSet result;
+  result.codec = std::move(*codec);
+  switch (algorithm) {
+    case MupAlgorithm::kNaive: {
+      // NAIVE has no packed core; compute legacy-side and encode.
+      auto mups =
+          FindMupsNaive(oracle, oracle.data().schema(), options, stats);
+      COVERAGE_RETURN_IF_ERROR(mups.status());
+      result.mups.reserve(mups->size());
+      for (const Pattern& p : *mups) {
+        result.mups.push_back(result.codec.Encode(p));
+      }
+      return result;
+    }
+    case MupAlgorithm::kPatternBreaker:
+      result.mups = FindMupsPatternBreakerPacked(
+          oracle, oracle.data().schema(), result.codec, options, stats);
+      return result;
+    case MupAlgorithm::kPatternCombiner: {
+      auto mups =
+          FindMupsPatternCombinerPacked(oracle, result.codec, options, stats);
+      COVERAGE_RETURN_IF_ERROR(mups.status());
+      result.mups = std::move(*mups);
+      return result;
+    }
+    case MupAlgorithm::kDeepDiver:
+      result.mups = FindMupsDeepDiverPacked(oracle, oracle.data().schema(),
+                                            result.codec, options, stats);
+      return result;
+    case MupAlgorithm::kApriori: {
+      auto mups = FindMupsAprioriPacked(oracle, result.codec, options, stats);
+      COVERAGE_RETURN_IF_ERROR(mups.status());
+      result.mups = std::move(*mups);
+      return result;
+    }
+    case MupAlgorithm::kAuto: {
+      const PlannerDecision decision = PlanMupSearch(oracle.data(), options);
+      MupSearchOptions resolved = options;
+      resolved.max_level = decision.max_level;
+      return FindMupsPacked(decision.algorithm, oracle, resolved, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown MUP algorithm");
+}
+
 Status ValidateMupSet(const std::vector<Pattern>& mups,
                       const CoverageOracle& oracle, std::uint64_t tau) {
   QueryContext ctx;

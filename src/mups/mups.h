@@ -10,6 +10,7 @@
 #include "coverage/coverage_oracle.h"
 #include "dataset/schema.h"
 #include "obs/trace.h"
+#include "pattern/packed_pattern.h"
 #include "pattern/pattern.h"
 
 namespace coverage {
@@ -52,6 +53,17 @@ struct MupSearchOptions {
   /// synchronised — it must belong to the calling thread. Other algorithms
   /// ignore it.
   obs::Trace* trace = nullptr;
+
+  /// When true (the default) the searches run on the PackedPattern
+  /// representation — fixed-width keys, O(words) hash/equality/dominance,
+  /// arena-allocated BFS frontiers — whenever the schema fits a PatternCodec
+  /// (PackedPattern::kMaxWords * 64 bits). Schemas too wide to pack fall
+  /// back to the legacy vector<int> implementations automatically. Setting
+  /// this to false forces the legacy path; the differential suite uses the
+  /// switch to prove the two representations bit-identical, and it doubles
+  /// as an escape hatch. Output and per-algorithm query counts are identical
+  /// either way.
+  bool use_packed_representation = true;
 };
 
 /// Instrumentation filled in by each search; the paper's efficiency argument
@@ -89,9 +101,12 @@ std::string ToString(MupAlgorithm algorithm);
 
 /// A pattern graph with more than this many nodes (Π (c_i + 1)) is "wide":
 /// exhaustive exploration is off the table and the planner falls back to the
-/// level-limited search of §V-C3 / Fig. 16.
+/// level-limited search of §V-C3 / Fig. 16. Raised from 2^24 to 2^26 with
+/// the PackedPattern refactor: per-node cost (hash, equality, parent checks,
+/// allocation) dropped by the packed-key + arena work, so the exhaustive
+/// algorithms stay affordable on a 4x larger graph.
 inline constexpr std::uint64_t kPlannerPatternGraphBudget = std::uint64_t{1}
-                                                            << 24;
+                                                            << 26;
 
 /// The level cap the planner imposes on wide schemas: the dangerous coverage
 /// gaps are the *general* ones (combinations of up to three attributes —
@@ -192,6 +207,56 @@ StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
                                         const BitmapCoverage& oracle,
                                         const MupSearchOptions& options,
                                         MupSearchStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Packed-representation entry points. The FindMups* functions above already
+// run on PackedPattern internally (and decode at the boundary); these let
+// callers that can consume packed results — the service/wire layer, the
+// benchmarks, the differential suite — skip the decode entirely.
+
+/// A MUP set in packed form plus the codec that gives the keys meaning.
+/// `mups` is sorted in the same lexicographic cell order FindMups reports.
+struct PackedMupSet {
+  PatternCodec codec;
+  std::vector<PackedPattern> mups;
+
+  std::vector<Pattern> Materialize() const {
+    std::vector<Pattern> out;
+    out.reserve(mups.size());
+    for (const PackedPattern& p : mups) out.push_back(codec.Decode(p));
+    return out;
+  }
+};
+
+/// Packed cores of the individual algorithms. `codec` must have been built
+/// from the oracle's schema. Results are sorted (same order as the public
+/// entry points); stats are filled identically.
+std::vector<PackedPattern> FindMupsPatternBreakerPacked(
+    const CoverageOracle& oracle, const Schema& schema,
+    const PatternCodec& codec, const MupSearchOptions& options,
+    MupSearchStats* stats = nullptr);
+
+std::vector<PackedPattern> FindMupsDeepDiverPacked(
+    const CoverageOracle& oracle, const Schema& schema,
+    const PatternCodec& codec, const MupSearchOptions& options,
+    MupSearchStats* stats = nullptr);
+
+StatusOr<std::vector<PackedPattern>> FindMupsPatternCombinerPacked(
+    const BitmapCoverage& oracle, const PatternCodec& codec,
+    const MupSearchOptions& options, MupSearchStats* stats = nullptr);
+
+StatusOr<std::vector<PackedPattern>> FindMupsAprioriPacked(
+    const BitmapCoverage& oracle, const PatternCodec& codec,
+    const MupSearchOptions& options, MupSearchStats* stats = nullptr);
+
+/// Dispatch on `algorithm` returning packed results (NAIVE, which has no
+/// packed core, is computed legacy-side and encoded). Fails with
+/// kResourceExhausted if the schema does not fit a PatternCodec — callers
+/// fall back to FindMups, which handles wide schemas via the legacy path.
+StatusOr<PackedMupSet> FindMupsPacked(MupAlgorithm algorithm,
+                                      const BitmapCoverage& oracle,
+                                      const MupSearchOptions& options,
+                                      MupSearchStats* stats = nullptr);
 
 /// Checks the MUP invariants directly against an oracle: every pattern is
 /// uncovered, every parent of every pattern is covered, and no pattern

@@ -1,0 +1,119 @@
+#include "mups/packed_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace coverage {
+
+PackedMupIndex::PackedMupIndex(const Schema& schema, const PatternCodec& codec)
+    : codec_(&codec) {
+  const int d = schema.num_attributes();
+  assert(codec.num_attributes() == d);
+  offsets_.resize(static_cast<std::size_t>(d));
+  int total = 0;
+  for (int i = 0; i < d; ++i) {
+    offsets_[static_cast<std::size_t>(i)] = total;
+    total += 1 + schema.cardinality(i);  // wildcard slot + one per value
+  }
+  indices_.assign(static_cast<std::size_t>(total), BitVector());
+}
+
+void PackedMupIndex::Add(const PackedPattern& mup) {
+  assert(!member_index_.contains(mup));
+  const std::size_t bit = mups_.size();
+  if (bit >= reserved_bits_) {
+    reserved_bits_ =
+        std::max<std::size_t>(2 * reserved_bits_, 16 * BitVector::kBitsPerWord);
+    for (BitVector& index : indices_) index.Reserve(reserved_bits_);
+  }
+  mups_.push_back(mup);
+  member_index_.emplace(mup, bit);
+  for (BitVector& index : indices_) index.PushBack(false);
+  const int d = static_cast<int>(offsets_.size());
+  for (int i = 0; i < d; ++i) {
+    indices_[slot_of(mup, i)].Set(bit, true);
+  }
+}
+
+void PackedMupIndex::AddBatch(std::span<const PackedPattern> mups) {
+  if (mups.empty()) return;
+  const std::size_t base = mups_.size();
+  const std::size_t k = mups.size();
+  const int d = static_cast<int>(offsets_.size());
+  const std::size_t delta_words =
+      (k + BitVector::kBitsPerWord - 1) / BitVector::kBitsPerWord;
+  std::vector<BitVector::Word> deltas(indices_.size() * delta_words, 0);
+  mups_.reserve(base + k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const PackedPattern& mup = mups[j];
+    assert(!member_index_.contains(mup));
+    mups_.push_back(mup);
+    member_index_.emplace(mup, base + j);
+    for (int i = 0; i < d; ++i) {
+      deltas[slot_of(mup, i) * delta_words + j / BitVector::kBitsPerWord] |=
+          BitVector::Word{1} << (j % BitVector::kBitsPerWord);
+    }
+  }
+  for (std::size_t slot = 0; slot < indices_.size(); ++slot) {
+    indices_[slot].AppendWords(deltas.data() + slot * delta_words, k);
+  }
+  if (base + k > reserved_bits_) reserved_bits_ = base + k;
+}
+
+bool PackedMupIndex::Remove(const PackedPattern& mup) {
+  const auto it = member_index_.find(mup);
+  if (it == member_index_.end()) return false;
+  const std::size_t pos = it->second;
+  const std::size_t last = mups_.size() - 1;
+  member_index_.erase(it);
+  if (pos != last) {
+    for (BitVector& index : indices_) index.Set(pos, index.Get(last));
+    mups_[pos] = mups_[last];
+    member_index_[mups_[pos]] = pos;
+  }
+  mups_.pop_back();
+  for (BitVector& index : indices_) index.Resize(last);
+  return true;
+}
+
+bool PackedMupIndex::IsDominated(const PackedPattern& pattern) const {
+  if (mups_.empty()) return false;
+  // AND over attributes of (wildcard | value) candidate vectors — identical
+  // to MupDominanceIndex::IsDominated, cells read through the codec.
+  BitVector acc(mups_.size(), true);
+  BitVector scratch;
+  const int d = static_cast<int>(offsets_.size());
+  for (int i = 0; i < d; ++i) {
+    const Value v = codec_->cell(pattern, i);
+    if (v != kWildcard) {
+      scratch = wildcard_index(i);
+      scratch.OrWith(value_index(i, v));
+      acc.AndWith(scratch);
+    } else {
+      acc.AndWith(wildcard_index(i));
+    }
+    if (acc.None()) return false;
+  }
+  const std::size_t hits = acc.Count();
+  if (hits == 0) return false;
+  if (hits > 1) return true;
+  return !member_index_.contains(pattern);
+}
+
+bool PackedMupIndex::DominatesSome(const PackedPattern& pattern) const {
+  if (mups_.empty()) return false;
+  BitVector acc(mups_.size(), true);
+  const int d = static_cast<int>(offsets_.size());
+  for (int i = 0; i < d; ++i) {
+    const Value v = codec_->cell(pattern, i);
+    if (v == kWildcard) continue;
+    acc.AndWith(value_index(i, v));
+    if (acc.None()) return false;
+  }
+  const std::size_t hits = acc.Count();
+  if (hits == 0) return false;
+  if (hits > 1) return true;
+  return !member_index_.contains(pattern);
+}
+
+}  // namespace coverage

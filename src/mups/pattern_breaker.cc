@@ -1,47 +1,49 @@
 #include <algorithm>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "mups/legacy_mups.h"
 #include "mups/mups.h"
-#include "pattern/pattern_ops.h"
+#include "pattern/packed_set.h"
 
 namespace coverage {
 
 namespace {
 
-using PatternSet = std::unordered_set<Pattern, PatternHash>;
-
-/// Per-frontier-node outcome of the (parallelisable) evaluation step. The
-/// decision for a node depends only on state frozen at the start of its BFS
-/// level — the previous level's covered set and the MUPs discovered on
-/// earlier levels — plus the (immutable) oracle, so frontier nodes can be
-/// evaluated in any order or concurrently and merged back in queue order to
-/// reproduce the serial output bit for bit.
+/// Per-frontier-node outcome of the (parallelisable) evaluation step; see
+/// legacy_mups.cc for the determinism argument — the packed core is a
+/// line-for-line mirror, so the queue-order merge reproduces the legacy
+/// output (and query counts) bit for bit.
 enum class NodeOutcome : std::uint8_t { kSkipped, kMup, kCovered };
 
-NodeOutcome EvaluateNode(const Pattern& p, const CoverageOracle& oracle,
-                         std::uint64_t tau, const PatternSet& prev_covered,
-                         const PatternSet& mup_set, QueryContext& ctx) {
-  // Skip candidates with an unverified or uncovered parent; they cannot
-  // be MUPs (either pruned region or dominated by one).
-  for (const Pattern& parent : p.Parents()) {
-    if (!prev_covered.contains(parent) || mup_set.contains(parent)) {
+NodeOutcome EvaluateNode(const PackedPattern& p, const PatternCodec& codec,
+                         const CoverageOracle& oracle, std::uint64_t tau,
+                         const PackedPatternSet& prev_covered,
+                         const PackedPatternSet& mup_set, QueryContext& ctx) {
+  // Skip candidates with an unverified or uncovered parent; they cannot be
+  // MUPs (either pruned region or dominated by one). Parents are visited in
+  // ascending attribute order, matching Pattern::Parents().
+  const int d = codec.num_attributes();
+  for (int i = 0; i < d; ++i) {
+    if (!codec.is_deterministic(p, i)) continue;
+    const PackedPattern parent = codec.WithCell(p, i, kWildcard);
+    if (!prev_covered.Contains(parent) || mup_set.Contains(parent)) {
       return NodeOutcome::kSkipped;
     }
   }
-  return oracle.CoverageAtLeast(p, tau, ctx) ? NodeOutcome::kCovered
-                                             : NodeOutcome::kMup;
+  return oracle.CoverageAtLeast(p, codec, tau, ctx) ? NodeOutcome::kCovered
+                                                    : NodeOutcome::kMup;
 }
 
 }  // namespace
 
-std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
-                                            const Schema& schema,
-                                            const MupSearchOptions& options,
-                                            MupSearchStats* stats) {
+std::vector<PackedPattern> FindMupsPatternBreakerPacked(
+    const CoverageOracle& oracle, const Schema& schema,
+    const PatternCodec& codec, const MupSearchOptions& options,
+    MupSearchStats* stats) {
   Stopwatch timer;
   const int d = schema.num_attributes();
   const int max_level = options.max_level < 0 ? d : options.max_level;
@@ -51,67 +53,80 @@ std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
   std::vector<QueryContext> contexts(
       static_cast<std::size_t>(pool.num_workers()));
 
-  std::vector<Pattern> queue = {Pattern::Root(d)};
-  std::vector<Pattern> mups;
-  PatternSet mup_set;
-  // Covered candidates of the previous level (see the header's
-  // implementation note: tracking only covered candidates keeps the parent
-  // check sound).
-  PatternSet prev_covered;
+  // Frontier memory: the queue and covered set of one BFS level live in one
+  // arena; each new level builds into the other arena and the exhausted one
+  // is bulk-reset. Steady state allocates nothing from the OS beyond the
+  // high-water level.
+  Arena mup_arena;
+  Arena level_arenas[2];
+  Arena* cur_arena = &level_arenas[0];
+  Arena* next_arena = &level_arenas[1];
+
+  ArenaVector<PackedPattern> queue(cur_arena);
+  queue.push_back(codec.Root());
+  std::vector<PackedPattern> mups;
+  PackedPatternSet mup_set(&mup_arena);
+  // Covered candidates of the previous level (see mups.h's implementation
+  // note: tracking only covered candidates keeps the parent check sound).
+  PackedPatternSet prev_covered(cur_arena);
   std::uint64_t nodes_generated = 1;
   std::vector<NodeOutcome> outcomes;
 
   for (int level = 0; level <= max_level && !queue.empty(); ++level) {
-    // The level loop runs on the calling thread (ParallelFor blocks), so
-    // recording into the caller's trace is safe.
     obs::ScopedStage level_stage(options.trace,
                                  "search_level_" + std::to_string(level));
-    // Evaluate the frontier: reads only level-start state, so the pool can
-    // chew through it in dynamically balanced chunks.
     outcomes.assign(queue.size(), NodeOutcome::kSkipped);
     if (num_workers > 1 && queue.size() > 1) {
       pool.ParallelFor(queue.size(), /*chunk=*/16,
                        [&](int worker, std::size_t i) {
                          outcomes[i] = EvaluateNode(
-                             queue[i], oracle, options.tau, prev_covered,
-                             mup_set, contexts[static_cast<std::size_t>(
-                                 worker)]);
+                             queue[i], codec, oracle, options.tau,
+                             prev_covered, mup_set,
+                             contexts[static_cast<std::size_t>(worker)]);
                        });
     } else {
       for (std::size_t i = 0; i < queue.size(); ++i) {
-        outcomes[i] = EvaluateNode(queue[i], oracle, options.tau, prev_covered,
-                                   mup_set, contexts[0]);
+        outcomes[i] = EvaluateNode(queue[i], codec, oracle, options.tau,
+                                   prev_covered, mup_set, contexts[0]);
       }
     }
 
     // Deterministic merge in queue order: identical to the serial loop.
-    std::vector<Pattern> next_queue;
-    PatternSet covered_here;
+    next_arena->Reset();
+    ArenaVector<PackedPattern> next_queue(next_arena);
+    PackedPatternSet covered_here(next_arena);
     for (std::size_t i = 0; i < queue.size(); ++i) {
-      Pattern& p = queue[i];
+      const PackedPattern& p = queue[i];
       switch (outcomes[i]) {
         case NodeOutcome::kSkipped:
           break;
         case NodeOutcome::kMup:
-          mup_set.insert(p);
-          mups.push_back(std::move(p));
+          mup_set.Insert(p);
+          mups.push_back(p);
           break;
         case NodeOutcome::kCovered:
           if (level < max_level) {
-            for (Pattern& child : Rule1Children(p, schema)) {
-              ++nodes_generated;
-              next_queue.push_back(std::move(child));
+            // Rule-1 children: every attribute right of the right-most
+            // deterministic cell is a wildcard; assign each of its values.
+            const int start = codec.RightmostDeterministic(p) + 1;
+            for (int a = start; a < d; ++a) {
+              const Value c = static_cast<Value>(schema.cardinality(a));
+              for (Value v = 0; v < c; ++v) {
+                ++nodes_generated;
+                next_queue.push_back(codec.WithCell(p, a, v));
+              }
             }
           }
-          covered_here.insert(std::move(p));
+          covered_here.Insert(p);
           break;
       }
     }
-    prev_covered = std::move(covered_here);
-    queue = std::move(next_queue);
+    prev_covered = covered_here;
+    queue = next_queue;
+    std::swap(cur_arena, next_arena);
   }
 
-  std::sort(mups.begin(), mups.end());
+  std::sort(mups.begin(), mups.end(), PackedLess{&codec});
   if (stats != nullptr) {
     std::uint64_t queries = 0;
     for (const QueryContext& ctx : contexts) queries += ctx.num_queries();
@@ -121,6 +136,24 @@ std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
     stats->num_mups = mups.size();
   }
   return mups;
+}
+
+std::vector<Pattern> FindMupsPatternBreaker(const CoverageOracle& oracle,
+                                            const Schema& schema,
+                                            const MupSearchOptions& options,
+                                            MupSearchStats* stats) {
+  if (options.use_packed_representation) {
+    auto codec = PatternCodec::Build(schema);
+    if (codec.ok()) {
+      const std::vector<PackedPattern> packed =
+          FindMupsPatternBreakerPacked(oracle, schema, *codec, options, stats);
+      std::vector<Pattern> mups;
+      mups.reserve(packed.size());
+      for (const PackedPattern& p : packed) mups.push_back(codec->Decode(p));
+      return mups;
+    }
+  }
+  return legacy::FindMupsPatternBreaker(oracle, schema, options, stats);
 }
 
 }  // namespace coverage

@@ -758,6 +758,8 @@ Response CoverageServer::HandleAudit(const std::string& body,
     return wire::AuditRequestFromJson(*parsed);
   }();
   if (!request.ok()) return ErrorResponse(request.status());
+  // The response is re-encoded from packed form; never materialize.
+  request->materialize_patterns = false;
   auto result = service_.Audit(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
   obs::ScopedStage stage(trace, "encode");

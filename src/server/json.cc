@@ -474,6 +474,11 @@ class Parser {
       // Out of int64 range: fall through to double like every JSON parser.
     }
     const double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d)) {
+      // e.g. "1e999": JSON has no infinity, and Serialize renders non-finite
+      // doubles as null, so accepting this would break round-tripping.
+      return Fail("number overflows double");
+    }
     return JsonValue(d);
   }
 

@@ -32,8 +32,23 @@ JsonValue ToJson(const AuditResult& result, const Schema& schema) {
   o["algorithm"] = result.algorithm;
   o["max_level"] = result.max_level;
   JsonValue::Array mups;
-  mups.reserve(result.mups.size());
-  for (const Pattern& p : result.mups) mups.push_back(ToJson(p, schema));
+  if (result.packed.has_value()) {
+    // Encode straight from the packed form — PatternCodec's renderers are
+    // byte-identical to Pattern's, so the wire bytes do not depend on
+    // whether the result was materialized.
+    const PatternCodec& codec = result.packed->codec;
+    mups.reserve(result.packed->mups.size());
+    for (const PackedPattern& p : result.packed->mups) {
+      JsonValue::Object m;
+      m["pattern"] = codec.ToString(p);
+      m["label"] = codec.ToLabelledString(p, schema);
+      m["level"] = p.level();
+      mups.push_back(std::move(m));
+    }
+  } else {
+    mups.reserve(result.mups.size());
+    for (const Pattern& p : result.mups) mups.push_back(ToJson(p, schema));
+  }
   o["mups"] = std::move(mups);
   o["num_rows"] = result.num_rows;
   o["planner_rationale"] = result.planner_rationale;

@@ -301,13 +301,26 @@ StatusOr<AuditResult> CoverageService::Audit(const AuditRequest& request,
     search.max_level = decision.max_level;
     result.planner_rationale = decision.rationale;
   }
-  auto mups = [&] {
-    obs::ScopedStage stage(trace, "search");
-    return FindMups(algorithm, *oracle_, search, &result.stats);
-  }();
-  if (!mups.ok()) return mups.status();
-
-  result.mups = std::move(*mups);
+  if (PatternCodec::Build(schema()).ok()) {
+    auto packed = [&] {
+      obs::ScopedStage stage(trace, "search");
+      return FindMupsPacked(algorithm, *oracle_, search, &result.stats);
+    }();
+    if (!packed.ok()) return packed.status();
+    result.packed = std::move(*packed);
+    if (request.materialize_patterns) {
+      result.mups = result.packed->Materialize();
+    }
+  } else {
+    // Schema too wide for the packed representation: legacy search, always
+    // materialized.
+    auto mups = [&] {
+      obs::ScopedStage stage(trace, "search");
+      return FindMups(algorithm, *oracle_, search, &result.stats);
+    }();
+    if (!mups.ok()) return mups.status();
+    result.mups = std::move(*mups);
+  }
   result.algorithm = ToString(algorithm);
   result.max_level = search.max_level;
   result.tau = request.tau;

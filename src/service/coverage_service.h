@@ -117,13 +117,29 @@ struct AuditRequest {
   /// Guard for the exponential enumerations (naive / combiner / apriori).
   std::uint64_t enumeration_limit = std::uint64_t{1} << 26;
 
+  /// When false, AuditResult::mups is left empty and the MUP set is returned
+  /// only in packed form (AuditResult::packed) — callers that re-encode the
+  /// result (the HTTP server, the CLI's --json path) skip materializing a
+  /// vector<int> per MUP. Not part of the wire protocol: the server sets it
+  /// itself. Ignored (patterns always materialized) when the schema is too
+  /// wide for the packed representation.
+  bool materialize_patterns = true;
+
   Status Validate() const;
 };
 
 /// Problem-1 response: the MUP set plus everything an operator needs to see
 /// *how* the answer was produced.
 struct AuditResult {
-  std::vector<Pattern> mups;  ///< sorted lexicographically
+  /// Sorted lexicographically. Empty when the request set
+  /// materialize_patterns = false and `packed` carries the set instead.
+  std::vector<Pattern> mups;
+
+  /// The same MUP set in packed form (plus its codec), present whenever the
+  /// search ran on the packed representation. The wire encoder renders
+  /// pattern strings straight from this, byte-identical to the legacy path.
+  std::optional<PackedMupSet> packed;
+
   MupSearchStats stats;
 
   /// Display name of the algorithm that actually ran (e.g. "DEEPDIVER") —

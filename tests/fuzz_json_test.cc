@@ -1,0 +1,227 @@
+// Deterministic structure-aware fuzz driver for the JSON layer
+// (src/server/json.h). Three angles, all seeded so failures reproduce:
+//
+//  1. Generative round-trip: random JsonValue trees must survive
+//     Serialize → Parse → Serialize byte-identically (and SerializePretty
+//     must parse back to the same value).
+//  2. Mutation fuzz: random byte edits of valid documents must never crash
+//     the parser, and whatever still parses must itself round-trip.
+//  3. Grammar-directed invalid inputs: each rejection class the parser
+//     documents (trailing commas, lone surrogates, hex numbers, ...) is
+//     generated at a random position and must fail cleanly.
+//
+// Any input that exposes a bug should be frozen into a named regression
+// test at the bottom of this file.
+
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coverage {
+namespace json {
+namespace {
+
+/// Characters worth biasing toward when building string scalars: quoting,
+/// escaping, control characters, and multi-byte UTF-8.
+const std::vector<std::string>& InterestingFragments() {
+  static const std::vector<std::string> kFragments = {
+      "\"", "\\", "\\\\", "\n", "\t", "\r", "\b", "\f",
+      std::string(1, '\0'), std::string(1, '\x1f'),
+      "é", "→", "😀", "ключ", "{", "}", "[", "]", ":", ",",
+      "null", "1e9", " ",
+  };
+  return kFragments;
+}
+
+std::string RandomString(Rng& rng) {
+  std::string out;
+  const int pieces = static_cast<int>(rng.NextUint64(8));
+  for (int i = 0; i < pieces; ++i) {
+    if (rng.NextBool(0.4)) {
+      const auto& frags = InterestingFragments();
+      out += frags[rng.NextUint64(frags.size())];
+    } else {
+      out.push_back(static_cast<char>(' ' + rng.NextUint64('~' - ' ' + 1)));
+    }
+  }
+  return out;
+}
+
+/// A random value tree. Doubles always carry a fractional part so they
+/// cannot re-parse as kInt and break value equality.
+JsonValue RandomValue(Rng& rng, int depth) {
+  const std::uint64_t kind = rng.NextUint64(depth > 0 ? 7 : 5);
+  switch (kind) {
+    case 0: return JsonValue();
+    case 1: return JsonValue(rng.NextBool());
+    case 2: return JsonValue(rng.NextInt(-1'000'000'000, 1'000'000'000));
+    case 3:
+      return JsonValue(static_cast<double>(rng.NextInt(-1000000, 1000000)) +
+                       0.5);
+    case 4: return JsonValue(RandomString(rng));
+    case 5: {
+      JsonValue::Array a;
+      const int n = static_cast<int>(rng.NextUint64(5));
+      for (int i = 0; i < n; ++i) a.push_back(RandomValue(rng, depth - 1));
+      return JsonValue(std::move(a));
+    }
+    default: {
+      JsonValue::Object o;
+      const int n = static_cast<int>(rng.NextUint64(5));
+      for (int i = 0; i < n; ++i) {
+        o[RandomString(rng)] = RandomValue(rng, depth - 1);
+      }
+      return JsonValue(std::move(o));
+    }
+  }
+}
+
+TEST(FuzzJson, GenerativeRoundTrip) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const JsonValue value = RandomValue(rng, 5);
+    const std::string text = Serialize(value);
+
+    auto parsed = Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+    EXPECT_EQ(*parsed, value) << text;
+    EXPECT_EQ(Serialize(*parsed), text);
+
+    auto pretty = Parse(SerializePretty(value));
+    ASSERT_TRUE(pretty.ok()) << pretty.status().ToString();
+    EXPECT_EQ(*pretty, value);
+  }
+}
+
+/// One random byte-level edit: replace, insert, delete, duplicate a span,
+/// or truncate.
+void Mutate(std::string& text, Rng& rng) {
+  if (text.empty()) {
+    text.push_back(static_cast<char>(rng.NextUint64(256)));
+    return;
+  }
+  const std::size_t pos = rng.NextUint64(text.size());
+  switch (rng.NextUint64(5)) {
+    case 0:
+      text[pos] = static_cast<char>(rng.NextUint64(256));
+      break;
+    case 1:
+      text.insert(pos, 1, static_cast<char>(rng.NextUint64(256)));
+      break;
+    case 2:
+      text.erase(pos, 1);
+      break;
+    case 3: {
+      const std::size_t len = 1 + rng.NextUint64(8);
+      text.insert(pos, text.substr(pos, len));
+      break;
+    }
+    default:
+      text.resize(pos);
+      break;
+  }
+}
+
+TEST(FuzzJson, MutatedDocumentsNeverCrashAndSurvivorsRoundTrip) {
+  Rng rng(7102);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string text = Serialize(RandomValue(rng, 4));
+    const int edits = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int e = 0; e < edits; ++e) Mutate(text, rng);
+
+    auto parsed = Parse(text);
+    if (!parsed.ok()) continue;  // clean rejection is a fine outcome
+    // Anything accepted must be a fixed point of serialise-then-parse.
+    const std::string canonical = Serialize(*parsed);
+    auto reparsed = Parse(canonical);
+    ASSERT_TRUE(reparsed.ok())
+        << "accepted input produced unparseable output\ninput:  " << text
+        << "\noutput: " << canonical << "\n" << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, *parsed) << text;
+    EXPECT_EQ(Serialize(*reparsed), canonical);
+  }
+}
+
+TEST(FuzzJson, RandomBytesNeverCrash) {
+  Rng rng(1311);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string text(rng.NextUint64(64), '\0');
+    for (char& c : text) c = static_cast<char>(rng.NextUint64(256));
+    (void)Parse(text);  // status either way; just must not crash/hang
+  }
+}
+
+TEST(FuzzJson, GrammarDirectedInvalidInputsAreRejected) {
+  Rng rng(88);
+  const std::vector<std::string> kInvalid = {
+      "{\"a\": 1,}",          // trailing comma in object
+      "[1, 2,]",              // trailing comma in array
+      "{a: 1}",               // unquoted key
+      "{\"a\" 1}",            // missing colon
+      "+1",                   // leading plus
+      ".5",                   // bare fraction
+      "01",                   // leading zero
+      "0x1f",                 // hex
+      "1.",                   // fraction with no digits
+      "1e",                   // empty exponent
+      "\"\\ud800\"",          // lone high surrogate
+      "\"\\udc00\"",          // lone low surrogate
+      "\"\\u12g4\"",          // bad hex digit in escape
+      "\"\\q\"",              // unknown escape
+      "\"\x01\"",             // raw control character in string
+      "\"unterminated",       // unterminated string
+      "[1, 2",                // unterminated array
+      "{\"a\": ",             // unterminated object
+      "nul",                  // truncated literal
+      "truex",                // literal with trailing junk
+      "1 2",                  // trailing garbage
+      "// comment\n1",        // comments
+      "",                     // empty input
+  };
+  for (const std::string& bad : kInvalid) {
+    // Standalone, and embedded at a random spot inside an otherwise valid
+    // array, so rejection does not depend on the error being at offset 0.
+    EXPECT_FALSE(Parse(bad).ok()) << bad;
+    const std::string wrapped =
+        "[1, " + bad + ", " + std::to_string(rng.NextUint64(100)) + "]";
+    EXPECT_FALSE(Parse(wrapped).ok()) << wrapped;
+  }
+}
+
+// Found by MutatedDocumentsNeverCrashAndSurvivorsRoundTrip (seed 7102): a
+// mutation produced "-6E832761", which strtod overflows to -inf. The parser
+// accepted it, but Serialize renders non-finite doubles as null, so the
+// accepted value could not round-trip. Overflowing numbers are now rejected.
+TEST(FuzzJson, RegressionOverflowingNumberIsRejected) {
+  EXPECT_FALSE(Parse("-6E832761").ok());
+  EXPECT_FALSE(Parse("1e999").ok());
+  EXPECT_FALSE(Parse("[1, -1E999]").ok());
+  // The largest finite doubles still parse...
+  EXPECT_TRUE(Parse("1.7976931348623157e308").ok());
+  EXPECT_TRUE(Parse("-1.7976931348623157e308").ok());
+  // ...and underflow is not overflow: 1e-999 is a finite (zero) value.
+  EXPECT_TRUE(Parse("1e-999").ok());
+}
+
+TEST(FuzzJson, NestingDepthLimit) {
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_TRUE(Parse(nested(63), /*max_depth=*/64).ok());
+  EXPECT_FALSE(Parse(nested(65), /*max_depth=*/64).ok());
+  // A hostile ten-thousand-deep prefix must fail fast, not overflow the
+  // stack — the whole point of the limit.
+  EXPECT_FALSE(Parse(std::string(10000, '['), /*max_depth=*/64).ok());
+  EXPECT_FALSE(Parse(std::string(10000, '{'), /*max_depth=*/64).ok());
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace coverage

@@ -402,6 +402,9 @@ int RunAudit(const CliOptions& options, std::ostream& out,
   request.tau = options.tau;
   request.max_level = options.max_level;
   request.algorithm = *algo;
+  // The JSON path re-encodes from packed form; only the table report needs
+  // materialized patterns.
+  request.materialize_patterns = !options.json;
   auto result = service->Audit(request);
   if (!result.ok()) {
     err << result.status().ToString() << "\n";
