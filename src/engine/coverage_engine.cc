@@ -311,6 +311,42 @@ Status CoverageEngine::RetractFrom(const std::shared_ptr<const Snapshot>& base,
   auto next = std::shared_ptr<Snapshot>(
       new Snapshot(std::move(agg), base->oracle_, tombstoned, {}, epoch));
   next->mups_ = RetractMups(*next, base->mups_, std::move(seeds), stats);
+
+  // Tombstone compaction: once dead combinations pass the configured
+  // fraction, republish this epoch over a dense rebuild. The MUP set is
+  // carried over verbatim — the live multiset is unchanged, only ids
+  // shift — and the next epoch diffs against the compacted snapshot, so
+  // downstream maintenance never sees the old ids.
+  const AggregatedData& data = next->agg_;
+  if (options_.compact_tombstone_fraction > 0.0 &&
+      data.num_combinations() > 0 &&
+      static_cast<double>(data.num_tombstones()) >
+          options_.compact_tombstone_fraction *
+              static_cast<double>(data.num_combinations())) {
+    const std::size_t live = data.num_combinations() - data.num_tombstones();
+    std::vector<Value> cells;
+    std::vector<std::uint64_t> counts;
+    cells.reserve(live * static_cast<std::size_t>(schema_.num_attributes()));
+    counts.reserve(live);
+    for (std::size_t k = 0; k < data.num_combinations(); ++k) {
+      if (data.count(k) == 0) continue;
+      const auto combo = data.combination(k);
+      cells.insert(cells.end(), combo.begin(), combo.end());
+      counts.push_back(data.count(k));
+    }
+    auto dense =
+        AggregatedData::Restore(schema_, std::move(cells), std::move(counts));
+    // Live combinations always restore (they were valid in `data`); the
+    // assert documents that, and release builds just skip compacting.
+    assert(dense.ok());
+    if (dense.ok()) {
+      auto compacted = std::shared_ptr<Snapshot>(
+          new Snapshot(std::move(*dense), nullptr, epoch));
+      compacted->mups_ = std::move(next->mups_);
+      next = std::move(compacted);
+    }
+  }
+
   *out = std::move(next);
   return Status::OK();
 }

@@ -65,6 +65,18 @@ struct EngineOptions {
   /// ignored by the in-memory engine itself.
   DurabilityMode durability = DurabilityMode::kNone;
 
+  /// Tombstone compaction: when a retraction epoch leaves more than this
+  /// fraction of the aggregated relation's combinations tombstoned
+  /// (zero-count), the epoch is published over a dense rebuild instead —
+  /// live combinations re-packed into fresh ids, a from-scratch oracle,
+  /// the MUP set carried over verbatim (compaction never changes the live
+  /// multiset, so query answers and MUPs are bit-identical; only internal
+  /// ids shift). Long retraction/sliding-window workloads otherwise
+  /// accumulate dead columns in every bitmap forever. 0 disables (the
+  /// historical behaviour). Not persisted: a restored engine applies its
+  /// caller's setting.
+  double compact_tombstone_fraction = 0.0;
+
   /// Run the incremental maintenance (MUP recheck + re-expansion / upward
   /// climb) on the packed pattern representation. Identical results and
   /// query counts either way — the flag exists for the differential suite

@@ -7,6 +7,40 @@
 
 namespace coverage {
 
+namespace {
+
+/// Resolves PlannerDecision::num_threads from the caller's cap and the
+/// pattern-graph shape, appending the reasoning to the rationale. Serial
+/// callers (cap <= 1) leave the decision and the rationale untouched, so
+/// the planner's output is byte-identical to the single-threaded planner
+/// for every existing caller.
+void PlanWorkers(const Schema& schema, const MupSearchOptions& options,
+                 PlannerDecision* decision) {
+  if (options.num_threads <= 1) return;
+  if (schema.NumPatterns() < kPlannerParallelMinPatternGraph) {
+    decision->num_threads = 1;
+    decision->rationale += "; serial search (pattern graph under " +
+                           std::to_string(kPlannerParallelMinPatternGraph) +
+                           " nodes, fan-out overhead would dominate)";
+    return;
+  }
+  // The root's children — one per (attribute, value) — are the widest
+  // natural partition of independent work; more workers than that idle.
+  std::uint64_t fan_out = 0;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    fan_out += static_cast<std::uint64_t>(schema.cardinality(i));
+  }
+  decision->num_threads = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(options.num_threads),
+      std::max<std::uint64_t>(fan_out, 1)));
+  decision->rationale += "; " + std::to_string(decision->num_threads) +
+                         " workers (root fan-out " + std::to_string(fan_out) +
+                         ", graph " + std::to_string(schema.NumPatterns()) +
+                         " nodes)";
+}
+
+}  // namespace
+
 std::string ToString(MupAlgorithm algorithm) {
   switch (algorithm) {
     case MupAlgorithm::kNaive:
@@ -43,6 +77,7 @@ PlannerDecision PlanMupSearch(const AggregatedData& data,
         " nodes (> " + std::to_string(kPlannerPatternGraphBudget) +
         "): level-limited DEEPDIVER at level <= " +
         std::to_string(kPlannerWideMaxLevel) + " (§V-C3, Fig. 16)";
+    PlanWorkers(schema, options, &decision);
     return decision;
   }
 
@@ -72,6 +107,7 @@ PlannerDecision PlanMupSearch(const AggregatedData& data,
         FormatDouble(kPlannerSparseDensity * 100.0, 2) +
         "%): deep MUPs, dominance-pruned DEEPDIVER dives (§V, Fig. 15)";
   }
+  PlanWorkers(schema, options, &decision);
   return decision;
 }
 
@@ -94,6 +130,7 @@ StatusOr<std::vector<Pattern>> FindMups(MupAlgorithm algorithm,
       const PlannerDecision decision = PlanMupSearch(oracle.data(), options);
       MupSearchOptions resolved = options;
       resolved.max_level = decision.max_level;
+      resolved.num_threads = decision.num_threads;
       return FindMups(decision.algorithm, oracle, resolved, stats);
     }
   }
@@ -145,6 +182,7 @@ StatusOr<PackedMupSet> FindMupsPacked(MupAlgorithm algorithm,
       const PlannerDecision decision = PlanMupSearch(oracle.data(), options);
       MupSearchOptions resolved = options;
       resolved.max_level = decision.max_level;
+      resolved.num_threads = decision.num_threads;
       return FindMupsPacked(decision.algorithm, oracle, resolved, stats);
     }
   }

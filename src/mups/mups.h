@@ -121,6 +121,14 @@ inline constexpr int kPlannerWideMaxLevel = 3;
 /// MUP).
 inline constexpr double kPlannerSparseDensity = 1.0 / 16.0;
 
+/// Below this many pattern-graph nodes a parallel search is not worth its
+/// pool startup + work-queue synchronisation: every algorithm's per-node
+/// cost is a handful of bitmap intersections, so a graph this small is over
+/// before the workers warm up. The planner answers num_threads = 1 here
+/// regardless of the caller's cap.
+inline constexpr std::uint64_t kPlannerParallelMinPatternGraph =
+    std::uint64_t{1} << 12;
+
 /// What the planner decided and why. `algorithm` is always concrete (never
 /// kAuto); `max_level` is the effective cap the search should run with (the
 /// caller's own cap when one was set, kPlannerWideMaxLevel when the wide-
@@ -128,6 +136,14 @@ inline constexpr double kPlannerSparseDensity = 1.0 / 16.0;
 struct PlannerDecision {
   MupAlgorithm algorithm = MupAlgorithm::kDeepDiver;
   int max_level = -1;
+  /// Worker count the search should run with. Never exceeds the caller's
+  /// MupSearchOptions::num_threads (that is the cap, not a demand); 1 when
+  /// the cap is 1 or the pattern graph is too small to amortise fan-out
+  /// (kPlannerParallelMinPatternGraph), otherwise the cap clamped to the
+  /// root's fan-out (sum of cardinalities — the widest natural partition
+  /// of independent top-level work). The MUP set is identical for any
+  /// value (see MupSearchOptions::num_threads).
+  int num_threads = 1;
   /// One human-readable sentence citing the §V evidence for the choice;
   /// surfaced through AuditResult for observability.
   std::string rationale;

@@ -13,6 +13,7 @@
 #include "persist/fault_fs.h"
 #include "server/json.h"
 #include "server/wire.h"
+#include "server/wire_binary.h"
 #include "service/pool_arena.h"
 
 namespace coverage {
@@ -61,6 +62,24 @@ Response ErrorResponse(const Status& status) {
 
 Response OkJson(JsonValue value) {
   return Response::Json(200, json::Serialize(value));
+}
+
+Response OkBinary(std::string bytes) {
+  Response r;
+  r.status = 200;
+  r.headers.push_back({"Content-Type", wire::kBinaryContentType});
+  r.body = std::move(bytes);
+  return r;
+}
+
+/// Wire v2 negotiation: the client opts into the binary encoding per
+/// request by listing the media type in Accept. Plain substring match —
+/// q-values and wildcards are out of scope for a two-format protocol
+/// (`*/*`, what curl sends by default, deliberately stays JSON).
+bool AcceptsBinary(const Request& request) {
+  const std::string* accept = request.FindHeader("Accept");
+  return accept != nullptr &&
+         accept->find(wire::kBinaryContentType) != std::string::npos;
 }
 
 /// Parses a request body that must be a JSON object; an empty body stands
@@ -167,6 +186,18 @@ CoverageServer::CoverageServer(CoverageService service,
         "coverage_persist_checkpoint_seconds",
         "Snapshot + WAL-rotation latency per checkpoint");
   }
+  http_.set_loop_latency_histogram(metrics_->GetHistogram(
+      "coverage_net_loop_iteration_seconds",
+      "Event-loop iteration latency, wake to sleep (epoll io model only)"));
+  if (http_.io_model() == http::IoModel::kEpoll) {
+    // Under the event loop the reaper tick rides the loop's deadline wheel
+    // instead of a dedicated thread (Start() skips spawning one). The sweep
+    // holds sessions_mu_ briefly and checkpoints expiring durable sessions,
+    // so a pathological interval + fsync storm would stall serving — the
+    // default 1s tick with idle-TTL churn is nowhere near that.
+    http_.AddPeriodicTask(options_.reaper_interval_ms,
+                          [this] { ReapIdleSessions(); });
+  }
   // Fixed route-key set: Dispatch only ever looks up, so the record path
   // never mutates the map and stays lock-free.
   static const char* const kRouteKeys[] = {
@@ -252,6 +283,19 @@ void CoverageServer::RegisterMetrics() {
       "accept() failures survived by backoff (EMFILE and friends)",
       MetricType::kCounter, {},
       [this] { return static_cast<double>(http_.stats().accept_retries); });
+  metrics_->RegisterCallback(
+      "coverage_net_open_connections",
+      "Established sockets owned by the event loop (0 under the blocking "
+      "io model)",
+      MetricType::kGauge, {},
+      [this] { return static_cast<double>(http_.stats().open_connections); });
+  metrics_->RegisterCallback(
+      "coverage_net_write_buffer_bytes",
+      "Response bytes buffered awaiting socket writability (0 under the "
+      "blocking io model)",
+      MetricType::kGauge, {}, [this] {
+        return static_cast<double>(http_.stats().write_buffer_bytes);
+      });
 
   metrics_->RegisterCallback(
       "coverage_sessions_open", "Live sessions in the registry",
@@ -361,21 +405,25 @@ Status CoverageServer::Start() {
   // before the crash must find it live on their first retry.
   COVERAGE_RETURN_IF_ERROR(RecoverSessions());
   COVERAGE_RETURN_IF_ERROR(http_.Start());
-  {
-    std::lock_guard<std::mutex> lock(reaper_mu_);
-    reaper_stop_ = false;
-  }
-  reaper_thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(reaper_mu_);
-    while (!reaper_stop_) {
-      reaper_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.reaper_interval_ms));
-      if (reaper_stop_) break;
-      lock.unlock();
-      ReapIdleSessions();
-      lock.lock();
+  // Epoll mode reaps on the loop's deadline wheel (registered at
+  // construction); blocking mode keeps its dedicated timer thread.
+  if (http_.io_model() != http::IoModel::kEpoll) {
+    {
+      std::lock_guard<std::mutex> lock(reaper_mu_);
+      reaper_stop_ = false;
     }
-  });
+    reaper_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(reaper_mu_);
+      while (!reaper_stop_) {
+        reaper_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.reaper_interval_ms));
+        if (reaper_stop_) break;
+        lock.unlock();
+        ReapIdleSessions();
+        lock.lock();
+      }
+    });
+  }
   return Status::OK();
 }
 
@@ -583,13 +631,13 @@ Response CoverageServer::Dispatch(const Request& request,
   }
   if (request.method == "POST") {
     if (path == "/v1/audit" && route("POST /v1/audit")) {
-      return HandleAudit(request.body, trace);
+      return HandleAudit(request.body, AcceptsBinary(request), trace);
     }
     if (path == "/v1/enhance" && route("POST /v1/enhance")) {
       return HandleEnhance(request.body);
     }
     if (path == "/v1/query" && route("POST /v1/query")) {
-      return HandleQuery(request.body, trace);
+      return HandleQuery(request.body, AcceptsBinary(request), trace);
     }
     if (path == "/v1/sessions" && route("POST /v1/sessions")) {
       return HandleSessionCreate(request.body);
@@ -613,7 +661,8 @@ Response CoverageServer::Dispatch(const Request& request,
             (verb == "append" || verb == "retract" || verb == "audit" ||
              verb == "query")) {
           *route_key = "POST /v1/sessions/{id}/" + verb;
-          return HandleSessionVerb(id, verb, request.body, trace);
+          return HandleSessionVerb(id, verb, request.body,
+                                   AcceptsBinary(request), trace);
         }
       }
     }
@@ -675,6 +724,10 @@ Response CoverageServer::HandleStats() const {
   server["protocol_errors"] = hs.protocol_errors;
   server["connections_shed"] = hs.connections_shed;
   server["accept_retries"] = hs.accept_retries;
+  server["io_model"] =
+      http_.io_model() == http::IoModel::kEpoll ? "epoll" : "blocking";
+  server["open_connections"] = hs.open_connections;
+  server["write_buffer_bytes"] = hs.write_buffer_bytes;
 
   // Persistence counters, aggregated over the live durable sessions plus
   // what boot recovery replayed (reaped/deleted sessions keep their boot
@@ -749,7 +802,7 @@ Response CoverageServer::HandleStats() const {
   return OkJson(JsonValue(std::move(o)));
 }
 
-Response CoverageServer::HandleAudit(const std::string& body,
+Response CoverageServer::HandleAudit(const std::string& body, bool binary,
                                      obs::Trace* trace) {
   StatusOr<AuditRequest> request = [&]() -> StatusOr<AuditRequest> {
     obs::ScopedStage stage(trace, "parse");
@@ -763,6 +816,7 @@ Response CoverageServer::HandleAudit(const std::string& body,
   auto result = service_.Audit(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
   obs::ScopedStage stage(trace, "encode");
+  if (binary) return OkBinary(wire::EncodeAuditResultBinary(*result));
   return OkJson(wire::ToJson(*result, service_.schema()));
 }
 
@@ -776,7 +830,7 @@ Response CoverageServer::HandleEnhance(const std::string& body) {
   return OkJson(wire::ToJson(*plan, service_.schema()));
 }
 
-Response CoverageServer::HandleQuery(const std::string& body,
+Response CoverageServer::HandleQuery(const std::string& body, bool binary,
                                      obs::Trace* trace) {
   StatusOr<QueryBatchRequest> request = [&]() -> StatusOr<QueryBatchRequest> {
     obs::ScopedStage stage(trace, "parse");
@@ -788,6 +842,7 @@ Response CoverageServer::HandleQuery(const std::string& body,
   auto result = service_.QueryBatch(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
   obs::ScopedStage stage(trace, "encode");
+  if (binary) return OkBinary(wire::EncodeQueryBatchResultBinary(*result));
   return OkJson(wire::ToJson(*result));
 }
 
@@ -944,7 +999,7 @@ Response CoverageServer::HandleSessionDelete(const std::string& id) {
 Response CoverageServer::HandleSessionVerb(const std::string& id,
                                            const std::string& verb,
                                            const std::string& body,
-                                           obs::Trace* trace) {
+                                           bool binary, obs::Trace* trace) {
   std::shared_ptr<SessionEntry> entry = FindSession(id);
   if (entry == nullptr) {
     return ErrorResponse(Status::NotFound("no session '" + id + "'"));
@@ -980,6 +1035,7 @@ Response CoverageServer::HandleSessionVerb(const std::string& id,
     }
     const AuditResult result = entry->session.Audit(trace);
     obs::ScopedStage stage(trace, "encode");
+    if (binary) return OkBinary(wire::EncodeAuditResultBinary(result));
     return OkJson(wire::ToJson(result, entry->session.schema()));
   }
   // verb == "query"
@@ -991,6 +1047,7 @@ Response CoverageServer::HandleSessionVerb(const std::string& id,
   auto result = entry->session.QueryBatch(*request, trace);
   if (!result.ok()) return ErrorResponse(result.status());
   obs::ScopedStage stage(trace, "encode");
+  if (binary) return OkBinary(wire::EncodeQueryBatchResultBinary(*result));
   return OkJson(wire::ToJson(*result));
 }
 

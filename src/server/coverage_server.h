@@ -126,6 +126,11 @@ class CoverageServer {
 
   int port() const { return http_.port(); }
   bool running() const { return http_.running(); }
+  /// The serving engine actually in use (env-resolved at construction).
+  http::IoModel io_model() const { return http_.io_model(); }
+  /// Transport counters of the underlying HTTP server (benchmarks poll the
+  /// open_connections gauge while building up load).
+  http::ServerStats http_stats() const { return http_.stats(); }
 
   /// The full request → response mapping (transport-free).
   http::Response Handle(const http::Request& request);
@@ -164,9 +169,13 @@ class CoverageServer {
 
   http::Response Dispatch(const http::Request& request,
                           std::string* route_key, obs::Trace* trace);
-  http::Response HandleAudit(const std::string& body, obs::Trace* trace);
+  /// `binary` = the client sent `Accept: application/x-coverage-bin` and
+  /// the handler should answer in wire v2 (errors stay JSON regardless).
+  http::Response HandleAudit(const std::string& body, bool binary,
+                             obs::Trace* trace);
   http::Response HandleEnhance(const std::string& body);
-  http::Response HandleQuery(const std::string& body, obs::Trace* trace);
+  http::Response HandleQuery(const std::string& body, bool binary,
+                             obs::Trace* trace);
   http::Response HandleSchema() const;
   http::Response HandleHealth() const;
   http::Response HandleStats() const;
@@ -176,7 +185,7 @@ class CoverageServer {
   http::Response HandleSessionDelete(const std::string& id);
   http::Response HandleSessionVerb(const std::string& id,
                                    const std::string& verb,
-                                   const std::string& body,
+                                   const std::string& body, bool binary,
                                    obs::Trace* trace);
 
   std::shared_ptr<SessionEntry> FindSession(const std::string& id) const;

@@ -1,6 +1,7 @@
 #include "server/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -19,7 +20,7 @@ HttpClient::~HttpClient() { Close(); }
 HttpClient::HttpClient(HttpClient&& other) noexcept
     : host_(std::move(other.host_)),
       port_(other.port_),
-      timeout_ms_(other.timeout_ms_),
+      options_(other.options_),
       fd_(other.fd_),
       reader_(std::move(other.reader_)) {
   other.fd_ = -1;
@@ -30,7 +31,7 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
     Close();
     host_ = std::move(other.host_);
     port_ = other.port_;
-    timeout_ms_ = other.timeout_ms_;
+    options_ = other.options_;
     fd_ = other.fd_;
     reader_ = std::move(other.reader_);
     other.fd_ = -1;
@@ -47,13 +48,21 @@ void HttpClient::Close() {
 }
 
 StatusOr<HttpClient> HttpClient::Connect(const std::string& host, int port,
-                                         int timeout_ms) {
+                                         Options options) {
   if (port < 1 || port > 65535) {
     return Status::InvalidArgument("port must be within [1, 65535]");
   }
-  HttpClient client(host, port, timeout_ms);
+  HttpClient client(host, port, options);
   COVERAGE_RETURN_IF_ERROR(client.EnsureConnected());
   return client;
+}
+
+StatusOr<HttpClient> HttpClient::Connect(const std::string& host, int port,
+                                         int timeout_ms) {
+  Options options;
+  options.connect_timeout_ms = timeout_ms;
+  options.read_timeout_ms = timeout_ms;
+  return Connect(host, port, options);
 }
 
 Status HttpClient::EnsureConnected() {
@@ -69,14 +78,37 @@ Status HttpClient::EnsureConnected() {
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  // Nonblocking connect + poll, so a dead host or a full SYN backlog costs
+  // connect_timeout_ms instead of the kernel's minutes-long retry schedule.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const auto fail = [&](const std::string& detail) {
     const Status st = Status::Internal("connect to " + host_ + ":" +
-                                       std::to_string(port_) + ": " +
-                                       std::strerror(errno));
+                                       std::to_string(port_) + ": " + detail);
     ::close(fd);
     return st;
+  };
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) return fail(std::strerror(errno));
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, options_.connect_timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) return fail(std::string("poll: ") + std::strerror(errno));
+    if (ready == 0) return fail("timed out");
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0) {
+      return fail(std::string("getsockopt: ") + std::strerror(errno));
+    }
+    if (soerr != 0) return fail(std::strerror(soerr));
   }
+  // The rest of the client is deliberately blocking.
+  ::fcntl(fd, F_SETFL, flags);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
@@ -117,7 +149,7 @@ StatusOr<Response> HttpClient::ReadResponse() {
     pollfd pfd{};
     pfd.fd = fd_;
     pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    const int ready = ::poll(&pfd, 1, options_.read_timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       Close();
@@ -161,6 +193,9 @@ StatusOr<Response> HttpClient::Roundtrip(Request request) {
   const bool reused_connection = fd_ >= 0;
   COVERAGE_RETURN_IF_ERROR(EnsureConnected());
   if (request.version.empty()) request.version = "HTTP/1.1";
+  if (options_.accept_binary && request.FindHeader("Accept") == nullptr) {
+    request.headers.push_back({"Accept", "application/x-coverage-bin"});
+  }
   const std::string bytes = SerializeRequest(request);
   const Status sent = SendAll(bytes);
   if (sent.ok()) {

@@ -24,6 +24,23 @@ namespace http {
 /// call reconnects transparently.
 class HttpClient {
  public:
+  struct Options {
+    /// Ceiling on establishing the TCP connection (nonblocking connect +
+    /// poll). A server with a full accept backlog makes a blocking
+    /// connect(2) hang for the kernel's SYN-retry schedule — minutes —
+    /// which is exactly what a load generator must never do.
+    int connect_timeout_ms = 5000;
+
+    /// Ceiling on waiting for response bytes once the request is sent.
+    int read_timeout_ms = 5000;
+
+    /// Send `Accept: application/x-coverage-bin` on every request (unless
+    /// it carries an explicit Accept already), opting into the wire-v2
+    /// binary encoding on routes that support it (see server/wire_binary.h;
+    /// decode the response body with its Decode functions).
+    bool accept_binary = false;
+  };
+
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -33,6 +50,10 @@ class HttpClient {
 
   /// Opens a TCP connection. `host` is a numeric IPv4 address (the client
   /// deliberately skips DNS — it talks to loopback and explicit addresses).
+  static StatusOr<HttpClient> Connect(const std::string& host, int port,
+                                      Options options);
+
+  /// Back-compat shorthand: one timeout for both connect and read.
   static StatusOr<HttpClient> Connect(const std::string& host, int port,
                                       int timeout_ms = 5000);
 
@@ -51,8 +72,8 @@ class HttpClient {
   bool connected() const { return fd_ >= 0; }
 
  private:
-  HttpClient(std::string host, int port, int timeout_ms)
-      : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+  HttpClient(std::string host, int port, Options options)
+      : host_(std::move(host)), port_(port), options_(options) {}
 
   Status EnsureConnected();
   void Close();
@@ -61,7 +82,7 @@ class HttpClient {
 
   std::string host_;
   int port_ = 0;
-  int timeout_ms_ = 5000;
+  Options options_;
   int fd_ = -1;
   /// Persists across responses on one connection so bytes recv'd past the
   /// current response (pipelined replies) stay buffered for the next read.

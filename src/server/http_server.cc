@@ -8,13 +8,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <fcntl.h>
+
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "net/event_loop.h"
 #include "obs/log.h"
 
 namespace coverage {
@@ -68,6 +72,15 @@ int StatusToHttpParseError(const Status& status,
 
 }  // namespace
 
+IoModel ResolveIoModel(IoModel io_model) {
+  if (io_model != IoModel::kDefault) return io_model;
+  const char* env = std::getenv("COVERAGE_IO_MODEL");
+  if (env != nullptr && std::strcmp(env, "epoll") == 0) {
+    return IoModel::kEpoll;
+  }
+  return IoModel::kBlocking;
+}
+
 Status ServerOptions::Validate() const {
   if (port < 0 || port > 65535) {
     return Status::InvalidArgument("port must be within [0, 65535]");
@@ -93,7 +106,13 @@ Status ServerOptions::Validate() const {
 }
 
 HttpServer::HttpServer(ServerOptions options, Handler handler)
-    : options_(options), handler_(std::move(handler)) {}
+    : options_(options),
+      handler_(std::move(handler)),
+      io_model_(ResolveIoModel(options.io_model)) {}
+
+void HttpServer::AddPeriodicTask(int interval_ms, std::function<void()> fn) {
+  periodic_tasks_.emplace_back(interval_ms, std::move(fn));
+}
 
 HttpServer::~HttpServer() {
   Stop();
@@ -145,6 +164,43 @@ Status HttpServer::Start() {
     shed.headers.push_back(
         {"Retry-After", std::to_string(options_.retry_after_seconds)});
     shed_response_ = SerializeResponse(shed, /*keep_alive=*/false);
+  }
+
+  if (io_model_ == IoModel::kEpoll) {
+    const int flags = ::fcntl(listen_fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK);
+    net::EventLoopOptions loop_options;
+    loop_options.listen_fd = listen_fd;
+    loop_options.handler = handler_;
+    loop_options.limits.max_head_bytes = options_.max_head_bytes;
+    loop_options.limits.max_body_bytes = options_.max_body_bytes;
+    loop_options.num_workers = options_.num_threads;
+    loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+    loop_options.poll_interval_ms = options_.poll_interval_ms;
+    loop_options.max_pending = options_.max_pending;
+    loop_options.max_queue_wait_ms = options_.max_queue_wait_ms;
+    loop_options.retry_after_seconds = options_.retry_after_seconds;
+    loop_options.accept_fn = options_.accept_fn;
+    loop_options.shed_response = shed_response_;
+    loop_options.iteration_histogram = options_.loop_latency_histogram;
+    loop_ = std::make_unique<net::EventLoop>(std::move(loop_options));
+    for (auto& [interval_ms, fn] : periodic_tasks_) {
+      loop_->AddPeriodicTask(interval_ms, fn);
+    }
+    const Status started = loop_->Start();
+    if (!started.ok()) {
+      // The loop owns (and on failure, its destructor closes) listen_fd.
+      loop_.reset();
+      listen_fd_.store(-1, std::memory_order_release);
+      return started;
+    }
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads_joined_ = false;
+    }
+    return Status::OK();
   }
 
   stopping_.store(false, std::memory_order_release);
@@ -404,6 +460,20 @@ void HttpServer::Stop() {
   bool expected = false;
   const bool i_stop = stopping_.compare_exchange_strong(
       expected, true, std::memory_order_acq_rel);
+  if (i_stop && loop_ != nullptr) {
+    // Epoll mode: the loop owns listener + connections and drains them
+    // gracefully (in-flight requests finish, responses flush) before its
+    // threads join inside Stop().
+    loop_->Stop();
+    listen_fd_.store(-1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads_joined_ = true;
+    }
+    running_.store(false, std::memory_order_release);
+    stopped_cv_.notify_all();
+    return;
+  }
   if (i_stop) {
     // Closing the listener wakes the accept loop's poll immediately.
     const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
@@ -469,6 +539,19 @@ void HttpServer::StopOnSignal() {
 
 ServerStats HttpServer::stats() const {
   ServerStats s;
+  if (loop_ != nullptr) {
+    const net::EventLoopCounters& c = loop_->counters();
+    s.connections_accepted =
+        c.connections_accepted.load(std::memory_order_relaxed);
+    s.requests_handled = c.requests_handled.load(std::memory_order_relaxed);
+    s.protocol_errors = c.protocol_errors.load(std::memory_order_relaxed);
+    s.connections_shed = c.connections_shed.load(std::memory_order_relaxed);
+    s.accept_retries = c.accept_retries.load(std::memory_order_relaxed);
+    s.open_connections = c.open_connections.load(std::memory_order_relaxed);
+    s.write_buffer_bytes =
+        c.write_buffer_bytes.load(std::memory_order_relaxed);
+    return s;
+  }
   s.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
   s.requests_handled = requests_handled_.load(std::memory_order_relaxed);

@@ -12,6 +12,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "server/http.h"
@@ -20,7 +22,34 @@ namespace coverage {
 
 class ThreadPool;
 
+namespace net {
+class EventLoop;
+}  // namespace net
+
+namespace obs {
+class Histogram;
+}  // namespace obs
+
 namespace http {
+
+/// Which serving engine runs behind HttpServer. Both models speak the same
+/// HTTP, emit byte-identical responses, and share every ServerOptions knob;
+/// they differ only in how connections map to threads.
+enum class IoModel {
+  /// Resolve from the COVERAGE_IO_MODEL environment variable ("blocking" /
+  /// "epoll"); kBlocking when unset. This default lets every existing test
+  /// binary run under the event loop without a single code change — the
+  /// ctest matrix registers *_epoll variants that just set the variable.
+  kDefault,
+  /// One blocking connection per worker thread (the original PR 5 model).
+  kBlocking,
+  /// One epoll/poll readiness loop owning all sockets, workers used only
+  /// for request dispatch (src/net/EventLoop).
+  kEpoll,
+};
+
+/// `io_model` with kDefault resolved against COVERAGE_IO_MODEL.
+IoModel ResolveIoModel(IoModel io_model);
 
 /// Knobs of the embedded server. Everything is fixed at Start().
 struct ServerOptions {
@@ -69,6 +98,12 @@ struct ServerOptions {
   /// accept(listen_fd, nullptr, nullptr) including errno on failure.
   std::function<int(int)> accept_fn;
 
+  /// Which serving engine to run; kDefault resolves COVERAGE_IO_MODEL.
+  IoModel io_model = IoModel::kDefault;
+
+  /// Epoll mode only: when set, observes seconds per event-loop iteration.
+  obs::Histogram* loop_latency_histogram = nullptr;
+
   Status Validate() const;
 };
 
@@ -79,6 +114,10 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;  ///< connections dropped on bad HTTP
   std::uint64_t connections_shed = 0;  ///< 503s from overload protection
   std::uint64_t accept_retries = 0;    ///< transient accept(2) failures
+  /// Epoll mode gauges (0 under the blocking model, which has no central
+  /// place to observe either cheaply).
+  std::uint64_t open_connections = 0;   ///< currently established sockets
+  std::uint64_t write_buffer_bytes = 0; ///< unflushed response bytes
 };
 
 /// A dependency-free blocking HTTP/1.1 server: one accept thread feeding a
@@ -126,6 +165,22 @@ class HttpServer {
   /// Call after Start(); one server per process may use it.
   void StopOnSignal();
 
+  /// The io model this server will actually run (env-resolved). Fixed at
+  /// construction so callers can pick reaper strategies before Start().
+  IoModel io_model() const { return io_model_; }
+
+  /// Registers `fn` to run every `interval_ms` on the event loop's deadline
+  /// wheel (epoll mode only — blocking-mode callers keep their own timer
+  /// thread). Must be called before Start().
+  void AddPeriodicTask(int interval_ms, std::function<void()> fn);
+
+  /// Late injection of ServerOptions::loop_latency_histogram, for owners
+  /// whose metrics registry outlives option construction (CoverageServer).
+  /// Must be called before Start().
+  void set_loop_latency_histogram(obs::Histogram* histogram) {
+    options_.loop_latency_histogram = histogram;
+  }
+
   /// The bound port (after Start(); ephemeral requests resolve here).
   int port() const { return port_; }
 
@@ -156,6 +211,13 @@ class HttpServer {
 
   ServerOptions options_;
   Handler handler_;
+  IoModel io_model_ = IoModel::kBlocking;  // env-resolved at construction
+
+  /// Epoll mode: the readiness loop owning every socket; null in blocking
+  /// mode and before Start().
+  std::unique_ptr<net::EventLoop> loop_;
+  /// Periodic tasks registered before Start(), handed to the loop.
+  std::vector<std::pair<int, std::function<void()>>> periodic_tasks_;
 
   /// Written by Start()/Stop(), read by the accept loop: atomic because
   /// Stop() retires it from another thread to wake the loop.

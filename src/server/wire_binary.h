@@ -1,0 +1,81 @@
+#ifndef COVERAGE_SERVER_WIRE_BINARY_H_
+#define COVERAGE_SERVER_WIRE_BINARY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "service/coverage_service.h"
+
+namespace coverage {
+namespace wire {
+
+/// Wire v2: a negotiated length-prefixed binary encoding for the two
+/// hot-path response types (audit results and coverage-query batches).
+/// Clients opt in per request with `Accept: application/x-coverage-bin`;
+/// everything else — requests, errors, the control-plane routes — stays
+/// JSON, so the binary path is a pure bandwidth/CPU optimisation with the
+/// JSON encoding as the single source of semantic truth.
+///
+/// Frame layout (all integers little-endian, via persist::ByteWriter):
+///
+///   "CVW2"            4-byte magic
+///   u8  version       currently 1
+///   u8  msg_type      1 = audit result, 2 = query batch result
+///   u32 crc32c        over the payload bytes that follow (persist::Crc32c)
+///   payload           message-specific, below
+///
+/// Audit payload (msg_type 1):
+///
+///   string algorithm          (u64 length prefix + bytes)
+///   i64    max_level
+///   u64    num_rows
+///   string planner_rationale
+///   u64    coverage_queries   ┐
+///   u64    nodes_generated    │ MupSearchStats
+///   u64    nodes_pruned       │
+///   u64    num_mups           │
+///   u64    seconds            ┘ IEEE-754 bits of the double
+///   u64    tau
+///   u8     mup_kind           1 = sparse cells, 2 = pattern strings
+///   u64    mup_count
+///   per MUP, kind 1:  u16 level, then level x (u16 attr, u16 value) —
+///     only the deterministic cells travel; the decoder rebuilds the packed
+///     pattern from the schema's codec (Root + WithCell). A level-3 MUP
+///     costs 14 bytes against ~100 for its JSON object.
+///   per MUP, kind 2:  string pattern ("X1X0"), u16 level — the fallback
+///     for schemas too wide for PatternCodec (the legacy representation).
+///
+/// Query batch payload (msg_type 2):
+///
+///   u64 coverage_queries
+///   u64 seconds              IEEE-754 bits
+///   u64 result_count
+///   per result: u64 coverage, u8 covered
+///
+/// Decoders are strict, like every persist-layer reader: bad magic,
+/// version, checksum, truncation, out-of-range cells, or trailing bytes
+/// all fail with InvalidArgument. The round-trip contract is exact:
+/// `wire::ToJson(Decode(Encode(r)))` is byte-identical to
+/// `wire::ToJson(r)` (tests/wire_binary_test.cc fuzzes this).
+
+/// The negotiated media type, as it appears in Accept / Content-Type.
+inline constexpr char kBinaryContentType[] = "application/x-coverage-bin";
+
+std::string EncodeAuditResultBinary(const AuditResult& result);
+
+/// `schema` must be the schema the audit ran against (the decoder rebuilds
+/// the pattern codec from it to expand sparse cells).
+StatusOr<AuditResult> DecodeAuditResultBinary(std::string_view bytes,
+                                              const Schema& schema);
+
+std::string EncodeQueryBatchResultBinary(const QueryBatchResult& result);
+
+StatusOr<QueryBatchResult> DecodeQueryBatchResultBinary(
+    std::string_view bytes);
+
+}  // namespace wire
+}  // namespace coverage
+
+#endif  // COVERAGE_SERVER_WIRE_BINARY_H_

@@ -294,12 +294,38 @@ StatusOr<AuditResult> CoverageService::Audit(const AuditRequest& request,
 
   AuditResult result;
   MupAlgorithm algorithm = request.algorithm;
+  // Workers the planner reserved from the shared budget for this audit;
+  // released when the search returns (the search itself does not charge
+  // the budget — the plan stage is its accounting point).
+  struct WorkerReservation {
+    ThreadBudget* budget = nullptr;
+    int spawned = 0;
+    ~WorkerReservation() {
+      if (budget != nullptr) budget->Release(spawned);
+    }
+  } reservation;
   if (algorithm == MupAlgorithm::kAuto) {
     obs::ScopedStage stage(trace, "plan");
     const PlannerDecision decision = PlanMupSearch(*agg_, search);
     algorithm = decision.algorithm;
     search.max_level = decision.max_level;
     result.planner_rationale = decision.rationale;
+    search.num_threads = decision.num_threads;
+    if (decision.num_threads > 1) {
+      // The planner's pick still has to fit the process-wide spawn budget
+      // shared with every query pool and session (a search of n workers
+      // spawns n - 1; the caller is worker 0). Degrades toward serial
+      // under a full house instead of oversubscribing.
+      reservation.budget = arena_->budget().get();
+      reservation.spawned =
+          reservation.budget->TryReserve(decision.num_threads - 1);
+      search.num_threads = 1 + reservation.spawned;
+      if (search.num_threads != decision.num_threads) {
+        result.planner_rationale +=
+            "; thread budget granted " + std::to_string(search.num_threads) +
+            " of " + std::to_string(decision.num_threads) + " workers";
+      }
+    }
   }
   if (PatternCodec::Build(schema()).ok()) {
     auto packed = [&] {
