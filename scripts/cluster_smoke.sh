@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Distributed-tier smoke (CI and local): boot 3 shard coverage_servers over
+# row slices of one dataset plus a scatter-gather coordinator, run a
+# distributed audit over both wire encodings and check it matches a
+# single-node audit of the full dataset, kill -9 one shard and assert the
+# structured 503 degradation (body names the shard, the per-shard error
+# counter moves), restart the shard, and assert full recovery.
+#
+# usage: scripts/cluster_smoke.sh [server-binary]
+set -euo pipefail
+
+SERVER=${1:-build/coverage_server}
+BASE_PORT=${BASE_PORT:-18140}
+COORD_PORT=$((BASE_PORT + 3))
+SPEC=compas
+WORK=$(mktemp -d)
+PIDS=()
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+normalize() { sed -E 's/"([a-z_]*seconds)": *[0-9.eE+-]+/"\1": 0/g'; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "localhost:$1/healthz" > /dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "server on port $1 never became healthy" >&2
+  return 1
+}
+
+# Extracts the sorted MUP pattern list — the invariant part of an audit.
+mups() {
+  python3 -c 'import json,sys; print(sorted(m["pattern"] for m in json.load(sys.stdin)["mups"]))'
+}
+
+start_shard() {  # $1 = shard index
+  "$SERVER" --spec "$SPEC" --role shard --shard-index "$1" --shard-count 3 \
+    --port $((BASE_PORT + $1)) --threads 2 > "$WORK/shard$1.log" &
+  PIDS+=($!)
+}
+
+# ---- boot: 3 shards + coordinator + a single-node reference ------------
+for i in 0 1 2; do start_shard "$i"; done
+for i in 0 1 2; do wait_healthy $((BASE_PORT + i)); done
+
+"$SERVER" --role coordinator \
+  --shards "localhost:$BASE_PORT,localhost:$((BASE_PORT + 1)),localhost:$((BASE_PORT + 2))" \
+  --port "$COORD_PORT" --threads 2 > "$WORK/coordinator.log" &
+PIDS+=($!)
+wait_healthy "$COORD_PORT"
+
+REF_PORT=$((BASE_PORT + 4))
+"$SERVER" --spec "$SPEC" --port "$REF_PORT" --threads 2 > "$WORK/ref.log" &
+PIDS+=($!)
+wait_healthy "$REF_PORT"
+
+# ---- distributed audit == single-node audit (JSON) ---------------------
+curl -sf "localhost:$COORD_PORT/v1/audit" -d '{"tau": 30}' > "$WORK/dist.json"
+curl -sf "localhost:$REF_PORT/v1/audit" -d '{"tau": 30}' > "$WORK/ref.json"
+mups < "$WORK/dist.json" > "$WORK/dist.mups"
+mups < "$WORK/ref.json" > "$WORK/ref.mups"
+cmp "$WORK/dist.mups" "$WORK/ref.mups"
+grep -q '"algorithm": "DISTRIBUTED-BREAKER"' "$WORK/dist.json"
+grep -q '"num_rows": 6889' "$WORK/dist.json"
+
+# ---- binary negotiation round-trips the same answer --------------------
+curl -sf "localhost:$COORD_PORT/v1/audit" -d '{"tau": 30}' \
+  -H 'Accept: application/x-coverage-bin' -o "$WORK/dist.bin" \
+  -D "$WORK/bin.headers"
+grep -qi 'content-type: application/x-coverage-bin' "$WORK/bin.headers"
+# The binary body is the framed form of the same result: magic + nonempty.
+head -c 4 "$WORK/dist.bin" | grep -q 'CVW2'
+
+# ---- queries sum exactly across shards ---------------------------------
+QUERY='{"queries": [{"pattern": "0XXX", "tau": 5}, {"pattern": "X1XX", "tau": 9999999}]}'
+curl -sf "localhost:$COORD_PORT/v1/query" -d "$QUERY" | normalize > "$WORK/q_dist.json"
+curl -sf "localhost:$REF_PORT/v1/query" -d "$QUERY" | normalize > "$WORK/q_ref.json"
+python3 - "$WORK/q_dist.json" "$WORK/q_ref.json" <<'EOF'
+import json, sys
+dist, ref = (json.load(open(p)) for p in sys.argv[1:3])
+assert dist["results"] == ref["results"], (dist, ref)
+EOF
+
+# ---- sessions route through the ring and carry shard annotations -------
+SID=$(curl -sf "localhost:$COORD_PORT/v1/sessions" -d '{"tau": 2}' |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["session_id"])')
+curl -sf "localhost:$COORD_PORT/v1/sessions/$SID/append" \
+  -d '{"rows": [[0, 1, 0, 1], [0, 1, 0, 1]]}' > /dev/null
+curl -sf -X POST "localhost:$COORD_PORT/v1/sessions/$SID/audit" > /dev/null
+# (never `curl | grep -q`: -q closes the pipe at first match and pipefail
+# turns curl's write error into a failure)
+curl -sf "localhost:$COORD_PORT/v1/sessions" > "$WORK/sessions.json"
+grep -q '"shard"' "$WORK/sessions.json"
+
+# ---- kill -9 one shard: structured 503 + error metric ------------------
+KILLED_PORT=$((BASE_PORT + 1))
+KILLED_PID=${PIDS[1]}
+kill -9 "$KILLED_PID"
+wait "$KILLED_PID" 2> /dev/null || true
+
+STATUS=$(curl -s -o "$WORK/degraded.json" -w '%{http_code}' \
+  "localhost:$COORD_PORT/v1/audit" -d '{"tau": 30}')
+test "$STATUS" = 503
+grep -q '"code": "shard_unavailable"' "$WORK/degraded.json"
+grep -q "\"shard\": \"127.0.0.1:$KILLED_PORT\"" "$WORK/degraded.json"
+curl -sf "localhost:$COORD_PORT/metrics" > "$WORK/metrics.txt"
+grep -q "^coverage_cluster_shard_errors_total{shard=\"127.0.0.1:$KILLED_PORT\"} [1-9]" \
+  "$WORK/metrics.txt"
+# The coordinator itself must stay healthy while degraded.
+curl -sf "localhost:$COORD_PORT/healthz" > /dev/null
+
+# ---- restart the shard: the coordinator recovers without a reboot ------
+start_shard 1
+wait_healthy "$KILLED_PORT"
+for _ in $(seq 1 50); do
+  if curl -sf "localhost:$COORD_PORT/v1/audit" -d '{"tau": 30}' \
+    > "$WORK/recovered.json" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+mups < "$WORK/recovered.json" > "$WORK/recovered.mups"
+cmp "$WORK/recovered.mups" "$WORK/ref.mups"
+
+echo "cluster smoke: OK"

@@ -1,0 +1,144 @@
+#include "cluster/client_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace coverage {
+namespace cluster {
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("retry max_attempts must be >= 1");
+  }
+  if (backoff_ms < 0 || max_backoff_ms < 0) {
+    return Status::InvalidArgument("retry backoff must be non-negative");
+  }
+  return Status::OK();
+}
+
+ClientPool::ClientPool(std::string host, int port, ClientPoolOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      endpoint_(host_ + ":" + std::to_string(port_)),
+      options_(std::move(options)) {}
+
+StatusOr<http::HttpClient> ClientPool::Lease(bool* reused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      http::HttpClient client = std::move(idle_.back());
+      idle_.pop_back();
+      ++stats_.reuses;
+      *reused = true;
+      return client;
+    }
+  }
+  *reused = false;
+  auto client = http::HttpClient::Connect(host_, port_, options_.client);
+  if (client.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connects;
+  }
+  return client;
+}
+
+void ClientPool::Park(http::HttpClient client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.max_idle) idle_.push_back(std::move(client));
+  // else: drop — the destructor closes the socket.
+}
+
+void ClientPool::Backoff(int attempt) {
+  // attempt is the one about to run (>= 2 here): sleep backoff << (k-1)
+  // before the k-th retry, capped.
+  if (options_.retry.backoff_ms <= 0) return;
+  const int shift = std::min(attempt - 2, 16);
+  const int ms = std::min(options_.retry.max_backoff_ms,
+                          options_.retry.backoff_ms << shift);
+  if (ms <= 0) return;
+  if (options_.sleep_fn) {
+    options_.sleep_fn(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+StatusOr<http::Response> ClientPool::Roundtrip(const http::Request& request,
+                                               bool idempotent) {
+  Stopwatch timer;
+  Status last = Status::Internal("no attempts made");
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+      }
+      Backoff(attempt);
+    }
+    if (options_.fault_hook) {
+      Status injected = options_.fault_hook(attempt);
+      if (!injected.ok()) {
+        // Injected connect-stage failure: nothing was sent, keep retrying
+        // regardless of idempotency, exactly like a refused connect below.
+        last = injected;
+        continue;
+      }
+    }
+    bool reused = false;
+    StatusOr<http::HttpClient> client = Lease(&reused);
+    if (!client.ok()) {
+      last = client.status();
+      continue;
+    }
+    StatusOr<http::Response> response = client->Roundtrip(request);
+    if (response.ok()) {
+      Park(std::move(*client));
+      if (options_.rpc_seconds != nullptr) {
+        options_.rpc_seconds->Observe(timer.ElapsedSeconds());
+      }
+      return response;
+    }
+    // The connection is suspect: drop it (never re-park a failed one).
+    last = response.status();
+    if (!idempotent) break;  // the request may have reached the server
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+  }
+  if (options_.errors != nullptr) options_.errors->Increment();
+  return last;
+}
+
+StatusOr<http::Response> ClientPool::Get(const std::string& target) {
+  http::Request request;
+  request.method = "GET";
+  request.target = target;
+  request.version = "HTTP/1.1";
+  return Roundtrip(request);
+}
+
+StatusOr<http::Response> ClientPool::Post(const std::string& target,
+                                          std::string body,
+                                          const std::string& content_type) {
+  http::Request request;
+  request.method = "POST";
+  request.target = target;
+  request.version = "HTTP/1.1";
+  request.headers.push_back({"Content-Type", content_type});
+  request.body = std::move(body);
+  return Roundtrip(request);
+}
+
+ClientPool::Stats ClientPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cluster
+}  // namespace coverage

@@ -1,0 +1,116 @@
+#ifndef COVERAGE_CLUSTER_CLIENT_POOL_H_
+#define COVERAGE_CLUSTER_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "server/http_client.h"
+
+namespace coverage {
+namespace cluster {
+
+/// Bounded retry with exponential backoff for transient transport failures.
+struct RetryPolicy {
+  /// Total tries, including the first. 1 = never retry.
+  int max_attempts = 3;
+
+  /// Sleep before the k-th retry is backoff_ms << (k-1), capped at
+  /// max_backoff_ms. 0 disables sleeping (tests).
+  int backoff_ms = 50;
+  int max_backoff_ms = 2000;
+
+  Status Validate() const;
+};
+
+struct ClientPoolOptions {
+  http::HttpClient::Options client;  ///< connect/read timeouts per attempt
+  RetryPolicy retry;
+
+  /// Keep-alive connections parked for reuse; beyond this, returned
+  /// connections are simply closed. Concurrency is NOT capped — each
+  /// concurrent caller that finds the pool empty dials its own connection.
+  std::size_t max_idle = 8;
+
+  /// Test seam: called at the top of every attempt; a non-OK status is
+  /// treated as a transport failure *before anything was sent* (so it is
+  /// always retryable, like a refused connect). Null = off.
+  std::function<Status(int attempt)> fault_hook;
+
+  /// Test seam for the backoff sleep; null = real sleep_for.
+  std::function<void(int ms)> sleep_fn;
+
+  /// Optional instruments (must outlive the pool; null = off):
+  /// per-roundtrip wall latency (successful calls) and one increment per
+  /// call that failed after exhausting its attempts.
+  obs::Histogram* rpc_seconds = nullptr;
+  obs::Counter* errors = nullptr;
+};
+
+/// A thread-safe keep-alive connection pool for one endpoint, wrapping
+/// http::HttpClient (which is single-connection and single-threaded) with:
+///
+///  - per-endpoint connection reuse: a finished roundtrip parks its
+///    connection for the next caller instead of closing it;
+///  - stale-connection handling: a connection that fails is dropped, never
+///    re-parked (HttpClient additionally retries byte-less keep-alive
+///    failures on a fresh connection internally);
+///  - bounded retry with exponential backoff (RetryPolicy) around connect
+///    and transport failures.
+///
+/// Idempotency: pass `idempotent = false` for requests that must not be
+/// re-sent once they may have reached the server (session append/retract).
+/// Connect-stage failures — including fault_hook rejections — still retry,
+/// because nothing was sent; failures after the request went out do not.
+class ClientPool {
+ public:
+  ClientPool(std::string host, int port, ClientPoolOptions options);
+
+  /// "host:port" — the ring member name and metrics label.
+  const std::string& endpoint() const { return endpoint_; }
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+  StatusOr<http::Response> Roundtrip(const http::Request& request,
+                                     bool idempotent = true);
+
+  /// Convenience wrappers mirroring HttpClient's.
+  StatusOr<http::Response> Get(const std::string& target);
+  StatusOr<http::Response> Post(const std::string& target, std::string body,
+                                const std::string& content_type =
+                                    "application/json");
+
+  struct Stats {
+    std::uint64_t connects = 0;  ///< fresh connections dialed
+    std::uint64_t reuses = 0;    ///< roundtrips served by a parked connection
+    std::uint64_t retries = 0;   ///< attempts after the first
+    std::uint64_t failures = 0;  ///< calls that exhausted every attempt
+  };
+  Stats stats() const;
+
+ private:
+  /// Pops a parked connection or dials a new one (`*reused` reports which).
+  StatusOr<http::HttpClient> Lease(bool* reused);
+  void Park(http::HttpClient client);
+  void Backoff(int attempt);
+
+  const std::string host_;
+  const int port_;
+  const std::string endpoint_;
+  const ClientPoolOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<http::HttpClient> idle_;
+  Stats stats_;
+};
+
+}  // namespace cluster
+}  // namespace coverage
+
+#endif  // COVERAGE_CLUSTER_CLIENT_POOL_H_

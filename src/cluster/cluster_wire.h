@@ -1,0 +1,96 @@
+#ifndef COVERAGE_CLUSTER_CLUSTER_WIRE_H_
+#define COVERAGE_CLUSTER_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+#include "service/coverage_service.h"
+
+namespace coverage {
+namespace cluster {
+
+/// The internal shard-merge protocol: what a coordinator and a shard say to
+/// each other on the `/internal/v1/*` routes.
+///
+/// Requests are JSON (the public wire's request decoders, reused verbatim,
+/// keep one strict parser); responses are wire-v2 binary unconditionally —
+/// these routes are machine-to-machine hot paths, so there is no Accept
+/// negotiation to get wrong. Errors stay JSON like everywhere else.
+///
+/// Frame layout is the public CVW2 frame (server/wire_binary.h); the
+/// cluster owns message types 3+:
+///
+/// Shard counts payload (msg_type 3) — answer to POST /internal/v1/counts,
+/// whose body is the public query-batch shorthand {"patterns": [...]}; the
+/// shard answers *exact* counts (tau = 0) because threshold answers are not
+/// additive across shards:
+///
+///   u64 num_rows          rows in this shard's slice
+///   u64 coverage_queries  oracle calls the batch cost
+///   u64 seconds           IEEE-754 bits of the batch wall-clock
+///   u64 count             = |patterns| of the request, in request order
+///   per pattern: u64 coverage
+///
+/// Shard candidates payload (msg_type 4) — answer to
+/// POST /internal/v1/candidates, whose body is the public audit request
+/// JSON. The shard runs a *local* MUP search over its slice with the global
+/// tau and returns:
+///
+///   u64    num_rows       rows in this shard's slice
+///   string audit          a complete nested audit frame (msg_type 1),
+///                         exactly what POST /v1/audit would answer in
+///                         binary — one MUP codec, one golden surface
+///
+/// Decoders are strict (truncation, checksum, trailing bytes, out-of-range
+/// cells → InvalidArgument) and tests/golden/ pins the exact bytes so
+/// protocol drift shows up as a golden diff like the public wire's.
+
+inline constexpr std::uint8_t kMsgShardCounts = 3;
+inline constexpr std::uint8_t kMsgShardCandidates = 4;
+
+/// Decoded msg_type 3.
+struct ShardCountsResponse {
+  std::uint64_t num_rows = 0;
+  std::uint64_t coverage_queries = 0;
+  double seconds = 0.0;
+  std::vector<std::uint64_t> counts;  ///< exact cov(P) per request pattern
+};
+
+/// Decoded msg_type 4.
+struct ShardCandidatesResponse {
+  std::uint64_t num_rows = 0;
+  /// The shard-local audit (MUPs materialized; `packed` cleared so callers
+  /// hold plain patterns).
+  AuditResult audit;
+};
+
+std::string EncodeShardCountsBinary(std::uint64_t num_rows,
+                                    const QueryBatchResult& batch);
+StatusOr<ShardCountsResponse> DecodeShardCountsBinary(std::string_view bytes);
+
+std::string EncodeShardCandidatesBinary(std::uint64_t num_rows,
+                                        const AuditResult& audit);
+/// `schema` expands the nested audit frame's sparse cells, exactly as in
+/// wire::DecodeAuditResultBinary.
+StatusOr<ShardCandidatesResponse> DecodeShardCandidatesBinary(
+    std::string_view bytes, const Schema& schema);
+
+/// The JSON body of POST /internal/v1/counts for `patterns` — the public
+/// query-batch shorthand, built here so coordinator and tests agree on the
+/// exact bytes.
+std::string CountsRequestJson(const std::vector<Pattern>& patterns);
+
+/// The JSON body of POST /internal/v1/candidates for `request` — the public
+/// audit-request vocabulary (wire::AuditRequestFromJson round-trips it).
+/// materialize_patterns is server-local and deliberately not on the wire.
+std::string AuditRequestJson(const AuditRequest& request);
+
+}  // namespace cluster
+}  // namespace coverage
+
+#endif  // COVERAGE_CLUSTER_CLUSTER_WIRE_H_

@@ -1,0 +1,179 @@
+#ifndef COVERAGE_CLUSTER_COORDINATOR_H_
+#define COVERAGE_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client_pool.h"
+#include "cluster/distributed_audit.h"
+#include "cluster/hash_ring.h"
+#include "cluster/shard_backend.h"
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "server/http_server.h"
+
+namespace coverage {
+namespace cluster {
+
+/// Configuration of the scatter-gather front-end.
+struct CoordinatorOptions {
+  http::ServerOptions http;
+
+  /// Shard endpoints, "host:port" each — coverage_server processes started
+  /// with --role shard over slices of one dataset. Fixed for the process
+  /// lifetime (static membership; the ring exists to keep session placement
+  /// stable, not to rebalance live).
+  std::vector<std::string> shards;
+
+  /// Per-RPC transport knobs and the retry envelope around them.
+  http::HttpClient::Options rpc;
+  RetryPolicy retry;
+
+  /// Virtual nodes per shard on the session-routing ring.
+  int ring_vnodes = 128;
+
+  /// Patterns per counts scatter (forwarded to the distributed audit).
+  std::size_t max_batch_patterns = 4096;
+
+  /// Boot handshake: how long to wait for every shard to come up and agree
+  /// on a schema. Attempts are per shard, `boot_backoff_ms` apart (each
+  /// attempt already carries the RetryPolicy envelope).
+  int boot_attempts = 40;
+  int boot_backoff_ms = 250;
+
+  /// Shared registry; null = the coordinator owns a private one.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+
+  Status Validate() const;
+};
+
+/// The cluster front-end: one HTTP server speaking the same public wire as
+/// a single coverage_server, fanned out over N shard nodes.
+///
+///   method  route                       behaviour
+///   ------  --------------------------  ---------------------------------
+///   GET     /healthz                    liveness + shard/ring summary
+///   GET     /metrics                    Prometheus (coverage_cluster_*)
+///   GET     /v1/stats                   routes + `cluster` section
+///   GET     /v1/schema                  the verified common schema
+///   POST    /v1/audit                   RunDistributedAudit scatter-gather
+///   POST    /v1/query                   exact counts summed across shards
+///   GET     /v1/sessions                merged shard listings (+"shard")
+///   POST    /v1/sessions                allocate id, create on ring owner
+///   *       /v1/sessions/{id}[/verb]    forwarded to the ring owner
+///
+/// Audit and query answers are wire-compatible with a single node's (JSON
+/// and `Accept: application/x-coverage-bin` binary both negotiate exactly
+/// like coverage_server), so clients cannot tell one node from a cluster —
+/// the bit-identity property tests rely on that.
+///
+/// Degradation: any shard failure answers
+///   503 {"error": {"code": "shard_unavailable", "message": ..., "shard": ...}}
+/// naming the shard, and the per-shard `coverage_cluster_shard_errors_total`
+/// counter increments (via the pool). The coordinator holds no data — a
+/// restarted shard rejoins by simply answering again.
+///
+/// Sessions: the coordinator allocates "s<n>" ids and routes every
+/// /v1/sessions/{id} request to HashRing::OwnerOf(id); it keeps only the
+/// ring (routing state), never session data. Mutating verbs forward with
+/// idempotent=false so a request that may have reached a shard is never
+/// silently re-sent.
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(CoordinatorOptions options);
+  ~ClusterCoordinator();
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Boot handshake (ConnectShards) then serve. InvalidArgument on bad
+  /// options or schema disagreement, Internal when a shard never answered.
+  Status Start();
+  void Stop();
+  void Wait();
+  void StopOnSignal();
+
+  int port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  /// Fetches every shard's /v1/schema (with boot retry) and verifies they
+  /// are identical. Start() calls this; public so transport-free tests can
+  /// boot against live shards and then drive Handle() directly.
+  Status ConnectShards();
+
+  /// The full request → response mapping (transport-free; thread-safe).
+  http::Response Handle(const http::Request& request);
+
+  /// Valid after ConnectShards().
+  const Schema& schema() const { return schema_; }
+  const HashRing& ring() const { return ring_; }
+  obs::MetricsRegistry& metrics_registry() { return *metrics_; }
+
+ private:
+  struct ShardEntry {
+    std::string endpoint;
+    std::unique_ptr<ClientPool> pool;
+    std::unique_ptr<HttpShardBackend> backend;
+  };
+
+  http::Response Dispatch(const http::Request& request,
+                          std::string* route_key);
+  http::Response HandleHealth() const;
+  http::Response HandleMetrics() const;
+  http::Response HandleStats() const;
+  http::Response HandleAudit(const std::string& body, bool binary);
+  http::Response HandleQuery(const std::string& body, bool binary);
+  http::Response HandleSessionsList();
+  http::Response HandleSessionCreate(const std::string& body);
+  /// Forwards `request` verbatim to `shard`'s pool and passes the answer
+  /// through (status, body, Content-Type).
+  http::Response ForwardToShard(ShardEntry& shard,
+                                const http::Request& request,
+                                bool idempotent);
+  /// The structured 503 naming the failed shard.
+  http::Response ShardUnavailable(const std::string& shard,
+                                  const Status& status) const;
+
+  ShardEntry& OwnerShard(const std::string& session_id);
+
+  CoordinatorOptions options_;
+  http::HttpServer http_;
+
+  std::vector<ShardEntry> shards_;
+  std::map<std::string, std::size_t> shard_index_;  ///< endpoint → slot
+  std::vector<ShardBackend*> backends_;             ///< parallel to shards_
+  HashRing ring_;
+  Schema schema_;  ///< set by ConnectShards
+  bool connected_ = false;
+
+  std::atomic<std::uint64_t> next_session_id_{1};
+  obs::Counter* audits_total_ = nullptr;
+  std::atomic<std::uint64_t> last_audit_rpc_patterns_{0};
+  std::atomic<std::uint64_t> last_audit_pruned_local_{0};
+
+  /// Per-route instruments, same families as CoverageServer's so one
+  /// Grafana board covers both roles.
+  struct RouteSeries {
+    obs::Histogram* latency = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+  std::map<std::string, RouteSeries> routes_;
+  RouteSeries unrouted_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+/// Splits "host:port"; InvalidArgument on anything else.
+StatusOr<std::pair<std::string, int>> ParseEndpoint(const std::string& text);
+
+}  // namespace cluster
+}  // namespace coverage
+
+#endif  // COVERAGE_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,73 @@
+#ifndef COVERAGE_CLUSTER_HASH_RING_H_
+#define COVERAGE_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coverage {
+namespace cluster {
+
+/// Deterministic consistent-hash ring with virtual nodes.
+///
+/// Each member (a shard endpoint, "host:port") contributes
+/// `vnodes_per_member` points on a 64-bit ring, hashed purely from the
+/// member name and the vnode index — no process randomness, no insertion
+/// order — so a restarted coordinator rebuilds the *identical* routing
+/// table, and two coordinators configured with the same shard list agree on
+/// every placement (tests/hash_ring_test.cc pins this).
+///
+/// A key (a session id) routes to the member owning the first ring point at
+/// or clockwise after Hash(key). Adding or removing one member only remaps
+/// the keys whose nearest point belonged to the arc it gained or lost —
+/// ~1/N of the keyspace — which is the whole reason sessions ride a ring
+/// instead of `hash % N`.
+///
+/// Not thread-safe for mutation; the coordinator builds it once at boot and
+/// only reads afterwards (reads are const and safe to share).
+class HashRing {
+ public:
+  /// 1024 vnodes keeps per-member load within a few percent of fair share
+  /// at single-digit member counts while the full ring stays ~24 KB.
+  explicit HashRing(int vnodes_per_member = 1024);
+
+  /// No-op if the member is already present.
+  void AddMember(const std::string& member);
+  void RemoveMember(const std::string& member);
+  bool HasMember(const std::string& member) const;
+
+  /// The member owning `key`. Must not be called on an empty ring.
+  const std::string& OwnerOf(std::string_view key) const;
+
+  std::size_t num_members() const { return members_.size(); }
+  std::size_t num_points() const { return points_.size(); }
+  int vnodes_per_member() const { return vnodes_per_member_; }
+
+  /// Members in sorted order (stable for stats/exposition).
+  const std::vector<std::string>& members() const { return members_; }
+
+  /// The position hash, exposed for tests (FNV-1a with a splitmix64
+  /// finalizer — deterministic across platforms and processes).
+  static std::uint64_t HashKey(std::string_view key);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t member;  ///< index into members_
+    bool operator<(const Point& other) const {
+      return hash != other.hash ? hash < other.hash : member < other.member;
+    }
+  };
+
+  void Rebuild();
+
+  int vnodes_per_member_;
+  std::vector<std::string> members_;  ///< sorted
+  std::vector<Point> points_;        ///< sorted by (hash, member)
+};
+
+}  // namespace cluster
+}  // namespace coverage
+
+#endif  // COVERAGE_CLUSTER_HASH_RING_H_

@@ -1,0 +1,101 @@
+#include "cluster/shard_backend.h"
+
+#include <utility>
+
+namespace coverage {
+namespace cluster {
+
+namespace {
+
+/// Re-wraps `status` with the shard's identity so a scatter-gather failure
+/// reads "shard host:9401: connect: ...". The code is preserved.
+Status ShardError(const std::string& shard, const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument("shard " + shard + ": " +
+                                     status.message());
+    case StatusCode::kNotFound:
+      return Status::NotFound("shard " + shard + ": " + status.message());
+    default:
+      return Status::Internal("shard " + shard + ": " + status.message());
+  }
+}
+
+/// The shard answered HTTP but not 200: surface the status line plus a
+/// bounded body snippet (the JSON error object, usually).
+Status HttpError(const std::string& shard, const std::string& route,
+                 const http::Response& response) {
+  std::string snippet = response.body.substr(0, 200);
+  return Status::Internal("shard " + shard + ": " + route + " returned " +
+                          std::to_string(response.status) + ": " + snippet);
+}
+
+}  // namespace
+
+StatusOr<ShardCountsResponse> LocalShardBackend::Counts(
+    const std::vector<Pattern>& patterns) {
+  QueryBatchRequest request;
+  request.queries.reserve(patterns.size());
+  for (const Pattern& p : patterns) request.queries.push_back({p, 0});
+  StatusOr<QueryBatchResult> batch = service_.QueryBatch(request);
+  COVERAGE_RETURN_IF_ERROR(batch.status());
+
+  ShardCountsResponse response;
+  response.num_rows = service_.num_rows();
+  response.coverage_queries = batch->coverage_queries;
+  response.seconds = batch->seconds;
+  response.counts.reserve(batch->results.size());
+  for (const QueryOutcome& q : batch->results) response.counts.push_back(q.coverage);
+  return response;
+}
+
+StatusOr<ShardCandidatesResponse> LocalShardBackend::Candidates(
+    const AuditRequest& request) {
+  AuditRequest local = request;
+  local.materialize_patterns = true;
+  StatusOr<AuditResult> audit = service_.Audit(local);
+  COVERAGE_RETURN_IF_ERROR(audit.status());
+
+  ShardCandidatesResponse response;
+  response.num_rows = service_.num_rows();
+  response.audit = std::move(*audit);
+  response.audit.packed.reset();  // one representation, like the HTTP path
+  return response;
+}
+
+StatusOr<ShardCountsResponse> HttpShardBackend::Counts(
+    const std::vector<Pattern>& patterns) {
+  StatusOr<http::Response> response =
+      pool_->Post("/internal/v1/counts", CountsRequestJson(patterns));
+  if (!response.ok()) return ShardError(name(), response.status());
+  if (response->status != 200) {
+    return HttpError(name(), "/internal/v1/counts", *response);
+  }
+  StatusOr<ShardCountsResponse> decoded =
+      DecodeShardCountsBinary(response->body);
+  if (!decoded.ok()) return ShardError(name(), decoded.status());
+  if (decoded->counts.size() != patterns.size()) {
+    return Status::Internal(
+        "shard " + name() + ": counts response has " +
+        std::to_string(decoded->counts.size()) + " entries for " +
+        std::to_string(patterns.size()) + " patterns");
+  }
+  return decoded;
+}
+
+StatusOr<ShardCandidatesResponse> HttpShardBackend::Candidates(
+    const AuditRequest& request) {
+  StatusOr<http::Response> response =
+      pool_->Post("/internal/v1/candidates", AuditRequestJson(request));
+  if (!response.ok()) return ShardError(name(), response.status());
+  if (response->status != 200) {
+    return HttpError(name(), "/internal/v1/candidates", *response);
+  }
+  StatusOr<ShardCandidatesResponse> decoded =
+      DecodeShardCandidatesBinary(response->body, *schema_);
+  if (!decoded.ok()) return ShardError(name(), decoded.status());
+  return decoded;
+}
+
+}  // namespace cluster
+}  // namespace coverage

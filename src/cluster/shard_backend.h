@@ -1,0 +1,90 @@
+#ifndef COVERAGE_CLUSTER_SHARD_BACKEND_H_
+#define COVERAGE_CLUSTER_SHARD_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/client_pool.h"
+#include "cluster/cluster_wire.h"
+#include "common/status.h"
+#include "dataset/schema.h"
+#include "pattern/pattern.h"
+#include "service/coverage_service.h"
+
+namespace coverage {
+namespace cluster {
+
+/// What the distributed-audit algorithm needs from one shard: exact counts
+/// for a batch of patterns over the shard's row slice, and the shard-local
+/// MUP set (the candidate antichain that prunes the global BFS).
+///
+/// Two implementations: LocalShardBackend wraps an in-process
+/// CoverageService (tests, and the reference for bit-identity proofs);
+/// HttpShardBackend speaks the /internal/v1/* wire to a remote shard. The
+/// algorithm cannot tell them apart — that symmetry is what lets the
+/// property tests compare a real scatter-gather against in-process truth.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Stable shard identity for errors and metrics ("host:port" for HTTP).
+  virtual const std::string& name() const = 0;
+
+  /// Exact cov(P) per pattern over this shard's slice (tau = 0 semantics —
+  /// threshold answers are not additive, so the protocol never asks them).
+  virtual StatusOr<ShardCountsResponse> Counts(
+      const std::vector<Pattern>& patterns) = 0;
+
+  /// The shard-local MUP search with the *global* tau. MUPs come back
+  /// materialized (audit.mups set, audit.packed cleared).
+  virtual StatusOr<ShardCandidatesResponse> Candidates(
+      const AuditRequest& request) = 0;
+};
+
+/// An in-process shard: owns a CoverageService over one row slice.
+class LocalShardBackend : public ShardBackend {
+ public:
+  LocalShardBackend(std::string name, CoverageService service)
+      : name_(std::move(name)), service_(std::move(service)) {}
+
+  const std::string& name() const override { return name_; }
+  StatusOr<ShardCountsResponse> Counts(
+      const std::vector<Pattern>& patterns) override;
+  StatusOr<ShardCandidatesResponse> Candidates(
+      const AuditRequest& request) override;
+
+  const CoverageService& service() const { return service_; }
+
+ private:
+  std::string name_;
+  CoverageService service_;
+};
+
+/// A remote shard behind a ClientPool. POSTs the JSON request bodies from
+/// cluster_wire.h to /internal/v1/{counts,candidates} and decodes the
+/// binary responses; every error is prefixed "shard <host:port>: " so a
+/// scatter-gather failure names its shard.
+class HttpShardBackend : public ShardBackend {
+ public:
+  /// `pool` and `schema` must outlive the backend (the coordinator owns
+  /// both).
+  HttpShardBackend(ClientPool* pool, const Schema* schema)
+      : pool_(pool), schema_(schema) {}
+
+  const std::string& name() const override { return pool_->endpoint(); }
+  StatusOr<ShardCountsResponse> Counts(
+      const std::vector<Pattern>& patterns) override;
+  StatusOr<ShardCandidatesResponse> Candidates(
+      const AuditRequest& request) override;
+
+  ClientPool* pool() { return pool_; }
+
+ private:
+  ClientPool* pool_;
+  const Schema* schema_;
+};
+
+}  // namespace cluster
+}  // namespace coverage
+
+#endif  // COVERAGE_CLUSTER_SHARD_BACKEND_H_

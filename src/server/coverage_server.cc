@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster_wire.h"
 #include "common/stopwatch.h"
 #include "obs/log.h"
 #include "obs/prometheus.h"
@@ -215,6 +216,9 @@ CoverageServer::CoverageServer(CoverageService service,
       "POST /v1/sessions/{id}/retract",
       "POST /v1/sessions/{id}/audit",
       "POST /v1/sessions/{id}/query",
+      "POST /internal/v1/counts",
+      "POST /internal/v1/candidates",
+      "POST /internal/v1/sessions",
   };
   const char* const latency_help =
       "HTTP request latency by route (transport excluded: measured around "
@@ -640,7 +644,20 @@ Response CoverageServer::Dispatch(const Request& request,
       return HandleQuery(request.body, AcceptsBinary(request), trace);
     }
     if (path == "/v1/sessions" && route("POST /v1/sessions")) {
-      return HandleSessionCreate(request.body);
+      return HandleSessionCreate(request.body, /*allow_explicit_id=*/false);
+    }
+    if (options_.enable_internal_routes) {
+      if (path == "/internal/v1/counts" && route("POST /internal/v1/counts")) {
+        return HandleInternalCounts(request.body, trace);
+      }
+      if (path == "/internal/v1/candidates" &&
+          route("POST /internal/v1/candidates")) {
+        return HandleInternalCandidates(request.body, trace);
+      }
+      if (path == "/internal/v1/sessions" &&
+          route("POST /internal/v1/sessions")) {
+        return HandleSessionCreate(request.body, /*allow_explicit_id=*/true);
+      }
     }
   }
 
@@ -846,6 +863,43 @@ Response CoverageServer::HandleQuery(const std::string& body, bool binary,
   return OkJson(wire::ToJson(*result));
 }
 
+Response CoverageServer::HandleInternalCounts(const std::string& body,
+                                              obs::Trace* trace) {
+  StatusOr<QueryBatchRequest> request = [&]() -> StatusOr<QueryBatchRequest> {
+    obs::ScopedStage stage(trace, "parse");
+    auto parsed = ParseBody(body);
+    if (!parsed.ok()) return parsed.status();
+    return wire::QueryBatchRequestFromJson(*parsed, service_.schema());
+  }();
+  if (!request.ok()) return ErrorResponse(request.status());
+  // The merge protocol is exact counts only — thresholds are not additive
+  // across shards, so any client-sent tau is overridden.
+  for (QueryRequest& query : request->queries) query.tau = 0;
+  auto result = service_.QueryBatch(*request, trace);
+  if (!result.ok()) return ErrorResponse(result.status());
+  obs::ScopedStage stage(trace, "encode");
+  return OkBinary(
+      cluster::EncodeShardCountsBinary(service_.num_rows(), *result));
+}
+
+Response CoverageServer::HandleInternalCandidates(const std::string& body,
+                                                  obs::Trace* trace) {
+  StatusOr<AuditRequest> request = [&]() -> StatusOr<AuditRequest> {
+    obs::ScopedStage stage(trace, "parse");
+    auto parsed = ParseBody(body);
+    if (!parsed.ok()) return parsed.status();
+    return wire::AuditRequestFromJson(*parsed);
+  }();
+  if (!request.ok()) return ErrorResponse(request.status());
+  // The nested audit frame re-encodes from packed form; never materialize.
+  request->materialize_patterns = false;
+  auto result = service_.Audit(*request, trace);
+  if (!result.ok()) return ErrorResponse(result.status());
+  obs::ScopedStage stage(trace, "encode");
+  return OkBinary(
+      cluster::EncodeShardCandidatesBinary(service_.num_rows(), *result));
+}
+
 Response CoverageServer::HandleSessionsList() const {
   JsonValue::Array list;
   {
@@ -866,7 +920,8 @@ Response CoverageServer::HandleSessionsList() const {
   return OkJson(JsonValue(std::move(o)));
 }
 
-Response CoverageServer::HandleSessionCreate(const std::string& body) {
+Response CoverageServer::HandleSessionCreate(const std::string& body,
+                                             bool allow_explicit_id) {
   auto parsed = ParseBody(body);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
 
@@ -884,10 +939,19 @@ Response CoverageServer::HandleSessionCreate(const std::string& body) {
 
   const bool durable = !options_.data_dir.empty();
   CoverageService::SessionOptions options = options_.session_defaults;
+  std::string explicit_id;
   const JsonValue& v = *parsed;
   for (const auto& [key, value] : v.AsObject()) {
     if (key == "schema") continue;
-    if (key == "tau") {
+    if (key == "session_id" && allow_explicit_id) {
+      auto name = v.GetString("session_id");
+      if (!name.ok()) return ErrorResponse(name.status());
+      if (name->empty() || name->find('/') != std::string::npos) {
+        return ErrorResponse(Status::InvalidArgument(
+            "session_id must be a non-empty name without '/'"));
+      }
+      explicit_id = *name;
+    } else if (key == "tau") {
       auto tau = v.GetUint("tau");
       if (!tau.ok()) return ErrorResponse(tau.status());
       options.tau = *tau;
@@ -925,8 +989,20 @@ Response CoverageServer::HandleSessionCreate(const std::string& body) {
   }
 
   // Durable sessions need their id up front — it names the directory.
-  const std::string id = "s" + std::to_string(next_session_id_.fetch_add(
-                                   1, std::memory_order_relaxed));
+  const std::string id =
+      !explicit_id.empty()
+          ? explicit_id
+          : "s" + std::to_string(next_session_id_.fetch_add(
+                      1, std::memory_order_relaxed));
+  if (!explicit_id.empty()) {
+    // Coordinator-assigned id: reject duplicates before any state is
+    // created (the coordinator burns the id and retries the next one).
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    if (sessions_.contains(id)) {
+      return ErrorResponse(Status::InvalidArgument(
+          "session '" + id + "' already exists"));
+    }
+  }
   const std::string dir = options_.data_dir + "/" + id;
   auto session = durable
                      ? CoverageService::OpenDurableSession(dir, schema,
@@ -950,7 +1026,26 @@ Response CoverageServer::HandleSessionCreate(const std::string& body) {
           "session registry is full (" +
           std::to_string(options_.max_sessions) + " open sessions)"));
     }
-    sessions_.emplace(id, std::move(entry));
+    if (!sessions_.emplace(id, std::move(entry)).second) {
+      // Lost a race on an explicit id between the pre-check and here.
+      lock.unlock();
+      if (durable) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+      }
+      return ErrorResponse(Status::InvalidArgument(
+          "session '" + id + "' already exists"));
+    }
+  }
+  // Keep the counter ahead of any numeric explicit id so later
+  // counter-allocated ids never collide with coordinator-assigned ones.
+  std::uint64_t numeric = 0;
+  if (!explicit_id.empty() && ParseSessionId(id, &numeric)) {
+    std::uint64_t next = next_session_id_.load(std::memory_order_relaxed);
+    while (next <= numeric && !next_session_id_.compare_exchange_weak(
+                                  next, numeric + 1,
+                                  std::memory_order_relaxed)) {
+    }
   }
   JsonValue::Object o;
   o["session_id"] = id;

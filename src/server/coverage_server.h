@@ -66,6 +66,12 @@ struct CoverageServerOptions {
   /// route, request id, and latency; <= 0 disables.
   double slow_request_seconds = 1.0;
 
+  /// Shard mode: expose the cluster-internal routes the coordinator fans
+  /// out to (POST /internal/v1/counts, /internal/v1/candidates,
+  /// /internal/v1/sessions). Off by default — a standalone server must not
+  /// accept coordinator-assigned session ids or answer τ=0 count scatters.
+  bool enable_internal_routes = false;
+
   Status Validate() const;
 };
 
@@ -90,6 +96,13 @@ struct CoverageServerOptions {
 ///   POST    /v1/sessions/{id}/audit           Session::Audit
 ///   POST    /v1/sessions/{id}/query           Session::QueryBatch
 ///   DELETE  /v1/sessions/{id}                 close the session
+///
+/// With options.enable_internal_routes (shard mode) three cluster-internal
+/// routes join the table — see src/cluster/:
+///
+///   POST    /internal/v1/counts               τ=0 exact counts (wire v2)
+///   POST    /internal/v1/candidates           local MUP search (wire v2)
+///   POST    /internal/v1/sessions             create with explicit id
 ///
 /// Status codes map 1:1 onto the library's Status: InvalidArgument → 400,
 /// NotFound → 404, ResourceExhausted → 429, OutOfRange → 400, Internal →
@@ -181,7 +194,19 @@ class CoverageServer {
   http::Response HandleStats() const;
   http::Response HandleMetrics() const;
   http::Response HandleSessionsList() const;
-  http::Response HandleSessionCreate(const std::string& body);
+  /// `allow_explicit_id` = the request may carry "session_id" (the
+  /// cluster-internal create route: the coordinator names sessions so the
+  /// hash ring, not the shard counter, decides placement).
+  http::Response HandleSessionCreate(const std::string& body,
+                                     bool allow_explicit_id);
+  /// Cluster-internal: τ=0 exact counts for a pattern batch, answered in
+  /// wire v2 (msg type 3) unconditionally.
+  http::Response HandleInternalCounts(const std::string& body,
+                                      obs::Trace* trace);
+  /// Cluster-internal: the local candidate MUP search, answered in wire v2
+  /// (msg type 4) unconditionally.
+  http::Response HandleInternalCandidates(const std::string& body,
+                                          obs::Trace* trace);
   http::Response HandleSessionDelete(const std::string& id);
   http::Response HandleSessionVerb(const std::string& id,
                                    const std::string& verb,

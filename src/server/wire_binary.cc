@@ -26,7 +26,30 @@ constexpr std::uint8_t kMupsSparseCells = 1;
 constexpr std::uint8_t kMupsPatternStrings = 2;
 constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 4;
 
-std::string Frame(std::uint8_t msg_type, std::string payload) {
+void PutStats(const MupSearchStats& stats, ByteWriter* out) {
+  out->PutU64(stats.coverage_queries);
+  out->PutU64(stats.nodes_generated);
+  out->PutU64(stats.nodes_pruned);
+  out->PutU64(static_cast<std::uint64_t>(stats.num_mups));
+  out->PutU64(std::bit_cast<std::uint64_t>(stats.seconds));
+}
+
+Status GetStats(ByteReader* in, MupSearchStats* stats) {
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&stats->coverage_queries));
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&stats->nodes_generated));
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&stats->nodes_pruned));
+  std::uint64_t num_mups = 0;
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&num_mups));
+  stats->num_mups = static_cast<std::size_t>(num_mups);
+  std::uint64_t seconds_bits = 0;
+  COVERAGE_RETURN_IF_ERROR(in->GetU64(&seconds_bits));
+  stats->seconds = std::bit_cast<double>(seconds_bits);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FrameBinaryMessage(std::uint8_t msg_type, std::string payload) {
   ByteWriter head;
   for (char c : kMagic) head.PutU8(static_cast<std::uint8_t>(c));
   head.PutU8(kVersion);
@@ -38,8 +61,8 @@ std::string Frame(std::uint8_t msg_type, std::string payload) {
 }
 
 /// Validates the frame header and returns the checksummed payload.
-StatusOr<std::string_view> Unframe(std::string_view bytes,
-                                   std::uint8_t want_type) {
+StatusOr<std::string_view> UnframeBinaryMessage(std::string_view bytes,
+                                                std::uint8_t want_type) {
   if (bytes.size() < kHeaderBytes) {
     return Status::InvalidArgument("binary frame truncated");
   }
@@ -72,28 +95,14 @@ StatusOr<std::string_view> Unframe(std::string_view bytes,
   return payload;
 }
 
-void PutStats(const MupSearchStats& stats, ByteWriter* out) {
-  out->PutU64(stats.coverage_queries);
-  out->PutU64(stats.nodes_generated);
-  out->PutU64(stats.nodes_pruned);
-  out->PutU64(static_cast<std::uint64_t>(stats.num_mups));
-  out->PutU64(std::bit_cast<std::uint64_t>(stats.seconds));
+void EncodeMupSearchStatsBinary(const MupSearchStats& stats,
+                                ByteWriter* out) {
+  PutStats(stats, out);
 }
 
-Status GetStats(ByteReader* in, MupSearchStats* stats) {
-  COVERAGE_RETURN_IF_ERROR(in->GetU64(&stats->coverage_queries));
-  COVERAGE_RETURN_IF_ERROR(in->GetU64(&stats->nodes_generated));
-  COVERAGE_RETURN_IF_ERROR(in->GetU64(&stats->nodes_pruned));
-  std::uint64_t num_mups = 0;
-  COVERAGE_RETURN_IF_ERROR(in->GetU64(&num_mups));
-  stats->num_mups = static_cast<std::size_t>(num_mups);
-  std::uint64_t seconds_bits = 0;
-  COVERAGE_RETURN_IF_ERROR(in->GetU64(&seconds_bits));
-  stats->seconds = std::bit_cast<double>(seconds_bits);
-  return Status::OK();
+Status DecodeMupSearchStatsBinary(ByteReader* in, MupSearchStats* stats) {
+  return GetStats(in, stats);
 }
-
-}  // namespace
 
 std::string EncodeAuditResultBinary(const AuditResult& result) {
   ByteWriter payload;
@@ -128,12 +137,12 @@ std::string EncodeAuditResultBinary(const AuditResult& result) {
       payload.PutU16(static_cast<std::uint16_t>(p.level()));
     }
   }
-  return Frame(kMsgAudit, payload.Take());
+  return FrameBinaryMessage(kMsgAudit, payload.Take());
 }
 
 StatusOr<AuditResult> DecodeAuditResultBinary(std::string_view bytes,
                                               const Schema& schema) {
-  StatusOr<std::string_view> payload = Unframe(bytes, kMsgAudit);
+  StatusOr<std::string_view> payload = UnframeBinaryMessage(bytes, kMsgAudit);
   COVERAGE_RETURN_IF_ERROR(payload.status());
   ByteReader in(*payload);
 
@@ -217,12 +226,12 @@ std::string EncodeQueryBatchResultBinary(const QueryBatchResult& result) {
     payload.PutU64(q.coverage);
     payload.PutU8(q.covered ? 1 : 0);
   }
-  return Frame(kMsgQueryBatch, payload.Take());
+  return FrameBinaryMessage(kMsgQueryBatch, payload.Take());
 }
 
 StatusOr<QueryBatchResult> DecodeQueryBatchResultBinary(
     std::string_view bytes) {
-  StatusOr<std::string_view> payload = Unframe(bytes, kMsgQueryBatch);
+  StatusOr<std::string_view> payload = UnframeBinaryMessage(bytes, kMsgQueryBatch);
   COVERAGE_RETURN_IF_ERROR(payload.status());
   ByteReader in(*payload);
 

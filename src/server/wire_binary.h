@@ -1,11 +1,13 @@
 #ifndef COVERAGE_SERVER_WIRE_BINARY_H_
 #define COVERAGE_SERVER_WIRE_BINARY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "dataset/schema.h"
+#include "persist/codec.h"
 #include "service/coverage_service.h"
 
 namespace coverage {
@@ -74,6 +76,23 @@ std::string EncodeQueryBatchResultBinary(const QueryBatchResult& result);
 
 StatusOr<QueryBatchResult> DecodeQueryBatchResultBinary(
     std::string_view bytes);
+
+/// Shared CVW2 framing, reused by the cluster's internal shard-merge
+/// messages (src/cluster/cluster_wire.h): magic + version + msg_type + a
+/// CRC32C over the payload that follows. Message types 1–2 are the public
+/// responses above; the cluster layer owns types 3+. Every framed message —
+/// public or internal — goes through this one pair, so the strictness rules
+/// (bad magic / version / checksum / type → InvalidArgument) hold uniformly.
+std::string FrameBinaryMessage(std::uint8_t msg_type, std::string payload);
+StatusOr<std::string_view> UnframeBinaryMessage(std::string_view bytes,
+                                                std::uint8_t want_type);
+
+/// The MupSearchStats field block (five u64s, seconds as IEEE-754 bits),
+/// shared between the audit payload and the cluster's candidate messages.
+void EncodeMupSearchStatsBinary(const MupSearchStats& stats,
+                                persist::ByteWriter* out);
+Status DecodeMupSearchStatsBinary(persist::ByteReader* in,
+                                  MupSearchStats* stats);
 
 }  // namespace wire
 }  // namespace coverage

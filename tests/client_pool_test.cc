@@ -1,0 +1,236 @@
+// ClientPool (cluster/client_pool.h): keep-alive reuse, the injectable
+// fault seam, retry/backoff accounting, and the idempotency contract —
+// a non-idempotent request is never re-sent after a post-send failure.
+
+#include "cluster/client_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/http_server.h"
+
+namespace coverage {
+namespace cluster {
+namespace {
+
+using http::HttpServer;
+using http::Request;
+using http::Response;
+using http::ServerOptions;
+
+/// An echo server counting the requests it actually saw — the ground truth
+/// for "was this request re-sent?".
+class EchoServer {
+ public:
+  EchoServer() {
+    ServerOptions options;
+    options.port = 0;
+    options.num_threads = 2;
+    server_ = std::make_unique<HttpServer>(options, [this](const Request& r) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Response::Text(200, r.method + " " + r.target);
+    });
+    EXPECT_TRUE(server_->Start().ok());
+  }
+  ~EchoServer() { server_->Stop(); }
+
+  int port() const { return server_->port(); }
+  int hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  std::unique_ptr<HttpServer> server_;
+  std::atomic<int> hits_{0};
+};
+
+/// Accepts one TCP connection at a time and closes it immediately — every
+/// roundtrip against it fails *after* the request bytes went out.
+class SlammingListener {
+ public:
+  SlammingListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(fd_, 16), 0);
+    thread_ = std::thread([this] {
+      while (true) {
+        const int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn < 0) return;  // listener closed
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        ::close(conn);
+      }
+    });
+  }
+  ~SlammingListener() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    thread_.join();
+  }
+
+  int port() const { return port_; }
+  int accepted() const { return accepted_.load(std::memory_order_relaxed); }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<int> accepted_{0};
+};
+
+ClientPoolOptions FastOptions() {
+  ClientPoolOptions options;
+  options.client.connect_timeout_ms = 2000;
+  options.client.read_timeout_ms = 2000;
+  options.retry.backoff_ms = 0;  // no sleeping in tests
+  return options;
+}
+
+TEST(ClientPoolTest, ReusesParkedConnections) {
+  EchoServer server;
+  ClientPool pool("127.0.0.1", server.port(), FastOptions());
+  for (int i = 0; i < 5; ++i) {
+    auto response = pool.Get("/ping");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, "GET /ping");
+  }
+  const ClientPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.connects, 1u);
+  EXPECT_EQ(stats.reuses, 4u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(ClientPoolTest, FaultHookFailuresRetryAndRecover) {
+  EchoServer server;
+  ClientPoolOptions options = FastOptions();
+  options.retry.max_attempts = 3;
+  options.retry.backoff_ms = 50;
+  std::atomic<int> calls{0};
+  options.fault_hook = [&](int attempt) {
+    calls.fetch_add(1);
+    return attempt <= 2 ? Status::Internal("injected transport fault")
+                        : Status::OK();
+  };
+  std::vector<int> sleeps;
+  options.sleep_fn = [&](int ms) { sleeps.push_back(ms); };
+
+  ClientPool pool("127.0.0.1", server.port(), options);
+  auto response = pool.Post("/v1/query", "{}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(pool.stats().retries, 2u);
+  EXPECT_EQ(pool.stats().failures, 0u);
+  // Exponential: 50 before the first retry, 100 before the second.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 50);
+  EXPECT_EQ(sleeps[1], 100);
+  // The hook fired before anything was sent, so the server saw exactly one.
+  EXPECT_EQ(server.hits(), 1);
+}
+
+TEST(ClientPoolTest, ExhaustedAttemptsReportFailure) {
+  EchoServer server;
+  obs::MetricsRegistry registry;
+  ClientPoolOptions options = FastOptions();
+  options.retry.max_attempts = 3;
+  options.fault_hook = [](int) { return Status::Internal("down"); };
+  options.errors = registry.GetCounter("coverage_cluster_shard_errors_total",
+                                       "help", {{"shard", "test"}});
+
+  ClientPool pool("127.0.0.1", server.port(), options);
+  auto response = pool.Get("/ping");
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(pool.stats().retries, 2u);
+  EXPECT_EQ(pool.stats().failures, 1u);
+  EXPECT_EQ(options.errors->value(), 1u);
+  EXPECT_EQ(server.hits(), 0);
+}
+
+TEST(ClientPoolTest, ConnectRefusedIsRetryableEvenWhenNotIdempotent) {
+  // Dial a port nothing listens on: every attempt fails before any byte is
+  // sent, so even a non-idempotent request may retry safely.
+  ClientPoolOptions options = FastOptions();
+  options.retry.max_attempts = 2;
+  ClientPool pool("127.0.0.1", 1, options);
+  Request request;
+  request.method = "POST";
+  request.target = "/v1/sessions/s1/append";
+  request.version = "HTTP/1.1";
+  auto response = pool.Roundtrip(request, /*idempotent=*/false);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(pool.stats().retries, 1u);
+}
+
+TEST(ClientPoolTest, PostSendFailureDoesNotResendNonIdempotent) {
+  SlammingListener listener;
+  ClientPoolOptions options = FastOptions();
+  options.retry.max_attempts = 4;
+
+  ClientPool pool("127.0.0.1", listener.port(), options);
+  Request request;
+  request.method = "POST";
+  request.target = "/v1/sessions/s1/append";
+  request.version = "HTTP/1.1";
+  request.body = "{\"rows\": []}";
+
+  auto response = pool.Roundtrip(request, /*idempotent=*/false);
+  EXPECT_FALSE(response.ok());
+  // One connection, one send, no retry: the request may have reached the
+  // server, so the pool must not fire it again.
+  EXPECT_EQ(pool.stats().retries, 0u);
+  EXPECT_EQ(pool.stats().failures, 1u);
+
+  // The identical idempotent call retries through every attempt.
+  const int before = listener.accepted();
+  auto retried = pool.Roundtrip(request, /*idempotent=*/true);
+  EXPECT_FALSE(retried.ok());
+  EXPECT_EQ(pool.stats().retries, 3u);
+  EXPECT_GE(listener.accepted() - before, 2);
+}
+
+TEST(ClientPoolTest, RpcLatencyHistogramObservesSuccesses) {
+  EchoServer server;
+  obs::MetricsRegistry registry;
+  ClientPoolOptions options = FastOptions();
+  options.rpc_seconds = registry.GetHistogram(
+      "coverage_cluster_rpc_seconds", "help", {{"shard", "test"}});
+  ClientPool pool("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(pool.Get("/a").ok());
+  ASSERT_TRUE(pool.Get("/b").ok());
+  EXPECT_EQ(options.rpc_seconds->count(), 2u);
+}
+
+TEST(ClientPoolTest, RetryPolicyValidates) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.backoff_ms = -1;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace coverage

